@@ -1,0 +1,73 @@
+// Ablation: Section 4.1 attributes overlapped time first to remote work,
+// then IO, then CPU. This bench quantifies how the Figure 2 shares move
+// under all six precedence orders — the sensitivity of the paper's
+// headline "52% on remote work and storage" to that methodological choice.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_fleet.h"
+#include "common/table.h"
+#include "profiling/aggregate.h"
+
+using namespace hyperprof;
+using bench::GetFleet;
+
+namespace {
+
+struct Order {
+  const char* name;
+  profiling::AttributionPolicy policy;
+};
+
+std::vector<Order> AllOrders() {
+  // Ranks: lower wins. Enumerate the six permutations of (cpu, io, remote).
+  return {
+      {"remote>io>cpu (paper)", {2, 1, 0}},
+      {"remote>cpu>io", {1, 2, 0}},
+      {"io>remote>cpu", {2, 0, 1}},
+      {"io>cpu>remote", {1, 0, 2}},
+      {"cpu>remote>io", {0, 2, 1}},
+      {"cpu>io>remote", {0, 1, 2}},
+  };
+}
+
+void PrintAblation() {
+  std::printf("=== Ablation: Overlap Attribution Precedence ===\n");
+  std::printf("How the query-weighted overall breakdown moves under each "
+              "of the six precedence orders.\n\n");
+  for (size_t p = 0; p < 3; ++p) {
+    const auto& traces = GetFleet().TracesOf(p);
+    std::printf("--- %s ---\n", bench::PlatformName(p));
+    TextTable table({"Precedence", "CPU%", "IO%", "Remote%"});
+    for (const auto& order : AllOrders()) {
+      auto report = profiling::ComputeE2eBreakdown(traces, order.policy);
+      auto mean = report.overall.MeanQueryFractions();
+      table.AddRow(order.name,
+                   {mean.cpu * 100, mean.io * 100, mean.remote * 100},
+                   "%.1f");
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+}
+
+void BM_BreakdownUnderPolicy(benchmark::State& state) {
+  const auto& traces = GetFleet().TracesOf(bench::kBigQuery);
+  profiling::AttributionPolicy policy{0, 1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        profiling::ComputeE2eBreakdown(traces, policy));
+  }
+}
+BENCHMARK(BM_BreakdownUnderPolicy);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

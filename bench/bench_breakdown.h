@@ -1,0 +1,54 @@
+#ifndef HYPERPROF_BENCH_BENCH_BREAKDOWN_H_
+#define HYPERPROF_BENCH_BENCH_BREAKDOWN_H_
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_fleet.h"
+#include "common/table.h"
+#include "platforms/platforms.h"
+#include "profiling/aggregate.h"
+
+namespace hyperprof::bench {
+
+/**
+ * Prints a Figures 4-6 style within-broad-category breakdown for every
+ * platform: the calibration ground truth (our chart reconstruction, see
+ * EXPERIMENTS.md) next to what the profiling pipeline recovered.
+ */
+inline void PrintWithinBroad(profiling::BroadCategory broad) {
+  const platforms::PlatformSpec specs[] = {platforms::SpannerSpec(),
+                                           platforms::BigTableSpec(),
+                                           platforms::BigQuerySpec()};
+  for (size_t p = 0; p < 3; ++p) {
+    auto result = GetFleet().Result(p);
+    // Ground-truth within-broad fractions from the calibrated spec.
+    double broad_total = 0;
+    for (size_t i = 0; i < profiling::kNumFnCategories; ++i) {
+      if (profiling::BroadOf(static_cast<profiling::FnCategory>(i)) ==
+          broad) {
+        broad_total += specs[p].compute_mix[i];
+      }
+    }
+    std::printf("--- %s ---\n", result.name.c_str());
+    TextTable table({std::string(profiling::BroadCategoryName(broad)) +
+                         " category",
+                     "Calibration%", "Recovered%"});
+    for (auto category : profiling::CategoriesOf(broad)) {
+      double truth =
+          broad_total > 0
+              ? specs[p].compute_mix[static_cast<size_t>(category)] /
+                    broad_total
+              : 0;
+      double measured = result.cycles.FineFractionWithinBroad(category);
+      if (truth <= 0 && measured <= 0) continue;
+      table.AddRow(profiling::FnCategoryName(category),
+                   {truth * 100, measured * 100}, "%.1f");
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+}
+
+}  // namespace hyperprof::bench
+
+#endif  // HYPERPROF_BENCH_BENCH_BREAKDOWN_H_

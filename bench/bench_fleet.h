@@ -1,0 +1,49 @@
+#ifndef HYPERPROF_BENCH_BENCH_FLEET_H_
+#define HYPERPROF_BENCH_BENCH_FLEET_H_
+
+#include <cstdio>
+#include <memory>
+
+#include "platforms/fleet.h"
+
+namespace hyperprof::bench {
+
+/**
+ * Shared fleet-characterization run for the reproduction benches: built
+ * and run once per binary, then queried by the table/figure printers and
+ * the registered benchmarks.
+ */
+inline platforms::FleetSimulation& GetFleet() {
+  static std::unique_ptr<platforms::FleetSimulation> fleet = [] {
+    platforms::FleetConfig config;
+    config.queries_per_platform = 8000;
+    config.trace_sample_one_in = 10;
+    std::fprintf(stderr,
+                 "[bench] running fleet characterization (%llu queries x 3 "
+                 "platforms)...\n",
+                 static_cast<unsigned long long>(
+                     config.queries_per_platform));
+    auto sim = std::make_unique<platforms::FleetSimulation>(config);
+    sim->AddDefaultPlatforms();
+    sim->RunAll();
+    std::fprintf(stderr, "[bench] fleet run complete (%llu events)\n",
+                 static_cast<unsigned long long>(
+                     sim->simulator().events_executed()));
+    return sim;
+  }();
+  return *fleet;
+}
+
+/** Index of a platform in the default fleet. */
+inline constexpr size_t kSpanner = 0;
+inline constexpr size_t kBigTable = 1;
+inline constexpr size_t kBigQuery = 2;
+
+inline const char* PlatformName(size_t index) {
+  static const char* kNames[] = {"Spanner", "BigTable", "BigQuery"};
+  return kNames[index];
+}
+
+}  // namespace hyperprof::bench
+
+#endif  // HYPERPROF_BENCH_BENCH_FLEET_H_

@@ -1,0 +1,159 @@
+// Extensions the paper's Section 6.4 lists as future work, implemented:
+//
+//  1. Varied per-accelerator speedups — instead of lockstep acceleration,
+//     each component draws its own speedup; we report the distribution of
+//     end-to-end outcomes and which component bottlenecks the chain.
+//  2. Partial CPU/dependency synchronization — a sweep of the model's f
+//     factor between fully overlapped (0) and fully serial (1), showing
+//     how much of the co-design benefit survives partial overlap.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_fleet.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/limit_studies.h"
+#include "core/platform_inputs.h"
+
+using namespace hyperprof;
+using bench::GetFleet;
+
+namespace {
+
+void PrintVariedSpeedups() {
+  std::printf("=== Extension 1: Varied Per-Accelerator Speedups ===\n");
+  std::printf("Each accelerated component draws an independent speedup in "
+              "[2x, 32x] (log-uniform); 200 draws per platform, chained "
+              "on-chip, dependencies kept.\n\n");
+  TextTable table({"Platform", "p10", "median", "p90",
+                   "Most-frequent bottleneck"});
+  for (size_t p = 0; p < 3; ++p) {
+    auto result = GetFleet().Result(p);
+    auto groups = model::BuildGroupWorkloads(
+        result, GetFleet().TracesOf(p),
+        model::AcceleratedCategoriesFor(result.name));
+    Rng rng(1234 + p);
+    std::vector<double> outcomes;
+    std::vector<size_t> bottleneck_counts(16, 0);
+    std::vector<std::string> component_names;
+    for (int draw = 0; draw < 200; ++draw) {
+      // One speedup vector applied across all groups.
+      std::vector<double> speedups;
+      double speedup = model::GroupWeightedSpeedup(
+          groups, [&](const model::Workload& base) {
+            model::Workload workload = base;
+            model::ApplyConfig(workload,
+                               model::AccelSystemConfig::ChainedOnChip(),
+                               0);
+            if (component_names.empty()) {
+              for (const auto& component : workload.components) {
+                component_names.push_back(component.name);
+              }
+            }
+            if (speedups.empty()) {
+              for (size_t i = 0; i < workload.components.size(); ++i) {
+                // Log-uniform in [2, 32].
+                speedups.push_back(
+                    2.0 * std::pow(16.0, rng.NextDouble()));
+              }
+            }
+            double slowest_service = 0;
+            size_t slowest_index = 0;
+            for (size_t i = 0; i < workload.components.size(); ++i) {
+              workload.components[i].speedup = speedups[i];
+              double service = workload.components[i].t_sub / speedups[i];
+              if (service > slowest_service) {
+                slowest_service = service;
+                slowest_index = i;
+              }
+            }
+            ++bottleneck_counts[slowest_index];
+            return model::AccelModel(workload).Speedup();
+          });
+      outcomes.push_back(speedup);
+    }
+    std::sort(outcomes.begin(), outcomes.end());
+    size_t best = 0;
+    for (size_t i = 1; i < bottleneck_counts.size(); ++i) {
+      if (bottleneck_counts[i] > bottleneck_counts[best]) best = i;
+    }
+    table.AddRow({result.name, StrFormat("%.2f", outcomes[20]),
+                  StrFormat("%.2f", outcomes[100]),
+                  StrFormat("%.2f", outcomes[180]),
+                  best < component_names.size() ? component_names[best]
+                                                : "?"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void PrintSyncFactorSweep() {
+  std::printf("=== Extension 2: Partial CPU/Dependency Overlap (f sweep) "
+              "===\n");
+  std::printf("End-to-end speedup at s=8x, chained on-chip, as the sync "
+              "factor f moves from fully overlapped (0) to fully serial "
+              "(1). The measured fleet f per platform is marked.\n\n");
+  TextTable table({"f", "Spanner", "BigTable", "BigQuery"});
+  for (double f : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    std::vector<double> row;
+    for (size_t p = 0; p < 3; ++p) {
+      auto result = GetFleet().Result(p);
+      auto groups = model::BuildGroupWorkloads(
+          result, GetFleet().TracesOf(p),
+          model::AcceleratedCategoriesFor(result.name));
+      row.push_back(model::GroupWeightedSpeedup(
+          groups, [&](const model::Workload& base) {
+            model::Workload workload = base;
+            workload.f = f;
+            model::ApplyConfig(workload,
+                               model::AccelSystemConfig::ChainedOnChip(),
+                               0);
+            for (auto& component : workload.components) {
+              component.speedup = 8.0;
+            }
+            return model::AccelModel(workload).Speedup();
+          }));
+    }
+    table.AddRow(StrFormat("%.1f", f), row, "%.3f");
+  }
+  std::printf("%s", table.ToString().c_str());
+  for (size_t p = 0; p < 3; ++p) {
+    std::printf("Measured f (%s): %.3f\n", bench::PlatformName(p),
+                profiling::EstimateSyncFactor(GetFleet().TracesOf(p)));
+  }
+  std::printf("\n");
+}
+
+void BM_VariedSpeedupDraw(benchmark::State& state) {
+  auto result = GetFleet().Result(bench::kSpanner);
+  auto groups = model::BuildGroupWorkloads(
+      result, GetFleet().TracesOf(bench::kSpanner),
+      model::AcceleratedCategoriesFor("Spanner"));
+  Rng rng(9);
+  for (auto _ : state) {
+    double speedup = model::GroupWeightedSpeedup(
+        groups, [&](const model::Workload& base) {
+          model::Workload workload = base;
+          for (auto& component : workload.components) {
+            component.speedup = 2.0 * std::pow(16.0, rng.NextDouble());
+            component.chained = true;
+          }
+          return model::AccelModel(workload).Speedup();
+        });
+    benchmark::DoNotOptimize(speedup);
+  }
+}
+BENCHMARK(BM_VariedSpeedupDraw);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintVariedSpeedups();
+  PrintSyncFactorSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

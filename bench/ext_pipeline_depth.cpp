@@ -1,0 +1,87 @@
+// Extension of the Table 8 validation to deeper accelerator chains
+// (Section 6.4 lists "additional synthetic data" and richer chaining as
+// future work): a decompress -> deserialize -> hash style pipeline at
+// depths 2-5, comparing the event-level chained execution against the
+// Eq. 9-12 analytical prediction, balanced and unbalanced.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "soc/pipeline.h"
+
+using namespace hyperprof;
+
+namespace {
+
+soc::AcceleratorPipeline MakeChain(int depth, bool balanced) {
+  // Representative stage costs (per byte of message, software): decompress,
+  // deserialize, transform, checksum, hash.
+  const char* names[] = {"decompress", "deserialize", "transform",
+                         "checksum", "hash"};
+  std::vector<soc::PipelineStage> stages;
+  for (int s = 0; s < depth; ++s) {
+    soc::PipelineStage stage;
+    stage.name = names[s % 5];
+    stage.cpu_s_per_byte = balanced ? 2e-9 : 1e-9 * (1 << (s % 3));
+    stage.speedup = balanced ? 16.0 : (s % 2 == 0 ? 32.0 : 4.0);
+    stage.setup = SimTime::Micros(5 + 10 * s);
+    stages.push_back(stage);
+  }
+  return soc::AcceleratorPipeline(std::move(stages), 2e-6);
+}
+
+void PrintStudy() {
+  std::printf("=== Extension: Chained Pipelines Beyond Depth 2 ===\n");
+  std::printf("Measured (event-level) vs modeled (Eq. 9-12) chained time "
+              "for 500 messages as the chain deepens.\n\n");
+  Rng rng(77);
+  soc::MessageBatch batch = soc::MessageBatch::Synthetic(500, 2048, rng);
+  TextTable table({"Depth", "Shape", "Measured", "Modeled", "Diff%",
+                   "Chained/Sync speedup"});
+  for (int depth = 2; depth <= 5; ++depth) {
+    for (bool balanced : {true, false}) {
+      soc::AcceleratorPipeline chain = MakeChain(depth, balanced);
+      double measured = chain.RunChained(batch).total.ToSeconds();
+      double modeled = chain.ModeledChained(batch).ToSeconds();
+      double sync = chain.RunAcceleratedSync(batch).total.ToSeconds();
+      table.AddRow({StrFormat("%d", depth),
+                    balanced ? "balanced" : "unbalanced",
+                    HumanSeconds(measured), HumanSeconds(modeled),
+                    StrFormat("%.1f%%",
+                              100.0 * std::fabs(measured - modeled) /
+                                  modeled),
+                    StrFormat("%.2fx", sync / measured)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nBalanced chains track the model closely at any depth; unbalanced\n"
+      "chains are pinned to their slowest stage — exactly the bottleneck\n"
+      "effect the paper observes with the memory-allocation accelerator\n"
+      "in Figure 15.\n\n");
+}
+
+void BM_ChainedDepth(benchmark::State& state) {
+  Rng rng(78);
+  soc::MessageBatch batch = soc::MessageBatch::Synthetic(500, 2048, rng);
+  soc::AcceleratorPipeline chain =
+      MakeChain(static_cast<int>(state.range(0)), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.RunChained(batch));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 500);
+}
+BENCHMARK(BM_ChainedDepth)->Arg(2)->Arg(5);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintStudy();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

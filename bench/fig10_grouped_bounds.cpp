@@ -1,0 +1,77 @@
+// Figure 10 reproduction: grouped synchronous on-chip upper bounds — the
+// Figure 9 sweep split into the four query groups, with remote work and IO
+// removed.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_fleet.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/limit_studies.h"
+#include "core/platform_inputs.h"
+
+using namespace hyperprof;
+using bench::GetFleet;
+
+namespace {
+
+void PrintFig10() {
+  std::printf("=== Figure 10: Grouped Synchronous On-Chip Upper Bounds "
+              "===\n");
+  std::printf("Paper anchors: IO- and remote-heavy groups gain the most "
+              "once their dependency time is removed; CPU-heavy groups' "
+              "gains scale with the acceleration factor.\n\n");
+  std::vector<double> factors = {1, 2, 4, 8, 16, 32, 64};
+  for (size_t p = 0; p < 3; ++p) {
+    auto result = GetFleet().Result(p);
+    auto input = model::BuildModelInput(result, GetFleet().TracesOf(p), 0);
+    std::printf("--- %s ---\n", result.name.c_str());
+    TextTable table({"Per-accel speedup", "CPU Heavy", "IO Heavy",
+                     "Remote Work Heavy", "Others"});
+    std::vector<std::vector<double>> columns(profiling::kNumQueryGroups);
+    for (size_t g = 0; g < profiling::kNumQueryGroups; ++g) {
+      if (input.by_group[g].t_cpu <= 0) {
+        columns[g].assign(factors.size(), 0.0);
+        continue;
+      }
+      auto curve = model::UniformSpeedupSweep(input.by_group[g], factors,
+                                              /*remove_dep=*/true);
+      for (const auto& point : curve) {
+        columns[g].push_back(point.e2e_speedup);
+      }
+    }
+    for (size_t i = 0; i < factors.size(); ++i) {
+      table.AddRow(StrFormat("%gx", factors[i]),
+                   {columns[0][i], columns[1][i], columns[2][i],
+                    columns[3][i]},
+                   "%.1f");
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+}
+
+void BM_GroupedSweep(benchmark::State& state) {
+  auto result = GetFleet().Result(bench::kBigTable);
+  auto input = model::BuildModelInput(
+      result, GetFleet().TracesOf(bench::kBigTable), 0);
+  std::vector<double> factors = {1, 4, 16, 64};
+  for (auto _ : state) {
+    for (size_t g = 0; g < profiling::kNumQueryGroups; ++g) {
+      if (input.by_group[g].t_cpu <= 0) continue;
+      benchmark::DoNotOptimize(
+          model::UniformSpeedupSweep(input.by_group[g], factors, true));
+    }
+  }
+}
+BENCHMARK(BM_GroupedSweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFig10();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

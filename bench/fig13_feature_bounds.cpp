@@ -1,0 +1,110 @@
+// Figure 13 reproduction: accelerator feature upper bounds — components
+// added incrementally (datacenter taxes, then system taxes, then core
+// compute) under the four design points: sync+off-chip, sync+on-chip,
+// async+on-chip, chained+on-chip. Remote work and IO are kept; speedups
+// are the query-share-weighted mean over the Figure 2 groups (see
+// EXPERIMENTS.md for the methodology reconstruction).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_fleet.h"
+#include "common/table.h"
+#include "core/limit_studies.h"
+#include "core/platform_inputs.h"
+
+using namespace hyperprof;
+using bench::GetFleet;
+
+namespace {
+
+// Average per-query payload for the off-chip transfer model: small for the
+// transactional databases, orders of magnitude larger for the analytics
+// engine (Section 6.3.2), over a 4 GB/s PCIe Gen5-class link.
+double OffloadBytesFor(size_t platform) {
+  return platform == bench::kBigQuery ? 64.0 * (1 << 20) : 32.0 * (1 << 10);
+}
+
+constexpr double kPerAccelSpeedup = 8.0;
+
+double Evaluate(const model::GroupWorkloads& groups,
+                const model::AccelSystemConfig& config, size_t num_components,
+                double offload_bytes) {
+  return model::GroupWeightedSpeedup(
+      groups, [&](const model::Workload& base) {
+        model::Workload workload = base;
+        workload.components.resize(
+            std::min(num_components, workload.components.size()));
+        model::ApplyConfig(workload, config, offload_bytes);
+        for (auto& component : workload.components) {
+          component.speedup = kPerAccelSpeedup;
+        }
+        return model::AccelModel(workload).Speedup();
+      });
+}
+
+void PrintFig13() {
+  std::printf("=== Figure 13: Accelerator Feature Upper Bounds ===\n");
+  std::printf(
+      "Paper anchors: on-chip adds ~1.04x over off-chip for the databases; "
+      "asynchronous execution up to 1.3x over synchronous; chaining within "
+      "1%% of fully-asynchronous; BigQuery's large payloads make off-chip "
+      "acceleration a slowdown, with on-chip speedups up to 1.8x.\n\n");
+  const model::AccelSystemConfig configs[] = {
+      model::AccelSystemConfig::SyncOffChip(),
+      model::AccelSystemConfig::SyncOnChip(),
+      model::AccelSystemConfig::AsyncOnChip(),
+      model::AccelSystemConfig::ChainedOnChip()};
+  for (size_t p = 0; p < 3; ++p) {
+    auto result = GetFleet().Result(p);
+    auto categories = model::AcceleratedCategoriesFor(result.name);
+    auto groups = model::BuildGroupWorkloads(result, GetFleet().TracesOf(p),
+                                             categories);
+    double offload = OffloadBytesFor(p);
+    std::printf("--- %s (components added top to bottom, s=%gx) ---\n",
+                result.name.c_str(), kPerAccelSpeedup);
+    TextTable table({"+Component", "Sync+OffChip", "Sync+OnChip",
+                     "Async+OnChip", "Chained+OnChip"});
+    size_t total_components = categories.size();
+    std::array<double, 4> last{};
+    for (size_t count = 1; count <= total_components; ++count) {
+      std::vector<double> row;
+      for (size_t c = 0; c < 4; ++c) {
+        last[c] = Evaluate(groups, configs[c], count, offload);
+        row.push_back(last[c]);
+      }
+      table.AddRow("+" + std::string(profiling::FnCategoryName(
+                             categories[count - 1])),
+                   row, "%.3f");
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf(
+        "Final: on-chip/off-chip = %.3fx, async/sync = %.3fx, "
+        "chained vs async difference = %.2f%%\n\n",
+        last[1] / last[0], last[2] / last[1],
+        100.0 * (last[2] - last[3]) / last[2]);
+  }
+}
+
+void BM_IncrementalStudy(benchmark::State& state) {
+  auto result = GetFleet().Result(bench::kSpanner);
+  auto groups = model::BuildGroupWorkloads(
+      result, GetFleet().TracesOf(bench::kSpanner),
+      model::AcceleratedCategoriesFor("Spanner"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Evaluate(
+        groups, model::AccelSystemConfig::ChainedOnChip(), 9, 32 << 10));
+  }
+}
+BENCHMARK(BM_IncrementalStudy);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFig13();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

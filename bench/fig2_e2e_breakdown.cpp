@@ -1,0 +1,91 @@
+// Figure 2 reproduction: end-to-end execution time breakdown per query
+// group per platform (CPU / IO / remote work), plus the fraction of
+// queries per group, recovered from Dapper-style traces of simulated
+// production traffic.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_fleet.h"
+#include "common/table.h"
+#include "profiling/aggregate.h"
+
+using namespace hyperprof;
+using bench::GetFleet;
+
+namespace {
+
+void PrintFig2() {
+  std::printf("=== Figure 2: End-to-End Execution Time Breakdown ===\n");
+  std::printf("Paper anchors: Spanner/BigTable >60%% of queries CPU heavy, "
+              "BigQuery ~10%%;\n"
+              "across platforms queries spend 48%% CPU / 22%% remote / "
+              "30%% IO (52%% combined on remote+IO).\n\n");
+  double mean_cpu = 0, mean_io = 0, mean_remote = 0;
+  for (size_t p = 0; p < 3; ++p) {
+    auto result = GetFleet().Result(p);
+    std::printf("--- %s ---\n", result.name.c_str());
+    TextTable table(
+        {"Query group", "CPU%", "IO%", "Remote%", "% of queries"});
+    for (size_t g = 0; g < profiling::kNumQueryGroups; ++g) {
+      auto group = static_cast<profiling::QueryGroup>(g);
+      auto fractions = result.e2e.groups[g].MeanQueryFractions();
+      table.AddRow(profiling::QueryGroupName(group),
+                   {fractions.cpu * 100, fractions.io * 100,
+                    fractions.remote * 100,
+                    result.e2e.QueryShare(group) * 100},
+                   "%.1f");
+    }
+    auto mean = result.e2e.overall.MeanQueryFractions();
+    auto weighted = result.e2e.overall.Fractions();
+    table.AddRow("Overall (query-weighted)",
+                 {mean.cpu * 100, mean.io * 100, mean.remote * 100, 100.0},
+                 "%.1f");
+    table.AddRow("Overall (time-weighted)",
+                 {weighted.cpu * 100, weighted.io * 100,
+                  weighted.remote * 100, 100.0},
+                 "%.1f");
+    std::printf("%s\n", table.ToString().c_str());
+    mean_cpu += mean.cpu;
+    mean_io += mean.io;
+    mean_remote += mean.remote;
+  }
+  std::printf(
+      "Cross-platform average: CPU %.1f%% (paper 48%%), remote %.1f%% "
+      "(paper 22%%), IO %.1f%% (paper 30%%); remote+IO %.1f%% (paper "
+      "52%%)\n\n",
+      mean_cpu / 3 * 100, mean_remote / 3 * 100, mean_io / 3 * 100,
+      (mean_io + mean_remote) / 3 * 100);
+}
+
+void BM_AttributeTraces(benchmark::State& state) {
+  const auto& traces = GetFleet().TracesOf(bench::kSpanner);
+  for (auto _ : state) {
+    double total = 0;
+    for (const auto& trace : traces) {
+      total += profiling::AttributeTrace(trace).Total();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(traces.size()));
+}
+BENCHMARK(BM_AttributeTraces);
+
+void BM_ComputeE2eBreakdown(benchmark::State& state) {
+  const auto& traces = GetFleet().TracesOf(bench::kBigQuery);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profiling::ComputeE2eBreakdown(traces));
+  }
+}
+BENCHMARK(BM_ComputeE2eBreakdown);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFig2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

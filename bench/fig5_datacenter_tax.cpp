@@ -1,0 +1,104 @@
+// Figure 5 reproduction: datacenter-tax execution breakdown per platform
+// (fractions within datacenter tax cycles).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_breakdown.h"
+#include "workloads/compression.h"
+#include "workloads/protowire/synthetic.h"
+#include "workloads/sha3.h"
+
+using namespace hyperprof;
+
+namespace {
+
+void PrintFig5() {
+  std::printf("=== Figure 5: Datacenter Tax Execution Breakdown ===\n");
+  std::printf("Paper anchors: protobuf 20-25%%; compression 14-31%% "
+              "(>30%% for BigTable/BigQuery); RPC 23%% Spanner / 37%% "
+              "BigTable / 11%% BigQuery.\n\n");
+  bench::PrintWithinBroad(profiling::BroadCategory::kDatacenterTax);
+}
+
+// Real kernels backing the dominant taxes.
+void BM_ProtobufSerialize(benchmark::State& state) {
+  Rng rng(1);
+  protowire::SchemaPool pool;
+  protowire::SyntheticSchemaParams params;
+  const auto* descriptor = protowire::GenerateSchema(pool, params, rng);
+  auto message = protowire::GenerateMessage(descriptor, params, rng);
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    auto wire = message->Serialize();
+    bytes += static_cast<int64_t>(wire.size());
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_ProtobufSerialize);
+
+void BM_ProtobufParse(benchmark::State& state) {
+  Rng rng(2);
+  protowire::SchemaPool pool;
+  protowire::SyntheticSchemaParams params;
+  const auto* descriptor = protowire::GenerateSchema(pool, params, rng);
+  auto message = protowire::GenerateMessage(descriptor, params, rng);
+  auto wire = message->Serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        protowire::Message::Parse(descriptor, wire.data(), wire.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_ProtobufParse);
+
+void BM_LzCompress(benchmark::State& state) {
+  Rng rng(3);
+  auto input = workloads::GenerateCompressibleBuffer(
+      static_cast<size_t>(state.range(0)), 0.4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::LzCodec::Compress(input));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LzCompress)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_LzDecompress(benchmark::State& state) {
+  Rng rng(4);
+  auto input = workloads::GenerateCompressibleBuffer(
+      static_cast<size_t>(state.range(0)), 0.4, rng);
+  auto compressed = workloads::LzCodec::Compress(input);
+  std::vector<uint8_t> output;
+  for (auto _ : state) {
+    workloads::LzCodec::Decompress(compressed, &output);
+    benchmark::DoNotOptimize(output);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LzDecompress)->Arg(65536);
+
+void BM_Sha3(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<uint8_t> input(static_cast<size_t>(state.range(0)));
+  for (auto& b : input) b = static_cast<uint8_t>(rng.NextBounded(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::Sha3_256::Hash(input));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha3)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFig5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

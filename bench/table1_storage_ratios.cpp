@@ -1,0 +1,64 @@
+// Table 1 reproduction: storage-to-storage ratios (PiB of RAM : SSD : HDD
+// owned per platform), derived from the capacity-planning model instead of
+// Google's fleet accounting.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "platforms/platforms.h"
+#include "storage/provisioning.h"
+
+using namespace hyperprof;
+
+namespace {
+
+void PrintTable1() {
+  std::printf("=== Table 1: Storage-to-Storage Ratios (RAM : SSD : HDD) "
+              "===\n");
+  TextTable table({"Platform", "Paper", "Reproduced"});
+  const char* paper[] = {"1 : 16 : 164", "1 : 7 : 777", "1 : 8 : 90"};
+  const storage::StorageProfile profiles[] = {
+      platforms::SpannerStorageProfile(),
+      platforms::BigTableStorageProfile(),
+      platforms::BigQueryStorageProfile()};
+  for (int i = 0; i < 3; ++i) {
+    storage::TierSizes sizes = storage::ProvisionForProfile(profiles[i]);
+    table.AddRow({profiles[i].platform, paper[i], sizes.RatioString()});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void BM_ProvisionForProfile(benchmark::State& state) {
+  storage::StorageProfile profile = platforms::SpannerStorageProfile();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::ProvisionForProfile(profile));
+  }
+}
+BENCHMARK(BM_ProvisionForProfile);
+
+void BM_MinKeysForMass(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        storage::MinKeysForMass(0.75, 1ULL << 38, 0.85));
+  }
+}
+BENCHMARK(BM_MinKeysForMass);
+
+void BM_ZipfMassFraction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        storage::ZipfMassFraction(1ULL << 30, 1ULL << 38, 0.9));
+  }
+}
+BENCHMARK(BM_ZipfMassFraction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

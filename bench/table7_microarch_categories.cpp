@@ -1,0 +1,70 @@
+// Table 7 reproduction: IPC and MPKI broken down into core compute,
+// datacenter tax, and system tax per platform.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_fleet.h"
+#include "common/table.h"
+#include "platforms/platforms.h"
+#include "profiling/aggregate.h"
+
+using namespace hyperprof;
+using bench::GetFleet;
+
+namespace {
+
+void PrintTable7() {
+  std::printf("=== Table 7: IPC / MPKI by Broad Category ===\n");
+  std::printf("Ground truth encodes the paper's exact Table 7 values; the "
+              "recovered numbers below come from classifying samples and "
+              "rolling up their PMU counters.\n\n");
+  const platforms::PlatformSpec specs[] = {platforms::SpannerSpec(),
+                                           platforms::BigTableSpec(),
+                                           platforms::BigQuerySpec()};
+  for (size_t p = 0; p < 3; ++p) {
+    auto result = GetFleet().Result(p);
+    std::printf("--- %s ---\n", result.name.c_str());
+    TextTable table({"Scope", "IPC", "BR", "L1I", "L2I", "LLC", "ITLB",
+                     "DTLB-LD"});
+    const char* broad_names[] = {"CC", "DCT", "ST"};
+    for (int b = 0; b < 3; ++b) {
+      const auto& truth = specs[p].microarch[b];
+      table.AddRow(std::string(broad_names[b]) + " (paper)",
+                   {truth.ipc, truth.br_mpki, truth.l1i_mpki,
+                    truth.l2i_mpki, truth.llc_mpki, truth.itlb_mpki,
+                    truth.dtlb_ld_mpki},
+                   "%.2f");
+      const auto& measured = result.microarch.by_broad[b];
+      table.AddRow(std::string(broad_names[b]) + " (recovered)",
+                   {measured.Ipc(), measured.BrMpki(), measured.L1iMpki(),
+                    measured.L2iMpki(), measured.LlcMpki(),
+                    measured.ItlbMpki(), measured.DtlbLdMpki()},
+                   "%.2f");
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+}
+
+void BM_CounterRollupAdd(benchmark::State& state) {
+  profiling::CounterDelta delta;
+  delta.cycles = 3000000;
+  delta.instructions = 2100000;
+  delta.br_misses = 11550;
+  profiling::CounterRollup rollup;
+  for (auto _ : state) {
+    rollup.Add(delta);
+    benchmark::DoNotOptimize(rollup);
+  }
+}
+BENCHMARK(BM_CounterRollupAdd);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Design-space exploration: characterize the fleet, derive per-platform
+// model inputs from the *measured* profiles, and sweep accelerator system
+// design points (placement x invocation x per-accelerator speedup) to find
+// the best configuration per platform.
+//
+// Usage: accelerator_dse [queries_per_platform]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "core/configs.h"
+#include "core/limit_studies.h"
+#include "core/platform_inputs.h"
+#include "platforms/fleet.h"
+
+using namespace hyperprof;
+
+namespace {
+
+// Average per-query payload shipped to an off-chip accelerator: small for
+// transactional platforms, large for the analytics engine (Section 6.3.2).
+double OffloadBytesFor(const std::string& platform) {
+  if (platform == "BigQuery") return 64.0 * (1 << 20);
+  return 32.0 * (1 << 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  platforms::FleetConfig config;
+  config.queries_per_platform =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8000;
+
+  platforms::FleetSimulation fleet(config);
+  fleet.AddDefaultPlatforms();
+  fleet.RunAll();
+
+  for (size_t i = 0; i < fleet.platform_count(); ++i) {
+    auto result = fleet.Result(i);
+    auto input = model::BuildModelInput(result, fleet.TracesOf(i),
+                                        OffloadBytesFor(result.name));
+
+    std::printf("=== %s (f=%.2f, t_cpu=%.3fs, t_dep=%.3fs aggregate) ===\n",
+                result.name.c_str(), input.overall.f, input.overall.t_cpu,
+                input.overall.t_dep);
+    TextTable table({"Design point", "s=8", "s=16", "s=32"});
+    model::AccelSystemConfig sweep_configs[] = {
+        model::AccelSystemConfig::SyncOffChip(),
+        model::AccelSystemConfig::SyncOnChip(),
+        model::AccelSystemConfig::AsyncOnChip(),
+        model::AccelSystemConfig::ChainedOnChip()};
+    double best = 0;
+    std::string best_label;
+    for (const auto& base_config : sweep_configs) {
+      for (double setup : {0.0, 1e-6}) {
+        model::AccelSystemConfig cfg = base_config;
+        cfg.setup_time = setup;
+        std::string label = cfg.name + (setup > 0 ? " (1us setup)" : "");
+        std::vector<double> row;
+        for (double s : {8.0, 16.0, 32.0}) {
+          auto curve = model::UniformSpeedupSweep(
+              input.overall, {s}, /*remove_dep=*/false, cfg,
+              input.avg_query_bytes);
+          row.push_back(curve[0].e2e_speedup);
+          if (curve[0].e2e_speedup > best) {
+            best = curve[0].e2e_speedup;
+            best_label = label;
+          }
+        }
+        table.AddRow(label, row, "%.3f");
+      }
+    }
+    std::printf("%s", table.ToString().c_str());
+    std::printf("Best design point: %s (%.2fx)\n\n", best_label.c_str(),
+                best);
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Chained-accelerator validation (the Section 6.4 / Table 8 methodology):
+//
+//  1. Simulate the heterogeneous SoC (app core + protobuf-serialization
+//     accelerator + SHA3 accelerator) running the three benchmarks —
+//     unaccelerated, accelerated-synchronous, and chained — and compare
+//     the measured chained time against the analytical model (Eq. 9-12).
+//  2. Run the *real* kernels on this host: serialize real wire-format
+//     messages and SHA3-hash them, serially and through a two-thread
+//     software chain, and compare against the model again.
+//
+// Usage: chained_pipeline [num_messages]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/accel_model.h"
+#include "soc/chained_soc.h"
+#include "soc/host_pipeline.h"
+
+using namespace hyperprof;
+
+namespace {
+
+double ModeledChainedSeconds(const soc::ChainedSocSim& sim,
+                             const soc::SocRunResult& unaccel,
+                             const soc::MessageBatch& batch) {
+  model::Workload workload;
+  workload.name = "protobuf->sha3";
+  workload.t_cpu = unaccel.total.ToSeconds();
+  workload.t_dep = 0;  // everything fits on-chip (Table 8: B_i = 0)
+  workload.f = 1.0;
+  (void)batch;
+  model::Component serialize;
+  serialize.name = "Proto. Ser.";
+  serialize.t_sub = unaccel.serialize_time.ToSeconds();
+  serialize.speedup = sim.config().serialize_speedup;
+  serialize.t_setup = sim.config().serialize_setup.ToSeconds();
+  serialize.chained = true;
+  model::Component hash;
+  hash.name = "SHA3";
+  hash.t_sub = unaccel.hash_time.ToSeconds();
+  hash.speedup = sim.config().hash_speedup;
+  hash.t_setup = sim.config().hash_setup.ToSeconds();
+  hash.chained = true;
+  workload.components = {serialize, hash};
+  model::AccelModel accel_model(workload);
+  return accel_model.AcceleratedE2e();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_messages =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200;
+
+  // --- Part 1: SoC simulation calibrated to the published RTL numbers ---
+  Rng rng(7);
+  soc::MessageBatch batch = soc::MessageBatch::Synthetic(num_messages,
+                                                         /*mean_bytes=*/2048,
+                                                         rng);
+  soc::SocConfig config =
+      soc::SocConfig::CalibratedTo(batch.TotalBytes(), batch.size());
+  soc::ChainedSocSim sim(config);
+
+  auto unaccel = sim.RunUnaccelerated(batch);
+  auto accel_sync = sim.RunAcceleratedSync(batch);
+  auto chained = sim.RunChained(batch);
+  double modeled = ModeledChainedSeconds(sim, unaccel, batch);
+
+  std::printf("SoC simulation (%zu messages, %s wire bytes):\n",
+              batch.size(), HumanBytes(batch.TotalBytes()).c_str());
+  std::printf("  unaccelerated total:        %s\n",
+              unaccel.total.ToString().c_str());
+  std::printf("  accelerated (sync) total:   %s\n",
+              accel_sync.total.ToString().c_str());
+  std::printf("  chained (measured) total:   %s\n",
+              chained.total.ToString().c_str());
+  std::printf("  chained (modeled)  total:   %s\n",
+              HumanSeconds(modeled).c_str());
+  double diff = (modeled - chained.total.ToSeconds()) / modeled;
+  std::printf("  model difference:           %.1f%% (paper: 6.1%%)\n\n",
+              diff * 100);
+
+  // --- Part 2: real kernels on this host ---
+  auto host = soc::RunHostValidation(num_messages, /*seed=*/11);
+  std::printf("Host software chaining (%zu real messages, %s):\n",
+              host.num_messages, HumanBytes(host.total_wire_bytes).c_str());
+  std::printf("  serialize (serial):   %s\n",
+              HumanSeconds(host.serialize_seconds).c_str());
+  std::printf("  SHA3 hash (serial):   %s\n",
+              HumanSeconds(host.hash_seconds).c_str());
+  std::printf("  serial total:         %s\n",
+              HumanSeconds(host.serial_total_seconds).c_str());
+  std::printf("  chained (measured):   %s\n",
+              HumanSeconds(host.chained_total_seconds).c_str());
+  std::printf("  chained (modeled):    %s\n",
+              HumanSeconds(host.modeled_chained_seconds).c_str());
+  std::printf("  model error:          %.1f%%\n",
+              host.ModelErrorFraction() * 100);
+  std::printf("  outputs consistent:   %s\n",
+              host.digest_xor == 0 ? "yes" : "NO (bug!)");
+  return host.digest_xor == 0 ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Consensus walkthrough: runs competing Paxos proposers over the simulated
+// datacenter fabric — the protocol behind the Spanner engine's commit
+// path — and prints agreement results and latency as replica placement
+// moves from one cluster to cross-cluster quorums.
+//
+// Usage: consensus_demo [rounds]
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "consensus/paxos.h"
+
+using namespace hyperprof;
+
+namespace {
+
+struct PlacementCase {
+  const char* name;
+  std::vector<net::NodeId> acceptors;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rounds = argc > 1 ? std::atoi(argv[1]) : 50;
+
+  std::vector<PlacementCase> placements;
+  placements.push_back(
+      {"same-cluster x3",
+       {net::NodeId{0, 0, 10}, net::NodeId{0, 0, 11},
+        net::NodeId{0, 0, 12}}});
+  placements.push_back(
+      {"cross-cluster x3",
+       {net::NodeId{0, 0, 10}, net::NodeId{0, 1, 10},
+        net::NodeId{0, 2, 10}}});
+  placements.push_back(
+      {"cross-cluster x5",
+       {net::NodeId{0, 0, 10}, net::NodeId{0, 1, 10}, net::NodeId{0, 2, 10},
+        net::NodeId{0, 3, 10}, net::NodeId{0, 0, 11}}});
+
+  TextTable table({"Placement", "Rounds", "Agreement", "Mean latency",
+                   "Mean P1+P2 round trips"});
+  for (const auto& placement : placements) {
+    double total_latency = 0;
+    double total_round_trips = 0;
+    int agreements = 0;
+    for (int round = 0; round < rounds; ++round) {
+      sim::Simulator simulator;
+      net::NetworkModel network;
+      net::RpcSystem rpc(&simulator, &network,
+                         Rng(1000 + static_cast<uint64_t>(round)));
+      consensus::PaxosGroup group(&simulator, &rpc, placement.acceptors,
+                                  consensus::PaxosParams(),
+                                  Rng(static_cast<uint64_t>(round) + 1));
+      // Two competing proposers per round.
+      std::set<std::string> chosen;
+      consensus::ProposeResult first;
+      group.Propose(net::NodeId{0, 0, 1}, 1,
+                    StrFormat("r%d-a", round),
+                    [&](const consensus::ProposeResult& r) {
+                      first = r;
+                      if (r.chosen) chosen.insert(r.value);
+                    });
+      group.Propose(net::NodeId{0, 1, 1}, 2,
+                    StrFormat("r%d-b", round),
+                    [&](const consensus::ProposeResult& r) {
+                      if (r.chosen) chosen.insert(r.value);
+                    });
+      simulator.Run();
+      if (chosen.size() == 1) ++agreements;
+      total_latency += first.elapsed.ToSeconds();
+      total_round_trips +=
+          first.phase1_round_trips + first.phase2_round_trips;
+    }
+    table.AddRow({placement.name, StrFormat("%d", rounds),
+                  StrFormat("%d/%d", agreements, rounds),
+                  HumanSeconds(total_latency / rounds),
+                  StrFormat("%.1f", total_round_trips / rounds)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nCross-cluster quorums pay the fabric's round-trip latency twice\n"
+      "per decree (prepare + accept) — the 'Consensus' remote work the\n"
+      "paper's Spanner characterization measures.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Runs the full fleet characterization — three simulated platforms over
+// the discrete-event substrate — and prints the recovered end-to-end and
+// CPU-cycle breakdowns, the reproduction of the paper's Figures 2-6 and
+// Tables 6-7 methodology, plus a GWP-style flat profile.
+//
+// Usage: fleet_profile [queries_per_platform]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "platforms/fleet.h"
+#include "platforms/platforms.h"
+#include "profiling/aggregate.h"
+#include "profiling/report.h"
+#include "profiling/trace_export.h"
+
+using namespace hyperprof;
+
+int main(int argc, char** argv) {
+  platforms::FleetConfig config;
+  if (argc > 1) {
+    config.queries_per_platform =
+        static_cast<uint64_t>(std::strtoull(argv[1], nullptr, 10));
+  }
+  std::printf("Simulating %llu queries per platform...\n\n",
+              static_cast<unsigned long long>(config.queries_per_platform));
+
+  platforms::FleetSimulation fleet(config);
+  fleet.AddDefaultPlatforms();
+  fleet.RunAll();
+
+  for (size_t i = 0; i < fleet.platform_count(); ++i) {
+    auto result = fleet.Result(i);
+    std::printf("--- %s: %llu queries, %llu traced ---\n",
+                result.name.c_str(),
+                static_cast<unsigned long long>(result.queries_completed),
+                static_cast<unsigned long long>(result.queries_sampled));
+
+    std::printf("== End-to-end breakdown (Figure 2 methodology) ==\n%s\n",
+                profiling::RenderE2eReport(result.e2e).ToString().c_str());
+
+    std::printf("== Per-query-type breakdown (Dapper view) ==\n");
+    {
+      TextTable by_type({"Query type", "Queries", "CPU%", "IO%", "Remote%"});
+      for (const auto& row :
+           profiling::ComputePerTypeBreakdown(fleet.TracesOf(i))) {
+        auto fractions = row.aggregate.MeanQueryFractions();
+        by_type.AddRow(row.query_type,
+                       {static_cast<double>(row.aggregate.query_count),
+                        fractions.cpu * 100, fractions.io * 100,
+                        fractions.remote * 100},
+                       "%.1f");
+      }
+      std::printf("%s\n", by_type.ToString().c_str());
+    }
+
+    std::printf("== CPU cycle breakdown (Figures 3-6 methodology) ==\n%s",
+                profiling::RenderBroadCycleReport(result.cycles)
+                    .ToString()
+                    .c_str());
+    for (int b = 0; b < 3; ++b) {
+      std::printf("%s",
+                  profiling::RenderFineCycleReport(
+                      result.cycles,
+                      static_cast<profiling::BroadCategory>(b))
+                      .ToString()
+                      .c_str());
+    }
+
+    std::printf("\n== IPC / MPKI (Tables 6-7 methodology) ==\n%s\n",
+                profiling::RenderMicroarchReport(result.microarch)
+                    .ToString()
+                    .c_str());
+
+    std::printf("== Top leaf symbols (GWP-style flat profile) ==\n%s\n",
+                profiling::RenderTopSymbols(fleet.ProfilerOf(i),
+                                            fleet.registry(), 12)
+                    .ToString()
+                    .c_str());
+
+    std::printf("Estimated sync factor f = %.3f\n",
+                profiling::EstimateSyncFactor(fleet.TracesOf(i)));
+    std::printf(
+        "Storage tier read mix: RAM %.1f%%, SSD %.1f%%, HDD %.1f%%\n\n",
+        fleet.DfsOf(i).TierServeFraction(storage::Tier::kRam) * 100,
+        fleet.DfsOf(i).TierServeFraction(storage::Tier::kSsd) * 100,
+        fleet.DfsOf(i).TierServeFraction(storage::Tier::kHdd) * 100);
+
+    std::string trace_path =
+        "/tmp/hyperprof_" + result.name + "_traces.json";
+    if (profiling::WriteChromeTrace(fleet.TracesOf(i), trace_path, 100)) {
+      std::printf("Wrote %s (load in a Chrome/Perfetto trace viewer)\n\n",
+                  trace_path.c_str());
+    }
+  }
+  return 0;
+}

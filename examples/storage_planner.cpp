@@ -1,0 +1,46 @@
+// Capacity-planning walkthrough: the Table 1 provisioning model as a
+// what-if tool. Prints the calibrated per-platform plans, then sweeps the
+// access skew to show how it moves the storage-to-storage ratios — the
+// "rethink the storage hierarchy" lever of the paper's Section 3.
+//
+// Usage: storage_planner
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "platforms/platforms.h"
+#include "storage/provisioning.h"
+
+using namespace hyperprof;
+
+int main() {
+  std::printf("=== Calibrated platform plans (Table 1) ===\n");
+  TextTable plans({"Platform", "RAM", "SSD", "HDD", "RAM:SSD:HDD"});
+  for (const auto& profile : {platforms::SpannerStorageProfile(),
+                              platforms::BigTableStorageProfile(),
+                              platforms::BigQueryStorageProfile()}) {
+    storage::TierSizes sizes = storage::ProvisionForProfile(profile);
+    plans.AddRow({profile.platform, HumanBytes(sizes.ram_bytes),
+                  HumanBytes(sizes.ssd_bytes), HumanBytes(sizes.hdd_bytes),
+                  sizes.RatioString()});
+  }
+  std::printf("%s\n", plans.ToString().c_str());
+
+  std::printf("=== Skew sensitivity (Spanner profile, RAM hit target "
+              "fixed) ===\n");
+  TextTable sweep({"Zipf s", "RAM needed", "RAM:SSD:HDD"});
+  for (double s : {0.6, 0.75, 0.85, 0.95, 1.05}) {
+    storage::StorageProfile profile = platforms::SpannerStorageProfile();
+    profile.zipf_s = s;
+    storage::TierSizes sizes = storage::ProvisionForProfile(profile);
+    sweep.AddRow({StrFormat("%.2f", s), HumanBytes(sizes.ram_bytes),
+                  sizes.RatioString()});
+  }
+  std::printf("%s", sweep.ToString().c_str());
+  std::printf(
+      "\nHotter key distributions (larger s) reach the same hit rate with\n"
+      "far less RAM — why cacheability, not dataset size, sets the RAM\n"
+      "bill in Table 1.\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+#include "common/sim_time.h"
+
+#include "common/strings.h"
+
+namespace hyperprof {
+
+std::string SimTime::ToString() const { return HumanSeconds(ToSeconds()); }
+
+}  // namespace hyperprof

@@ -1,0 +1,63 @@
+#ifndef HYPERPROF_COMMON_SIM_TIME_H_
+#define HYPERPROF_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hyperprof {
+
+/**
+ * Simulation timestamp / duration as a strong integer type in nanoseconds.
+ *
+ * Nanosecond ticks give sub-cycle resolution for the SoC simulator while a
+ * signed 64-bit range still spans ~292 years of simulated time, ample for
+ * fleet-day simulations. All arithmetic is exact (no floating-point drift in
+ * the event queue ordering).
+ */
+class SimTime {
+ public:
+  constexpr SimTime() : ns_(0) {}
+  constexpr explicit SimTime(int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Nanos(int64_t v) { return SimTime(v); }
+  static constexpr SimTime Micros(int64_t v) { return SimTime(v * 1000); }
+  static constexpr SimTime Millis(int64_t v) {
+    return SimTime(v * 1000 * 1000);
+  }
+  static constexpr SimTime Seconds(int64_t v) {
+    return SimTime(v * 1000 * 1000 * 1000);
+  }
+
+  /** Converts a floating-point second count, rounding to the nearest tick. */
+  static SimTime FromSeconds(double seconds) {
+    return SimTime(static_cast<int64_t>(seconds * 1e9 + 0.5));
+  }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double ToMicros() const { return static_cast<double>(ns_) * 1e-3; }
+
+  std::string ToString() const;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(ns_ + o.ns_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(ns_ - o.ns_); }
+  SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(int64_t k) const { return SimTime(ns_ * k); }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  int64_t ns_;
+};
+
+}  // namespace hyperprof
+
+#endif  // HYPERPROF_COMMON_SIM_TIME_H_

@@ -1,0 +1,136 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace hyperprof {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  if (count_ == 1) {
+    mean_ = x;
+    m2_ = 0.0;
+    min_ = x;
+    max_ = x;
+    return;
+  }
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  uint64_t n = count_ + other.count_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+LogHistogram::LogHistogram(double min_value, int buckets_per_decade,
+                           int decades)
+    : min_value_(min_value),
+      log_min_(std::log10(min_value)),
+      buckets_per_decade_(buckets_per_decade) {
+  assert(min_value > 0 && buckets_per_decade > 0 && decades > 0);
+  counts_.assign(static_cast<size_t>(buckets_per_decade) * decades + 1, 0);
+}
+
+size_t LogHistogram::BucketFor(double value) const {
+  double pos = (std::log10(value) - log_min_) * buckets_per_decade_;
+  if (pos < 0) return 0;  // caller handles underflow separately
+  size_t i = static_cast<size_t>(pos);
+  return std::min(i, counts_.size() - 1);
+}
+
+double LogHistogram::BucketLow(size_t i) const {
+  return std::pow(10.0, log_min_ + static_cast<double>(i) /
+                                       buckets_per_decade_);
+}
+
+double LogHistogram::BucketHigh(size_t i) const { return BucketLow(i + 1); }
+
+void LogHistogram::Add(double value) {
+  ++count_;
+  sum_ += value;
+  if (value < min_value_) {
+    ++underflow_;
+    ++counts_[0];
+    return;
+  }
+  ++counts_[BucketFor(value)];
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  assert(counts_.size() == other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  underflow_ += other.underflow_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (static_cast<double>(seen + counts_[i]) >= target) {
+      double within =
+          (target - static_cast<double>(seen)) /
+          static_cast<double>(counts_[i]);
+      return BucketLow(i) + within * (BucketHigh(i) - BucketLow(i));
+    }
+    seen += counts_[i];
+  }
+  return BucketHigh(counts_.size() - 1);
+}
+
+std::string LogHistogram::Summary() const {
+  return StrFormat("n=%llu mean=%s p50=%s p90=%s p99=%s",
+                   static_cast<unsigned long long>(count_),
+                   HumanSeconds(mean()).c_str(),
+                   HumanSeconds(Quantile(0.5)).c_str(),
+                   HumanSeconds(Quantile(0.9)).c_str(),
+                   HumanSeconds(Quantile(0.99)).c_str());
+}
+
+std::vector<double> NormalizeToFractions(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  std::vector<double> out(weights.size(), 0.0);
+  if (total <= 0) return out;
+  for (size_t i = 0; i < weights.size(); ++i) out[i] = weights[i] / total;
+  return out;
+}
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double d = 0;
+  for (size_t i = 0; i < a.size(); ++i) d += std::fabs(a[i] - b[i]);
+  return d;
+}
+
+}  // namespace hyperprof

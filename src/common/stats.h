@@ -1,0 +1,97 @@
+#ifndef HYPERPROF_COMMON_STATS_H_
+#define HYPERPROF_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyperprof {
+
+/**
+ * Single-pass running mean/variance/min/max (Welford's algorithm).
+ *
+ * Used throughout the profiling aggregators where per-sample storage would
+ * be prohibitive at fleet scale.
+ */
+class RunningStat {
+ public:
+  void Add(double x);
+
+  /** Merges another accumulator (parallel-combine, Chan et al.). */
+  void Merge(const RunningStat& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return count_ ? mean_ * static_cast<double>(count_) : 0.0; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/**
+ * Log-bucketed histogram for latency-like positive values.
+ *
+ * Buckets grow geometrically from `min_value` with `buckets_per_decade`
+ * buckets per factor-of-10, the standard shape for RPC latency telemetry.
+ * Quantiles are answered by linear interpolation within a bucket.
+ */
+class LogHistogram {
+ public:
+  explicit LogHistogram(double min_value = 1e-9,
+                        int buckets_per_decade = 20,
+                        int decades = 15);
+
+  void Add(double value);
+  void Merge(const LogHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /** Value at quantile q in [0, 1]; 0.5 is the median. */
+  double Quantile(double q) const;
+
+  /** Renders count/mean/p50/p90/p99 on one line. */
+  std::string Summary() const;
+
+ private:
+  size_t BucketFor(double value) const;
+  double BucketLow(size_t i) const;
+  double BucketHigh(size_t i) const;
+
+  double min_value_;
+  double log_min_;
+  double buckets_per_decade_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t underflow_ = 0;
+  double sum_ = 0.0;
+};
+
+/**
+ * Normalizes a weight vector to fractions summing to 1.
+ *
+ * Zero-total inputs normalize to all-zeros (callers treat that as "no
+ * samples in this category").
+ */
+std::vector<double> NormalizeToFractions(const std::vector<double>& weights);
+
+/**
+ * L1 distance between two distributions (sum of |a_i - b_i|).
+ *
+ * The recovery tests use this to assert that profiled breakdowns match the
+ * configured ground truth.
+ */
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace hyperprof
+
+#endif  // HYPERPROF_COMMON_STATS_H_

@@ -1,0 +1,126 @@
+#ifndef HYPERPROF_COMMON_STATUS_H_
+#define HYPERPROF_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hyperprof {
+
+/**
+ * Error code vocabulary shared across the library.
+ *
+ * Modeled on the canonical error space used by large-fleet RPC systems so
+ * that simulated RPC failures, storage misses, and configuration errors all
+ * speak the same language.
+ */
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnavailable,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+};
+
+/** Returns a stable human-readable name for a status code. */
+const char* StatusCodeName(StatusCode code);
+
+/**
+ * A lightweight success-or-error result, carrying a code and a message.
+ *
+ * Cheap to copy in the OK case (no allocation); error construction allocates
+ * only for the message.
+ */
+class Status {
+ public:
+  /** Constructs an OK status. */
+  Status() : code_(StatusCode::kOk) {}
+
+  /** Constructs a status with the given code and diagnostic message. */
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /** Renders "OK" or "CODE: message" for logs and test failures. */
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/**
+ * Holds either a value of type T or an error Status.
+ *
+ * The value accessors must only be called when ok(); this is enforced with
+ * assert in debug builds (value access on error is a programming bug, not a
+ * recoverable condition).
+ */
+template <typename T>
+class StatusOr {
+ public:
+  /** Implicit construction from a value (the common success path). */
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /** Implicit construction from an error status. */
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace hyperprof
+
+#endif  // HYPERPROF_COMMON_STATUS_H_

@@ -1,0 +1,78 @@
+#include "common/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hyperprof {
+
+std::string StrFormatV(const char* fmt, va_list args) {
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+  va_end(args_copy);
+  if (needed <= 0) return std::string();
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::string out = StrFormatV(fmt, args);
+  va_end(args);
+  return out;
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::vector<std::string> StrSplit(const std::string& input, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(input.substr(start));
+      break;
+    }
+    out.push_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string HumanBytes(double bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB",
+                                 "EiB"};
+  int unit = 0;
+  double v = bytes;
+  while (std::fabs(v) >= 1024.0 && unit < 6) {
+    v /= 1024.0;
+    ++unit;
+  }
+  return StrFormat("%.2f %s", v, kUnits[unit]);
+}
+
+std::string HumanSeconds(double seconds) {
+  double abs = std::fabs(seconds);
+  if (abs == 0.0) return "0 s";
+  if (abs < 1e-6) return StrFormat("%.1f ns", seconds * 1e9);
+  if (abs < 1e-3) return StrFormat("%.1f us", seconds * 1e6);
+  if (abs < 1.0) return StrFormat("%.1f ms", seconds * 1e3);
+  return StrFormat("%.3f s", seconds);
+}
+
+}  // namespace hyperprof

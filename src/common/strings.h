@@ -1,0 +1,46 @@
+#ifndef HYPERPROF_COMMON_STRINGS_H_
+#define HYPERPROF_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace hyperprof {
+
+/**
+ * printf-style formatting into a std::string.
+ *
+ * The format string is checked by the compiler against the arguments.
+ */
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style variant of StrFormat. */
+std::string StrFormatV(const char* fmt, va_list args);
+
+/** Joins the pieces with the given separator. */
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    const std::string& sep);
+
+/** Splits the input on the separator character; keeps empty fields. */
+std::vector<std::string> StrSplit(const std::string& input, char sep);
+
+/** True if `s` starts with `prefix`. */
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/**
+ * Formats a byte count with binary-unit suffix, e.g. "1.5 GiB".
+ *
+ * Used by the storage-ledger reports (Table 1 reproduction).
+ */
+std::string HumanBytes(double bytes);
+
+/**
+ * Formats a duration given in seconds with an adaptive unit
+ * (ns/us/ms/s), e.g. "518.3 us".
+ */
+std::string HumanSeconds(double seconds);
+
+}  // namespace hyperprof
+
+#endif  // HYPERPROF_COMMON_STRINGS_H_

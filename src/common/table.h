@@ -1,0 +1,38 @@
+#ifndef HYPERPROF_COMMON_TABLE_H_
+#define HYPERPROF_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace hyperprof {
+
+/**
+ * Minimal aligned ASCII table, used by the bench harnesses to print the
+ * reproduced paper tables/figure series in a readable form.
+ */
+class TextTable {
+ public:
+  /** Sets the header row; fixes the column count. */
+  explicit TextTable(std::vector<std::string> header);
+
+  /** Appends a data row; short rows are padded with empty cells. */
+  void AddRow(std::vector<std::string> row);
+
+  /** Convenience: adds a row of (label, formatted doubles). */
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              const char* fmt = "%.2f");
+
+  /** Renders the table with a separator under the header. */
+  std::string ToString() const;
+
+  /** Renders as comma-separated values (for piping into plotting tools). */
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hyperprof
+
+#endif  // HYPERPROF_COMMON_TABLE_H_

@@ -1,0 +1,126 @@
+#ifndef HYPERPROF_CONSENSUS_PAXOS_H_
+#define HYPERPROF_CONSENSUS_PAXOS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+
+namespace hyperprof::consensus {
+
+/**
+ * A single-decree Paxos deployment over the simulated RPC fabric — the
+ * consensus substrate behind the Spanner engine's commit path (the
+ * "Consensus" core-compute category and the consensus remote-work spans
+ * of the paper's characterization).
+ *
+ * The implementation is the classic two-phase protocol:
+ *   Phase 1 (prepare/promise): a proposer claims a ballot; acceptors
+ *     promise not to accept lower ballots and report any accepted value.
+ *   Phase 2 (accept/accepted): the proposer proposes the highest-ballot
+ *     accepted value it saw (or its own), and the value is chosen once a
+ *     majority accepts.
+ *
+ * Safety holds under arbitrary message delay/reordering (exercised by the
+ * jittered network model) because the simulation delivers every message
+ * eventually and acceptors follow the promise rules.
+ */
+
+/** Durable state of one acceptor. */
+struct AcceptorState {
+  uint64_t promised_ballot = 0;
+  uint64_t accepted_ballot = 0;
+  std::string accepted_value;
+  bool has_accepted = false;
+};
+
+/** Outcome of one proposer run. */
+struct ProposeResult {
+  bool chosen = false;          // a value was chosen by a majority
+  std::string value;            // the chosen value
+  uint64_t ballot = 0;          // winning ballot
+  int phase1_round_trips = 0;   // prepare rounds performed
+  int phase2_round_trips = 0;   // accept rounds performed
+  SimTime elapsed;              // proposer-observed latency
+};
+
+/** Timing/behaviour knobs of the deployment. */
+struct PaxosParams {
+  // Per-message acceptor processing time (log write + state update).
+  SimTime acceptor_service_time = SimTime::Micros(120);
+  // Proposer-side compute per round (marshalling, quorum bookkeeping).
+  SimTime proposer_service_time = SimTime::Micros(60);
+  // Retry backoff base after a rejected ballot; doubles per attempt with
+  // jitter to break proposer duels.
+  SimTime retry_backoff = SimTime::Micros(300);
+  int max_attempts = 32;
+  uint64_t message_bytes = 512;
+};
+
+/**
+ * A Paxos group: N acceptors on distinct hosts plus any number of
+ * proposers. Owned state lives here; proposers run as asynchronous
+ * operations on the simulator.
+ */
+class PaxosGroup {
+ public:
+  using ProposeCallback = std::function<void(const ProposeResult&)>;
+
+  /**
+   * @param acceptor_nodes Host placement of each acceptor (odd count
+   *        recommended). Majority = floor(n/2) + 1.
+   */
+  PaxosGroup(sim::Simulator* simulator, net::RpcSystem* rpc,
+             std::vector<net::NodeId> acceptor_nodes, PaxosParams params,
+             Rng rng);
+
+  PaxosGroup(const PaxosGroup&) = delete;
+  PaxosGroup& operator=(const PaxosGroup&) = delete;
+
+  /**
+   * Runs a proposer from `proposer_node` trying to get `value` chosen.
+   * Multiple concurrent proposals are allowed (that is the point);
+   * every callback eventually fires with the *same* chosen value.
+   *
+   * @param proposer_id Distinguishes proposers; ballots are constructed
+   *        as (round << 16) | proposer_id so they never collide.
+   */
+  void Propose(const net::NodeId& proposer_node, uint32_t proposer_id,
+               std::string value, ProposeCallback on_done);
+
+  size_t acceptor_count() const { return acceptor_nodes_.size(); }
+  size_t majority() const { return acceptor_nodes_.size() / 2 + 1; }
+
+  /** The value a majority has accepted at the current instant, if any. */
+  std::optional<std::string> ChosenValue() const;
+
+  const AcceptorState& acceptor_state(size_t index) const {
+    return acceptors_[index];
+  }
+
+ private:
+  struct ProposerRun;
+
+  void StartAttempt(std::shared_ptr<ProposerRun> run);
+  void RunPhase2(std::shared_ptr<ProposerRun> run, uint64_t ballot,
+                 const std::string& value);
+  void Retry(std::shared_ptr<ProposerRun> run);
+
+  sim::Simulator* simulator_;
+  net::RpcSystem* rpc_;
+  std::vector<net::NodeId> acceptor_nodes_;
+  PaxosParams params_;
+  Rng rng_;
+  std::vector<AcceptorState> acceptors_;
+};
+
+}  // namespace hyperprof::consensus
+
+#endif  // HYPERPROF_CONSENSUS_PAXOS_H_

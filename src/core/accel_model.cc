@@ -1,0 +1,84 @@
+#include "core/accel_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hyperprof::model {
+
+double Component::Penalty() const {
+  double transfer = bandwidth > 0 ? 2.0 * bytes / bandwidth : 0.0;
+  return t_setup + transfer;
+}
+
+double Component::AcceleratedTime() const {
+  assert(speedup > 0);
+  return t_sub / speedup + Penalty();
+}
+
+double Workload::CoveredCpuTime() const {
+  double covered = 0;
+  for (const Component& component : components) {
+    covered += component.t_sub;
+  }
+  return covered;
+}
+
+double Workload::UnacceleratedCpuTime() const {
+  return std::max(0.0, t_cpu - CoveredCpuTime());
+}
+
+AccelModel::AccelModel(Workload workload) : workload_(std::move(workload)) {
+  assert(workload_.t_cpu >= 0 && workload_.t_dep >= 0);
+  assert(workload_.f >= 0 && workload_.f <= 1);
+}
+
+double AccelModel::BaselineE2e() const {
+  const Workload& w = workload_;
+  return w.t_cpu + w.t_dep -
+         (1.0 - w.f) * std::min(w.t_cpu, w.t_dep);  // Eq. 1
+}
+
+double AccelModel::AcceleratedCpu() const {
+  const Workload& w = workload_;
+  double t_nacc = w.UnacceleratedCpuTime();  // Eq. 4
+
+  // Unchained accelerated components: Eq. 5-6.
+  double sum_weighted = 0;  // sum_i g_sub_i * t'_sub_i
+  double largest = 0;       // t'_lsub
+  // Chained components: Eq. 10-12.
+  double largest_penalty = 0;     // t_lpen
+  double largest_no_penalty = 0;  // t_lsubnp
+  bool any_chained = false;
+  for (const Component& component : w.components) {
+    if (component.chained) {
+      any_chained = true;
+      largest_penalty = std::max(largest_penalty, component.Penalty());
+      largest_no_penalty =
+          std::max(largest_no_penalty, component.t_sub / component.speedup);
+    } else {
+      double accel_time = component.AcceleratedTime();  // Eq. 7
+      sum_weighted += component.overlap * accel_time;
+      largest = std::max(largest, accel_time);
+    }
+  }
+  double t_acc = std::max(sum_weighted, largest);  // Eq. 5
+  double t_chnd =
+      any_chained ? largest_penalty + largest_no_penalty : 0.0;  // Eq. 10
+  return t_chnd + t_acc + t_nacc;  // Eq. 9 (Eq. 3 when no chain)
+}
+
+double AccelModel::AcceleratedE2e(bool remove_dep) const {
+  const Workload& w = workload_;
+  double t_cpu_prime = AcceleratedCpu();
+  double t_dep = remove_dep ? 0.0 : w.t_dep;
+  return t_cpu_prime + t_dep -
+         (1.0 - w.f) * std::min(t_cpu_prime, t_dep);  // Eq. 2
+}
+
+double AccelModel::Speedup(bool remove_dep) const {
+  double accelerated = AcceleratedE2e(remove_dep);
+  if (accelerated <= 0) return 0.0;
+  return BaselineE2e() / accelerated;
+}
+
+}  // namespace hyperprof::model

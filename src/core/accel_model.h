@@ -1,0 +1,96 @@
+#ifndef HYPERPROF_CORE_ACCEL_MODEL_H_
+#define HYPERPROF_CORE_ACCEL_MODEL_H_
+
+#include <string>
+#include <vector>
+
+namespace hyperprof::model {
+
+/**
+ * One CPU subcomponent eligible for acceleration — a row of the paper's
+ * Figure 7 parameter table. Times are in seconds.
+ */
+struct Component {
+  std::string name;
+  double t_sub = 0;         ///< Original CPU time t_sub_i.
+  double speedup = 1.0;     ///< Acceleration factor s_sub_i (>= 1).
+  double t_setup = 0;       ///< Accelerator setup time t_setup_i.
+  double bytes = 0;         ///< B_i bytes offloaded (0 when on-chip).
+  double bandwidth = 4e9;   ///< BW_i bytes/s between CPU and accelerator.
+  double overlap = 1.0;     ///< g_sub_i in [0,1]: 1 = synchronous,
+                            ///< 0 = fully asynchronous with other accels.
+  bool chained = false;     ///< Member of the chained set (Eq. 9-12).
+
+  /** Equation 8: t_pen_i = t_setup_i + 2 * B_i / BW_i. */
+  double Penalty() const;
+
+  /** Equation 7: t'_sub_i = t_sub_i / s_sub_i + t_pen_i. */
+  double AcceleratedTime() const;
+};
+
+/**
+ * The full workload description consumed by the model: CPU time, its
+ * non-CPU dependencies, their overlap factor, and the accelerated
+ * component set. The unaccelerated residual t_nacc (Eq. 4) is everything
+ * in t_cpu not covered by `components`.
+ */
+struct Workload {
+  std::string name;
+  double t_cpu = 0;  ///< Original CPU time (s).
+  double t_dep = 0;  ///< Non-CPU time (remote work + IO) t_cpu depends on.
+  double f = 1.0;    ///< Sync factor between t_dep and t_cpu, [0,1].
+  std::vector<Component> components;
+
+  /** Sum of component t_sub (the accelerated coverage of t_cpu). */
+  double CoveredCpuTime() const;
+
+  /** Equation 4: t_nacc = t_cpu - covered time (clamped at 0). */
+  double UnacceleratedCpuTime() const;
+};
+
+/**
+ * The sea-of-accelerators analytical model (paper Section 6, Figures 7
+ * and 11). Implements Equations 1-12 literally:
+ *
+ *   (1) t_e2e  = t_cpu  + t_dep - (1-f) * min(t_cpu,  t_dep)
+ *   (2) t'_e2e = t'_cpu + t_dep - (1-f) * min(t'_cpu, t_dep)
+ *   (3) t'_cpu = t_acc + t_nacc               [unchained]
+ *   (4) t_nacc = sum of unaccelerated component times
+ *   (5) t_acc  = max(sum_i g_sub_i * t'_sub_i, t'_lsub)
+ *   (6) t'_lsub = max_i t'_sub_i
+ *   (7) t'_sub_i = t_sub_i / s_sub_i + t_pen_i
+ *   (8) t_pen_i = t_setup_i + 2 B_i / BW_i
+ *   (9) t'_cpu = t_chnd + t_acc + t_nacc      [with chaining]
+ *  (10) t_chnd = t_lpen + t_lsubnp
+ *  (11) t_lpen = max over chained of t_pen_i
+ *  (12) t_lsubnp = max over chained of t_sub_i / s_sub_i
+ */
+class AccelModel {
+ public:
+  explicit AccelModel(Workload workload);
+
+  const Workload& workload() const { return workload_; }
+
+  /** Equation 1: baseline end-to-end time. */
+  double BaselineE2e() const;
+
+  /** Equations 3-12: accelerated CPU time t'_cpu. */
+  double AcceleratedCpu() const;
+
+  /**
+   * Equation 2: accelerated end-to-end time.
+   * @param remove_dep Model a software-hardware co-design that eliminates
+   *        remote work and IO entirely (t_dep = 0), as in Figure 9 left.
+   */
+  double AcceleratedE2e(bool remove_dep = false) const;
+
+  /** BaselineE2e() / AcceleratedE2e(): the end-to-end speedup. */
+  double Speedup(bool remove_dep = false) const;
+
+ private:
+  Workload workload_;
+};
+
+}  // namespace hyperprof::model
+
+#endif  // HYPERPROF_CORE_ACCEL_MODEL_H_

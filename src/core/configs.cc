@@ -1,0 +1,78 @@
+#include "core/configs.h"
+
+namespace hyperprof::model {
+
+const char* PlacementName(Placement placement) {
+  switch (placement) {
+    case Placement::kOnChip: return "On-Chip";
+    case Placement::kOffChip: return "Off-Chip";
+  }
+  return "unknown";
+}
+
+const char* InvocationName(Invocation invocation) {
+  switch (invocation) {
+    case Invocation::kSynchronous: return "Sync";
+    case Invocation::kAsynchronous: return "Async";
+    case Invocation::kChained: return "Chained";
+  }
+  return "unknown";
+}
+
+AccelSystemConfig AccelSystemConfig::SyncOffChip() {
+  AccelSystemConfig config;
+  config.name = "Sync + Off-Chip";
+  config.placement = Placement::kOffChip;
+  config.invocation = Invocation::kSynchronous;
+  return config;
+}
+
+AccelSystemConfig AccelSystemConfig::SyncOnChip() {
+  AccelSystemConfig config;
+  config.name = "Sync + On-Chip";
+  config.placement = Placement::kOnChip;
+  config.invocation = Invocation::kSynchronous;
+  return config;
+}
+
+AccelSystemConfig AccelSystemConfig::AsyncOnChip() {
+  AccelSystemConfig config;
+  config.name = "Async + On-Chip";
+  config.placement = Placement::kOnChip;
+  config.invocation = Invocation::kAsynchronous;
+  return config;
+}
+
+AccelSystemConfig AccelSystemConfig::ChainedOnChip() {
+  AccelSystemConfig config;
+  config.name = "Chained + On-Chip";
+  config.placement = Placement::kOnChip;
+  config.invocation = Invocation::kChained;
+  return config;
+}
+
+void ApplyConfig(Workload& workload, const AccelSystemConfig& config,
+                 double offload_bytes) {
+  for (Component& component : workload.components) {
+    component.t_setup = config.setup_time;
+    component.bandwidth = config.link_bandwidth;
+    component.bytes =
+        config.placement == Placement::kOffChip ? offload_bytes : 0.0;
+    switch (config.invocation) {
+      case Invocation::kSynchronous:
+        component.overlap = 1.0;
+        component.chained = false;
+        break;
+      case Invocation::kAsynchronous:
+        component.overlap = 0.0;
+        component.chained = false;
+        break;
+      case Invocation::kChained:
+        component.overlap = 1.0;
+        component.chained = true;
+        break;
+    }
+  }
+}
+
+}  // namespace hyperprof::model

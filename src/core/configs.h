@@ -1,0 +1,51 @@
+#ifndef HYPERPROF_CORE_CONFIGS_H_
+#define HYPERPROF_CORE_CONFIGS_H_
+
+#include <string>
+
+#include "core/accel_model.h"
+
+namespace hyperprof::model {
+
+/** Where an accelerator lives relative to the core (Section 6.3). */
+enum class Placement { kOnChip, kOffChip };
+
+/** How accelerators are invoked relative to each other (Section 6.3). */
+enum class Invocation { kSynchronous, kAsynchronous, kChained };
+
+const char* PlacementName(Placement placement);
+const char* InvocationName(Invocation invocation);
+
+/**
+ * A sea-of-accelerators system design point: placement, invocation model,
+ * per-invocation setup time, and the off-chip link. The four design points
+ * of Figure 13 are instances of this struct.
+ */
+struct AccelSystemConfig {
+  std::string name;
+  Placement placement = Placement::kOnChip;
+  Invocation invocation = Invocation::kSynchronous;
+  double setup_time = 0;        ///< t_setup_i applied to every component.
+  double link_bandwidth = 4e9;  ///< PCIe Gen5-class link (paper value).
+
+  /** The paper's four design points, in Figure 13 order. */
+  static AccelSystemConfig SyncOffChip();
+  static AccelSystemConfig SyncOnChip();
+  static AccelSystemConfig AsyncOnChip();
+  static AccelSystemConfig ChainedOnChip();
+};
+
+/**
+ * Stamps a system config onto every component of a workload: overlap
+ * factor from the invocation model (g=1 sync, g=0 async), chained flags,
+ * setup time, and off-chip transfer parameters.
+ *
+ * @param offload_bytes B_i for every component when off-chip (the average
+ *        bytes a query must move to the accelerator); ignored on-chip.
+ */
+void ApplyConfig(Workload& workload, const AccelSystemConfig& config,
+                 double offload_bytes);
+
+}  // namespace hyperprof::model
+
+#endif  // HYPERPROF_CORE_CONFIGS_H_

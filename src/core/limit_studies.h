@@ -1,0 +1,99 @@
+#ifndef HYPERPROF_CORE_LIMIT_STUDIES_H_
+#define HYPERPROF_CORE_LIMIT_STUDIES_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/accel_model.h"
+#include "core/configs.h"
+
+namespace hyperprof::model {
+
+/** One point of a speedup-sweep curve. */
+struct SweepPoint {
+  double per_accel_speedup = 1.0;
+  double e2e_speedup = 1.0;
+};
+
+/**
+ * Figure 9/10 driver: accelerates every component of `base` in lockstep
+ * by each factor and reports the end-to-end speedup.
+ *
+ * @param remove_dep When true, models the software-hardware co-design
+ *        that removes remote work and IO (t_dep = 0 in the accelerated
+ *        system), as in the left panel of Figure 9 and all of Figure 10.
+ */
+std::vector<SweepPoint> UniformSpeedupSweep(
+    const Workload& base, const std::vector<double>& factors,
+    bool remove_dep,
+    const AccelSystemConfig& config = AccelSystemConfig::SyncOnChip(),
+    double offload_bytes = 0);
+
+/** Figure 13 row: speedup per design point after adding one component. */
+struct IncrementalPoint {
+  std::string component_added;
+  std::array<double, 4> speedup_by_config{};  // Figure 13 config order
+};
+
+/**
+ * Figure 13 driver: components are added to the accelerated set in the
+ * order they appear in `base.components` (datacenter taxes, then system
+ * taxes, then core compute), each accelerated by `per_accel_speedup`,
+ * under the four design points (sync+off-chip, sync+on-chip,
+ * async+on-chip, chained+on-chip). Remote work and IO are kept.
+ */
+std::vector<IncrementalPoint> IncrementalAccelerationStudy(
+    const Workload& base, double per_accel_speedup, double offload_bytes,
+    double link_bandwidth = 4e9);
+
+/** Figure 14 row: speedup per design point at one setup time. */
+struct SetupSweepPoint {
+  double setup_time = 0;
+  std::array<double, 4> speedup_by_config{};
+};
+
+/**
+ * Figure 14 driver: sweeps per-invocation accelerator setup time with a
+ * fixed per-accelerator speedup (8x in the paper) under the four design
+ * points. Remote work and IO are kept.
+ */
+std::vector<SetupSweepPoint> SetupTimeSweep(
+    const Workload& base, const std::vector<double>& setup_times,
+    double per_accel_speedup, double offload_bytes,
+    double link_bandwidth = 4e9);
+
+/**
+ * A published accelerator used in the Figure 15 study. The speedups are
+ * the largest published values for the respective operation, as the paper
+ * does; setup time is zeroed for uniformity (not universally reported).
+ */
+struct PublishedAccelerator {
+  std::string component_name;  // must match a component of the workload
+  double speedup = 1.0;
+  std::string source;  // citation tag
+};
+
+/** The accelerator set of Figure 15 (see DESIGN.md for value sources). */
+std::vector<PublishedAccelerator> PriorAcceleratorSet();
+
+/** Figure 15 row. */
+struct PriorAcceleratorPoint {
+  std::string label;
+  double sync_speedup = 1.0;
+  double chained_speedup = 1.0;
+};
+
+/**
+ * Figure 15 driver: evaluates each published accelerator individually and
+ * then the combined set, under synchronous and chained on-chip execution.
+ * Components of `base` whose name has no published accelerator stay
+ * unaccelerated. Remote work and IO are kept.
+ */
+std::vector<PriorAcceleratorPoint> PriorAcceleratorStudy(
+    const Workload& base,
+    const std::vector<PublishedAccelerator>& accelerators);
+
+}  // namespace hyperprof::model
+
+#endif  // HYPERPROF_CORE_LIMIT_STUDIES_H_

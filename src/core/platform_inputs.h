@@ -1,0 +1,97 @@
+#ifndef HYPERPROF_CORE_PLATFORM_INPUTS_H_
+#define HYPERPROF_CORE_PLATFORM_INPUTS_H_
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/accel_model.h"
+#include "platforms/fleet.h"
+#include "profiling/aggregate.h"
+#include "profiling/categories.h"
+
+namespace hyperprof::model {
+
+/**
+ * The paper's Section 6.2 accelerated-component selection: top datacenter
+ * taxes (compression, RPC, protobuf), top system taxes (STL, OS), and the
+ * platform's dominant core-compute operations.
+ */
+std::vector<profiling::FnCategory> AcceleratedCategoriesFor(
+    const std::string& platform);
+
+/**
+ * Model inputs derived from a fleet characterization run: the overall-
+ * average time vector and one per query group, each with the accelerated
+ * component set's t_sub values filled from the measured cycle breakdown.
+ *
+ * The platform-wide cycle mix is assumed to hold within each query group
+ * (the per-group CPU composition is not separately observable from the
+ * traces, matching the paper's methodology).
+ */
+struct PlatformModelInput {
+  std::string platform;
+  Workload overall;
+  std::array<Workload, profiling::kNumQueryGroups> by_group;
+  std::array<double, profiling::kNumQueryGroups> group_query_share{};
+  /** Average bytes per query, for off-chip offload modeling (B_i). */
+  double avg_query_bytes = 0;
+};
+
+/**
+ * Builds model inputs from a platform's recovered profiling reports.
+ *
+ * @param result Recovered reports (e2e + cycle breakdowns).
+ * @param traces Raw traces, used to estimate the sync factor f.
+ * @param avg_query_bytes Average per-query payload for off-chip studies.
+ */
+PlatformModelInput BuildModelInput(
+    const platforms::PlatformResult& result,
+    const std::vector<profiling::QueryTrace>& traces,
+    double avg_query_bytes);
+
+/**
+ * Builds an overall-average workload with a caller-chosen accelerated
+ * category set (the Figure 15 prior-accelerator study uses memory
+ * allocation + protobuf + RPC + compression + all core compute, which
+ * differs from the Section 6.2 selection).
+ */
+Workload BuildWorkloadForCategories(
+    const platforms::PlatformResult& result,
+    const std::vector<profiling::QueryTrace>& traces,
+    const std::vector<profiling::FnCategory>& categories);
+
+/** The Figure 15 component selection for a platform. */
+std::vector<profiling::FnCategory> PriorStudyCategoriesFor(
+    const std::string& platform);
+
+/**
+ * Per-query-group workloads (per-query averages) for a caller-chosen
+ * category set, plus each group's query share. The Section 6.3 studies
+ * evaluate the model per group and combine speedups by query share: using
+ * the raw overall average instead would let one rare-but-enormous query
+ * class (BigTable's compaction waits) flatten every design-point
+ * comparison.
+ */
+struct GroupWorkloads {
+  std::array<Workload, profiling::kNumQueryGroups> by_group;
+  std::array<double, profiling::kNumQueryGroups> query_share{};
+};
+
+GroupWorkloads BuildGroupWorkloads(
+    const platforms::PlatformResult& result,
+    const std::vector<profiling::QueryTrace>& traces,
+    const std::vector<profiling::FnCategory>& categories);
+
+/**
+ * Query-share-weighted mean of per-group speedups for an arbitrary
+ * model evaluation (the combinator behind Figures 13-15).
+ */
+double GroupWeightedSpeedup(
+    const GroupWorkloads& groups,
+    const std::function<double(const Workload&)>& evaluate);
+
+}  // namespace hyperprof::model
+
+#endif  // HYPERPROF_CORE_PLATFORM_INPUTS_H_

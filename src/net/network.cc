@@ -1,0 +1,61 @@
+#include "net/network.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace hyperprof::net {
+
+std::string NodeId::ToString() const {
+  return StrFormat("r%u/c%u/h%u", region, cluster, host);
+}
+
+const char* PathClassName(PathClass path) {
+  switch (path) {
+    case PathClass::kSameHost: return "same-host";
+    case PathClass::kSameCluster: return "same-cluster";
+    case PathClass::kCrossCluster: return "cross-cluster";
+    case PathClass::kCrossRegion: return "cross-region";
+  }
+  return "unknown";
+}
+
+NetworkModel::NetworkModel(NetworkParams params) : params_(params) {}
+
+PathClass NetworkModel::Classify(const NodeId& a, const NodeId& b) {
+  if (a.region != b.region) return PathClass::kCrossRegion;
+  if (a.cluster != b.cluster) return PathClass::kCrossCluster;
+  if (a.host != b.host) return PathClass::kSameCluster;
+  return PathClass::kSameHost;
+}
+
+const PathParams& NetworkModel::ParamsFor(PathClass path) const {
+  switch (path) {
+    case PathClass::kSameHost: return params_.same_host;
+    case PathClass::kSameCluster: return params_.same_cluster;
+    case PathClass::kCrossCluster: return params_.cross_cluster;
+    case PathClass::kCrossRegion: return params_.cross_region;
+  }
+  return params_.same_host;
+}
+
+SimTime NetworkModel::MeanMessageTime(const NodeId& a, const NodeId& b,
+                                      uint64_t bytes) const {
+  const PathParams& p = ParamsFor(Classify(a, b));
+  double serialization =
+      p.bandwidth_bps > 0 ? static_cast<double>(bytes) / p.bandwidth_bps : 0.0;
+  return p.base_latency + SimTime::FromSeconds(serialization);
+}
+
+SimTime NetworkModel::MessageTime(const NodeId& a, const NodeId& b,
+                                  uint64_t bytes, Rng& rng) const {
+  const PathParams& p = ParamsFor(Classify(a, b));
+  // Lognormal jitter with unit median; sigma controls tail heaviness.
+  double jitter = rng.NextLogNormal(0.0, p.jitter_sigma);
+  double latency_s = p.base_latency.ToSeconds() * jitter;
+  double serialization =
+      p.bandwidth_bps > 0 ? static_cast<double>(bytes) / p.bandwidth_bps : 0.0;
+  return SimTime::FromSeconds(latency_s + serialization);
+}
+
+}  // namespace hyperprof::net

@@ -1,0 +1,87 @@
+#ifndef HYPERPROF_NET_NETWORK_H_
+#define HYPERPROF_NET_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace hyperprof::net {
+
+/**
+ * Hierarchical location of a simulated server: region > cluster > host.
+ *
+ * The datacenter network model derives path class (same-host, same-cluster,
+ * cross-cluster, cross-region) from two NodeIds, mirroring the Clos-fabric
+ * plus WAN structure of hyperscale deployments.
+ */
+struct NodeId {
+  uint32_t region = 0;
+  uint32_t cluster = 0;
+  uint32_t host = 0;
+
+  friend bool operator==(const NodeId&, const NodeId&) = default;
+  std::string ToString() const;
+};
+
+/** Path classes ordered by increasing distance. */
+enum class PathClass {
+  kSameHost = 0,
+  kSameCluster,
+  kCrossCluster,
+  kCrossRegion,
+};
+
+const char* PathClassName(PathClass path);
+
+/** Per-path-class latency/bandwidth parameters. */
+struct PathParams {
+  SimTime base_latency;       // one-way propagation + switching
+  double bandwidth_bps = 0;   // achievable per-flow bandwidth, bytes/s
+  double jitter_sigma = 0.1;  // lognormal sigma applied to latency
+};
+
+/**
+ * Parameters of the fabric model; defaults approximate a modern
+ * Clos-fabric datacenter with a WAN between regions.
+ */
+struct NetworkParams {
+  PathParams same_host{SimTime::Micros(2), 8.0e9, 0.05};
+  PathParams same_cluster{SimTime::Micros(25), 1.25e9, 0.15};
+  PathParams cross_cluster{SimTime::Micros(120), 6.0e8, 0.2};
+  PathParams cross_region{SimTime::Millis(30), 1.5e8, 0.25};
+};
+
+/**
+ * Latency/bandwidth model of the datacenter fabric.
+ *
+ * One-way message time = jittered base latency + bytes / bandwidth. The
+ * model is intentionally flow-level (no per-packet simulation): the paper's
+ * characterization operates at RPC granularity, so flow-level times are the
+ * right fidelity.
+ */
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkParams params = NetworkParams());
+
+  /** Classifies the path between two nodes. */
+  static PathClass Classify(const NodeId& a, const NodeId& b);
+
+  /** One-way message time for `bytes` from `a` to `b` with jitter. */
+  SimTime MessageTime(const NodeId& a, const NodeId& b, uint64_t bytes,
+                      Rng& rng) const;
+
+  /** Deterministic (jitter-free) message time, for tests and bounds. */
+  SimTime MeanMessageTime(const NodeId& a, const NodeId& b,
+                          uint64_t bytes) const;
+
+  const PathParams& ParamsFor(PathClass path) const;
+
+ private:
+  NetworkParams params_;
+};
+
+}  // namespace hyperprof::net
+
+#endif  // HYPERPROF_NET_NETWORK_H_

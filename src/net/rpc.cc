@@ -1,0 +1,53 @@
+#include "net/rpc.h"
+
+#include <memory>
+#include <utility>
+
+namespace hyperprof::net {
+
+RpcSystem::RpcSystem(sim::Simulator* sim, const NetworkModel* network,
+                     Rng rng)
+    : sim_(sim), network_(network), rng_(std::move(rng)) {}
+
+void RpcSystem::Call(const NodeId& from, const NodeId& to,
+                     const RpcOptions& options, Handler handler,
+                     Completion on_complete) {
+  auto result = std::make_shared<RpcResult>();
+  result->issued_at = sim_->Now();
+
+  SimTime request_time =
+      network_->MessageTime(from, to, options.request_bytes, rng_);
+  SimTime response_time =
+      network_->MessageTime(to, from, options.response_bytes, rng_);
+  result->network_time = request_time + response_time;
+
+  sim_->Schedule(request_time, [this, result, response_time,
+                                handler = std::move(handler),
+                                on_complete = std::move(on_complete)]() {
+    SimTime handler_start = sim_->Now();
+    handler([this, result, response_time, handler_start,
+             on_complete = std::move(on_complete)]() {
+      result->server_time = sim_->Now() - handler_start;
+      sim_->Schedule(response_time, [this, result,
+                                     on_complete = std::move(on_complete)]() {
+        result->completed_at = sim_->Now();
+        ++completed_calls_;
+        latency_hist_.Add(result->Total().ToSeconds());
+        if (on_complete) on_complete(*result);
+      });
+    });
+  });
+}
+
+void RpcSystem::CallFixed(const NodeId& from, const NodeId& to,
+                          const RpcOptions& options, SimTime server_time,
+                          Completion on_complete) {
+  Call(
+      from, to, options,
+      [this, server_time](std::function<void()> respond) {
+        sim_->Schedule(server_time, std::move(respond));
+      },
+      std::move(on_complete));
+}
+
+}  // namespace hyperprof::net

@@ -1,0 +1,84 @@
+#ifndef HYPERPROF_NET_RPC_H_
+#define HYPERPROF_NET_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/stats.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace hyperprof::net {
+
+/** Shape of one RPC exchange. */
+struct RpcOptions {
+  std::string method;          // diagnostic method name ("spanner.Read")
+  uint64_t request_bytes = 0;  // wire size of the request
+  uint64_t response_bytes = 0; // wire size of the response
+};
+
+/** Completion record handed to the caller's callback. */
+struct RpcResult {
+  SimTime issued_at;
+  SimTime completed_at;
+  SimTime network_time;  // request + response transport time
+  SimTime server_time;   // time spent inside the handler
+  SimTime Total() const { return completed_at - issued_at; }
+};
+
+/**
+ * Flow-level RPC layer over the NetworkModel.
+ *
+ * A call transports the request, runs the server handler (which finishes by
+ * invoking its `respond` continuation, possibly after more simulated work),
+ * transports the response, then completes the caller. Per-method latency
+ * statistics are kept for reporting, mirroring what Dapper-style tracing
+ * exposes in production.
+ */
+class RpcSystem {
+ public:
+  /** Handler runs at the server; it must invoke `respond` exactly once. */
+  using Handler = std::function<void(std::function<void()> respond)>;
+  using Completion = std::function<void(const RpcResult&)>;
+
+  RpcSystem(sim::Simulator* sim, const NetworkModel* network, Rng rng);
+
+  RpcSystem(const RpcSystem&) = delete;
+  RpcSystem& operator=(const RpcSystem&) = delete;
+
+  /**
+   * Issues an RPC from `from` to `to`. The handler executes at the server
+   * after request transport; once it responds, the response is transported
+   * back and `on_complete` fires at the caller.
+   */
+  void Call(const NodeId& from, const NodeId& to, const RpcOptions& options,
+            Handler handler, Completion on_complete);
+
+  /**
+   * Convenience for fixed-cost servers: the handler is a pure delay of
+   * `server_time`.
+   */
+  void CallFixed(const NodeId& from, const NodeId& to,
+                 const RpcOptions& options, SimTime server_time,
+                 Completion on_complete);
+
+  /** Count of RPCs completed so far. */
+  uint64_t completed_calls() const { return completed_calls_; }
+
+  /** Distribution of end-to-end RPC times (seconds). */
+  const LogHistogram& latency_histogram() const { return latency_hist_; }
+
+ private:
+  sim::Simulator* sim_;
+  const NetworkModel* network_;
+  Rng rng_;
+  uint64_t completed_calls_ = 0;
+  LogHistogram latency_hist_;
+};
+
+}  // namespace hyperprof::net
+
+#endif  // HYPERPROF_NET_RPC_H_

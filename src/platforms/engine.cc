@@ -1,0 +1,306 @@
+#include "platforms/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "consensus/paxos.h"
+#include "platforms/shuffle.h"
+#include "sim/sequence.h"
+
+namespace hyperprof::platforms {
+
+using profiling::BroadOf;
+using profiling::FnCategory;
+using profiling::SpanKind;
+
+struct PlatformEngine::QueryState {
+  uint64_t trace_id = profiling::Tracer::kNotSampled;
+  size_t type_index = 0;
+  net::NodeId client;
+};
+
+PlatformEngine::PlatformEngine(EngineContext context, PlatformSpec spec,
+                               Rng rng)
+    : context_(context), spec_(std::move(spec)), rng_(std::move(rng)) {
+  assert(context_.simulator && context_.dfs && context_.rpc &&
+         context_.tracer && context_.profiler && context_.registry);
+  std::vector<double> type_weights;
+  type_weights.reserve(spec_.query_types.size());
+  for (const auto& type : spec_.query_types) {
+    type_weights.push_back(type.weight);
+  }
+  type_sampler_ = std::make_unique<AliasSampler>(type_weights);
+
+  std::vector<double> mix_weights;
+  for (size_t i = 0; i < profiling::kNumFnCategories; ++i) {
+    if (spec_.compute_mix[i] > 0) {
+      mix_categories_.push_back(i);
+      mix_weights.push_back(spec_.compute_mix[i]);
+    }
+  }
+  assert(!mix_categories_.empty());
+  mix_sampler_ = std::make_unique<AliasSampler>(mix_weights);
+
+  symbols_.resize(profiling::kNumFnCategories);
+  for (size_t i = 0; i < profiling::kNumFnCategories; ++i) {
+    symbols_[i] =
+        context_.registry->SymbolsFor(static_cast<FnCategory>(i));
+    if (symbols_[i].empty()) {
+      // Deliberately unknown symbol: exercises the Uncategorized path.
+      symbols_[i].push_back(spec_.name + "::internal::unknown_leaf");
+    }
+  }
+  block_sampler_ =
+      std::make_unique<ZipfSampler>(spec_.block_space, spec_.block_zipf_s);
+  if (spec_.worker_cores > 0) {
+    worker_pool_ = std::make_unique<sim::Resource>(
+        context_.simulator, spec_.name + "/workers", spec_.worker_cores);
+  }
+}
+
+double PlatformEngine::SampleLogNormalMean(double mean, double sigma) {
+  // Lognormal with the requested arithmetic mean.
+  double mu = std::log(mean) - sigma * sigma / 2.0;
+  return rng_.NextLogNormal(mu, sigma);
+}
+
+void PlatformEngine::Run(uint64_t num_queries, double arrival_rate_qps,
+                         std::function<void()> on_all_done) {
+  assert(arrival_rate_qps > 0);
+  target_ += num_queries;
+  on_all_done_ = std::move(on_all_done);
+  SimTime arrival = context_.simulator->Now();
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    arrival += SimTime::FromSeconds(
+        rng_.NextExponential(1.0 / arrival_rate_qps));
+    size_t type_index = type_sampler_->Sample(rng_);
+    context_.simulator->ScheduleAt(
+        arrival, [this, type_index]() { StartQuery(type_index); });
+  }
+}
+
+void PlatformEngine::StartQuery(size_t type_index) {
+  auto query = std::make_shared<QueryState>();
+  query->type_index = type_index;
+  // Queries originate on worker hosts spread over four clusters.
+  query->client =
+      net::NodeId{0, static_cast<uint32_t>(rng_.NextBounded(4)),
+                  static_cast<uint32_t>(rng_.NextBounded(64))};
+  query->trace_id = context_.tracer->StartQuery(
+      spec_.name, spec_.query_types[type_index].name,
+      context_.simulator->Now());
+  RunPhaseGroup(query, 0);
+}
+
+void PlatformEngine::RunPhaseGroup(std::shared_ptr<QueryState> query,
+                                   size_t phase_index) {
+  const auto& phases = spec_.query_types[query->type_index].phases;
+  if (phase_index >= phases.size()) {
+    FinishQuery(query);
+    return;
+  }
+  // Collect this phase plus any following phases flagged to overlap it.
+  size_t group_end = phase_index + 1;
+  while (group_end < phases.size() &&
+         phases[group_end].overlap_with_previous) {
+    ++group_end;
+  }
+  size_t group_size = group_end - phase_index;
+  auto barrier = sim::Barrier(group_size, [this, query, group_end]() {
+    RunPhaseGroup(query, group_end);
+  });
+  for (size_t i = phase_index; i < group_end; ++i) {
+    RunPhase(query, phases[i], barrier);
+  }
+}
+
+void PlatformEngine::RunPhase(std::shared_ptr<QueryState> query,
+                              const PhaseSpec& phase,
+                              std::function<void()> done) {
+  switch (phase.kind) {
+    case PhaseSpec::Kind::kCompute:
+      RunComputePhase(query, phase.compute, std::move(done));
+      break;
+    case PhaseSpec::Kind::kIo:
+      RunIoPhase(query, phase.io, std::move(done));
+      break;
+    case PhaseSpec::Kind::kRemote:
+      RunRemotePhase(query, phase.remote, std::move(done));
+      break;
+  }
+}
+
+void PlatformEngine::RunComputePhase(std::shared_ptr<QueryState> query,
+                                     const ComputePhaseSpec& phase,
+                                     std::function<void()> done) {
+  double total = SampleLogNormalMean(phase.mean_seconds, phase.sigma);
+  // Decompose the phase into categorized leaf-function activities and
+  // report each to the fleet CPU profiler.
+  double budget = total;
+  while (budget > 1e-9) {
+    size_t category_index = mix_categories_[mix_sampler_->Sample(rng_)];
+    double duration = std::min(
+        budget, rng_.NextExponential(spec_.activity_mean_seconds));
+    const auto& pool = symbols_[category_index];
+    const std::string& symbol = pool[rng_.NextBounded(pool.size())];
+    FnCategory category = static_cast<FnCategory>(category_index);
+    context_.profiler->RecordActivity(
+        symbol, SimTime::FromSeconds(duration),
+        spec_.microarch[static_cast<size_t>(BroadOf(category))]);
+    budget -= duration;
+  }
+  SimTime span_length = SimTime::FromSeconds(total);
+  if (worker_pool_ != nullptr) {
+    // Finite cores: the phase queues for a core, and the CPU span covers
+    // only the on-core time (queueing is unattributed wait).
+    worker_pool_->Acquire([this, query, span_length,
+                           done = std::move(done)]() mutable {
+      SimTime start = context_.simulator->Now();
+      context_.tracer->AddSpan(query->trace_id, SpanKind::kCpu, "compute",
+                               start, start + span_length);
+      context_.simulator->Schedule(
+          span_length, [this, done = std::move(done)]() {
+            worker_pool_->Release();
+            done();
+          });
+    });
+    return;
+  }
+  SimTime start = context_.simulator->Now();
+  context_.tracer->AddSpan(query->trace_id, SpanKind::kCpu, "compute", start,
+                           start + span_length);
+  context_.simulator->Schedule(span_length, std::move(done));
+}
+
+void PlatformEngine::RunIoPhase(std::shared_ptr<QueryState> query,
+                                const IoPhaseSpec& phase,
+                                std::function<void()> done) {
+  assert(phase.num_blocks > 0 && phase.parallelism > 0);
+  // Issue accesses in waves of `parallelism`.
+  auto remaining = std::make_shared<int>(phase.num_blocks);
+  auto issue_wave = std::make_shared<std::function<void()>>();
+  auto done_shared =
+      std::make_shared<std::function<void()>>(std::move(done));
+  *issue_wave = [this, query, phase, remaining, issue_wave, done_shared]() {
+    if (*remaining <= 0) {
+      (*done_shared)();
+      return;
+    }
+    int wave = std::min(*remaining, phase.parallelism);
+    *remaining -= wave;
+    auto barrier = sim::Barrier(
+        static_cast<size_t>(wave), [issue_wave]() { (*issue_wave)(); });
+    for (int i = 0; i < wave; ++i) {
+      uint64_t block_id = block_sampler_->Sample(rng_);
+      SimTime start = context_.simulator->Now();
+      auto on_io = [this, query, start, barrier,
+                    write = phase.write](const storage::IoResult&) {
+        context_.tracer->AddSpan(query->trace_id, SpanKind::kIo,
+                                 write ? "dfs.write" : "dfs.read", start,
+                                 context_.simulator->Now());
+        barrier();
+      };
+      if (phase.write) {
+        context_.dfs->Write(query->client, block_id, phase.block_bytes,
+                            phase.write_replication, on_io);
+      } else {
+        context_.dfs->Read(query->client, block_id, phase.block_bytes,
+                           on_io);
+      }
+    }
+  };
+  (*issue_wave)();
+}
+
+void PlatformEngine::RunRemotePhase(std::shared_ptr<QueryState> query,
+                                    const RemotePhaseSpec& phase,
+                                    std::function<void()> done) {
+  assert(phase.fanout > 0);
+  SimTime start = context_.simulator->Now();
+  auto finish = [this, query, start, name = phase.name,
+                 done = std::move(done)]() {
+    context_.tracer->AddSpan(query->trace_id, SpanKind::kRemoteWork, name,
+                             start, context_.simulator->Now());
+    done();
+  };
+  if (phase.use_shuffle) {
+    // Execute a real distributed shuffle: fanout mappers stream to
+    // fanout reducers; the span covers the shuffle makespan.
+    ShuffleParams params;
+    params.num_mappers = phase.fanout;
+    params.num_reducers = phase.fanout;
+    params.bytes_per_mapper = phase.request_bytes;
+    auto shuffle = std::make_shared<ShuffleOperation>(
+        context_.simulator, context_.rpc, params, rng_.Fork());
+    shuffle->Run(query->client,
+                 [shuffle, finish = std::move(finish)](
+                     const ShuffleResult&) { finish(); });
+    return;
+  }
+  if (phase.use_paxos) {
+    // Execute a real consensus round: the commit value is this query's
+    // mutation id, acceptors are replica peers.
+    std::vector<net::NodeId> acceptors;
+    for (int i = 0; i < phase.fanout; ++i) {
+      if (phase.cross_region) {
+        acceptors.push_back(
+            net::NodeId{static_cast<uint32_t>(i % 3),
+                        static_cast<uint32_t>(rng_.NextBounded(4)),
+                        static_cast<uint32_t>(rng_.NextBounded(64))});
+      } else {
+        acceptors.push_back(
+            net::NodeId{0, static_cast<uint32_t>(i % 4),
+                        static_cast<uint32_t>(rng_.NextBounded(64))});
+      }
+    }
+    consensus::PaxosParams params;
+    params.acceptor_service_time =
+        SimTime::FromSeconds(phase.server_seconds_mean);
+    auto group = std::make_shared<consensus::PaxosGroup>(
+        context_.simulator, context_.rpc, std::move(acceptors), params,
+        rng_.Fork());
+    uint32_t proposer_id =
+        static_cast<uint32_t>(rng_.NextBounded(1 << 15)) + 1;
+    group->Propose(
+        query->client, proposer_id,
+        "commit-" + std::to_string(completed_),
+        [group, finish = std::move(finish)](
+            const consensus::ProposeResult&) { finish(); });
+    return;
+  }
+  auto barrier =
+      sim::Barrier(static_cast<size_t>(phase.fanout), std::move(finish));
+  for (int i = 0; i < phase.fanout; ++i) {
+    net::NodeId peer;
+    if (phase.cross_region) {
+      peer = net::NodeId{1 + static_cast<uint32_t>(rng_.NextBounded(2)),
+                         static_cast<uint32_t>(rng_.NextBounded(4)),
+                         static_cast<uint32_t>(rng_.NextBounded(64))};
+    } else {
+      peer = net::NodeId{0, static_cast<uint32_t>(rng_.NextBounded(4)),
+                         static_cast<uint32_t>(rng_.NextBounded(64))};
+    }
+    net::RpcOptions options;
+    options.method = spec_.name + "." + phase.name;
+    options.request_bytes = phase.request_bytes;
+    options.response_bytes = phase.response_bytes;
+    double server_s =
+        SampleLogNormalMean(phase.server_seconds_mean, phase.server_sigma);
+    context_.rpc->CallFixed(query->client, peer, options,
+                            SimTime::FromSeconds(server_s),
+                            [barrier](const net::RpcResult&) { barrier(); });
+  }
+}
+
+void PlatformEngine::FinishQuery(std::shared_ptr<QueryState> query) {
+  context_.tracer->FinishQuery(query->trace_id, context_.simulator->Now());
+  ++completed_;
+  if (completed_ == target_ && on_all_done_) {
+    auto done = std::move(on_all_done_);
+    on_all_done_ = nullptr;
+    done();
+  }
+}
+
+}  // namespace hyperprof::platforms

@@ -1,0 +1,98 @@
+#ifndef HYPERPROF_PLATFORMS_ENGINE_H_
+#define HYPERPROF_PLATFORMS_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/rpc.h"
+#include "platforms/spec.h"
+#include "profiling/function_registry.h"
+#include "profiling/sampler.h"
+#include "profiling/tracer.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "storage/dfs.h"
+
+namespace hyperprof::platforms {
+
+/** Everything a platform engine needs from the substrate. */
+struct EngineContext {
+  sim::Simulator* simulator = nullptr;
+  storage::DistributedFileSystem* dfs = nullptr;
+  net::RpcSystem* rpc = nullptr;
+  profiling::Tracer* tracer = nullptr;
+  profiling::CpuProfiler* profiler = nullptr;
+  const profiling::FunctionRegistry* registry = nullptr;
+};
+
+/**
+ * Executes a platform's query workload on the simulated substrate.
+ *
+ * Queries arrive as a Poisson process; each runs its template's phases
+ * (sequential by default, overlapping when flagged): compute phases are
+ * decomposed into categorized function activities reported to the CPU
+ * profiler, IO phases issue real reads/writes against the distributed
+ * filesystem (cache behaviour included), and remote phases fan out RPCs to
+ * peer workers. Dapper-style spans are recorded for sampled queries.
+ */
+class PlatformEngine {
+ public:
+  PlatformEngine(EngineContext context, PlatformSpec spec, Rng rng);
+
+  PlatformEngine(const PlatformEngine&) = delete;
+  PlatformEngine& operator=(const PlatformEngine&) = delete;
+
+  /**
+   * Schedules `num_queries` arrivals at `arrival_rate_qps` and invokes
+   * `on_all_done` when the last completes. Call Simulator::Run afterwards.
+   */
+  void Run(uint64_t num_queries, double arrival_rate_qps,
+           std::function<void()> on_all_done);
+
+  uint64_t queries_completed() const { return completed_; }
+  const PlatformSpec& spec() const { return spec_; }
+
+  /** Worker-pool stats (null when contention is disabled). */
+  const sim::Resource* worker_pool() const { return worker_pool_.get(); }
+
+ private:
+  struct QueryState;
+
+  void StartQuery(size_t type_index);
+  void RunPhaseGroup(std::shared_ptr<QueryState> query, size_t phase_index);
+  void RunPhase(std::shared_ptr<QueryState> query, const PhaseSpec& phase,
+                std::function<void()> done);
+  void RunComputePhase(std::shared_ptr<QueryState> query,
+                       const ComputePhaseSpec& phase,
+                       std::function<void()> done);
+  void RunIoPhase(std::shared_ptr<QueryState> query, const IoPhaseSpec& phase,
+                  std::function<void()> done);
+  void RunRemotePhase(std::shared_ptr<QueryState> query,
+                      const RemotePhaseSpec& phase,
+                      std::function<void()> done);
+  void FinishQuery(std::shared_ptr<QueryState> query);
+
+  double SampleLogNormalMean(double mean, double sigma);
+
+  EngineContext context_;
+  PlatformSpec spec_;
+  Rng rng_;
+  std::unique_ptr<AliasSampler> type_sampler_;
+  std::unique_ptr<AliasSampler> mix_sampler_;
+  std::vector<size_t> mix_categories_;  // categories with nonzero weight
+  // Symbols per fine category, resolved once from the registry.
+  std::vector<std::vector<std::string>> symbols_;
+  std::unique_ptr<ZipfSampler> block_sampler_;
+  // Finite worker-CPU pool when spec.worker_cores > 0 (else null).
+  std::unique_ptr<sim::Resource> worker_pool_;
+  uint64_t completed_ = 0;
+  uint64_t target_ = 0;
+  std::function<void()> on_all_done_;
+};
+
+}  // namespace hyperprof::platforms
+
+#endif  // HYPERPROF_PLATFORMS_ENGINE_H_

@@ -1,0 +1,111 @@
+#include "platforms/fleet.h"
+
+#include <cassert>
+
+#include "platforms/platforms.h"
+#include "storage/provisioning.h"
+
+namespace hyperprof::platforms {
+
+FleetSimulation::FleetSimulation(FleetConfig config)
+    : config_(config),
+      rng_(config.seed),
+      registry_(profiling::BuildFleetRegistry()),
+      simulator_(std::make_unique<sim::Simulator>()),
+      network_(std::make_unique<net::NetworkModel>()),
+      rpc_(std::make_unique<net::RpcSystem>(simulator_.get(), network_.get(),
+                                            rng_.Fork())) {}
+
+FleetSimulation::~FleetSimulation() = default;
+
+void FleetSimulation::AddPlatform(PlatformSpec spec) {
+  assert(!ran_);
+  auto slot = std::make_unique<PlatformSlot>();
+  slot->spec = spec;
+  slot->dfs = std::make_unique<storage::DistributedFileSystem>(
+      simulator_.get(), rpc_.get(), config_.dfs, rng_.Fork());
+  // Start from the warm steady state: install the hottest blocks (block
+  // id == Zipf popularity rank) so the configured tier hit rates hold
+  // from the first query.
+  uint64_t ram_blocks = storage::MinKeysForMass(
+      slot->spec.ram_hit_target, slot->spec.block_space,
+      slot->spec.block_zipf_s);
+  uint64_t ssd_blocks = storage::MinKeysForMass(
+      slot->spec.ram_ssd_hit_target, slot->spec.block_space,
+      slot->spec.block_zipf_s);
+  slot->dfs->PrewarmZipf(ram_blocks, ssd_blocks,
+                         slot->spec.typical_block_bytes);
+  slot->tracer = std::make_unique<profiling::Tracer>(
+      config_.trace_sample_one_in, rng_.Fork());
+  slot->profiler = std::make_unique<profiling::CpuProfiler>(
+      config_.profiler_period, config_.cpu_hz, rng_.Fork());
+  EngineContext context;
+  context.simulator = simulator_.get();
+  context.dfs = slot->dfs.get();
+  context.rpc = rpc_.get();
+  context.tracer = slot->tracer.get();
+  context.profiler = slot->profiler.get();
+  context.registry = &registry_;
+  slot->engine = std::make_unique<PlatformEngine>(context, std::move(spec),
+                                                  rng_.Fork());
+  slots_.push_back(std::move(slot));
+}
+
+void FleetSimulation::AddDefaultPlatforms() {
+  AddPlatform(SpannerSpec());
+  AddPlatform(BigTableSpec());
+  AddPlatform(BigQuerySpec());
+}
+
+void FleetSimulation::RunAll() {
+  assert(!ran_);
+  ran_ = true;
+  for (auto& slot : slots_) {
+    slot->engine->Run(config_.queries_per_platform, config_.arrival_rate_qps,
+                      []() {});
+  }
+  simulator_->Run();
+}
+
+PlatformResult FleetSimulation::Result(size_t index) const {
+  assert(index < slots_.size());
+  const PlatformSlot& slot = *slots_[index];
+  PlatformResult result;
+  result.name = slot.spec.name;
+  result.queries_completed = slot.engine->queries_completed();
+  result.queries_sampled = slot.tracer->queries_sampled();
+  result.e2e = profiling::ComputeE2eBreakdown(slot.tracer->traces());
+  result.cycles =
+      profiling::ComputeCycleBreakdown(*slot.profiler, registry_);
+  result.microarch =
+      profiling::ComputeMicroarchReport(*slot.profiler, registry_);
+  return result;
+}
+
+PlatformResult FleetSimulation::Result(const std::string& name) const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i]->spec.name == name) return Result(i);
+  }
+  assert(false && "unknown platform");
+  return PlatformResult{};
+}
+
+const std::vector<profiling::QueryTrace>& FleetSimulation::TracesOf(
+    size_t index) const {
+  assert(index < slots_.size());
+  return slots_[index]->tracer->traces();
+}
+
+const profiling::CpuProfiler& FleetSimulation::ProfilerOf(
+    size_t index) const {
+  assert(index < slots_.size());
+  return *slots_[index]->profiler;
+}
+
+const storage::DistributedFileSystem& FleetSimulation::DfsOf(
+    size_t index) const {
+  assert(index < slots_.size());
+  return *slots_[index]->dfs;
+}
+
+}  // namespace hyperprof::platforms

@@ -1,0 +1,118 @@
+#ifndef HYPERPROF_PLATFORMS_FLEET_H_
+#define HYPERPROF_PLATFORMS_FLEET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "net/rpc.h"
+#include "platforms/engine.h"
+#include "platforms/spec.h"
+#include "profiling/aggregate.h"
+#include "profiling/function_registry.h"
+#include "profiling/sampler.h"
+#include "profiling/tracer.h"
+#include "sim/simulator.h"
+#include "storage/dfs.h"
+
+namespace hyperprof::platforms {
+
+/** Configuration of a whole-fleet characterization run. */
+struct FleetConfig {
+  uint64_t queries_per_platform = 20000;
+  double arrival_rate_qps = 2000;
+  // The paper samples 1/1000 of a production day (millions of queries);
+  // we simulate fewer queries, so the default sampling is denser. The
+  // sampling-rate ablation bench sweeps this.
+  uint32_t trace_sample_one_in = 20;
+  SimTime profiler_period = SimTime::Micros(1000);
+  double cpu_hz = 3.0e9;
+  uint64_t seed = 42;
+  storage::DfsParams dfs;
+
+  FleetConfig() {
+    // Size per-fileserver caches well below the simulated working sets so
+    // the storage tiers actually get exercised.
+    dfs.store.ram_bytes = 2ULL << 30;
+    dfs.store.ssd_bytes = 16ULL << 30;
+  }
+};
+
+/** Everything recovered for one platform after a fleet run. */
+struct PlatformResult {
+  std::string name;
+  uint64_t queries_completed = 0;
+  uint64_t queries_sampled = 0;
+  profiling::E2eBreakdownReport e2e;
+  profiling::CycleBreakdownReport cycles;
+  profiling::MicroarchReport microarch;
+};
+
+/**
+ * Builds the shared substrate (simulator, network, RPC, per-platform
+ * distributed filesystems, tracers, profilers), runs the configured query
+ * volumes for every added platform concurrently, and exposes the recovered
+ * profiling reports. This is the reproduction harness behind the paper's
+ * Figures 2-6 and Tables 6-7.
+ */
+class FleetSimulation {
+ public:
+  explicit FleetSimulation(FleetConfig config = FleetConfig());
+  ~FleetSimulation();
+
+  FleetSimulation(const FleetSimulation&) = delete;
+  FleetSimulation& operator=(const FleetSimulation&) = delete;
+
+  /** Registers a platform before RunAll. */
+  void AddPlatform(PlatformSpec spec);
+
+  /** Adds the three paper platforms with their calibrated specs. */
+  void AddDefaultPlatforms();
+
+  /** Runs every platform's workload to completion. */
+  void RunAll();
+
+  /** Number of registered platforms. */
+  size_t platform_count() const { return slots_.size(); }
+
+  /** Recovered results for platform `index` (registration order). */
+  PlatformResult Result(size_t index) const;
+
+  /** Recovered results for a platform by name (asserts on miss). */
+  PlatformResult Result(const std::string& name) const;
+
+  /** Raw traces of platform `index` (for ablation studies). */
+  const std::vector<profiling::QueryTrace>& TracesOf(size_t index) const;
+
+  /** Raw profiler of platform `index`. */
+  const profiling::CpuProfiler& ProfilerOf(size_t index) const;
+
+  /** The platform's distributed filesystem (tier stats, caches). */
+  const storage::DistributedFileSystem& DfsOf(size_t index) const;
+
+  const profiling::FunctionRegistry& registry() const { return registry_; }
+  sim::Simulator& simulator() { return *simulator_; }
+
+ private:
+  struct PlatformSlot {
+    PlatformSpec spec;
+    std::unique_ptr<storage::DistributedFileSystem> dfs;
+    std::unique_ptr<profiling::Tracer> tracer;
+    std::unique_ptr<profiling::CpuProfiler> profiler;
+    std::unique_ptr<PlatformEngine> engine;
+  };
+
+  FleetConfig config_;
+  Rng rng_;
+  profiling::FunctionRegistry registry_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<net::NetworkModel> network_;
+  std::unique_ptr<net::RpcSystem> rpc_;
+  std::vector<std::unique_ptr<PlatformSlot>> slots_;
+  bool ran_ = false;
+};
+
+}  // namespace hyperprof::platforms
+
+#endif  // HYPERPROF_PLATFORMS_FLEET_H_

@@ -1,0 +1,419 @@
+#include "platforms/platforms.h"
+
+#include "profiling/categories.h"
+
+namespace hyperprof::platforms {
+
+using profiling::FnCategory;
+using profiling::MicroarchProfile;
+
+namespace {
+
+constexpr size_t Idx(FnCategory category) {
+  return static_cast<size_t>(category);
+}
+
+/** Sets fine-category weights as broad_share x within-broad fractions. */
+void SetMix(PlatformSpec& spec, double broad_share,
+            std::initializer_list<std::pair<FnCategory, double>> fractions) {
+  for (const auto& [category, fraction] : fractions) {
+    spec.compute_mix[Idx(category)] = broad_share * fraction;
+  }
+}
+
+}  // namespace
+
+PlatformSpec SpannerSpec() {
+  PlatformSpec spec;
+  spec.name = "Spanner";
+  spec.activity_mean_seconds = 80e-6;
+  spec.block_space = 1 << 22;
+  spec.block_zipf_s = 0.85;
+  spec.ram_hit_target = 0.78;
+  spec.ram_ssd_hit_target = 0.97;
+  spec.typical_block_bytes = 16 << 10;
+
+  // Figure 3 ground truth: CC 36% / DCT 32% / ST 32%.
+  // Figure 4 (within core compute): read/write/consensus dominate.
+  SetMix(spec, 0.36,
+         {{FnCategory::kRead, 0.30},
+          {FnCategory::kWrite, 0.25},
+          {FnCategory::kConsensus, 0.10},
+          {FnCategory::kQuery, 0.05},
+          {FnCategory::kCompaction, 0.10},
+          {FnCategory::kMiscCore, 0.15},
+          {FnCategory::kUncategorizedCore, 0.05}});
+  // Figure 5 (within datacenter tax): protobuf 20%, compression 14%,
+  // RPC 23% (paper-stated), remainder split over crypto/move/alloc.
+  SetMix(spec, 0.32,
+         {{FnCategory::kProtobuf, 0.25},
+          {FnCategory::kCompression, 0.14},
+          {FnCategory::kRpc, 0.23},
+          {FnCategory::kCryptography, 0.08},
+          {FnCategory::kDataMovement, 0.16},
+          {FnCategory::kMemAllocation, 0.14}});
+  // Figure 6 (within system tax): OS 28% (paper max), STL large.
+  SetMix(spec, 0.32,
+         {{FnCategory::kStl, 0.45},
+          {FnCategory::kOperatingSystems, 0.28},
+          {FnCategory::kFileSystems, 0.09},
+          {FnCategory::kMultithreading, 0.06},
+          {FnCategory::kNetworking, 0.05},
+          {FnCategory::kOtherMemOps, 0.03},
+          {FnCategory::kEdac, 0.01},
+          {FnCategory::kMiscSystem, 0.03}});
+
+  // Table 7 ground truth (exact paper values).
+  spec.microarch[0] = MicroarchProfile{0.9, 5.4, 12.4, 4.2, 0.6, 0.2, 0.8};
+  spec.microarch[1] = MicroarchProfile{0.6, 5.5, 16.7, 8.0, 1.0, 0.6, 2.0};
+  spec.microarch[2] = MicroarchProfile{0.7, 5.5, 21.6, 11.8, 1.4, 0.4, 2.7};
+
+  // Query templates: >60% of queries CPU heavy (Section 4.2), with
+  // consensus-bound commits (remote) and storage-bound scans (IO).
+  {
+    QueryTypeSpec type;
+    type.name = "point_read";
+    type.weight = 0.40;
+    type.phases.push_back(PhaseSpec::Compute(0.003));
+    IoPhaseSpec io;
+    io.num_blocks = 1;
+    io.block_bytes = 16 << 10;
+    type.phases.push_back(PhaseSpec::Io(io));
+    spec.query_types.push_back(std::move(type));
+  }
+  {
+    QueryTypeSpec type;
+    type.name = "read_write_txn";
+    type.weight = 0.20;
+    type.phases.push_back(PhaseSpec::Compute(0.005));
+    RemotePhaseSpec consensus;
+    consensus.name = "consensus";
+    consensus.fanout = 3;  // acceptor replicas
+    consensus.server_seconds_mean = 0.00045;  // per-message log append
+    consensus.use_paxos = true;
+    type.phases.push_back(PhaseSpec::Remote(consensus));
+    IoPhaseSpec io;
+    io.num_blocks = 1;
+    io.block_bytes = 16 << 10;
+    io.write = true;
+    type.phases.push_back(PhaseSpec::Io(io));
+    spec.query_types.push_back(std::move(type));
+  }
+  {
+    QueryTypeSpec type;
+    type.name = "global_commit";
+    type.weight = 0.15;
+    type.phases.push_back(PhaseSpec::Compute(0.0015));
+    RemotePhaseSpec consensus;
+    consensus.name = "consensus";
+    consensus.fanout = 3;  // acceptor replicas across clusters
+    consensus.server_seconds_mean = 0.0018;
+    consensus.use_paxos = true;
+    type.phases.push_back(PhaseSpec::Remote(consensus));
+    spec.query_types.push_back(std::move(type));
+  }
+  {
+    QueryTypeSpec type;
+    type.name = "range_scan";
+    type.weight = 0.17;
+    type.phases.push_back(PhaseSpec::Compute(0.002));
+    IoPhaseSpec io;
+    io.num_blocks = 12;
+    io.parallelism = 4;
+    io.block_bytes = 64 << 10;
+    PhaseSpec io_phase = PhaseSpec::Io(io);
+    io_phase.overlap_with_previous = true;  // pipelined scan
+    type.phases.push_back(io_phase);
+    spec.query_types.push_back(std::move(type));
+  }
+  {
+    QueryTypeSpec type;
+    type.name = "mixed";
+    type.weight = 0.08;
+    type.phases.push_back(PhaseSpec::Compute(0.0015));
+    IoPhaseSpec io;
+    io.num_blocks = 2;
+    io.block_bytes = 32 << 10;
+    type.phases.push_back(PhaseSpec::Io(io));
+    RemotePhaseSpec remote;
+    remote.name = "replica_sync";
+    remote.fanout = 1;
+    remote.server_seconds_mean = 0.0008;
+    type.phases.push_back(PhaseSpec::Remote(remote));
+    spec.query_types.push_back(std::move(type));
+  }
+  return spec;
+}
+
+PlatformSpec BigTableSpec() {
+  PlatformSpec spec;
+  spec.name = "BigTable";
+  spec.activity_mean_seconds = 70e-6;
+  spec.block_space = 1 << 22;
+  spec.block_zipf_s = 0.95;
+  spec.ram_hit_target = 0.80;
+  spec.ram_ssd_hit_target = 0.97;
+  spec.typical_block_bytes = 8 << 10;
+
+  // Figure 3 ground truth: CC 26% / DCT 40% / ST 34%.
+  SetMix(spec, 0.26,
+         {{FnCategory::kRead, 0.30},
+          {FnCategory::kWrite, 0.25},
+          {FnCategory::kCompaction, 0.20},
+          {FnCategory::kConsensus, 0.10},
+          {FnCategory::kMiscCore, 0.08},
+          {FnCategory::kUncategorizedCore, 0.07}});
+  // Figure 5: compression 31%, RPC 37% (paper-stated), protobuf 20%.
+  SetMix(spec, 0.40,
+         {{FnCategory::kProtobuf, 0.20},
+          {FnCategory::kCompression, 0.31},
+          {FnCategory::kRpc, 0.37},
+          {FnCategory::kCryptography, 0.03},
+          {FnCategory::kDataMovement, 0.05},
+          {FnCategory::kMemAllocation, 0.04}});
+  // Figure 6.
+  SetMix(spec, 0.34,
+         {{FnCategory::kStl, 0.35},
+          {FnCategory::kOperatingSystems, 0.22},
+          {FnCategory::kFileSystems, 0.15},
+          {FnCategory::kMultithreading, 0.06},
+          {FnCategory::kNetworking, 0.08},
+          {FnCategory::kOtherMemOps, 0.06},
+          {FnCategory::kEdac, 0.03},
+          {FnCategory::kMiscSystem, 0.05}});
+
+  // Table 7 ground truth.
+  spec.microarch[0] = MicroarchProfile{0.6, 5.2, 9.6, 4.2, 1.0, 0.2, 1.3};
+  spec.microarch[1] = MicroarchProfile{0.6, 5.3, 14.7, 8.4, 1.2, 0.5, 2.1};
+  spec.microarch[2] = MicroarchProfile{0.7, 6.9, 21.9, 14.7, 1.4, 0.5, 3.6};
+
+  {
+    QueryTypeSpec type;
+    type.name = "point_get";
+    type.weight = 0.45;
+    type.phases.push_back(PhaseSpec::Compute(0.002));
+    IoPhaseSpec io;
+    io.num_blocks = 1;
+    io.block_bytes = 8 << 10;
+    type.phases.push_back(PhaseSpec::Io(io));
+    spec.query_types.push_back(std::move(type));
+  }
+  {
+    QueryTypeSpec type;
+    type.name = "put";
+    type.weight = 0.25;
+    type.phases.push_back(PhaseSpec::Compute(0.0025));
+    IoPhaseSpec io;
+    io.num_blocks = 1;
+    io.block_bytes = 8 << 10;
+    io.write = true;
+    type.phases.push_back(PhaseSpec::Io(io));
+    spec.query_types.push_back(std::move(type));
+  }
+  {
+    QueryTypeSpec type;
+    type.name = "scan";
+    type.weight = 0.17;
+    type.phases.push_back(PhaseSpec::Compute(0.002));
+    IoPhaseSpec io;
+    io.num_blocks = 10;
+    io.parallelism = 4;
+    io.block_bytes = 64 << 10;
+    type.phases.push_back(PhaseSpec::Io(io));
+    spec.query_types.push_back(std::move(type));
+  }
+  {
+    // Requests that block on remote-storage compaction: rare, but they
+    // dominate wall time, making BigTable's overall average extremely
+    // remote-work heavy (the source of the huge Figure 9 upper bound).
+    QueryTypeSpec type;
+    type.name = "compaction_wait";
+    type.weight = 0.05;
+    type.phases.push_back(PhaseSpec::Compute(0.005));
+    RemotePhaseSpec compaction;
+    compaction.name = "compaction";
+    compaction.fanout = 4;
+    compaction.server_seconds_mean = 15.0;
+    compaction.request_bytes = 64 << 10;
+    compaction.response_bytes = 16 << 10;
+    type.phases.push_back(PhaseSpec::Remote(compaction));
+    spec.query_types.push_back(std::move(type));
+  }
+  {
+    QueryTypeSpec type;
+    type.name = "mixed";
+    type.weight = 0.08;
+    type.phases.push_back(PhaseSpec::Compute(0.0012));
+    IoPhaseSpec io;
+    io.num_blocks = 1;
+    io.block_bytes = 16 << 10;
+    type.phases.push_back(PhaseSpec::Io(io));
+    RemotePhaseSpec remote;
+    remote.name = "tablet_move";
+    remote.fanout = 1;
+    remote.server_seconds_mean = 0.002;
+    type.phases.push_back(PhaseSpec::Remote(remote));
+    spec.query_types.push_back(std::move(type));
+  }
+  return spec;
+}
+
+PlatformSpec BigQuerySpec() {
+  PlatformSpec spec;
+  spec.name = "BigQuery";
+  spec.activity_mean_seconds = 150e-6;
+  spec.block_space = 1 << 23;
+  spec.block_zipf_s = 0.6;
+  spec.ram_hit_target = 0.20;
+  spec.ram_ssd_hit_target = 0.50;
+  spec.typical_block_bytes = 64 << 10;
+
+  // Figure 3 ground truth: CC 18% / DCT 40% / ST 42%.
+  SetMix(spec, 0.18,
+         {{FnCategory::kFilter, 0.23},
+          {FnCategory::kAggregate, 0.18},
+          {FnCategory::kCompute, 0.14},
+          {FnCategory::kJoin, 0.10},
+          {FnCategory::kSort, 0.07},
+          {FnCategory::kDestructure, 0.06},
+          {FnCategory::kProject, 0.04},
+          {FnCategory::kMaterialize, 0.04},
+          {FnCategory::kMiscCore, 0.07},
+          {FnCategory::kUncategorizedCore, 0.07}});
+  // Figure 5: protobuf 25%, compression 31%, RPC 11% (paper-stated).
+  SetMix(spec, 0.40,
+         {{FnCategory::kProtobuf, 0.25},
+          {FnCategory::kCompression, 0.31},
+          {FnCategory::kRpc, 0.11},
+          {FnCategory::kCryptography, 0.05},
+          {FnCategory::kDataMovement, 0.16},
+          {FnCategory::kMemAllocation, 0.12}});
+  // Figure 6: STL up to 53% (paper max), OS 18%.
+  SetMix(spec, 0.42,
+         {{FnCategory::kStl, 0.53},
+          {FnCategory::kOperatingSystems, 0.18},
+          {FnCategory::kFileSystems, 0.10},
+          {FnCategory::kMultithreading, 0.05},
+          {FnCategory::kNetworking, 0.04},
+          {FnCategory::kOtherMemOps, 0.04},
+          {FnCategory::kEdac, 0.02},
+          {FnCategory::kMiscSystem, 0.04}});
+
+  // Table 7 ground truth.
+  spec.microarch[0] = MicroarchProfile{1.4, 2.0, 1.1, 0.4, 0.3, 0.1, 0.6};
+  spec.microarch[1] = MicroarchProfile{1.0, 3.8, 13.6, 3.4, 1.1, 0.6, 2.2};
+  spec.microarch[2] = MicroarchProfile{1.0, 3.5, 10.8, 6.0, 1.1, 0.2, 1.7};
+
+  {
+    QueryTypeSpec type;
+    type.name = "large_scan";
+    type.weight = 0.35;
+    type.phases.push_back(PhaseSpec::Compute(0.020));
+    IoPhaseSpec io;
+    io.num_blocks = 20;
+    io.parallelism = 8;
+    io.block_bytes = 256 << 10;
+    PhaseSpec io_phase = PhaseSpec::Io(io);
+    io_phase.overlap_with_previous = true;  // pipelined columnar scan
+    type.phases.push_back(io_phase);
+    spec.query_types.push_back(std::move(type));
+  }
+  {
+    QueryTypeSpec type;
+    type.name = "shuffle_join";
+    type.weight = 0.25;
+    type.phases.push_back(PhaseSpec::Compute(0.030));
+    IoPhaseSpec io;
+    io.num_blocks = 8;
+    io.parallelism = 4;
+    io.block_bytes = 256 << 10;
+    type.phases.push_back(PhaseSpec::Io(io));
+    RemotePhaseSpec shuffle;
+    shuffle.name = "shuffle";
+    shuffle.fanout = 8;  // mappers and reducers
+    shuffle.request_bytes = 64 << 20;  // bytes emitted per mapper
+    shuffle.use_shuffle = true;
+    type.phases.push_back(PhaseSpec::Remote(shuffle));
+    spec.query_types.push_back(std::move(type));
+  }
+  {
+    QueryTypeSpec type;
+    type.name = "interactive_agg";
+    type.weight = 0.10;
+    type.phases.push_back(PhaseSpec::Compute(0.030));
+    IoPhaseSpec io;
+    io.num_blocks = 2;
+    io.block_bytes = 64 << 10;
+    type.phases.push_back(PhaseSpec::Io(io));
+    spec.query_types.push_back(std::move(type));
+  }
+  {
+    QueryTypeSpec type;
+    type.name = "export";
+    type.weight = 0.15;
+    type.phases.push_back(PhaseSpec::Compute(0.004));
+    IoPhaseSpec io;
+    io.num_blocks = 40;
+    io.parallelism = 4;
+    io.block_bytes = 256 << 10;
+    io.write = true;
+    io.write_replication = 2;
+    type.phases.push_back(PhaseSpec::Io(io));
+    spec.query_types.push_back(std::move(type));
+  }
+  {
+    QueryTypeSpec type;
+    type.name = "lookup";
+    type.weight = 0.15;
+    type.phases.push_back(PhaseSpec::Compute(0.006));
+    IoPhaseSpec io;
+    io.num_blocks = 1;
+    io.block_bytes = 64 << 10;
+    type.phases.push_back(PhaseSpec::Io(io));
+    RemotePhaseSpec remote;
+    remote.name = "metadata";
+    remote.fanout = 2;
+    remote.server_seconds_mean = 0.0015;
+    type.phases.push_back(PhaseSpec::Remote(remote));
+    spec.query_types.push_back(std::move(type));
+  }
+  return spec;
+}
+
+storage::StorageProfile SpannerStorageProfile() {
+  storage::StorageProfile profile;
+  profile.platform = "Spanner";
+  profile.num_keys = 1ULL << 38;  // ~1 PiB logical at 4 KiB objects
+  profile.avg_object_bytes = 4096;
+  profile.zipf_s = 0.85;
+  profile.replication = 3.3;  // 3 replicas + metadata overhead
+  profile.ram_hit_target = 0.549;
+  profile.ram_ssd_hit_target = 0.841;
+  return profile;
+}
+
+storage::StorageProfile BigTableStorageProfile() {
+  storage::StorageProfile profile;
+  profile.platform = "BigTable";
+  profile.num_keys = 1ULL << 40;
+  profile.avg_object_bytes = 2048;
+  profile.zipf_s = 0.95;
+  profile.replication = 3.3;
+  profile.ram_hit_target = 0.684;
+  profile.ram_ssd_hit_target = 0.787;
+  return profile;
+}
+
+storage::StorageProfile BigQueryStorageProfile() {
+  storage::StorageProfile profile;
+  profile.platform = "BigQuery";
+  profile.num_keys = 1ULL << 36;
+  profile.avg_object_bytes = 64 << 10;  // columnar stripes
+  profile.zipf_s = 0.6;
+  profile.replication = 2.2;  // erasure-coded analytics data
+  profile.ram_hit_target = 0.227;
+  profile.ram_ssd_hit_target = 0.521;
+  return profile;
+}
+
+}  // namespace hyperprof::platforms

@@ -1,0 +1,33 @@
+#ifndef HYPERPROF_PLATFORMS_PLATFORMS_H_
+#define HYPERPROF_PLATFORMS_PLATFORMS_H_
+
+#include "platforms/spec.h"
+#include "storage/provisioning.h"
+
+namespace hyperprof::platforms {
+
+/**
+ * Behavioural specifications of the three platforms, calibrated so the
+ * profiling pipeline recovers the paper's published distributions:
+ *
+ *  - query templates -> Figure 2 group populations and time shares,
+ *  - compute_mix     -> Figures 3-6 cycle breakdowns,
+ *  - microarch       -> Tables 6-7 IPC/MPKI,
+ *  - storage profile -> Table 1 capacity ratios.
+ *
+ * Where the paper states exact numbers they are encoded exactly; where
+ * only a chart exists, the values reconstruct the chart subject to every
+ * constraint in the text (see EXPERIMENTS.md).
+ */
+PlatformSpec SpannerSpec();
+PlatformSpec BigTableSpec();
+PlatformSpec BigQuerySpec();
+
+/** Storage-capacity planning profiles behind Table 1. */
+storage::StorageProfile SpannerStorageProfile();
+storage::StorageProfile BigTableStorageProfile();
+storage::StorageProfile BigQueryStorageProfile();
+
+}  // namespace hyperprof::platforms
+
+#endif  // HYPERPROF_PLATFORMS_PLATFORMS_H_

@@ -1,0 +1,87 @@
+#ifndef HYPERPROF_PLATFORMS_SHUFFLE_H_
+#define HYPERPROF_PLATFORMS_SHUFFLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+
+namespace hyperprof::platforms {
+
+/**
+ * Distributed shuffle — the remote-work engine of the paper's BigQuery
+ * architecture (Figure 1c): every map worker partitions its output by
+ * key hash and streams each partition to its reducer; a reducer finishes
+ * when all of its input streams have arrived and its merge completes.
+ *
+ * The operation runs on the simulated RPC fabric: M x R streams with
+ * real per-stream byte volumes, per-reducer serialization of stream
+ * ingestion, and a final merge proportional to received bytes. The
+ * initiating stage observes the *makespan* (slowest reducer), which is
+ * what the paper's shuffle remote-work time measures.
+ */
+struct ShuffleParams {
+  int num_mappers = 8;
+  int num_reducers = 8;
+  // Total bytes emitted per mapper, split over reducers with hash skew.
+  uint64_t bytes_per_mapper = 8 << 20;
+  // Skew of the partition-key distribution: 0 = perfectly even split,
+  // larger values concentrate bytes on few reducers (hot keys).
+  double partition_zipf_s = 0.3;
+  // Reducer ingest rate (decompress + append) and merge rate.
+  double ingest_bytes_per_second = 2.0e9;
+  double merge_bytes_per_second = 4.0e9;
+  // Mapper-side partitioning/serialization rate.
+  double partition_bytes_per_second = 4.0e9;
+};
+
+/** Outcome handed to the completion callback. */
+struct ShuffleResult {
+  SimTime makespan;                // start -> slowest reducer completion
+  uint64_t total_bytes = 0;        // bytes moved across the fabric
+  uint64_t max_reducer_bytes = 0;  // hottest reducer's input
+  int num_reducers = 0;
+
+  /** Hottest reducer's bytes relative to a perfectly even share. */
+  double SkewFactor() const;
+};
+
+/**
+ * Runs one shuffle between worker nodes. Mappers live on the caller's
+ * cluster; reducers are spread over the region's clusters.
+ */
+class ShuffleOperation {
+ public:
+  using Callback = std::function<void(const ShuffleResult&)>;
+
+  ShuffleOperation(sim::Simulator* simulator, net::RpcSystem* rpc,
+                   ShuffleParams params, Rng rng);
+
+  ShuffleOperation(const ShuffleOperation&) = delete;
+  ShuffleOperation& operator=(const ShuffleOperation&) = delete;
+
+  /**
+   * Starts the shuffle; `on_done` fires when every reducer has ingested
+   * all of its streams and merged. The object must stay alive until the
+   * callback fires (hold it in a shared_ptr captured by the caller).
+   */
+  void Run(const net::NodeId& coordinator, Callback on_done);
+
+ private:
+  /** Splits one mapper's bytes over reducers with the configured skew. */
+  std::vector<uint64_t> PartitionBytes();
+
+  sim::Simulator* simulator_;
+  net::RpcSystem* rpc_;
+  ShuffleParams params_;
+  Rng rng_;
+};
+
+}  // namespace hyperprof::platforms
+
+#endif  // HYPERPROF_PLATFORMS_SHUFFLE_H_

@@ -1,0 +1,27 @@
+#include "platforms/spec.h"
+
+namespace hyperprof::platforms {
+
+PhaseSpec PhaseSpec::Compute(double mean_seconds, double sigma) {
+  PhaseSpec spec;
+  spec.kind = Kind::kCompute;
+  spec.compute.mean_seconds = mean_seconds;
+  spec.compute.sigma = sigma;
+  return spec;
+}
+
+PhaseSpec PhaseSpec::Io(IoPhaseSpec io) {
+  PhaseSpec spec;
+  spec.kind = Kind::kIo;
+  spec.io = io;
+  return spec;
+}
+
+PhaseSpec PhaseSpec::Remote(RemotePhaseSpec remote) {
+  PhaseSpec spec;
+  spec.kind = Kind::kRemote;
+  spec.remote = remote;
+  return spec;
+}
+
+}  // namespace hyperprof::platforms

@@ -1,0 +1,133 @@
+#ifndef HYPERPROF_PLATFORMS_SPEC_H_
+#define HYPERPROF_PLATFORMS_SPEC_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "profiling/categories.h"
+#include "profiling/microarch.h"
+
+namespace hyperprof::platforms {
+
+/**
+ * A CPU phase: `mean_seconds` of on-worker compute (lognormal across
+ * queries), decomposed by the engine into categorized function activities
+ * drawn from the platform's compute mix.
+ */
+struct ComputePhaseSpec {
+  double mean_seconds = 0.001;
+  double sigma = 0.4;  // lognormal dispersion of the phase total
+};
+
+/**
+ * A distributed-storage phase: block reads/writes against the simulated
+ * filesystem. Block popularity is Zipf over the platform's block space, so
+ * cache behaviour (and thus IO time) emerges from the storage substrate.
+ */
+struct IoPhaseSpec {
+  int num_blocks = 1;          // accesses issued
+  int parallelism = 1;         // concurrent accesses
+  uint64_t block_bytes = 64 << 10;
+  bool write = false;
+  uint32_t write_replication = 3;
+};
+
+/**
+ * A remote-work phase: waiting on remote workers (consensus round,
+ * distributed shuffle, remote compaction). Modeled as a fan-out of RPCs
+ * to peer nodes, complete when all respond.
+ */
+struct RemotePhaseSpec {
+  std::string name = "remote";
+  int fanout = 1;
+  double server_seconds_mean = 0.001;  // remote worker service time
+  double server_sigma = 0.5;
+  uint64_t request_bytes = 4 << 10;
+  uint64_t response_bytes = 4 << 10;
+  bool cross_region = false;  // e.g. Spanner synchronous replication
+
+  // When set, the phase executes a real single-decree Paxos round over
+  // the RPC fabric instead of a plain fan-out: `fanout` becomes the
+  // acceptor count and `server_seconds_mean` the per-message acceptor
+  // service time. The remote-work span then covers an actual consensus
+  // protocol execution.
+  bool use_paxos = false;
+
+  // When set, the phase runs a real distributed shuffle (MxR streams over
+  // the fabric): `fanout` becomes both the mapper and reducer count and
+  // `request_bytes` the bytes each mapper emits. Mutually exclusive with
+  // use_paxos.
+  bool use_shuffle = false;
+};
+
+/** One step of a query template. */
+struct PhaseSpec {
+  enum class Kind { kCompute, kIo, kRemote } kind = Kind::kCompute;
+  ComputePhaseSpec compute;
+  IoPhaseSpec io;
+  RemotePhaseSpec remote;
+  // When true this phase starts together with the previous phase instead
+  // of after it (e.g. prefetch IO under compute); the query proceeds when
+  // both complete. Exercises the tracer's overlap attribution.
+  bool overlap_with_previous = false;
+
+  static PhaseSpec Compute(double mean_seconds, double sigma = 0.4);
+  static PhaseSpec Io(IoPhaseSpec spec);
+  static PhaseSpec Remote(RemotePhaseSpec spec);
+};
+
+/** A query template with its traffic share. */
+struct QueryTypeSpec {
+  std::string name;
+  double weight = 1.0;  // relative arrival frequency
+  std::vector<PhaseSpec> phases;
+};
+
+/**
+ * The full behavioural specification of one platform: its query templates
+ * plus the calibrated ground-truth cycle distributions the profiling
+ * pipeline is expected to recover (Figures 3-6) and the per-broad-category
+ * microarchitectural profiles (Table 7).
+ */
+struct PlatformSpec {
+  std::string name;
+  std::vector<QueryTypeSpec> query_types;
+
+  /** Ground-truth CPU cycle weights per fine category (unnormalized). */
+  std::array<double, profiling::kNumFnCategories> compute_mix{};
+
+  /** Table 7 ground truth, indexed by BroadCategory. */
+  std::array<profiling::MicroarchProfile, 3> microarch{};
+
+  /** Mean length of one function activity inside a compute phase. */
+  double activity_mean_seconds = 100e-6;
+
+  /**
+   * Aggregate worker CPU cores serving this platform's compute phases.
+   * 0 disables contention (infinite cores); with a finite pool, compute
+   * phases queue when concurrent demand exceeds capacity — the
+   * saturation ablation sweeps this.
+   */
+  uint32_t worker_cores = 0;
+
+  /** Distinct storage blocks the platform touches (Zipf popularity). */
+  uint64_t block_space = 1 << 20;
+  double block_zipf_s = 0.9;
+
+  /**
+   * Steady-state cache coverage the fleet harness warms up before the
+   * run: fraction of read mass served by RAM, and by RAM or SSD. The
+   * paper's observation that platforms "read from SSDs more frequently
+   * than from HDDs" is a direct consequence of these.
+   */
+  double ram_hit_target = 0.75;
+  double ram_ssd_hit_target = 0.95;
+  uint64_t typical_block_bytes = 16 << 10;
+};
+
+}  // namespace hyperprof::platforms
+
+#endif  // HYPERPROF_PLATFORMS_SPEC_H_

@@ -1,0 +1,262 @@
+#include "profiling/aggregate.h"
+
+#include <algorithm>
+
+namespace hyperprof::profiling {
+
+const char* QueryGroupName(QueryGroup group) {
+  switch (group) {
+    case QueryGroup::kCpuHeavy: return "CPU Heavy";
+    case QueryGroup::kIoHeavy: return "IO Heavy";
+    case QueryGroup::kRemoteWorkHeavy: return "Remote Work Heavy";
+    case QueryGroup::kOthers: return "Others";
+    case QueryGroup::kNumGroups: break;
+  }
+  return "unknown";
+}
+
+QueryGroup ClassifyQuery(const AttributedTime& time,
+                         const GroupThresholds& thresholds) {
+  double total = time.Total();
+  if (total <= 0) return QueryGroup::kOthers;
+  if (time.cpu / total > thresholds.cpu_heavy) return QueryGroup::kCpuHeavy;
+  if (time.io / total > thresholds.io_heavy) return QueryGroup::kIoHeavy;
+  if (time.remote / total > thresholds.remote_heavy) {
+    return QueryGroup::kRemoteWorkHeavy;
+  }
+  return QueryGroup::kOthers;
+}
+
+AttributedTime GroupAggregate::Fractions() const {
+  AttributedTime fractions;
+  double total = time.Total();
+  if (total <= 0) return fractions;
+  fractions.cpu = time.cpu / total;
+  fractions.io = time.io / total;
+  fractions.remote = time.remote / total;
+  return fractions;
+}
+
+AttributedTime GroupAggregate::MeanQueryFractions() const {
+  AttributedTime mean;
+  if (query_count == 0) return mean;
+  double n = static_cast<double>(query_count);
+  mean.cpu = fraction_sum.cpu / n;
+  mean.io = fraction_sum.io / n;
+  mean.remote = fraction_sum.remote / n;
+  return mean;
+}
+
+double E2eBreakdownReport::QueryShare(QueryGroup group) const {
+  if (overall.query_count == 0) return 0.0;
+  return static_cast<double>(groups[static_cast<size_t>(group)].query_count) /
+         static_cast<double>(overall.query_count);
+}
+
+E2eBreakdownReport ComputeE2eBreakdown(const std::vector<QueryTrace>& traces,
+                                       const AttributionPolicy& policy,
+                                       const GroupThresholds& thresholds) {
+  E2eBreakdownReport report;
+  for (const QueryTrace& trace : traces) {
+    AttributedTime time = AttributeTrace(trace, policy);
+    QueryGroup group = ClassifyQuery(time, thresholds);
+    AttributedTime fractions;
+    double total = time.Total();
+    if (total > 0) {
+      fractions.cpu = time.cpu / total;
+      fractions.io = time.io / total;
+      fractions.remote = time.remote / total;
+    }
+    GroupAggregate& agg = report.groups[static_cast<size_t>(group)];
+    agg.time.cpu += time.cpu;
+    agg.time.io += time.io;
+    agg.time.remote += time.remote;
+    agg.fraction_sum.cpu += fractions.cpu;
+    agg.fraction_sum.io += fractions.io;
+    agg.fraction_sum.remote += fractions.remote;
+    ++agg.query_count;
+    report.overall.time.cpu += time.cpu;
+    report.overall.time.io += time.io;
+    report.overall.time.remote += time.remote;
+    report.overall.fraction_sum.cpu += fractions.cpu;
+    report.overall.fraction_sum.io += fractions.io;
+    report.overall.fraction_sum.remote += fractions.remote;
+    ++report.overall.query_count;
+  }
+  return report;
+}
+
+std::vector<TypeBreakdownRow> ComputePerTypeBreakdown(
+    const std::vector<QueryTrace>& traces,
+    const AttributionPolicy& policy) {
+  std::vector<TypeBreakdownRow> rows;
+  auto find_row = [&rows](const std::string& type) -> TypeBreakdownRow& {
+    for (auto& row : rows) {
+      if (row.query_type == type) return row;
+    }
+    rows.push_back(TypeBreakdownRow{type, {}});
+    return rows.back();
+  };
+  for (const QueryTrace& trace : traces) {
+    AttributedTime time = AttributeTrace(trace, policy);
+    TypeBreakdownRow& row = find_row(trace.query_type);
+    row.aggregate.time.cpu += time.cpu;
+    row.aggregate.time.io += time.io;
+    row.aggregate.time.remote += time.remote;
+    double total = time.Total();
+    if (total > 0) {
+      row.aggregate.fraction_sum.cpu += time.cpu / total;
+      row.aggregate.fraction_sum.io += time.io / total;
+      row.aggregate.fraction_sum.remote += time.remote / total;
+    }
+    ++row.aggregate.query_count;
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const TypeBreakdownRow& a, const TypeBreakdownRow& b) {
+              return a.aggregate.time.Total() > b.aggregate.time.Total();
+            });
+  return rows;
+}
+
+double CycleBreakdownReport::TotalCycles() const {
+  double total = 0;
+  for (double cycles : cycles_by_category) total += cycles;
+  return total;
+}
+
+double CycleBreakdownReport::BroadCycles(BroadCategory broad) const {
+  double total = 0;
+  for (size_t i = 0; i < kNumFnCategories; ++i) {
+    if (BroadOf(static_cast<FnCategory>(i)) == broad) {
+      total += cycles_by_category[i];
+    }
+  }
+  return total;
+}
+
+double CycleBreakdownReport::BroadFraction(BroadCategory broad) const {
+  double total = TotalCycles();
+  return total <= 0 ? 0.0 : BroadCycles(broad) / total;
+}
+
+double CycleBreakdownReport::FineFractionWithinBroad(
+    FnCategory category) const {
+  double broad_total = BroadCycles(BroadOf(category));
+  return broad_total <= 0
+             ? 0.0
+             : cycles_by_category[static_cast<size_t>(category)] / broad_total;
+}
+
+double CycleBreakdownReport::FineFractionOfTotal(FnCategory category) const {
+  double total = TotalCycles();
+  return total <= 0
+             ? 0.0
+             : cycles_by_category[static_cast<size_t>(category)] / total;
+}
+
+namespace {
+
+/** Classifies each interned symbol once, then maps samples through it. */
+std::vector<FnCategory> ClassifySymbols(const CpuProfiler& profiler,
+                                        const FunctionRegistry& registry) {
+  std::vector<FnCategory> by_symbol;
+  // Symbol ids are dense; resolve lazily as they appear in samples.
+  for (const CpuSample& sample : profiler.samples()) {
+    if (sample.symbol_id >= by_symbol.size()) {
+      size_t old_size = by_symbol.size();
+      by_symbol.resize(sample.symbol_id + 1);
+      for (size_t id = old_size; id < by_symbol.size(); ++id) {
+        by_symbol[id] = registry.Classify(
+            profiler.SymbolName(static_cast<uint32_t>(id)));
+      }
+    }
+  }
+  return by_symbol;
+}
+
+}  // namespace
+
+CycleBreakdownReport ComputeCycleBreakdown(const CpuProfiler& profiler,
+                                           const FunctionRegistry& registry) {
+  CycleBreakdownReport report;
+  std::vector<FnCategory> by_symbol = ClassifySymbols(profiler, registry);
+  for (const CpuSample& sample : profiler.samples()) {
+    FnCategory category = by_symbol[sample.symbol_id];
+    report.cycles_by_category[static_cast<size_t>(category)] +=
+        static_cast<double>(sample.counters.cycles);
+  }
+  return report;
+}
+
+MicroarchReport ComputeMicroarchReport(const CpuProfiler& profiler,
+                                       const FunctionRegistry& registry) {
+  MicroarchReport report;
+  std::vector<FnCategory> by_symbol = ClassifySymbols(profiler, registry);
+  for (const CpuSample& sample : profiler.samples()) {
+    FnCategory category = by_symbol[sample.symbol_id];
+    report.overall.Add(sample.counters);
+    report.by_broad[static_cast<size_t>(BroadOf(category))].Add(
+        sample.counters);
+  }
+  return report;
+}
+
+namespace {
+
+/** Total covered seconds of a set of [start, end) intervals. */
+double IntervalUnionSeconds(std::vector<std::pair<double, double>>& spans) {
+  if (spans.empty()) return 0.0;
+  std::sort(spans.begin(), spans.end());
+  double covered = 0;
+  double cur_start = spans[0].first;
+  double cur_end = spans[0].second;
+  for (size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].first > cur_end) {
+      covered += cur_end - cur_start;
+      cur_start = spans[i].first;
+      cur_end = spans[i].second;
+    } else {
+      cur_end = std::max(cur_end, spans[i].second);
+    }
+  }
+  covered += cur_end - cur_start;
+  return covered;
+}
+
+}  // namespace
+
+double EstimateSyncFactor(const std::vector<QueryTrace>& traces,
+                          const AttributionPolicy& policy) {
+  (void)policy;  // the estimator works on span unions, not attribution
+  double weighted_f = 0;
+  double weight = 0;
+  for (const QueryTrace& trace : traces) {
+    std::vector<std::pair<double, double>> cpu_spans, dep_spans, all_spans;
+    for (const Span& span : trace.spans) {
+      double start = span.start.ToSeconds();
+      double end = span.end.ToSeconds();
+      if (end <= start) continue;
+      all_spans.emplace_back(start, end);
+      if (span.kind == SpanKind::kCpu) {
+        cpu_spans.emplace_back(start, end);
+      } else {
+        dep_spans.emplace_back(start, end);
+      }
+    }
+    double union_cpu = IntervalUnionSeconds(cpu_spans);
+    double union_dep = IntervalUnionSeconds(dep_spans);
+    double union_all = IntervalUnionSeconds(all_spans);
+    double total = union_cpu + union_dep;
+    if (total <= 0) continue;
+    // Overlap between the CPU cover and the dependency cover.
+    double overlap = std::max(0.0, union_cpu + union_dep - union_all);
+    double denom = std::min(union_cpu, union_dep);
+    double f = denom <= 0 ? 1.0
+                          : std::clamp(1.0 - overlap / denom, 0.0, 1.0);
+    weighted_f += f * total;
+    weight += total;
+  }
+  return weight <= 0 ? 1.0 : weighted_f / weight;
+}
+
+}  // namespace hyperprof::profiling

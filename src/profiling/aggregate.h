@@ -1,0 +1,141 @@
+#ifndef HYPERPROF_PROFILING_AGGREGATE_H_
+#define HYPERPROF_PROFILING_AGGREGATE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "profiling/categories.h"
+#include "profiling/function_registry.h"
+#include "profiling/microarch.h"
+#include "profiling/sampler.h"
+#include "profiling/tracer.h"
+
+namespace hyperprof::profiling {
+
+/** The query groups of Figure 2. */
+enum class QueryGroup : uint8_t {
+  kCpuHeavy = 0,
+  kIoHeavy = 1,
+  kRemoteWorkHeavy = 2,
+  kOthers = 3,
+  kNumGroups,
+};
+
+constexpr size_t kNumQueryGroups = static_cast<size_t>(QueryGroup::kNumGroups);
+
+const char* QueryGroupName(QueryGroup group);
+
+/**
+ * The paper's group thresholds (Section 4.2): CPU heavy spends >60% of
+ * time on CPU; IO / remote-work heavy spend >30% on storage / remote
+ * work. Classification checks CPU first, then IO, then remote work.
+ */
+struct GroupThresholds {
+  double cpu_heavy = 0.60;
+  double io_heavy = 0.30;
+  double remote_heavy = 0.30;
+};
+
+/** Classifies one query's attributed time into a Figure 2 group. */
+QueryGroup ClassifyQuery(const AttributedTime& time,
+                         const GroupThresholds& thresholds = {});
+
+/** Aggregated time and population for one query group. */
+struct GroupAggregate {
+  AttributedTime time;       // summed attributed seconds
+  AttributedTime fraction_sum;  // sum of per-query fraction vectors
+  uint64_t query_count = 0;  // queries in this group
+
+  /** Per-kind fractions of this group's total attributed time
+   * (time-weighted: long queries dominate). */
+  AttributedTime Fractions() const;
+
+  /** Query-weighted mean of per-query fraction vectors (each query
+   * counts equally, the Figure 2 "time spent by queries" view). */
+  AttributedTime MeanQueryFractions() const;
+};
+
+/** The full Figure 2 dataset for one platform. */
+struct E2eBreakdownReport {
+  std::array<GroupAggregate, kNumQueryGroups> groups;
+  GroupAggregate overall;
+
+  /** Fraction of sampled queries falling in `group`. */
+  double QueryShare(QueryGroup group) const;
+};
+
+/**
+ * Computes the end-to-end breakdown from sampled traces: per-trace
+ * overlap-resolved attribution, group classification, and aggregation.
+ */
+E2eBreakdownReport ComputeE2eBreakdown(
+    const std::vector<QueryTrace>& traces,
+    const AttributionPolicy& policy = AttributionPolicy::PaperDefault(),
+    const GroupThresholds& thresholds = {});
+
+/** Per-query-type attributed breakdown (Dapper groups by RPC method). */
+struct TypeBreakdownRow {
+  std::string query_type;
+  GroupAggregate aggregate;
+};
+
+/**
+ * Aggregates traces by their query type — the per-workload view a
+ * Dapper-style UI offers alongside the Figure 2 groups. Rows are ordered
+ * by descending total attributed time.
+ */
+std::vector<TypeBreakdownRow> ComputePerTypeBreakdown(
+    const std::vector<QueryTrace>& traces,
+    const AttributionPolicy& policy = AttributionPolicy::PaperDefault());
+
+/**
+ * CPU cycle breakdown recovered from profiler samples (Figures 3-6).
+ * Cycles are attributed per fine category by classifying each sample's
+ * leaf symbol through the registry.
+ */
+struct CycleBreakdownReport {
+  std::array<double, kNumFnCategories> cycles_by_category{};
+
+  double TotalCycles() const;
+  double BroadCycles(BroadCategory broad) const;
+
+  /** Figure 3: fraction of all cycles in a broad class. */
+  double BroadFraction(BroadCategory broad) const;
+
+  /** Figures 4-6: fraction of a fine category within its broad class. */
+  double FineFractionWithinBroad(FnCategory category) const;
+
+  /** Fraction of a fine category over all cycles. */
+  double FineFractionOfTotal(FnCategory category) const;
+};
+
+CycleBreakdownReport ComputeCycleBreakdown(const CpuProfiler& profiler,
+                                           const FunctionRegistry& registry);
+
+/**
+ * Microarchitectural rollups (Tables 6 and 7): overall and per broad
+ * category, derived from the PMU counters attached to samples.
+ */
+struct MicroarchReport {
+  CounterRollup overall;
+  std::array<CounterRollup, 3> by_broad;
+};
+
+MicroarchReport ComputeMicroarchReport(const CpuProfiler& profiler,
+                                       const FunctionRegistry& registry);
+
+/**
+ * Estimates the analytical model's sync factor f between CPU time and its
+ * non-CPU dependencies from sampled traces, by inverting Equation 1:
+ * f = 1 - overlapped_time / min(t_cpu_raw, t_dep_raw), averaged over
+ * queries (time-weighted). Overlapped time is the difference between raw
+ * (double-counted) span time and the exclusive attributed union.
+ */
+double EstimateSyncFactor(const std::vector<QueryTrace>& traces,
+                          const AttributionPolicy& policy =
+                              AttributionPolicy::PaperDefault());
+
+}  // namespace hyperprof::profiling
+
+#endif  // HYPERPROF_PROFILING_AGGREGATE_H_

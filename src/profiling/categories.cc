@@ -1,0 +1,89 @@
+#include "profiling/categories.h"
+
+namespace hyperprof::profiling {
+
+const char* BroadCategoryName(BroadCategory category) {
+  switch (category) {
+    case BroadCategory::kCoreCompute: return "Core Compute";
+    case BroadCategory::kDatacenterTax: return "Datacenter Taxes";
+    case BroadCategory::kSystemTax: return "System Taxes";
+  }
+  return "unknown";
+}
+
+const char* FnCategoryName(FnCategory category) {
+  switch (category) {
+    case FnCategory::kRead: return "Read";
+    case FnCategory::kWrite: return "Write";
+    case FnCategory::kCompaction: return "Compaction";
+    case FnCategory::kConsensus: return "Consensus";
+    case FnCategory::kQuery: return "Query";
+    case FnCategory::kMiscCore: return "Misc. Core Ops.";
+    case FnCategory::kUncategorizedCore: return "Uncategorized";
+    case FnCategory::kAggregate: return "Aggregate";
+    case FnCategory::kCompute: return "Compute";
+    case FnCategory::kDestructure: return "Destructure";
+    case FnCategory::kFilter: return "Filter";
+    case FnCategory::kJoin: return "Join";
+    case FnCategory::kMaterialize: return "Materialize";
+    case FnCategory::kProject: return "Project";
+    case FnCategory::kSort: return "Sort";
+    case FnCategory::kCompression: return "Compression";
+    case FnCategory::kCryptography: return "Cryptography";
+    case FnCategory::kDataMovement: return "Data Movement";
+    case FnCategory::kMemAllocation: return "Mem. Allocation";
+    case FnCategory::kProtobuf: return "Protobuf";
+    case FnCategory::kRpc: return "RPC";
+    case FnCategory::kEdac: return "EDAC";
+    case FnCategory::kFileSystems: return "File Systems";
+    case FnCategory::kOtherMemOps: return "Other Memory Ops.";
+    case FnCategory::kMultithreading: return "Multithreading";
+    case FnCategory::kNetworking: return "Networking";
+    case FnCategory::kOperatingSystems: return "Operating Systems";
+    case FnCategory::kStl: return "STL";
+    case FnCategory::kMiscSystem: return "Misc. System Taxes";
+    case FnCategory::kNumCategories: break;
+  }
+  return "unknown";
+}
+
+BroadCategory BroadOf(FnCategory category) {
+  switch (category) {
+    case FnCategory::kRead:
+    case FnCategory::kWrite:
+    case FnCategory::kCompaction:
+    case FnCategory::kConsensus:
+    case FnCategory::kQuery:
+    case FnCategory::kMiscCore:
+    case FnCategory::kUncategorizedCore:
+    case FnCategory::kAggregate:
+    case FnCategory::kCompute:
+    case FnCategory::kDestructure:
+    case FnCategory::kFilter:
+    case FnCategory::kJoin:
+    case FnCategory::kMaterialize:
+    case FnCategory::kProject:
+    case FnCategory::kSort:
+      return BroadCategory::kCoreCompute;
+    case FnCategory::kCompression:
+    case FnCategory::kCryptography:
+    case FnCategory::kDataMovement:
+    case FnCategory::kMemAllocation:
+    case FnCategory::kProtobuf:
+    case FnCategory::kRpc:
+      return BroadCategory::kDatacenterTax;
+    default:
+      return BroadCategory::kSystemTax;
+  }
+}
+
+std::vector<FnCategory> CategoriesOf(BroadCategory broad) {
+  std::vector<FnCategory> out;
+  for (size_t i = 0; i < kNumFnCategories; ++i) {
+    FnCategory category = static_cast<FnCategory>(i);
+    if (BroadOf(category) == broad) out.push_back(category);
+  }
+  return out;
+}
+
+}  // namespace hyperprof::profiling

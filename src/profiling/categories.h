@@ -1,0 +1,79 @@
+#ifndef HYPERPROF_PROFILING_CATEGORIES_H_
+#define HYPERPROF_PROFILING_CATEGORIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hyperprof::profiling {
+
+/**
+ * The three broad cycle classes of the paper's Section 5.2 node-level
+ * breakdown.
+ */
+enum class BroadCategory : uint8_t {
+  kCoreCompute = 0,
+  kDatacenterTax = 1,
+  kSystemTax = 2,
+};
+
+const char* BroadCategoryName(BroadCategory category);
+
+/**
+ * Fine-grained cycle categories, the union of the paper's Tables 2-5:
+ * database core compute (Table 4), analytics core compute (Table 5),
+ * datacenter taxes (Table 2), and system taxes (Table 3).
+ */
+enum class FnCategory : uint8_t {
+  // --- Core compute: databases (Table 4) ---
+  kRead = 0,
+  kWrite,
+  kCompaction,
+  kConsensus,
+  kQuery,
+  kMiscCore,
+  kUncategorizedCore,
+  // --- Core compute: analytics (Table 5) ---
+  kAggregate,
+  kCompute,
+  kDestructure,
+  kFilter,
+  kJoin,
+  kMaterialize,
+  kProject,
+  kSort,
+  // --- Datacenter taxes (Table 2) ---
+  kCompression,
+  kCryptography,
+  kDataMovement,
+  kMemAllocation,
+  kProtobuf,
+  kRpc,
+  // --- System taxes (Table 3) ---
+  kEdac,
+  kFileSystems,
+  kOtherMemOps,
+  kMultithreading,
+  kNetworking,
+  kOperatingSystems,
+  kStl,
+  kMiscSystem,
+
+  kNumCategories,  // sentinel
+};
+
+constexpr size_t kNumFnCategories =
+    static_cast<size_t>(FnCategory::kNumCategories);
+
+/** Stable display name ("Consensus", "Protobuf", ...). */
+const char* FnCategoryName(FnCategory category);
+
+/** Maps a fine category to its broad class. */
+BroadCategory BroadOf(FnCategory category);
+
+/** All fine categories belonging to a broad class, in enum order. */
+std::vector<FnCategory> CategoriesOf(BroadCategory broad);
+
+}  // namespace hyperprof::profiling
+
+#endif  // HYPERPROF_PROFILING_CATEGORIES_H_

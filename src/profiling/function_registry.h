@@ -1,0 +1,55 @@
+#ifndef HYPERPROF_PROFILING_FUNCTION_REGISTRY_H_
+#define HYPERPROF_PROFILING_FUNCTION_REGISTRY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "profiling/categories.h"
+
+namespace hyperprof::profiling {
+
+/**
+ * Maps leaf-function symbols to fine cycle categories.
+ *
+ * This is the "manually categorize, prioritize, and aggregate returned
+ * samples by their leaf functions" step of the paper's Section 5.1: exact
+ * symbol matches first, then longest-prefix rules (namespace / library
+ * prefixes), then Uncategorized.
+ */
+class FunctionRegistry {
+ public:
+  /** Registers an exact symbol -> category mapping. */
+  void AddExact(std::string symbol, FnCategory category);
+
+  /** Registers a prefix rule, e.g. "tcmalloc::" -> Mem. Allocation. */
+  void AddPrefix(std::string prefix, FnCategory category);
+
+  /**
+   * Classifies a symbol: exact match, then longest matching prefix,
+   * otherwise Uncategorized (core).
+   */
+  FnCategory Classify(const std::string& symbol) const;
+
+  size_t exact_rules() const { return exact_.size(); }
+  size_t prefix_rules() const { return prefixes_.size(); }
+
+  /** All exact symbols registered under the given category. */
+  std::vector<std::string> SymbolsFor(FnCategory category) const;
+
+ private:
+  std::unordered_map<std::string, FnCategory> exact_;
+  std::vector<std::pair<std::string, FnCategory>> prefixes_;
+};
+
+/**
+ * Builds the fleet-wide registry used by all three platforms: realistic
+ * leaf symbols per category (compressor entry points, RPC stubs, kernel
+ * entry symbols, STL internals, ...), mirroring how the production
+ * categorization was curated.
+ */
+FunctionRegistry BuildFleetRegistry();
+
+}  // namespace hyperprof::profiling
+
+#endif  // HYPERPROF_PROFILING_FUNCTION_REGISTRY_H_

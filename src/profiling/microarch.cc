@@ -1,0 +1,92 @@
+#include "profiling/microarch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hyperprof::profiling {
+
+namespace {
+
+/** Normal-approximated Poisson draw, clamped at zero. */
+uint64_t NoisyCount(double mean, Rng& rng) {
+  if (mean <= 0) return 0;
+  double draw = mean + std::sqrt(mean) * rng.NextGaussian();
+  return draw <= 0 ? 0 : static_cast<uint64_t>(draw + 0.5);
+}
+
+}  // namespace
+
+CounterDelta SynthesizeCounters(const MicroarchProfile& profile,
+                                uint64_t cycles, Rng& rng) {
+  CounterDelta delta;
+  delta.cycles = cycles;
+  double instr_mean =
+      static_cast<double>(cycles) * profile.ipc * rng.NextLogNormal(0.0, 0.05);
+  delta.instructions = std::max<uint64_t>(
+      1, static_cast<uint64_t>(instr_mean + 0.5));
+  double kilo_instr = static_cast<double>(delta.instructions) / 1000.0;
+  delta.br_misses = NoisyCount(profile.br_mpki * kilo_instr, rng);
+  delta.l1i_misses = NoisyCount(profile.l1i_mpki * kilo_instr, rng);
+  delta.l2i_misses = NoisyCount(profile.l2i_mpki * kilo_instr, rng);
+  delta.llc_misses = NoisyCount(profile.llc_mpki * kilo_instr, rng);
+  delta.itlb_misses = NoisyCount(profile.itlb_mpki * kilo_instr, rng);
+  delta.dtlb_ld_misses = NoisyCount(profile.dtlb_ld_mpki * kilo_instr, rng);
+  return delta;
+}
+
+void CounterRollup::Add(const CounterDelta& delta) {
+  total_.cycles += delta.cycles;
+  total_.instructions += delta.instructions;
+  total_.br_misses += delta.br_misses;
+  total_.l1i_misses += delta.l1i_misses;
+  total_.l2i_misses += delta.l2i_misses;
+  total_.llc_misses += delta.llc_misses;
+  total_.itlb_misses += delta.itlb_misses;
+  total_.dtlb_ld_misses += delta.dtlb_ld_misses;
+}
+
+void CounterRollup::Merge(const CounterRollup& other) { Add(other.total_); }
+
+double CounterRollup::Ipc() const {
+  return total_.cycles == 0 ? 0.0
+                            : static_cast<double>(total_.instructions) /
+                                  static_cast<double>(total_.cycles);
+}
+
+double CounterRollup::PerKiloInstr(uint64_t misses) const {
+  return total_.instructions == 0
+             ? 0.0
+             : static_cast<double>(misses) /
+                   (static_cast<double>(total_.instructions) / 1000.0);
+}
+
+double CounterRollup::BrMpki() const { return PerKiloInstr(total_.br_misses); }
+double CounterRollup::L1iMpki() const {
+  return PerKiloInstr(total_.l1i_misses);
+}
+double CounterRollup::L2iMpki() const {
+  return PerKiloInstr(total_.l2i_misses);
+}
+double CounterRollup::LlcMpki() const {
+  return PerKiloInstr(total_.llc_misses);
+}
+double CounterRollup::ItlbMpki() const {
+  return PerKiloInstr(total_.itlb_misses);
+}
+double CounterRollup::DtlbLdMpki() const {
+  return PerKiloInstr(total_.dtlb_ld_misses);
+}
+
+MicroarchProfile CounterRollup::ToProfile() const {
+  MicroarchProfile profile;
+  profile.ipc = Ipc();
+  profile.br_mpki = BrMpki();
+  profile.l1i_mpki = L1iMpki();
+  profile.l2i_mpki = L2iMpki();
+  profile.llc_mpki = LlcMpki();
+  profile.itlb_mpki = ItlbMpki();
+  profile.dtlb_ld_mpki = DtlbLdMpki();
+  return profile;
+}
+
+}  // namespace hyperprof::profiling

@@ -1,0 +1,74 @@
+#ifndef HYPERPROF_PROFILING_MICROARCH_H_
+#define HYPERPROF_PROFILING_MICROARCH_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace hyperprof::profiling {
+
+/**
+ * Microarchitectural behaviour of a code region: IPC plus the six
+ * misses-per-kilo-instruction counters the paper reports (Tables 6 and 7).
+ */
+struct MicroarchProfile {
+  double ipc = 1.0;
+  double br_mpki = 0;
+  double l1i_mpki = 0;
+  double l2i_mpki = 0;
+  double llc_mpki = 0;
+  double itlb_mpki = 0;
+  double dtlb_ld_mpki = 0;
+};
+
+/** Raw performance-counter deltas attached to one CPU sample. */
+struct CounterDelta {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t br_misses = 0;
+  uint64_t l1i_misses = 0;
+  uint64_t l2i_misses = 0;
+  uint64_t llc_misses = 0;
+  uint64_t itlb_misses = 0;
+  uint64_t dtlb_ld_misses = 0;
+};
+
+/**
+ * Synthesizes noisy counter deltas for `cycles` cycles of execution with
+ * the given profile, the way a PMU sample would report them: instructions
+ * from IPC with multiplicative noise, miss counts from MPKI with Poisson-
+ * like (normal-approximated) dispersion.
+ */
+CounterDelta SynthesizeCounters(const MicroarchProfile& profile,
+                                uint64_t cycles, Rng& rng);
+
+/**
+ * Accumulates counter deltas and answers the paper's derived metrics.
+ */
+class CounterRollup {
+ public:
+  void Add(const CounterDelta& delta);
+  void Merge(const CounterRollup& other);
+
+  uint64_t cycles() const { return total_.cycles; }
+  uint64_t instructions() const { return total_.instructions; }
+
+  double Ipc() const;
+  double BrMpki() const;
+  double L1iMpki() const;
+  double L2iMpki() const;
+  double LlcMpki() const;
+  double ItlbMpki() const;
+  double DtlbLdMpki() const;
+
+  /** The rollup expressed back as a mean profile. */
+  MicroarchProfile ToProfile() const;
+
+ private:
+  double PerKiloInstr(uint64_t misses) const;
+  CounterDelta total_;
+};
+
+}  // namespace hyperprof::profiling
+
+#endif  // HYPERPROF_PROFILING_MICROARCH_H_

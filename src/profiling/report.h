@@ -1,0 +1,39 @@
+#ifndef HYPERPROF_PROFILING_REPORT_H_
+#define HYPERPROF_PROFILING_REPORT_H_
+
+#include <cstddef>
+
+#include "common/table.h"
+#include "profiling/aggregate.h"
+
+namespace hyperprof::profiling {
+
+/**
+ * Text renderers for the recovered profiling reports — the human-readable
+ * form of the paper's figures, shared by the examples and benches.
+ */
+
+/** Figure 2 style: per-group breakdown + query shares + overall rows. */
+TextTable RenderE2eReport(const E2eBreakdownReport& report);
+
+/** Figure 3 style: broad cycle shares. */
+TextTable RenderBroadCycleReport(const CycleBreakdownReport& report);
+
+/** Figures 4-6 style: fine categories within one broad class. */
+TextTable RenderFineCycleReport(const CycleBreakdownReport& report,
+                                BroadCategory broad);
+
+/** Tables 6-7 style: IPC/MPKI overall and per broad class. */
+TextTable RenderMicroarchReport(const MicroarchReport& report);
+
+/**
+ * GWP-style flat profile: the top-N leaf symbols by sampled cycles with
+ * their categories and cycle shares — what a fleet profiling UI shows
+ * before any aggregation.
+ */
+TextTable RenderTopSymbols(const CpuProfiler& profiler,
+                           const FunctionRegistry& registry, size_t top_n);
+
+}  // namespace hyperprof::profiling
+
+#endif  // HYPERPROF_PROFILING_REPORT_H_

@@ -1,0 +1,53 @@
+#include "profiling/sampler.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hyperprof::profiling {
+
+CpuProfiler::CpuProfiler(SimTime sample_period, double cpu_hz, Rng rng)
+    : sample_period_(sample_period), cpu_hz_(cpu_hz), rng_(std::move(rng)) {
+  assert(sample_period > SimTime::Zero());
+  assert(cpu_hz > 0);
+}
+
+double CpuProfiler::CyclesPerSample() const {
+  return sample_period_.ToSeconds() * cpu_hz_;
+}
+
+uint32_t CpuProfiler::InternSymbol(const std::string& symbol) {
+  auto [it, inserted] =
+      symbol_ids_.try_emplace(symbol,
+                              static_cast<uint32_t>(symbol_names_.size()));
+  if (inserted) symbol_names_.push_back(symbol);
+  return it->second;
+}
+
+const std::string& CpuProfiler::SymbolName(uint32_t symbol_id) const {
+  assert(symbol_id < symbol_names_.size());
+  return symbol_names_[symbol_id];
+}
+
+void CpuProfiler::RecordActivity(const std::string& symbol, SimTime duration,
+                                 const MicroarchProfile& profile) {
+  if (duration <= SimTime::Zero()) return;
+  ++activities_;
+  total_cpu_time_ += duration;
+  // Random-phase periodic sampling: an activity of length d yields
+  // floor(d/T) samples plus one more with probability frac(d/T).
+  double expected = duration.ToSeconds() / sample_period_.ToSeconds();
+  uint64_t count = static_cast<uint64_t>(expected);
+  if (rng_.NextBool(expected - std::floor(expected))) ++count;
+  if (count == 0) return;
+  uint32_t symbol_id = InternSymbol(symbol);
+  uint64_t cycles_per_sample =
+      static_cast<uint64_t>(CyclesPerSample() + 0.5);
+  for (uint64_t i = 0; i < count; ++i) {
+    CpuSample sample;
+    sample.symbol_id = symbol_id;
+    sample.counters = SynthesizeCounters(profile, cycles_per_sample, rng_);
+    samples_.push_back(sample);
+  }
+}
+
+}  // namespace hyperprof::profiling

@@ -1,0 +1,79 @@
+#ifndef HYPERPROF_PROFILING_SAMPLER_H_
+#define HYPERPROF_PROFILING_SAMPLER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "profiling/microarch.h"
+
+namespace hyperprof::profiling {
+
+/**
+ * One GWP-style CPU sample: interned leaf symbol + PMU counter deltas.
+ * Symbols are interned because a fleet-day of samples repeats a few
+ * hundred leaf functions millions of times.
+ */
+struct CpuSample {
+  uint32_t symbol_id = 0;
+  CounterDelta counters;
+};
+
+/**
+ * Fleet CPU profiler in the style of Google-Wide Profiling: time-based
+ * sampling of on-CPU leaf functions with performance counters attached.
+ *
+ * The simulated platforms report every function execution interval; the
+ * profiler turns each into an expected number of period-spaced samples
+ * with random phase (so short activities are sampled proportionally in
+ * expectation), synthesizing PMU counters from the activity's
+ * microarchitectural profile. Cycle attribution is sample-count x period,
+ * exactly how GWP-derived cycle breakdowns are computed.
+ */
+class CpuProfiler {
+ public:
+  /**
+   * @param sample_period CPU time between samples on one core.
+   * @param cpu_hz Core frequency used to convert time to cycles.
+   * @param rng Sampling randomness (owned).
+   */
+  CpuProfiler(SimTime sample_period, double cpu_hz, Rng rng);
+
+  /**
+   * Reports that `symbol` ran on-CPU for `duration` with the given
+   * microarchitectural behaviour. Emits 0..k samples.
+   */
+  void RecordActivity(const std::string& symbol, SimTime duration,
+                      const MicroarchProfile& profile);
+
+  const std::vector<CpuSample>& samples() const { return samples_; }
+
+  /** Resolves an interned symbol id back to its name. */
+  const std::string& SymbolName(uint32_t symbol_id) const;
+
+  /** Interns a symbol (exposed for tests). */
+  uint32_t InternSymbol(const std::string& symbol);
+
+  /** Cycles represented by one sample (period x frequency). */
+  double CyclesPerSample() const;
+
+  SimTime total_cpu_time() const { return total_cpu_time_; }
+  uint64_t activities_recorded() const { return activities_; }
+
+ private:
+  SimTime sample_period_;
+  double cpu_hz_;
+  Rng rng_;
+  std::vector<CpuSample> samples_;
+  std::unordered_map<std::string, uint32_t> symbol_ids_;
+  std::vector<std::string> symbol_names_;
+  SimTime total_cpu_time_;
+  uint64_t activities_ = 0;
+};
+
+}  // namespace hyperprof::profiling
+
+#endif  // HYPERPROF_PROFILING_SAMPLER_H_

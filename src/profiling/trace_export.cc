@@ -1,0 +1,80 @@
+#include "profiling/trace_export.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace hyperprof::profiling {
+
+namespace {
+
+/** Escapes the small character set that can appear in span names. */
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<QueryTrace>& traces,
+                              size_t max_queries) {
+  std::string out = "[\n";
+  bool first = true;
+  size_t exported = 0;
+  for (const QueryTrace& trace : traces) {
+    if (exported >= max_queries) break;
+    ++exported;
+    // Process metadata: name the "process" after the platform once per
+    // platform would require dedup; emitting per trace is harmless (the
+    // viewer collapses identical metadata).
+    if (!first) out += ",\n";
+    first = false;
+    out += StrFormat(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":\"%s\","
+        "\"tid\":%llu,\"args\":{\"name\":\"%s #%llu\"}}",
+        JsonEscape(trace.platform).c_str(),
+        static_cast<unsigned long long>(trace.trace_id),
+        JsonEscape(trace.query_type).c_str(),
+        static_cast<unsigned long long>(trace.trace_id));
+    for (const Span& span : trace.spans) {
+      double start_us = span.start.ToMicros();
+      double duration_us = (span.end - span.start).ToMicros();
+      if (duration_us < 0) continue;
+      out += StrFormat(
+          ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+          "\"ts\":%.3f,\"dur\":%.3f,\"pid\":\"%s\",\"tid\":%llu}",
+          JsonEscape(span.name).c_str(), SpanKindName(span.kind), start_us,
+          duration_us, JsonEscape(trace.platform).c_str(),
+          static_cast<unsigned long long>(trace.trace_id));
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool WriteChromeTrace(const std::vector<QueryTrace>& traces,
+                      const std::string& path, size_t max_queries) {
+  std::string json = ExportChromeTrace(traces, max_queries);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  return written == json.size();
+}
+
+}  // namespace hyperprof::profiling

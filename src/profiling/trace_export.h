@@ -1,0 +1,28 @@
+#ifndef HYPERPROF_PROFILING_TRACE_EXPORT_H_
+#define HYPERPROF_PROFILING_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "profiling/tracer.h"
+
+namespace hyperprof::profiling {
+
+/**
+ * Exports sampled query traces in the Chrome trace-event JSON format
+ * (the `chrome://tracing` / Perfetto "JSON array" flavor): each span
+ * becomes a complete ("ph":"X") event with microsecond timestamps, the
+ * platform as the process name, and one row (tid) per query. Load the
+ * output in any trace viewer to see the CPU/IO/remote-work structure the
+ * paper's Figure 2 aggregates.
+ */
+std::string ExportChromeTrace(const std::vector<QueryTrace>& traces,
+                              size_t max_queries = 200);
+
+/** Writes ExportChromeTrace output to a file; returns false on IO error. */
+bool WriteChromeTrace(const std::vector<QueryTrace>& traces,
+                      const std::string& path, size_t max_queries = 200);
+
+}  // namespace hyperprof::profiling
+
+#endif  // HYPERPROF_PROFILING_TRACE_EXPORT_H_

@@ -1,0 +1,126 @@
+#include "profiling/tracer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hyperprof::profiling {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kCpu: return "CPU";
+    case SpanKind::kIo: return "IO";
+    case SpanKind::kRemoteWork: return "RemoteWork";
+  }
+  return "unknown";
+}
+
+AttributedTime AttributeTrace(const QueryTrace& trace,
+                              const AttributionPolicy& policy) {
+  AttributedTime out;
+  if (trace.spans.empty()) return out;
+
+  struct Boundary {
+    SimTime at;
+    int kind;   // SpanKind as int
+    int delta;  // +1 open, -1 close
+  };
+  std::vector<Boundary> boundaries;
+  boundaries.reserve(trace.spans.size() * 2);
+  for (const Span& span : trace.spans) {
+    if (span.end <= span.start) continue;
+    boundaries.push_back({span.start, static_cast<int>(span.kind), +1});
+    boundaries.push_back({span.end, static_cast<int>(span.kind), -1});
+  }
+  std::sort(boundaries.begin(), boundaries.end(),
+            [](const Boundary& a, const Boundary& b) { return a.at < b.at; });
+
+  int rank_of_kind[3] = {policy.cpu_rank, policy.io_rank, policy.remote_rank};
+  int active[3] = {0, 0, 0};
+  double* bucket_of_kind[3] = {&out.cpu, &out.io, &out.remote};
+
+  size_t i = 0;
+  SimTime cursor;
+  bool have_cursor = false;
+  while (i < boundaries.size()) {
+    SimTime at = boundaries[i].at;
+    if (have_cursor && at > cursor) {
+      // Attribute [cursor, at) to the best-ranked active kind.
+      int best = -1;
+      for (int k = 0; k < 3; ++k) {
+        if (active[k] > 0 && (best < 0 ||
+                              rank_of_kind[k] < rank_of_kind[best])) {
+          best = k;
+        }
+      }
+      if (best >= 0) {
+        *bucket_of_kind[best] += (at - cursor).ToSeconds();
+      }
+    }
+    while (i < boundaries.size() && boundaries[i].at == at) {
+      active[boundaries[i].kind] += boundaries[i].delta;
+      ++i;
+    }
+    cursor = at;
+    have_cursor = true;
+  }
+  return out;
+}
+
+Tracer::Tracer(uint32_t sample_one_in, Rng rng)
+    : sample_one_in_(sample_one_in == 0 ? 1 : sample_one_in),
+      rng_(std::move(rng)) {}
+
+uint64_t Tracer::StartQuery(const std::string& platform,
+                            const std::string& query_type, SimTime now) {
+  ++queries_seen_;
+  if (sample_one_in_ > 1 && rng_.NextBounded(sample_one_in_) != 0) {
+    return kNotSampled;
+  }
+  ++queries_sampled_;
+  QueryTrace trace;
+  trace.trace_id = next_trace_id_++;
+  trace.platform = platform;
+  trace.query_type = query_type;
+  trace.start = now;
+  trace.end = now;
+  open_.push_back(std::move(trace));
+  return open_.back().trace_id;
+}
+
+QueryTrace* Tracer::FindOpen(uint64_t trace_id) {
+  for (auto& trace : open_) {
+    if (trace.trace_id == trace_id) return &trace;
+  }
+  return nullptr;
+}
+
+void Tracer::AddSpan(uint64_t trace_id, SpanKind kind,
+                     const std::string& name, SimTime start, SimTime end,
+                     uint64_t parent_id) {
+  if (trace_id == kNotSampled) return;
+  QueryTrace* trace = FindOpen(trace_id);
+  assert(trace != nullptr);
+  Span span;
+  span.span_id = next_span_id_++;
+  span.parent_id = parent_id;
+  span.kind = kind;
+  span.name = name;
+  span.start = start;
+  span.end = end;
+  trace->spans.push_back(std::move(span));
+}
+
+void Tracer::FinishQuery(uint64_t trace_id, SimTime end) {
+  if (trace_id == kNotSampled) return;
+  for (size_t i = 0; i < open_.size(); ++i) {
+    if (open_[i].trace_id == trace_id) {
+      open_[i].end = end;
+      traces_.push_back(std::move(open_[i]));
+      open_.erase(open_.begin() + static_cast<long>(i));
+      return;
+    }
+  }
+  assert(false && "FinishQuery for unknown trace");
+}
+
+}  // namespace hyperprof::profiling

@@ -1,0 +1,131 @@
+#ifndef HYPERPROF_PROFILING_TRACER_H_
+#define HYPERPROF_PROFILING_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace hyperprof::profiling {
+
+/**
+ * What a span's wall time represents, for end-to-end attribution.
+ * Matches the paper's Section 4.1 taxonomy: CPU compute, distributed
+ * storage IO, and remote work (waiting on remote workers: consensus,
+ * remote compaction, shuffle).
+ */
+enum class SpanKind : uint8_t {
+  kCpu = 0,
+  kIo = 1,
+  kRemoteWork = 2,
+};
+
+const char* SpanKindName(SpanKind kind);
+
+/** One timed region inside a query, possibly nested under a parent. */
+struct Span {
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  SpanKind kind = SpanKind::kCpu;
+  std::string name;
+  SimTime start;
+  SimTime end;
+};
+
+/** A sampled query's full trace. */
+struct QueryTrace {
+  uint64_t trace_id = 0;
+  std::string platform;
+  std::string query_type;
+  SimTime start;
+  SimTime end;
+  std::vector<Span> spans;
+};
+
+/** Per-query attributed wall time (seconds), after overlap resolution. */
+struct AttributedTime {
+  double cpu = 0;
+  double io = 0;
+  double remote = 0;
+  double Total() const { return cpu + io + remote; }
+};
+
+/** The overlap-resolution order applied to concurrent spans. */
+struct AttributionPolicy {
+  // Priority ranks; lower rank wins an overlapped instant. The paper's
+  // policy (Section 4.1): remote work first, then IO, then CPU.
+  int cpu_rank = 2;
+  int io_rank = 1;
+  int remote_rank = 0;
+
+  static AttributionPolicy PaperDefault() { return AttributionPolicy{}; }
+};
+
+/**
+ * Resolves overlapping spans into exclusive per-kind time using a
+ * boundary sweep: each elementary interval is attributed to the active
+ * kind with the best (lowest) rank. Gaps covered by no span contribute
+ * nothing.
+ */
+AttributedTime AttributeTrace(const QueryTrace& trace,
+                              const AttributionPolicy& policy =
+                                  AttributionPolicy::PaperDefault());
+
+/**
+ * Dapper-like trace collector with uniform 1-in-N query sampling.
+ *
+ * Platforms begin a query with StartQuery (which decides sampling), add
+ * spans through the returned handle index, and finish with FinishQuery.
+ * Only sampled queries allocate any storage — at production rates tracing
+ * every query would be prohibitive, which is exactly why the paper samples
+ * one-thousandth of traffic.
+ */
+class Tracer {
+ public:
+  /** Sentinel for unsampled queries. */
+  static constexpr uint64_t kNotSampled = 0;
+
+  /**
+   * @param sample_one_in Sample each query with probability 1/N.
+   * @param rng Sampling randomness (owned).
+   */
+  Tracer(uint32_t sample_one_in, Rng rng);
+
+  /**
+   * Registers a query start. Returns a nonzero trace id if sampled,
+   * kNotSampled otherwise.
+   */
+  uint64_t StartQuery(const std::string& platform,
+                      const std::string& query_type, SimTime now);
+
+  /** Adds a span to a sampled trace. No-op when trace_id==kNotSampled. */
+  void AddSpan(uint64_t trace_id, SpanKind kind, const std::string& name,
+               SimTime start, SimTime end, uint64_t parent_id = 0);
+
+  /** Completes a sampled trace. No-op when trace_id==kNotSampled. */
+  void FinishQuery(uint64_t trace_id, SimTime end);
+
+  /** All completed traces, in completion order. */
+  const std::vector<QueryTrace>& traces() const { return traces_; }
+
+  uint64_t queries_seen() const { return queries_seen_; }
+  uint64_t queries_sampled() const { return queries_sampled_; }
+
+ private:
+  QueryTrace* FindOpen(uint64_t trace_id);
+
+  uint32_t sample_one_in_;
+  Rng rng_;
+  uint64_t next_trace_id_ = 1;
+  uint64_t next_span_id_ = 1;
+  uint64_t queries_seen_ = 0;
+  uint64_t queries_sampled_ = 0;
+  std::vector<QueryTrace> open_;
+  std::vector<QueryTrace> traces_;
+};
+
+}  // namespace hyperprof::profiling
+
+#endif  // HYPERPROF_PROFILING_TRACER_H_

@@ -1,0 +1,32 @@
+#include "sim/sequence.h"
+
+#include <cassert>
+
+namespace hyperprof::sim {
+
+void Sequence::Run(std::vector<Step> steps, Done on_complete) {
+  auto seq = std::shared_ptr<Sequence>(
+      new Sequence(std::move(steps), std::move(on_complete)));
+  seq->Advance(0);
+}
+
+void Sequence::Advance(size_t index) {
+  if (index >= steps_.size()) {
+    if (on_complete_) on_complete_();
+    return;
+  }
+  auto self = shared_from_this();
+  steps_[index]([self, index]() { self->Advance(index + 1); });
+}
+
+std::function<void()> Barrier(size_t count,
+                              std::function<void()> on_all_done) {
+  assert(count > 0);
+  auto remaining = std::make_shared<size_t>(count);
+  return [remaining, on_all_done = std::move(on_all_done)]() {
+    assert(*remaining > 0);
+    if (--*remaining == 0) on_all_done();
+  };
+}
+
+}  // namespace hyperprof::sim

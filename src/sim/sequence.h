@@ -1,0 +1,50 @@
+#ifndef HYPERPROF_SIM_SEQUENCE_H_
+#define HYPERPROF_SIM_SEQUENCE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace hyperprof::sim {
+
+/**
+ * Runs asynchronous steps one after another without nesting callbacks.
+ *
+ * Each step receives a `done` continuation it must invoke exactly once
+ * (immediately or from a later event). When every step has finished,
+ * `on_complete` fires. The object manages its own lifetime: create with
+ * Sequence::Run and it frees itself after completion.
+ */
+class Sequence : public std::enable_shared_from_this<Sequence> {
+ public:
+  using Done = std::function<void()>;
+  using Step = std::function<void(Done)>;
+
+  /** Builds and starts a sequence; returns after the first step begins. */
+  static void Run(std::vector<Step> steps, Done on_complete);
+
+ private:
+  Sequence(std::vector<Step> steps, Done on_complete)
+      : steps_(std::move(steps)), on_complete_(std::move(on_complete)) {}
+
+  void Advance(size_t index);
+
+  std::vector<Step> steps_;
+  Done on_complete_;
+};
+
+/**
+ * Fan-out / fan-in helper: starts `count` parallel branches and invokes
+ * `on_all_done` when every branch has reported completion.
+ *
+ * Used for replicated writes (consensus quorums), parallel shard scans, and
+ * shuffle fan-in. The returned callable is the per-branch completion token;
+ * it must be invoked exactly `count` times in total.
+ */
+std::function<void()> Barrier(size_t count, std::function<void()> on_all_done);
+
+}  // namespace hyperprof::sim
+
+#endif  // HYPERPROF_SIM_SEQUENCE_H_

@@ -1,0 +1,62 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace hyperprof::sim {
+
+EventId Simulator::Schedule(SimTime delay, Callback fn) {
+  if (delay < SimTime::Zero()) delay = SimTime::Zero();
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, Callback fn) {
+  if (when < now_) when = now_;
+  uint64_t seq = next_seq_++;
+  queue_.push(Event{when, seq, std::move(fn)});
+  return EventId{seq};
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (!id.valid() || id.seq >= next_seq_) return false;
+  return cancelled_.insert(id.seq).second;
+}
+
+uint64_t Simulator::Run() {
+  uint64_t ran = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ev.fn();
+    ++ran;
+    ++events_executed_;
+  }
+  return ran;
+}
+
+uint64_t Simulator::RunUntil(SimTime deadline) {
+  uint64_t ran = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    ++ran;
+    ++events_executed_;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return ran;
+}
+
+}  // namespace hyperprof::sim

@@ -1,0 +1,90 @@
+#ifndef HYPERPROF_SIM_SIMULATOR_H_
+#define HYPERPROF_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace hyperprof::sim {
+
+/** Opaque handle for cancelling a scheduled event. */
+struct EventId {
+  uint64_t seq = 0;
+  bool valid() const { return seq != 0; }
+};
+
+/**
+ * Deterministic discrete-event simulator.
+ *
+ * Events are callbacks ordered by (timestamp, insertion sequence), so two
+ * events at the same instant fire in the order they were scheduled — the
+ * property that makes whole-fleet runs reproducible. The kernel is
+ * single-threaded by design; parallelism in the modeled system is expressed
+ * as interleaved events, not host threads.
+ */
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /** Current simulated time. */
+  SimTime Now() const { return now_; }
+
+  /** Schedules `fn` to run `delay` after Now(). Negative delays clamp to 0. */
+  EventId Schedule(SimTime delay, Callback fn);
+
+  /** Schedules `fn` at absolute time `when` (clamped to Now()). */
+  EventId ScheduleAt(SimTime when, Callback fn);
+
+  /**
+   * Cancels a pending event; returns true if it had not yet fired.
+   * Cancellation is lazy: the slot is tombstoned and skipped at pop time.
+   */
+  bool Cancel(EventId id);
+
+  /** Runs until the event queue drains. Returns the number of events run. */
+  uint64_t Run();
+
+  /**
+   * Runs until the queue drains or the next event lies beyond `deadline`.
+   * Events scheduled exactly at the deadline still run; on early stop the
+   * clock is advanced to the deadline.
+   */
+  uint64_t RunUntil(SimTime deadline);
+
+  /** Total events executed so far. */
+  uint64_t events_executed() const { return events_executed_; }
+
+  /** Number of events still pending (including tombstones). */
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  uint64_t next_seq_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<uint64_t> cancelled_;
+};
+
+}  // namespace hyperprof::sim
+
+#endif  // HYPERPROF_SIM_SIMULATOR_H_

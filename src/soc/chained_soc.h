@@ -1,0 +1,116 @@
+#ifndef HYPERPROF_SOC_CHAINED_SOC_H_
+#define HYPERPROF_SOC_CHAINED_SOC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace hyperprof::soc {
+
+/**
+ * The message batch flowing through the accelerator chain: per-message
+ * serialized sizes (bytes). Built from real protowire messages or
+ * synthetically.
+ */
+struct MessageBatch {
+  std::vector<uint64_t> message_bytes;
+
+  uint64_t TotalBytes() const;
+  size_t size() const { return message_bytes.size(); }
+
+  /** Synthetic batch with lognormal sizes (HyperProtoBench-like). */
+  static MessageBatch Synthetic(size_t count, double mean_bytes, Rng& rng);
+};
+
+/**
+ * Timing configuration of the heterogeneous SoC: an application core that
+ * initializes messages, a protobuf-serialization accelerator, and a SHA3
+ * accelerator, chained through a FIFO.
+ *
+ * This is the substitute for the paper's FireSim-simulated RISC-V SoC
+ * (Section 6.4 / Table 8): per-byte service rates and setup penalties are
+ * calibrated to the published RTL measurements, while the chained-pipeline
+ * *behaviour* (what the validation actually tests) is simulated
+ * event-by-event.
+ */
+struct SocConfig {
+  // CPU software costs.
+  double cpu_serialize_s_per_byte = 0;
+  double cpu_hash_s_per_byte = 0;
+  double cpu_init_s_per_message = 0;  // non-accelerated work t_nacc
+
+  // Accelerator speedups over the CPU implementation.
+  double serialize_speedup = 31.0;
+  double hash_speedup = 51.3;
+
+  // Per-invocation setup penalties.
+  SimTime serialize_setup = SimTime::Nanos(1488900);
+  SimTime hash_setup = SimTime::Nanos(4100);
+
+  // Fraction of the serializer's setup the runtime hides under the tail
+  // of message initialization (a helper thread arms the accelerator while
+  // the main thread finishes preparing inputs). This is the behavioural
+  // detail the analytical model's Eq. 10 penalty bound cannot see, and
+  // the source of the measured-vs-modeled gap in Table 8.
+  double setup_overlap_fraction = 0.25;
+
+  /**
+   * Derives per-byte costs so a batch of `total_bytes` lands on the given
+   * CPU-side totals (the published Table 8 values by default).
+   */
+  static SocConfig CalibratedTo(uint64_t total_bytes, size_t num_messages,
+                                double serialize_total_s = 518.3e-6,
+                                double hash_total_s = 1112.5e-6,
+                                double init_total_s = 4948.7e-6);
+};
+
+/** Result of one SoC experiment. */
+struct SocRunResult {
+  SimTime init_time;       // message initialization on the app core
+  SimTime serialize_time;  // serialization busy time (incl. setup)
+  SimTime hash_time;       // hashing busy time (incl. setup)
+  SimTime total;           // end-to-end completion time
+};
+
+/**
+ * Event-driven simulator of the three-core SoC running the protobuf ->
+ * SHA3 chain, reproducing the three benchmarks of Section 6.4.
+ */
+class ChainedSocSim {
+ public:
+  explicit ChainedSocSim(SocConfig config);
+
+  /**
+   * Benchmark 1: everything on the CPU, fully synchronous — serialize all
+   * messages, then hash all outputs.
+   */
+  SocRunResult RunUnaccelerated(const MessageBatch& batch) const;
+
+  /**
+   * Benchmark 2: accelerators invoked synchronously, one phase at a time
+   * (setup + batch per accelerator, no overlap).
+   */
+  SocRunResult RunAcceleratedSync(const MessageBatch& batch) const;
+
+  /**
+   * Benchmark 3: chained execution — messages stream through the
+   * serializer into the hasher at message granularity; setup is armed
+   * while the app core finishes initialization.
+   */
+  SocRunResult RunChained(const MessageBatch& batch) const;
+
+  const SocConfig& config() const { return config_; }
+
+  /** Accelerated per-message service time for one stage. */
+  SimTime SerializeServiceTime(uint64_t bytes) const;
+  SimTime HashServiceTime(uint64_t bytes) const;
+
+ private:
+  SocConfig config_;
+};
+
+}  // namespace hyperprof::soc
+
+#endif  // HYPERPROF_SOC_CHAINED_SOC_H_

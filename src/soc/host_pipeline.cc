@@ -1,0 +1,172 @@
+#include "soc/host_pipeline.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/accel_model.h"
+#include "workloads/protowire/synthetic.h"
+#include "workloads/sha3.h"
+
+namespace hyperprof::soc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Bounded single-producer single-consumer queue of wire buffers. */
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  void Push(protowire::WireBuffer buffer) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(buffer));
+    not_empty_.notify_one();
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_one();
+  }
+
+  /** @return false when the queue is closed and drained. */
+  bool Pop(protowire::WireBuffer* out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+ private:
+  size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<protowire::WireBuffer> queue_;
+  bool closed_ = false;
+};
+
+uint64_t FoldDigest(
+    const std::array<uint8_t, workloads::Sha3_256::kDigestBytes>& digest) {
+  uint64_t folded = 0;
+  for (size_t i = 0; i < digest.size(); i += 8) {
+    uint64_t lane;
+    std::memcpy(&lane, digest.data() + i, 8);
+    folded ^= lane;
+  }
+  return folded;
+}
+
+}  // namespace
+
+double HostValidationResult::ModelErrorFraction() const {
+  if (modeled_chained_seconds <= 0) return 0.0;
+  double diff = chained_total_seconds - modeled_chained_seconds;
+  if (diff < 0) diff = -diff;
+  return diff / modeled_chained_seconds;
+}
+
+HostValidationResult RunHostValidation(size_t num_messages, uint64_t seed,
+                                       int repetitions) {
+  HostValidationResult result;
+  result.num_messages = num_messages;
+
+  Rng rng(seed);
+  protowire::SchemaPool pool;
+  protowire::SyntheticSchemaParams params;
+  const protowire::Descriptor* descriptor =
+      protowire::GenerateSchema(pool, params, rng);
+  auto messages = protowire::GenerateMessages(
+      descriptor, params, static_cast<int>(num_messages), rng);
+
+  // --- Serial benchmark: serialize everything, then hash everything. ---
+  std::vector<protowire::WireBuffer> buffers(num_messages);
+  auto serialize_once = [&](size_t i) {
+    for (int r = 0; r < repetitions; ++r) {
+      buffers[i] = messages[i]->Serialize();
+    }
+  };
+  auto hash_once = [&](const protowire::WireBuffer& buffer) {
+    uint64_t folded = 0;
+    for (int r = 0; r < repetitions; ++r) {
+      folded ^= FoldDigest(workloads::Sha3_256::Hash(buffer));
+    }
+    return folded;
+  };
+
+  Clock::time_point start = Clock::now();
+  for (size_t i = 0; i < num_messages; ++i) serialize_once(i);
+  result.serialize_seconds = SecondsSince(start);
+
+  Clock::time_point hash_start = Clock::now();
+  uint64_t digest_xor = 0;
+  for (size_t i = 0; i < num_messages; ++i) digest_xor ^= hash_once(buffers[i]);
+  result.hash_seconds = SecondsSince(hash_start);
+  result.serial_total_seconds = result.serialize_seconds + result.hash_seconds;
+
+  for (const auto& buffer : buffers) {
+    result.total_wire_bytes += buffer.size();
+  }
+
+  // --- Chained benchmark: two threads connected by a bounded FIFO. ---
+  uint64_t chained_xor = 0;
+  Clock::time_point chain_start = Clock::now();
+  {
+    BoundedQueue queue(16);
+    std::thread producer([&]() {
+      for (size_t i = 0; i < num_messages; ++i) {
+        protowire::WireBuffer buffer;
+        for (int r = 0; r < repetitions; ++r) {
+          buffer = messages[i]->Serialize();
+        }
+        queue.Push(std::move(buffer));
+      }
+      queue.Close();
+    });
+    protowire::WireBuffer buffer;
+    while (queue.Pop(&buffer)) {
+      chained_xor ^= hash_once(buffer);
+    }
+    producer.join();
+  }
+  result.chained_total_seconds = SecondsSince(chain_start);
+  result.digest_xor = digest_xor ^ chained_xor;  // 0 iff outputs agree
+
+  // --- Analytical prediction (Eq. 9-12): both stages "accelerated" at
+  // s=1 with zero penalty and chained, so the model predicts the longest
+  // stage bounds the pipeline. ---
+  model::Workload workload;
+  workload.name = "host-chain";
+  workload.t_cpu = result.serial_total_seconds;
+  workload.t_dep = 0;
+  workload.f = 1.0;
+  model::Component serialize;
+  serialize.name = "Protobuf";
+  serialize.t_sub = result.serialize_seconds;
+  serialize.chained = true;
+  model::Component hash;
+  hash.name = "Cryptography";
+  hash.t_sub = result.hash_seconds;
+  hash.chained = true;
+  workload.components = {serialize, hash};
+  model::AccelModel model(workload);
+  result.modeled_chained_seconds = model.AcceleratedE2e();
+  return result;
+}
+
+}  // namespace hyperprof::soc

@@ -1,0 +1,45 @@
+#ifndef HYPERPROF_SOC_HOST_PIPELINE_H_
+#define HYPERPROF_SOC_HOST_PIPELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hyperprof::soc {
+
+/**
+ * Host-measured software-chaining validation: real protowire messages are
+ * serialized by the real wire-format serializer and hashed by the real
+ * SHA3 kernel, first serially (all serialization, then all hashing) and
+ * then chained across two host threads connected by a bounded queue —
+ * the software analogue of the paper's chained-accelerator benchmark.
+ *
+ * All times are wall-clock seconds measured on this machine.
+ */
+struct HostValidationResult {
+  size_t num_messages = 0;
+  uint64_t total_wire_bytes = 0;
+  double serialize_seconds = 0;      // serial phase 1
+  double hash_seconds = 0;           // serial phase 2
+  double serial_total_seconds = 0;   // phase 1 + phase 2 (measured)
+  double chained_total_seconds = 0;  // two-thread pipeline (measured)
+  double modeled_chained_seconds = 0;  // Eq. 9-12 prediction
+  uint64_t digest_xor = 0;  // fold of all digests (output sanity check)
+
+  /** |measured - modeled| / modeled, the Table 8 headline metric. */
+  double ModelErrorFraction() const;
+};
+
+/**
+ * Runs the host validation.
+ *
+ * @param num_messages Messages in the batch.
+ * @param seed Generator seed (message shapes are deterministic given it).
+ * @param repetitions Serialize/hash each message this many times to get
+ *        measurable per-message work on fast hosts.
+ */
+HostValidationResult RunHostValidation(size_t num_messages, uint64_t seed,
+                                       int repetitions = 4);
+
+}  // namespace hyperprof::soc
+
+#endif  // HYPERPROF_SOC_HOST_PIPELINE_H_

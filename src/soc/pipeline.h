@@ -1,0 +1,85 @@
+#ifndef HYPERPROF_SOC_PIPELINE_H_
+#define HYPERPROF_SOC_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "soc/chained_soc.h"
+
+namespace hyperprof::soc {
+
+/**
+ * When an accelerator's setup runs relative to the workload.
+ */
+enum class SetupPolicy {
+  /** Armed at t = 0 (idle accelerator initializes while CPU prepares). */
+  kArmAtStart,
+  /**
+   * Started late so that `hidden_fraction` of it overlaps the tail of
+   * message initialization — the behaviour behind the Table 8
+   * measured-vs-modeled gap.
+   */
+  kHideUnderPreparation,
+};
+
+/** One accelerator stage of an N-deep chain. */
+struct PipelineStage {
+  std::string name;
+  double cpu_s_per_byte = 0;  // software (unaccelerated) cost
+  double speedup = 1.0;       // accelerator factor over the CPU cost
+  SimTime setup;              // per-invocation setup penalty
+  SetupPolicy setup_policy = SetupPolicy::kArmAtStart;
+  double hidden_fraction = 0.25;  // only for kHideUnderPreparation
+};
+
+/** Result of an N-stage pipeline run. */
+struct PipelineRunResult {
+  SimTime init_time;                 // app-core preparation
+  std::vector<SimTime> stage_busy;   // per-stage busy time (incl. setup)
+  SimTime total;                     // end-to-end completion
+};
+
+/**
+ * N-stage generalization of the protobuf->SHA3 chained SoC (the paper
+ * validates depth 2; Section 6.4 lists longer chains as future work).
+ * Messages stream through the stages in order; stage k of message i
+ * starts when stage k finished message i-1, stage k-1 finished message
+ * i, and stage k's setup is done.
+ */
+class AcceleratorPipeline {
+ public:
+  /**
+   * @param stages The chain, in dataflow order (>= 1 stage).
+   * @param cpu_init_s_per_message App-core preparation per message.
+   */
+  AcceleratorPipeline(std::vector<PipelineStage> stages,
+                      double cpu_init_s_per_message);
+
+  /** Everything on the CPU, phase by phase. */
+  PipelineRunResult RunUnaccelerated(const MessageBatch& batch) const;
+
+  /** Accelerators invoked synchronously, one full phase at a time. */
+  PipelineRunResult RunAcceleratedSync(const MessageBatch& batch) const;
+
+  /** Chained execution at message granularity. */
+  PipelineRunResult RunChained(const MessageBatch& batch) const;
+
+  /**
+   * The analytical chained prediction (Eq. 9-12): largest penalty plus
+   * largest accelerated stage time, after the unaccelerated preparation.
+   */
+  SimTime ModeledChained(const MessageBatch& batch) const;
+
+  const std::vector<PipelineStage>& stages() const { return stages_; }
+
+ private:
+  SimTime StageService(const PipelineStage& stage, uint64_t bytes) const;
+
+  std::vector<PipelineStage> stages_;
+  double cpu_init_s_per_message_;
+};
+
+}  // namespace hyperprof::soc
+
+#endif  // HYPERPROF_SOC_PIPELINE_H_

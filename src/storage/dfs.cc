@@ -1,0 +1,139 @@
+#include "storage/dfs.h"
+
+#include <cassert>
+#include <utility>
+
+#include "sim/sequence.h"
+
+namespace hyperprof::storage {
+
+namespace {
+
+uint64_t MixBlockId(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+DistributedFileSystem::DistributedFileSystem(sim::Simulator* sim,
+                                             net::RpcSystem* rpc,
+                                             DfsParams params, Rng rng)
+    : sim_(sim), rpc_(rpc), params_(params), rng_(std::move(rng)) {
+  assert(params_.num_fileservers > 0);
+  stores_.reserve(params_.num_fileservers);
+  for (uint32_t i = 0; i < params_.num_fileservers; ++i) {
+    stores_.push_back(std::make_unique<TieredStore>(params_.store));
+  }
+}
+
+uint32_t DistributedFileSystem::HomeServer(uint64_t block_id) const {
+  return static_cast<uint32_t>(MixBlockId(block_id) %
+                               params_.num_fileservers);
+}
+
+net::NodeId DistributedFileSystem::ServerNode(uint32_t index) const {
+  // Fileservers live in the local region, cluster 100+, one per host.
+  return net::NodeId{0, 100, index};
+}
+
+void DistributedFileSystem::PrewarmZipf(uint64_t ram_blocks,
+                                        uint64_t ssd_blocks,
+                                        uint64_t block_bytes) {
+  for (uint64_t id = 0; id < ssd_blocks; ++id) {
+    TieredStore* store = stores_[HomeServer(id)].get();
+    store->Prewarm(id, block_bytes, Tier::kSsd);
+    if (id < ram_blocks) store->Prewarm(id, block_bytes, Tier::kRam);
+  }
+}
+
+void DistributedFileSystem::Read(const net::NodeId& client, uint64_t block_id,
+                                 uint64_t bytes, ReadCallback on_done) {
+  uint32_t server_index = HomeServer(block_id);
+  TieredStore* store = stores_[server_index].get();
+  auto result = std::make_shared<IoResult>();
+  SimTime start = sim_->Now();
+
+  net::RpcOptions options;
+  options.method = "dfs.Read";
+  options.request_bytes = 128;  // block handle + offsets
+  options.response_bytes = bytes;
+
+  rpc_->Call(
+      client, ServerNode(server_index), options,
+      [this, store, block_id, bytes, result](std::function<void()> respond) {
+        AccessResult access = store->Read(block_id, bytes, rng_);
+        result->served_by = access.served_by;
+        result->device_time = access.device_time;
+        sim_->Schedule(access.device_time + params_.server_cpu_per_request,
+                       std::move(respond));
+      },
+      [start, result, on_done = std::move(on_done)](
+          const net::RpcResult& rpc_result) {
+        result->total_time = rpc_result.completed_at - start;
+        result->network_time = rpc_result.network_time;
+        on_done(*result);
+      });
+}
+
+void DistributedFileSystem::Write(const net::NodeId& client,
+                                  uint64_t block_id, uint64_t bytes,
+                                  uint32_t replication, ReadCallback on_done) {
+  assert(replication >= 1);
+  replication = std::min(replication, params_.num_fileservers);
+  uint32_t first = HomeServer(block_id);
+  SimTime start = sim_->Now();
+  auto result = std::make_shared<IoResult>();
+  result->served_by = Tier::kSsd;  // durable log append tier
+
+  auto finish = [this, start, result, on_done = std::move(on_done)]() {
+    result->total_time = sim_->Now() - start;
+    on_done(*result);
+  };
+  auto barrier = sim::Barrier(replication, std::move(finish));
+
+  for (uint32_t r = 0; r < replication; ++r) {
+    uint32_t server_index = (first + r) % params_.num_fileservers;
+    TieredStore* store = stores_[server_index].get();
+    net::RpcOptions options;
+    options.method = "dfs.Write";
+    options.request_bytes = bytes;
+    options.response_bytes = 64;  // ack
+    rpc_->Call(
+        client, ServerNode(server_index), options,
+        [this, store, block_id, bytes,
+         result](std::function<void()> respond) {
+          AccessResult access = store->Write(block_id, bytes, rng_);
+          // Record the slowest replica's media time.
+          if (access.device_time > result->device_time) {
+            result->device_time = access.device_time;
+          }
+          sim_->Schedule(access.device_time + params_.server_cpu_per_request,
+                         std::move(respond));
+        },
+        [result, barrier](const net::RpcResult& rpc_result) {
+          if (rpc_result.network_time > result->network_time) {
+            result->network_time = rpc_result.network_time;
+          }
+          barrier();
+        });
+  }
+}
+
+double DistributedFileSystem::TierServeFraction(Tier tier) const {
+  uint64_t total = 0;
+  uint64_t tier_count = 0;
+  for (const auto& store : stores_) {
+    total += store->reads();
+    tier_count += static_cast<uint64_t>(store->TierServeFraction(tier) *
+                                        static_cast<double>(store->reads()) +
+                                        0.5);
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(tier_count) /
+                          static_cast<double>(total);
+}
+
+}  // namespace hyperprof::storage

@@ -1,0 +1,94 @@
+#ifndef HYPERPROF_STORAGE_DFS_H_
+#define HYPERPROF_STORAGE_DFS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+#include "storage/tiered_store.h"
+
+namespace hyperprof::storage {
+
+/** Outcome of a distributed read or write. */
+struct IoResult {
+  Tier served_by = Tier::kRam;
+  SimTime total_time;    // client-observed end-to-end time
+  SimTime device_time;   // media time at the serving fileserver(s)
+  SimTime network_time;  // transport portion
+};
+
+/** Configuration of the distributed filesystem layer. */
+struct DfsParams {
+  uint32_t num_fileservers = 16;
+  TieredStoreParams store;
+  // Fileserver CPU cost per request (metadata lookup, checksum) in addition
+  // to media time; this is the "IO backend client compute" the paper's
+  // system-tax table calls File Systems.
+  SimTime server_cpu_per_request = SimTime::Micros(15);
+};
+
+/**
+ * Colossus-like distributed filesystem model: data blocks are spread across
+ * fileserver nodes (each a TieredStore) and accessed over the RPC fabric.
+ *
+ * Reads hash to one fileserver; replicated writes fan out to `replication`
+ * servers and complete when all acknowledge (production systems ack at a
+ * quorum of the durability set for the log; the full-set ack here is the
+ * conservative choice and is configurable by passing a smaller count).
+ */
+class DistributedFileSystem {
+ public:
+  using ReadCallback = std::function<void(const IoResult&)>;
+
+  DistributedFileSystem(sim::Simulator* sim, net::RpcSystem* rpc,
+                        DfsParams params, Rng rng);
+
+  DistributedFileSystem(const DistributedFileSystem&) = delete;
+  DistributedFileSystem& operator=(const DistributedFileSystem&) = delete;
+
+  /** Reads a block from its home fileserver. */
+  void Read(const net::NodeId& client, uint64_t block_id, uint64_t bytes,
+            ReadCallback on_done);
+
+  /** Durably writes a block to `replication` fileservers. */
+  void Write(const net::NodeId& client, uint64_t block_id, uint64_t bytes,
+             uint32_t replication, ReadCallback on_done);
+
+  /** The fileserver that owns a block (for tests). */
+  uint32_t HomeServer(uint64_t block_id) const;
+
+  /**
+   * Warms the caches with the hottest blocks of a Zipf-ranked block space
+   * (block id == popularity rank): ids [0, ram_blocks) go to RAM and SSD,
+   * ids [ram_blocks, ssd_blocks) to SSD only. Models the steady state a
+   * production fleet runs in rather than an all-cold start.
+   */
+  void PrewarmZipf(uint64_t ram_blocks, uint64_t ssd_blocks,
+                   uint64_t block_bytes);
+
+  const TieredStore& server_store(uint32_t index) const {
+    return *stores_[index];
+  }
+  uint32_t num_fileservers() const { return params_.num_fileservers; }
+
+  /** Aggregate fraction of reads served by each tier across all servers. */
+  double TierServeFraction(Tier tier) const;
+
+ private:
+  net::NodeId ServerNode(uint32_t index) const;
+
+  sim::Simulator* sim_;
+  net::RpcSystem* rpc_;
+  DfsParams params_;
+  Rng rng_;
+  std::vector<std::unique_ptr<TieredStore>> stores_;
+};
+
+}  // namespace hyperprof::storage
+
+#endif  // HYPERPROF_STORAGE_DFS_H_

@@ -1,0 +1,58 @@
+#include "storage/disaggregation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace hyperprof::storage {
+
+double DisaggregationStudy::SavingsFraction() const {
+  if (sum_of_peaks <= 0) return 0.0;
+  return 1.0 - peak_of_sum / sum_of_peaks;
+}
+
+DisaggregationStudy AnalyzeDisaggregation(
+    const std::vector<DemandSeries>& series) {
+  DisaggregationStudy study;
+  if (series.empty()) return study;
+  size_t steps = series[0].demand_bytes.size();
+  for (const DemandSeries& s : series) {
+    assert(s.demand_bytes.size() == steps);
+    double peak = 0;
+    for (double demand : s.demand_bytes) {
+      peak = std::max(peak, demand);
+    }
+    study.sum_of_peaks += peak;
+  }
+  for (size_t t = 0; t < steps; ++t) {
+    double total = 0;
+    for (const DemandSeries& s : series) {
+      total += s.demand_bytes[t];
+    }
+    study.peak_of_sum = std::max(study.peak_of_sum, total);
+  }
+  return study;
+}
+
+DemandSeries GenerateDiurnalDemand(const DiurnalParams& params,
+                                   size_t steps_per_day, Rng& rng) {
+  assert(steps_per_day > 0);
+  DemandSeries series;
+  series.platform = params.platform;
+  series.demand_bytes.reserve(steps_per_day);
+  for (size_t t = 0; t < steps_per_day; ++t) {
+    double hour = 24.0 * static_cast<double>(t) /
+                  static_cast<double>(steps_per_day);
+    // Cosine peaking at peak_hour, scaled to [0, 1].
+    double phase = (hour - params.peak_hour) / 24.0 * 2.0 *
+                   std::numbers::pi;
+    double diurnal = 0.5 * (1.0 + std::cos(phase));
+    double demand = params.base_bytes + params.peak_bytes * diurnal;
+    demand *= rng.NextLogNormal(0.0, params.noise_sigma);
+    series.demand_bytes.push_back(demand);
+  }
+  return series;
+}
+
+}  // namespace hyperprof::storage

@@ -1,0 +1,58 @@
+#ifndef HYPERPROF_STORAGE_DISAGGREGATION_H_
+#define HYPERPROF_STORAGE_DISAGGREGATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hyperprof::storage {
+
+/**
+ * Section 3's disaggregated-memory argument, made quantitative: platforms
+ * provision RAM for their individual peaks ("sum of peaks"), while a
+ * disaggregated pool only needs the peak of the *summed* demand
+ * ("peak of sum"), which is smaller whenever demand peaks do not align.
+ */
+
+/** A platform's memory-demand time series (bytes per time step). */
+struct DemandSeries {
+  std::string platform;
+  std::vector<double> demand_bytes;
+};
+
+/** Aggregate provisioning comparison across platforms. */
+struct DisaggregationStudy {
+  double sum_of_peaks = 0;  // per-platform provisioning
+  double peak_of_sum = 0;   // pooled provisioning
+  /** Fraction of RAM saved by pooling: 1 - peak_of_sum/sum_of_peaks. */
+  double SavingsFraction() const;
+};
+
+/** Computes both provisioning totals from the demand series. */
+DisaggregationStudy AnalyzeDisaggregation(
+    const std::vector<DemandSeries>& series);
+
+/** Shape of one platform's synthetic diurnal demand. */
+struct DiurnalParams {
+  std::string platform;
+  double base_bytes = 0;       // demand floor
+  double peak_bytes = 0;       // amplitude above the floor
+  double peak_hour = 12.0;     // local hour of the daily maximum [0, 24)
+  double noise_sigma = 0.05;   // lognormal noise on each sample
+};
+
+/**
+ * Generates a day of demand at the given resolution: a diurnal sinusoid
+ * peaking at `peak_hour` plus multiplicative noise — the classic shape of
+ * interactive-serving memory demand. Batch-analytics platforms are
+ * typically anti-correlated with serving (their peak_hour lands at
+ * night), which is exactly what makes pooling attractive.
+ */
+DemandSeries GenerateDiurnalDemand(const DiurnalParams& params,
+                                   size_t steps_per_day, Rng& rng);
+
+}  // namespace hyperprof::storage
+
+#endif  // HYPERPROF_STORAGE_DISAGGREGATION_H_

@@ -1,0 +1,66 @@
+#include "storage/lru_cache.h"
+
+namespace hyperprof::storage {
+
+LruCache::LruCache(uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+bool LruCache::Touch(uint64_t block_id) {
+  auto it = map_.find(block_id);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void LruCache::EvictUntilFits(uint64_t incoming_bytes) {
+  while (!lru_.empty() && used_bytes_ + incoming_bytes > capacity_bytes_) {
+    const Entry& victim = lru_.back();
+    used_bytes_ -= victim.bytes;
+    map_.erase(victim.block_id);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+bool LruCache::Insert(uint64_t block_id, uint64_t bytes) {
+  if (bytes > capacity_bytes_) return false;
+  auto it = map_.find(block_id);
+  if (it != map_.end()) {
+    used_bytes_ -= it->second->bytes;
+    it->second->bytes = bytes;
+    used_bytes_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    EvictUntilFits(0);
+    return true;
+  }
+  EvictUntilFits(bytes);
+  lru_.push_front(Entry{block_id, bytes});
+  map_[block_id] = lru_.begin();
+  used_bytes_ += bytes;
+  return true;
+}
+
+bool LruCache::Erase(uint64_t block_id) {
+  auto it = map_.find(block_id);
+  if (it == map_.end()) return false;
+  used_bytes_ -= it->second->bytes;
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+bool LruCache::Contains(uint64_t block_id) const {
+  return map_.count(block_id) > 0;
+}
+
+double LruCache::HitRate() const {
+  uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+}  // namespace hyperprof::storage

@@ -1,0 +1,72 @@
+#ifndef HYPERPROF_STORAGE_LRU_CACHE_H_
+#define HYPERPROF_STORAGE_LRU_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace hyperprof::storage {
+
+/**
+ * Byte-capacity LRU cache over opaque block ids.
+ *
+ * Tracks only residency (id -> size); the simulated data itself has no
+ * contents. Eviction is strict LRU by last touch. Used as the RAM read
+ * cache and the SSD flash cache of the tiered store.
+ */
+class LruCache {
+ public:
+  /** @param capacity_bytes Total bytes the cache may hold (>= 0). */
+  explicit LruCache(uint64_t capacity_bytes);
+
+  /**
+   * Looks up a block, promoting it to MRU on hit.
+   * @return true on hit.
+   */
+  bool Touch(uint64_t block_id);
+
+  /**
+   * Inserts (or refreshes) a block of the given size, evicting LRU entries
+   * until it fits. Blocks larger than the whole cache are not admitted.
+   * @return true if the block is resident after the call.
+   */
+  bool Insert(uint64_t block_id, uint64_t bytes);
+
+  /** Removes a block if present; returns true if it was resident. */
+  bool Erase(uint64_t block_id);
+
+  /** Residency check without LRU promotion. */
+  bool Contains(uint64_t block_id) const;
+
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  size_t entry_count() const { return map_.size(); }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+  /** Hit fraction over all Touch calls (0 when never touched). */
+  double HitRate() const;
+
+ private:
+  struct Entry {
+    uint64_t block_id;
+    uint64_t bytes;
+  };
+
+  void EvictUntilFits(uint64_t incoming_bytes);
+
+  uint64_t capacity_bytes_;
+  uint64_t used_bytes_ = 0;
+  std::list<Entry> lru_;  // front = MRU
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace hyperprof::storage
+
+#endif  // HYPERPROF_STORAGE_LRU_CACHE_H_

@@ -1,0 +1,321 @@
+#include "storage/lsm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hyperprof::storage {
+
+namespace {
+
+uint64_t EntryBytes(const LsmEntry& entry) {
+  return entry.key.size() + entry.value.size() + 16;  // header overhead
+}
+
+}  // namespace
+
+SsTable::SsTable(std::vector<LsmEntry> entries)
+    : entries_(std::move(entries)) {
+  assert(!entries_.empty());
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    assert(entries_[i - 1].key < entries_[i].key);
+  }
+  for (const LsmEntry& entry : entries_) {
+    data_bytes_ += EntryBytes(entry);
+  }
+  min_key_ = entries_.front().key;
+  max_key_ = entries_.back().key;
+}
+
+const LsmEntry* SsTable::Find(const std::string& key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const LsmEntry& entry, const std::string& k) {
+        return entry.key < k;
+      });
+  if (it == entries_.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+std::vector<const LsmEntry*> SsTable::Scan(const std::string& begin,
+                                           const std::string& end) const {
+  std::vector<const LsmEntry*> out;
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), begin,
+      [](const LsmEntry& entry, const std::string& k) {
+        return entry.key < k;
+      });
+  for (; it != entries_.end() && it->key < end; ++it) {
+    out.push_back(&*it);
+  }
+  return out;
+}
+
+bool SsTable::Overlaps(const std::string& min, const std::string& max) const {
+  return !(max_key_ < min || max < min_key_);
+}
+
+std::vector<LsmEntry> MergeRuns(
+    const std::vector<const SsTable*>& newest_first, bool drop_tombstones) {
+  // K-way merge by (key, recency): iterate runs in priority order and
+  // keep the first (newest) version of each key.
+  struct Cursor {
+    const SsTable* table;
+    size_t index;
+    size_t priority;  // lower = newer
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(newest_first.size());
+  for (size_t i = 0; i < newest_first.size(); ++i) {
+    if (newest_first[i]->entry_count() > 0) {
+      cursors.push_back(Cursor{newest_first[i], 0, i});
+    }
+  }
+  std::vector<LsmEntry> out;
+  while (!cursors.empty()) {
+    // Find the smallest key; break ties by priority (newest wins).
+    size_t best = 0;
+    for (size_t i = 1; i < cursors.size(); ++i) {
+      const std::string& candidate =
+          cursors[i].table->entries()[cursors[i].index].key;
+      const std::string& current =
+          cursors[best].table->entries()[cursors[best].index].key;
+      if (candidate < current ||
+          (candidate == current &&
+           cursors[i].priority < cursors[best].priority)) {
+        best = i;
+      }
+    }
+    const LsmEntry& winner =
+        cursors[best].table->entries()[cursors[best].index];
+    if (!(drop_tombstones && winner.deleted)) {
+      out.push_back(winner);
+    }
+    // Advance every cursor sitting on the winning key.
+    std::string key = winner.key;
+    for (size_t i = 0; i < cursors.size();) {
+      if (cursors[i].table->entries()[cursors[i].index].key == key) {
+        ++cursors[i].index;
+        if (cursors[i].index >= cursors[i].table->entry_count()) {
+          cursors.erase(cursors.begin() + static_cast<long>(i));
+          continue;
+        }
+      }
+      ++i;
+    }
+  }
+  return out;
+}
+
+double LsmStats::WriteAmplification() const {
+  if (user_bytes == 0) return 0.0;
+  return static_cast<double>(compacted_bytes) /
+         static_cast<double>(user_bytes);
+}
+
+LsmTree::LsmTree(LsmParams params) : params_(params) {
+  levels_.resize(params_.max_levels);
+}
+
+void LsmTree::Put(const std::string& key, std::string value) {
+  LsmEntry entry;
+  entry.key = key;
+  entry.value = std::move(value);
+  entry.sequence = next_sequence_++;
+  uint64_t bytes = EntryBytes(entry);
+  auto [it, inserted] = memtable_.insert_or_assign(key, std::move(entry));
+  (void)it;
+  ++stats_.writes;
+  stats_.user_bytes += bytes;
+  if (inserted) {
+    memtable_bytes_ += bytes;
+  }
+  MaybeFlush();
+}
+
+void LsmTree::Delete(const std::string& key) {
+  LsmEntry entry;
+  entry.key = key;
+  entry.sequence = next_sequence_++;
+  entry.deleted = true;
+  uint64_t bytes = EntryBytes(entry);
+  auto [it, inserted] = memtable_.insert_or_assign(key, std::move(entry));
+  (void)it;
+  ++stats_.writes;
+  stats_.user_bytes += bytes;
+  if (inserted) {
+    memtable_bytes_ += bytes;
+  }
+  MaybeFlush();
+}
+
+std::optional<std::string> LsmTree::Get(const std::string& key) {
+  ++stats_.reads;
+  if (auto it = memtable_.find(key); it != memtable_.end()) {
+    ++stats_.memtable_hits;
+    if (it->second.deleted) return std::nullopt;
+    return it->second.value;
+  }
+  // L0: newest run first (runs are appended, so iterate backwards).
+  const auto& level0 = levels_[0];
+  for (auto it = level0.rbegin(); it != level0.rend(); ++it) {
+    ++stats_.sstable_reads;
+    if (const LsmEntry* entry = (*it)->Find(key)) {
+      if (entry->deleted) return std::nullopt;
+      return entry->value;
+    }
+  }
+  // Deeper levels: non-overlapping, at most one table can hold the key.
+  for (size_t level = 1; level < levels_.size(); ++level) {
+    for (const auto& table : levels_[level]) {
+      if (key < table->min_key() || table->max_key() < key) continue;
+      ++stats_.sstable_reads;
+      if (const LsmEntry* entry = table->Find(key)) {
+        if (entry->deleted) return std::nullopt;
+        return entry->value;
+      }
+      break;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<std::string, std::string>> LsmTree::Scan(
+    const std::string& begin, const std::string& end) {
+  // Gather all candidate versions, then keep the newest per key.
+  std::map<std::string, const LsmEntry*> newest;
+  auto consider = [&newest](const LsmEntry* entry) {
+    auto [it, inserted] = newest.try_emplace(entry->key, entry);
+    if (!inserted && entry->sequence > it->second->sequence) {
+      it->second = entry;
+    }
+  };
+  for (auto it = memtable_.lower_bound(begin);
+       it != memtable_.end() && it->first < end; ++it) {
+    consider(&it->second);
+  }
+  for (const auto& level : levels_) {
+    for (const auto& table : level) {
+      if (!table->Overlaps(begin, end)) continue;
+      for (const LsmEntry* entry : table->Scan(begin, end)) {
+        consider(entry);
+      }
+    }
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [key, entry] : newest) {
+    if (!entry->deleted) out.emplace_back(key, entry->value);
+  }
+  return out;
+}
+
+void LsmTree::Flush() {
+  if (memtable_.empty()) return;
+  std::vector<LsmEntry> entries;
+  entries.reserve(memtable_.size());
+  for (auto& [key, entry] : memtable_) {
+    entries.push_back(std::move(entry));
+  }
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  auto table = std::make_unique<SsTable>(std::move(entries));
+  stats_.compacted_bytes += table->data_bytes();  // flush write
+  levels_[0].push_back(std::move(table));
+  ++stats_.flushes;
+  MaybeCompact();
+}
+
+void LsmTree::MaybeFlush() {
+  if (memtable_bytes_ >= params_.memtable_flush_bytes) Flush();
+}
+
+uint64_t LsmTree::LevelTargetBytes(size_t level) const {
+  // L1 target = multiplier x flush size; each deeper level multiplies.
+  uint64_t target = params_.memtable_flush_bytes;
+  for (size_t l = 0; l < level; ++l) {
+    target *= params_.level_size_multiplier;
+  }
+  return target;
+}
+
+uint64_t LsmTree::LevelBytes(size_t level) const {
+  uint64_t total = 0;
+  for (const auto& table : levels_[level]) total += table->data_bytes();
+  return total;
+}
+
+size_t LsmTree::TablesAtLevel(size_t level) const {
+  return levels_[level].size();
+}
+
+void LsmTree::MaybeCompact() {
+  if (levels_[0].size() >= params_.level0_compaction_trigger) {
+    CompactLevel(0);
+  }
+  for (size_t level = 1; level + 1 < levels_.size(); ++level) {
+    if (LevelBytes(level) > LevelTargetBytes(level)) {
+      CompactLevel(level);
+    }
+  }
+}
+
+void LsmTree::CompactLevel(size_t level) {
+  assert(level + 1 < levels_.size());
+  auto& source = levels_[level];
+  auto& target = levels_[level + 1];
+  if (source.empty()) return;
+
+  // Collect runs newest-first: all of the source level plus every
+  // overlapping table of the target level (target tables are older).
+  std::vector<const SsTable*> newest_first;
+  if (level == 0) {
+    for (auto it = source.rbegin(); it != source.rend(); ++it) {
+      newest_first.push_back(it->get());
+    }
+  } else {
+    for (const auto& table : source) newest_first.push_back(table.get());
+  }
+  std::string min_key = newest_first[0]->min_key();
+  std::string max_key = newest_first[0]->max_key();
+  for (const SsTable* table : newest_first) {
+    min_key = std::min(min_key, table->min_key());
+    max_key = std::max(max_key, table->max_key());
+  }
+  std::vector<std::unique_ptr<SsTable>> kept_target;
+  for (auto& table : target) {
+    if (table->Overlaps(min_key, max_key)) {
+      newest_first.push_back(table.get());
+    } else {
+      kept_target.push_back(std::move(table));
+    }
+  }
+
+  bool bottom = level + 2 >= levels_.size();
+  std::vector<LsmEntry> merged = MergeRuns(newest_first, bottom);
+  ++stats_.compactions;
+
+  source.clear();
+  target = std::move(kept_target);
+  if (!merged.empty()) {
+    auto table = std::make_unique<SsTable>(std::move(merged));
+    stats_.compacted_bytes += table->data_bytes();
+    // Keep the target level sorted by min_key (tables do not overlap).
+    auto pos = std::lower_bound(
+        target.begin(), target.end(), table,
+        [](const std::unique_ptr<SsTable>& a,
+           const std::unique_ptr<SsTable>& b) {
+          return a->min_key() < b->min_key();
+        });
+    target.insert(pos, std::move(table));
+  }
+}
+
+void LsmTree::CompactAll() {
+  Flush();
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    if (!levels_[level].empty()) {
+      CompactLevel(level);
+    }
+  }
+}
+
+}  // namespace hyperprof::storage

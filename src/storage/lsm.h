@@ -1,0 +1,150 @@
+#ifndef HYPERPROF_STORAGE_LSM_H_
+#define HYPERPROF_STORAGE_LSM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hyperprof::storage {
+
+/**
+ * A key-value entry in the LSM store. Deletions are tombstones
+ * (`deleted == true`) so they can mask older versions until compaction
+ * drops both.
+ */
+struct LsmEntry {
+  std::string key;
+  std::string value;
+  uint64_t sequence = 0;  // monotonically increasing write stamp
+  bool deleted = false;
+};
+
+/**
+ * An immutable sorted run of entries (one key per run, newest version
+ * kept at build time). This is the in-memory model of an SSTable: the
+ * fleet simulation prices its IO through the tiered store, while the
+ * *structure* (levels, overlap, merge behaviour) is real.
+ */
+class SsTable {
+ public:
+  /** Builds from entries that must be sorted by key and deduplicated. */
+  explicit SsTable(std::vector<LsmEntry> entries);
+
+  /** Point lookup via binary search. */
+  const LsmEntry* Find(const std::string& key) const;
+
+  /** All entries in [begin, end). */
+  std::vector<const LsmEntry*> Scan(const std::string& begin,
+                                    const std::string& end) const;
+
+  size_t entry_count() const { return entries_.size(); }
+  uint64_t data_bytes() const { return data_bytes_; }
+  const std::string& min_key() const { return min_key_; }
+  const std::string& max_key() const { return max_key_; }
+
+  /** True if this table's key range intersects [min, max]. */
+  bool Overlaps(const std::string& min, const std::string& max) const;
+
+  const std::vector<LsmEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<LsmEntry> entries_;
+  uint64_t data_bytes_ = 0;
+  std::string min_key_;
+  std::string max_key_;
+};
+
+/**
+ * Merges sorted runs newest-first, keeping the newest version of each
+ * key; when `drop_tombstones` is set (bottom-level compaction), deleted
+ * keys are removed entirely.
+ */
+std::vector<LsmEntry> MergeRuns(
+    const std::vector<const SsTable*>& newest_first, bool drop_tombstones);
+
+/** Configuration of the LSM tree. */
+struct LsmParams {
+  size_t memtable_flush_bytes = 64 << 10;  // flush threshold
+  size_t level0_compaction_trigger = 4;    // L0 run count trigger
+  size_t level_size_multiplier = 8;        // target size ratio per level
+  size_t max_levels = 5;
+};
+
+/** Counters for compaction/write-amplification reporting. */
+struct LsmStats {
+  uint64_t writes = 0;
+  uint64_t reads = 0;
+  uint64_t memtable_hits = 0;
+  uint64_t sstable_reads = 0;    // tables consulted across all reads
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t compacted_bytes = 0;  // bytes rewritten by compaction
+  uint64_t user_bytes = 0;       // logical bytes written by the user
+
+  /** Bytes rewritten per logical byte (flush + compaction amplification). */
+  double WriteAmplification() const;
+};
+
+/**
+ * Log-structured merge tree: memtable over leveled SSTables, the storage
+ * engine design under BigTable. Implements put/delete/get/scan, memtable
+ * flush, and size-tiered-into-leveled compaction — the "Compaction"
+ * core-compute category of the paper's Table 4 is this code path.
+ */
+class LsmTree {
+ public:
+  explicit LsmTree(LsmParams params = LsmParams());
+
+  LsmTree(const LsmTree&) = delete;
+  LsmTree& operator=(const LsmTree&) = delete;
+
+  /** Inserts or overwrites a key. */
+  void Put(const std::string& key, std::string value);
+
+  /** Deletes a key (writes a tombstone). */
+  void Delete(const std::string& key);
+
+  /**
+   * Point lookup: memtable first, then L0 newest-first, then one table
+   * per deeper level. Returns nullopt for missing or deleted keys.
+   */
+  std::optional<std::string> Get(const std::string& key);
+
+  /** Ordered scan of [begin, end) with newest-version semantics. */
+  std::vector<std::pair<std::string, std::string>> Scan(
+      const std::string& begin, const std::string& end);
+
+  /** Forces a memtable flush (no-op when empty). */
+  void Flush();
+
+  /** Runs compactions until every level is within its size target. */
+  void CompactAll();
+
+  size_t memtable_bytes() const { return memtable_bytes_; }
+  size_t level_count() const { return levels_.size(); }
+  size_t TablesAtLevel(size_t level) const;
+  uint64_t LevelBytes(size_t level) const;
+  const LsmStats& stats() const { return stats_; }
+
+ private:
+  void MaybeFlush();
+  void MaybeCompact();
+  void CompactLevel(size_t level);
+  uint64_t LevelTargetBytes(size_t level) const;
+
+  LsmParams params_;
+  uint64_t next_sequence_ = 1;
+  std::map<std::string, LsmEntry> memtable_;
+  size_t memtable_bytes_ = 0;
+  // levels_[0] holds possibly-overlapping runs, newest last; deeper
+  // levels hold non-overlapping tables sorted by min_key.
+  std::vector<std::vector<std::unique_ptr<SsTable>>> levels_;
+  LsmStats stats_;
+};
+
+}  // namespace hyperprof::storage
+
+#endif  // HYPERPROF_STORAGE_LSM_H_

@@ -1,0 +1,84 @@
+#include "storage/provisioning.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace hyperprof::storage {
+
+namespace {
+// The midpoint-corrected integral tail is accurate to ~1e-11 relative
+// beyond ten thousand exact terms for every skew used here, so a small
+// exact head keeps provisioning queries fast.
+constexpr uint64_t kExactTerms = 10000;
+}  // namespace
+
+double GeneralizedHarmonic(uint64_t k, double s) {
+  if (k == 0) return 0.0;
+  uint64_t head = k < kExactTerms ? k : kExactTerms;
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= head; ++i) {
+    sum += std::pow(static_cast<double>(i), -s);
+  }
+  if (k > head) {
+    // Integral tail with midpoint correction:
+    //   sum_{i=head+1..k} i^-s ~= integral_{head+0.5}^{k+0.5} x^-s dx.
+    double a = static_cast<double>(head) + 0.5;
+    double b = static_cast<double>(k) + 0.5;
+    if (std::fabs(s - 1.0) < 1e-12) {
+      sum += std::log(b / a);
+    } else {
+      sum += (std::pow(b, 1.0 - s) - std::pow(a, 1.0 - s)) / (1.0 - s);
+    }
+  }
+  return sum;
+}
+
+double ZipfMassFraction(uint64_t k, uint64_t n, double s) {
+  assert(n > 0);
+  if (k >= n) return 1.0;
+  return GeneralizedHarmonic(k, s) / GeneralizedHarmonic(n, s);
+}
+
+uint64_t MinKeysForMass(double target_mass, uint64_t n, double s) {
+  assert(n > 0);
+  if (target_mass <= 0) return 0;
+  if (target_mass >= 1.0) return n;
+  uint64_t lo = 1, hi = n;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (ZipfMassFraction(mid, n, s) >= target_mass) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+std::string TierSizes::RatioString() const {
+  return StrFormat("1 : %.0f : %.0f", SsdPerRam(), HddPerRam());
+}
+
+TierSizes ProvisionForProfile(const StorageProfile& profile) {
+  assert(profile.num_keys > 0);
+  assert(profile.ram_hit_target <= profile.ram_ssd_hit_target);
+  const double dataset_bytes =
+      static_cast<double>(profile.num_keys) * profile.avg_object_bytes;
+
+  uint64_t ram_keys =
+      MinKeysForMass(profile.ram_hit_target, profile.num_keys, profile.zipf_s);
+  uint64_t ram_ssd_keys = MinKeysForMass(profile.ram_ssd_hit_target,
+                                         profile.num_keys, profile.zipf_s);
+
+  TierSizes sizes;
+  sizes.ram_bytes = static_cast<double>(ram_keys) * profile.avg_object_bytes *
+                    (1.0 + profile.write_buffer_fraction);
+  sizes.ssd_bytes =
+      static_cast<double>(ram_ssd_keys) * profile.avg_object_bytes;
+  sizes.hdd_bytes = dataset_bytes * profile.replication;
+  return sizes;
+}
+
+}  // namespace hyperprof::storage

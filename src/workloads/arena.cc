@@ -1,0 +1,103 @@
+#include "workloads/arena.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace hyperprof::workloads {
+
+Arena::Arena(size_t initial_block_bytes)
+    : next_block_bytes_(std::max<size_t>(initial_block_bytes, 64)) {}
+
+void Arena::AddBlock(size_t min_bytes) {
+  size_t size = std::max(next_block_bytes_, min_bytes);
+  blocks_.push_back(
+      Block{std::make_unique<uint8_t[]>(size), size, 0});
+  next_block_bytes_ = size * 2;
+}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  assert(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  if (blocks_.empty()) AddBlock(bytes + alignment);
+  Block* block = &blocks_.back();
+  size_t aligned = (block->used + alignment - 1) & ~(alignment - 1);
+  if (aligned + bytes > block->size) {
+    AddBlock(bytes + alignment);
+    block = &blocks_.back();
+    aligned = (block->used + alignment - 1) & ~(alignment - 1);
+  }
+  block->used = aligned + bytes;
+  bytes_allocated_ += bytes;
+  return block->data.get() + aligned;
+}
+
+void Arena::Reset() {
+  if (blocks_.empty()) return;
+  // Keep the largest block to amortize reuse.
+  auto largest = std::max_element(
+      blocks_.begin(), blocks_.end(),
+      [](const Block& a, const Block& b) { return a.size < b.size; });
+  Block kept = std::move(*largest);
+  kept.used = 0;
+  blocks_.clear();
+  blocks_.push_back(std::move(kept));
+  bytes_allocated_ = 0;
+}
+
+namespace {
+
+size_t StressSize(Rng& rng) {
+  // Size classes drawn from a fleet-like mixture: mostly small objects,
+  // occasional large buffers.
+  double u = rng.NextDouble();
+  if (u < 0.6) return 16 + rng.NextBounded(112);       // small
+  if (u < 0.9) return 128 + rng.NextBounded(1920);     // medium
+  return 2048 + rng.NextBounded(30720);                // large
+}
+
+}  // namespace
+
+uint64_t MallocStress(size_t operations, Rng& rng) {
+  std::vector<std::unique_ptr<uint8_t[]>> live;
+  std::vector<size_t> sizes;
+  uint64_t checksum = 0;
+  for (size_t i = 0; i < operations; ++i) {
+    if (!live.empty() && rng.NextBool(0.45)) {
+      size_t victim = rng.NextBounded(live.size());
+      checksum += live[victim][0];
+      live[victim] = std::move(live.back());
+      sizes[victim] = sizes.back();
+      live.pop_back();
+      sizes.pop_back();
+    } else {
+      size_t size = StressSize(rng);
+      auto buf = std::make_unique<uint8_t[]>(size);
+      std::memset(buf.get(), static_cast<int>(i & 0xff), size);
+      checksum += buf[size / 2];
+      live.push_back(std::move(buf));
+      sizes.push_back(size);
+    }
+  }
+  for (const auto& buf : live) checksum += buf[0];
+  return checksum;
+}
+
+uint64_t ArenaStress(size_t operations, Rng& rng) {
+  Arena arena;
+  uint64_t checksum = 0;
+  size_t since_reset = 0;
+  for (size_t i = 0; i < operations; ++i) {
+    size_t size = StressSize(rng);
+    auto* buf = static_cast<uint8_t*>(arena.Allocate(size));
+    std::memset(buf, static_cast<int>(i & 0xff), size);
+    checksum += buf[size / 2];
+    // Arenas free in bulk; reset periodically as a request boundary.
+    if (++since_reset == 256) {
+      arena.Reset();
+      since_reset = 0;
+    }
+  }
+  return checksum;
+}
+
+}  // namespace hyperprof::workloads

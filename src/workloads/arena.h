@@ -1,0 +1,67 @@
+#ifndef HYPERPROF_WORKLOADS_ARENA_H_
+#define HYPERPROF_WORKLOADS_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hyperprof::workloads {
+
+/**
+ * Bump-pointer arena allocator with geometric block growth.
+ *
+ * Memory allocation is one of the paper's datacenter taxes (the Mallacc
+ * accelerator in Figure 15 targets it). The arena is the fast path used by
+ * the protowire message factories; the stress harness below exercises a
+ * mixed malloc/free pattern for the allocation microbenchmarks.
+ */
+class Arena {
+ public:
+  /** @param initial_block_bytes Size of the first block (doubles after). */
+  explicit Arena(size_t initial_block_bytes = 4096);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /** Allocates `bytes` with at least `alignment` (a power of two). */
+  void* Allocate(size_t bytes, size_t alignment = 8);
+
+  /** Drops all allocations but keeps the largest block for reuse. */
+  void Reset();
+
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size;
+    size_t used;
+  };
+
+  void AddBlock(size_t min_bytes);
+
+  std::vector<Block> blocks_;
+  size_t next_block_bytes_;
+  size_t bytes_allocated_ = 0;
+};
+
+/**
+ * Runs a deterministic mixed allocate/free workload against the global
+ * heap and returns a checksum over the touched memory (preventing the
+ * optimizer from deleting the work). Models the malloc-heavy behaviour the
+ * Mem. Allocation tax captures.
+ *
+ * @param operations Number of allocate-or-free steps.
+ */
+uint64_t MallocStress(size_t operations, Rng& rng);
+
+/** Same workload shape served from an Arena, for the ablation bench. */
+uint64_t ArenaStress(size_t operations, Rng& rng);
+
+}  // namespace hyperprof::workloads
+
+#endif  // HYPERPROF_WORKLOADS_ARENA_H_

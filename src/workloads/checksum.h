@@ -1,0 +1,25 @@
+#ifndef HYPERPROF_WORKLOADS_CHECKSUM_H_
+#define HYPERPROF_WORKLOADS_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hyperprof::workloads {
+
+/**
+ * CRC32C (Castagnoli, reflected polynomial 0x82F63B78), table-driven.
+ *
+ * Checksumming is the EDAC system tax in the paper's Table 3; every block
+ * the storage substrate "moves" is conceptually guarded by this kernel,
+ * and the microbenchmarks time it directly.
+ */
+uint32_t Crc32c(const uint8_t* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32c(const std::vector<uint8_t>& data, uint32_t seed = 0) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace hyperprof::workloads
+
+#endif  // HYPERPROF_WORKLOADS_CHECKSUM_H_

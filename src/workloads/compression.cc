@@ -1,0 +1,213 @@
+#include "workloads/compression.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hyperprof::workloads {
+
+namespace {
+
+constexpr int kHashBits = 14;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxLiteralShortLen = 60;
+
+uint32_t HashFour(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 0x1e35a7bdu) >> (32 - kHashBits);
+}
+
+void PutVarint32(std::vector<uint8_t>& out, uint32_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+bool GetVarint32(const uint8_t*& p, const uint8_t* end, uint32_t* value) {
+  uint32_t result = 0;
+  int shift = 0;
+  while (p < end && shift < 35) {
+    uint8_t byte = *p++;
+    result |= static_cast<uint32_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+void EmitLiteral(std::vector<uint8_t>& out, const uint8_t* data, size_t len) {
+  while (len > 0) {
+    size_t chunk = len;
+    if (chunk <= kMaxLiteralShortLen - 1) {
+      out.push_back(static_cast<uint8_t>((chunk - 1) << 2));
+    } else {
+      out.push_back(static_cast<uint8_t>(kMaxLiteralShortLen << 2));
+      PutVarint32(out, static_cast<uint32_t>(chunk));
+    }
+    out.insert(out.end(), data, data + chunk);
+    data += chunk;
+    len -= chunk;
+  }
+}
+
+void EmitCopy(std::vector<uint8_t>& out, size_t offset, size_t len) {
+  // Break long matches into <=255-byte copies, never leaving a tail
+  // shorter than the minimum copy length.
+  while (len > 0) {
+    size_t chunk = std::min<size_t>(len, 255);
+    if (len > chunk && len - chunk < kMinMatch) {
+      chunk = len - kMinMatch;
+    }
+    if (chunk <= 11 && offset < 2048) {
+      out.push_back(static_cast<uint8_t>(
+          1 | ((chunk - 4) << 2) | ((offset >> 8) << 5)));
+      out.push_back(static_cast<uint8_t>(offset & 0xff));
+    } else {
+      out.push_back(static_cast<uint8_t>(2 | ((chunk & 0x3f) << 2)));
+      out.push_back(static_cast<uint8_t>(chunk >> 6));
+      out.push_back(static_cast<uint8_t>(offset & 0xff));
+      out.push_back(static_cast<uint8_t>((offset >> 8) & 0xff));
+    }
+    len -= chunk;
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> LzCodec::Compress(const uint8_t* input, size_t size) {
+  std::vector<uint8_t> out;
+  out.reserve(size / 2 + 16);
+  PutVarint32(out, static_cast<uint32_t>(size));
+  if (size == 0) return out;
+
+  std::vector<uint32_t> table(kHashSize, 0xffffffffu);
+  size_t pos = 0;
+  size_t literal_start = 0;
+
+  while (pos + kMinMatch <= size) {
+    uint32_t h = HashFour(input + pos);
+    uint32_t candidate = table[h];
+    table[h] = static_cast<uint32_t>(pos);
+    if (candidate != 0xffffffffu && candidate < pos &&
+        pos - candidate < 65536 &&
+        std::memcmp(input + candidate, input + pos, kMinMatch) == 0) {
+      // Extend the match.
+      size_t match_len = kMinMatch;
+      while (pos + match_len < size &&
+             input[candidate + match_len] == input[pos + match_len]) {
+        ++match_len;
+      }
+      if (pos > literal_start) {
+        EmitLiteral(out, input + literal_start, pos - literal_start);
+      }
+      EmitCopy(out, pos - candidate, match_len);
+      // Seed hashes inside the match sparsely (every 4th byte) to keep
+      // compression O(n).
+      size_t seed_end = std::min(pos + match_len, size - kMinMatch);
+      for (size_t i = pos + 1; i + 4 <= seed_end; i += 4) {
+        table[HashFour(input + i)] = static_cast<uint32_t>(i);
+      }
+      pos += match_len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  if (size > literal_start) {
+    EmitLiteral(out, input + literal_start, size - literal_start);
+  }
+  return out;
+}
+
+bool LzCodec::Decompress(const uint8_t* input, size_t size,
+                         std::vector<uint8_t>* output) {
+  output->clear();
+  const uint8_t* p = input;
+  const uint8_t* end = input + size;
+  uint32_t expected_size;
+  if (!GetVarint32(p, end, &expected_size)) return false;
+  output->reserve(expected_size);
+
+  while (p < end) {
+    uint8_t tag = *p++;
+    switch (tag & 0x3) {
+      case 0: {  // literal
+        size_t len = (tag >> 2) + 1;
+        if (len == kMaxLiteralShortLen + 1) {
+          uint32_t long_len;
+          if (!GetVarint32(p, end, &long_len)) return false;
+          len = long_len;
+        }
+        if (static_cast<size_t>(end - p) < len) return false;
+        output->insert(output->end(), p, p + len);
+        p += len;
+        break;
+      }
+      case 1: {  // short copy
+        if (p >= end) return false;
+        size_t len = ((tag >> 2) & 0x7) + 4;
+        size_t offset = (static_cast<size_t>(tag >> 5) << 8) | *p++;
+        if (offset == 0 || offset > output->size()) return false;
+        size_t start = output->size() - offset;
+        for (size_t i = 0; i < len; ++i) {
+          output->push_back((*output)[start + i]);
+        }
+        break;
+      }
+      case 2: {  // long copy
+        if (end - p < 3) return false;
+        size_t len = (tag >> 2) | (static_cast<size_t>(*p) << 6);
+        ++p;
+        size_t offset = static_cast<size_t>(p[0]) |
+                        (static_cast<size_t>(p[1]) << 8);
+        p += 2;
+        if (offset == 0 || offset > output->size()) return false;
+        size_t start = output->size() - offset;
+        for (size_t i = 0; i < len; ++i) {
+          output->push_back((*output)[start + i]);
+        }
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  if (output->size() != expected_size) return false;
+  return true;
+}
+
+std::vector<uint8_t> GenerateCompressibleBuffer(size_t size, double entropy,
+                                                Rng& rng) {
+  entropy = std::clamp(entropy, 0.0, 1.0);
+  std::vector<uint8_t> out;
+  out.reserve(size);
+  // A small dictionary of motifs reused with probability (1 - entropy).
+  std::vector<std::vector<uint8_t>> motifs;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<uint8_t> motif(16 + rng.NextBounded(48));
+    for (auto& b : motif) b = static_cast<uint8_t>(rng.NextBounded(256));
+    motifs.push_back(std::move(motif));
+  }
+  while (out.size() < size) {
+    if (rng.NextBool(1.0 - entropy)) {
+      const auto& motif = motifs[rng.NextBounded(motifs.size())];
+      size_t take = std::min(motif.size(), size - out.size());
+      out.insert(out.end(), motif.begin(), motif.begin() + take);
+    } else {
+      size_t run = std::min<size_t>(8 + rng.NextBounded(24),
+                                    size - out.size());
+      for (size_t i = 0; i < run; ++i) {
+        out.push_back(static_cast<uint8_t>(rng.NextBounded(256)));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hyperprof::workloads

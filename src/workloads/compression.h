@@ -1,0 +1,59 @@
+#ifndef HYPERPROF_WORKLOADS_COMPRESSION_H_
+#define HYPERPROF_WORKLOADS_COMPRESSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hyperprof::workloads {
+
+/**
+ * Byte-oriented LZ block codec in the Snappy family, from scratch.
+ *
+ * (De)compression is the largest datacenter tax for BigTable and BigQuery
+ * in the paper; this codec is the real kernel behind those simulated
+ * cycles and behind the compression microbenchmarks.
+ *
+ * Format: a varint uncompressed length, then a stream of ops.
+ *   - Literal: tag byte (len-1) << 2 | 0, for len <= 60; longer literals
+ *     use tag 60<<2|0 followed by a varint length.
+ *   - Copy: tag byte 1 with 4-bit length (4..11) and 3 high offset bits +
+ *     one offset byte (offset < 2048), or tag 2 with byte length and
+ *     2-byte little-endian offset (offset < 65536).
+ * Matches are found with a 16-bit hash table over 4-byte sequences, as in
+ * the production fast-path compressors.
+ */
+class LzCodec {
+ public:
+  /** Compresses `input`; output always round-trips via Decompress. */
+  static std::vector<uint8_t> Compress(const uint8_t* input, size_t size);
+  static std::vector<uint8_t> Compress(const std::vector<uint8_t>& input) {
+    return Compress(input.data(), input.size());
+  }
+
+  /**
+   * Decompresses a block produced by Compress.
+   * @return false on malformed input (output is cleared).
+   */
+  static bool Decompress(const uint8_t* input, size_t size,
+                         std::vector<uint8_t>* output);
+  static bool Decompress(const std::vector<uint8_t>& input,
+                         std::vector<uint8_t>* output) {
+    return Decompress(input.data(), input.size(), output);
+  }
+};
+
+/**
+ * Generates a synthetic buffer with tunable compressibility: runs of
+ * repeated motifs (compressible) mixed with random bytes.
+ *
+ * @param entropy in [0,1]: 0 is a single repeated motif, 1 is pure noise.
+ */
+std::vector<uint8_t> GenerateCompressibleBuffer(size_t size, double entropy,
+                                                Rng& rng);
+
+}  // namespace hyperprof::workloads
+
+#endif  // HYPERPROF_WORKLOADS_COMPRESSION_H_

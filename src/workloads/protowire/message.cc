@@ -1,0 +1,340 @@
+#include "workloads/protowire/message.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace hyperprof::protowire {
+
+const char* FieldTypeName(FieldType type) {
+  switch (type) {
+    case FieldType::kInt64: return "int64";
+    case FieldType::kSint64: return "sint64";
+    case FieldType::kBool: return "bool";
+    case FieldType::kDouble: return "double";
+    case FieldType::kFloat: return "float";
+    case FieldType::kString: return "string";
+    case FieldType::kBytes: return "bytes";
+    case FieldType::kMessage: return "message";
+  }
+  return "unknown";
+}
+
+const FieldDescriptor* Descriptor::FindField(uint32_t number) const {
+  for (const auto& field : fields) {
+    if (field.number == number) return &field;
+  }
+  return nullptr;
+}
+
+Message::Message(const Descriptor* descriptor) : descriptor_(descriptor) {
+  assert(descriptor != nullptr);
+}
+
+Message::FieldSlot* Message::FindSlot(uint32_t number) {
+  for (auto& slot : slots_) {
+    if (slot.number == number) return &slot;
+  }
+  return nullptr;
+}
+
+const Message::FieldSlot* Message::FindSlot(uint32_t number) const {
+  for (const auto& slot : slots_) {
+    if (slot.number == number) return &slot;
+  }
+  return nullptr;
+}
+
+Message::FieldSlot& Message::SlotFor(uint32_t number) {
+  if (FieldSlot* slot = FindSlot(number)) return *slot;
+  slots_.push_back(FieldSlot{number, {}});
+  return slots_.back();
+}
+
+void Message::AddInt64(uint32_t number, int64_t value) {
+  const FieldDescriptor* field = descriptor_->FindField(number);
+  assert(field &&
+         (field->type == FieldType::kInt64 ||
+          field->type == FieldType::kSint64));
+  FieldSlot& slot = SlotFor(number);
+  if (!field->repeated) slot.values.clear();
+  slot.values.emplace_back(value);
+}
+
+void Message::AddBool(uint32_t number, bool value) {
+  const FieldDescriptor* field = descriptor_->FindField(number);
+  assert(field && field->type == FieldType::kBool);
+  FieldSlot& slot = SlotFor(number);
+  if (!field->repeated) slot.values.clear();
+  slot.values.emplace_back(value);
+}
+
+void Message::AddDouble(uint32_t number, double value) {
+  const FieldDescriptor* field = descriptor_->FindField(number);
+  assert(field && field->type == FieldType::kDouble);
+  FieldSlot& slot = SlotFor(number);
+  if (!field->repeated) slot.values.clear();
+  slot.values.emplace_back(value);
+}
+
+void Message::AddFloat(uint32_t number, float value) {
+  const FieldDescriptor* field = descriptor_->FindField(number);
+  assert(field && field->type == FieldType::kFloat);
+  FieldSlot& slot = SlotFor(number);
+  if (!field->repeated) slot.values.clear();
+  slot.values.emplace_back(value);
+}
+
+void Message::AddString(uint32_t number, std::string value) {
+  const FieldDescriptor* field = descriptor_->FindField(number);
+  assert(field && (field->type == FieldType::kString ||
+                   field->type == FieldType::kBytes));
+  FieldSlot& slot = SlotFor(number);
+  if (!field->repeated) slot.values.clear();
+  slot.values.emplace_back(std::move(value));
+}
+
+void Message::AddMessage(uint32_t number, std::unique_ptr<Message> value) {
+  const FieldDescriptor* field = descriptor_->FindField(number);
+  assert(field && field->type == FieldType::kMessage);
+  assert(value && value->descriptor() == field->message_type);
+  FieldSlot& slot = SlotFor(number);
+  if (!field->repeated) slot.values.clear();
+  slot.values.emplace_back(std::move(value));
+}
+
+const std::vector<FieldValue>& Message::ValuesOf(uint32_t number) const {
+  static const std::vector<FieldValue> kEmpty;
+  const FieldSlot* slot = FindSlot(number);
+  return slot ? slot->values : kEmpty;
+}
+
+namespace {
+
+size_t ValueWireSize(const FieldDescriptor& field, const FieldValue& value) {
+  size_t tag = VarintSize(static_cast<uint64_t>(field.number) << 3);
+  switch (field.type) {
+    case FieldType::kInt64:
+      return tag + VarintSize(static_cast<uint64_t>(std::get<int64_t>(value)));
+    case FieldType::kSint64:
+      return tag + VarintSize(ZigZagEncode(std::get<int64_t>(value)));
+    case FieldType::kBool:
+      return tag + 1;
+    case FieldType::kDouble:
+      return tag + 8;
+    case FieldType::kFloat:
+      return tag + 4;
+    case FieldType::kString:
+    case FieldType::kBytes: {
+      const std::string& s = std::get<std::string>(value);
+      return tag + VarintSize(s.size()) + s.size();
+    }
+    case FieldType::kMessage: {
+      size_t payload = std::get<std::unique_ptr<Message>>(value)->ByteSize();
+      return tag + VarintSize(payload) + payload;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+size_t Message::ByteSize() const {
+  size_t total = 0;
+  for (const auto& slot : slots_) {
+    const FieldDescriptor* field = descriptor_->FindField(slot.number);
+    assert(field != nullptr);
+    for (const auto& value : slot.values) {
+      total += ValueWireSize(*field, value);
+    }
+  }
+  return total;
+}
+
+void Message::SerializeTo(WireBuffer& out) const {
+  for (const auto& slot : slots_) {
+    const FieldDescriptor* field = descriptor_->FindField(slot.number);
+    assert(field != nullptr);
+    for (const auto& value : slot.values) {
+      switch (field->type) {
+        case FieldType::kInt64:
+          PutTag(out, field->number, WireType::kVarint);
+          PutVarint(out, static_cast<uint64_t>(std::get<int64_t>(value)));
+          break;
+        case FieldType::kSint64:
+          PutTag(out, field->number, WireType::kVarint);
+          PutSignedVarint(out, std::get<int64_t>(value));
+          break;
+        case FieldType::kBool:
+          PutTag(out, field->number, WireType::kVarint);
+          PutVarint(out, std::get<bool>(value) ? 1 : 0);
+          break;
+        case FieldType::kDouble: {
+          PutTag(out, field->number, WireType::kFixed64);
+          uint64_t bits;
+          double v = std::get<double>(value);
+          std::memcpy(&bits, &v, 8);
+          PutFixed64(out, bits);
+          break;
+        }
+        case FieldType::kFloat: {
+          PutTag(out, field->number, WireType::kFixed32);
+          uint32_t bits;
+          float v = std::get<float>(value);
+          std::memcpy(&bits, &v, 4);
+          PutFixed32(out, bits);
+          break;
+        }
+        case FieldType::kString:
+        case FieldType::kBytes:
+          PutTag(out, field->number, WireType::kLengthDelimited);
+          PutLengthDelimited(out, std::get<std::string>(value));
+          break;
+        case FieldType::kMessage: {
+          const Message& nested = *std::get<std::unique_ptr<Message>>(value);
+          PutTag(out, field->number, WireType::kLengthDelimited);
+          PutVarint(out, nested.ByteSize());
+          nested.SerializeTo(out);
+          break;
+        }
+      }
+    }
+  }
+}
+
+WireBuffer Message::Serialize() const {
+  WireBuffer out;
+  out.reserve(ByteSize());
+  SerializeTo(out);
+  return out;
+}
+
+std::unique_ptr<Message> Message::Parse(const Descriptor* descriptor,
+                                        const uint8_t* data, size_t size) {
+  auto message = std::make_unique<Message>(descriptor);
+  WireReader reader(data, size);
+  while (!reader.AtEnd()) {
+    uint32_t number;
+    WireType wire;
+    if (!reader.GetTag(&number, &wire)) return nullptr;
+    const FieldDescriptor* field = descriptor->FindField(number);
+    if (field == nullptr) {
+      if (!reader.SkipField(wire)) return nullptr;
+      continue;
+    }
+    switch (field->type) {
+      case FieldType::kInt64: {
+        if (wire != WireType::kVarint) return nullptr;
+        uint64_t v;
+        if (!reader.GetVarint(&v)) return nullptr;
+        message->AddInt64(number, static_cast<int64_t>(v));
+        break;
+      }
+      case FieldType::kSint64: {
+        if (wire != WireType::kVarint) return nullptr;
+        int64_t v;
+        if (!reader.GetSignedVarint(&v)) return nullptr;
+        message->AddInt64(number, v);
+        break;
+      }
+      case FieldType::kBool: {
+        if (wire != WireType::kVarint) return nullptr;
+        uint64_t v;
+        if (!reader.GetVarint(&v)) return nullptr;
+        message->AddBool(number, v != 0);
+        break;
+      }
+      case FieldType::kDouble: {
+        if (wire != WireType::kFixed64) return nullptr;
+        uint64_t bits;
+        if (!reader.GetFixed64(&bits)) return nullptr;
+        double v;
+        std::memcpy(&v, &bits, 8);
+        message->AddDouble(number, v);
+        break;
+      }
+      case FieldType::kFloat: {
+        if (wire != WireType::kFixed32) return nullptr;
+        uint32_t bits;
+        if (!reader.GetFixed32(&bits)) return nullptr;
+        float v;
+        std::memcpy(&v, &bits, 4);
+        message->AddFloat(number, v);
+        break;
+      }
+      case FieldType::kString:
+      case FieldType::kBytes: {
+        if (wire != WireType::kLengthDelimited) return nullptr;
+        const uint8_t* payload;
+        size_t payload_size;
+        if (!reader.GetLengthDelimited(&payload, &payload_size)) {
+          return nullptr;
+        }
+        message->AddString(
+            number, std::string(reinterpret_cast<const char*>(payload),
+                                payload_size));
+        break;
+      }
+      case FieldType::kMessage: {
+        if (wire != WireType::kLengthDelimited) return nullptr;
+        const uint8_t* payload;
+        size_t payload_size;
+        if (!reader.GetLengthDelimited(&payload, &payload_size)) {
+          return nullptr;
+        }
+        auto nested = Parse(field->message_type, payload, payload_size);
+        if (nested == nullptr) return nullptr;
+        message->AddMessage(number, std::move(nested));
+        break;
+      }
+    }
+  }
+  return message;
+}
+
+namespace {
+
+bool ValueEquals(const FieldValue& a, const FieldValue& b) {
+  if (a.index() != b.index()) return false;
+  if (std::holds_alternative<std::unique_ptr<Message>>(a)) {
+    return std::get<std::unique_ptr<Message>>(a)->Equals(
+        *std::get<std::unique_ptr<Message>>(b));
+  }
+  return a == b;
+}
+
+}  // namespace
+
+bool Message::Equals(const Message& other) const {
+  if (descriptor_ != other.descriptor_) return false;
+  // Compare per-field, tolerating slot-order differences.
+  for (const auto& field : descriptor_->fields) {
+    const auto& mine = ValuesOf(field.number);
+    const auto& theirs = other.ValuesOf(field.number);
+    if (mine.size() != theirs.size()) return false;
+    for (size_t i = 0; i < mine.size(); ++i) {
+      if (!ValueEquals(mine[i], theirs[i])) return false;
+    }
+  }
+  return true;
+}
+
+size_t Message::DeepValueCount() const {
+  size_t count = 0;
+  for (const auto& slot : slots_) {
+    for (const auto& value : slot.values) {
+      ++count;
+      if (std::holds_alternative<std::unique_ptr<Message>>(value)) {
+        count += std::get<std::unique_ptr<Message>>(value)->DeepValueCount();
+      }
+    }
+  }
+  return count;
+}
+
+Descriptor* SchemaPool::Add(std::string name) {
+  descriptors_.push_back(std::make_unique<Descriptor>());
+  descriptors_.back()->name = std::move(name);
+  return descriptors_.back().get();
+}
+
+}  // namespace hyperprof::protowire

@@ -1,0 +1,144 @@
+#ifndef HYPERPROF_WORKLOADS_PROTOWIRE_MESSAGE_H_
+#define HYPERPROF_WORKLOADS_PROTOWIRE_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "workloads/protowire/wire.h"
+
+namespace hyperprof::protowire {
+
+/** Logical field types (a representative subset of proto3 scalars). */
+enum class FieldType : uint8_t {
+  kInt64,    // varint
+  kSint64,   // zigzag varint
+  kBool,     // varint 0/1
+  kDouble,   // fixed64
+  kFloat,    // fixed32
+  kString,   // length-delimited
+  kBytes,    // length-delimited
+  kMessage,  // length-delimited nested message
+};
+
+const char* FieldTypeName(FieldType type);
+
+struct Descriptor;
+
+/** Schema of one field. */
+struct FieldDescriptor {
+  uint32_t number = 0;
+  FieldType type = FieldType::kInt64;
+  bool repeated = false;
+  std::string name;
+  // Set iff type == kMessage. Owned by the schema pool; non-null for
+  // message fields of a validated descriptor.
+  const Descriptor* message_type = nullptr;
+};
+
+/** Schema of one message type: fields ordered by field number. */
+struct Descriptor {
+  std::string name;
+  std::vector<FieldDescriptor> fields;
+
+  /** Returns the field with the given number, or nullptr. */
+  const FieldDescriptor* FindField(uint32_t number) const;
+};
+
+class Message;
+
+/** A single field value; repeated fields hold several FieldValues. */
+using FieldValue = std::variant<int64_t, bool, double, float, std::string,
+                                std::unique_ptr<Message>>;
+
+/**
+ * Dynamically-typed message instance bound to a Descriptor.
+ *
+ * Values are stored per field in declaration order; repeated fields carry
+ * multiple values. This mirrors how reflective protobuf runtimes hold
+ * parsed data and gives serialization a realistic memory-access pattern
+ * (pointer-chasing into nested messages, string copies).
+ */
+class Message {
+ public:
+  explicit Message(const Descriptor* descriptor);
+
+  Message(const Message&) = delete;
+  Message& operator=(const Message&) = delete;
+  Message(Message&&) = default;
+  Message& operator=(Message&&) = default;
+
+  const Descriptor* descriptor() const { return descriptor_; }
+
+  /** Appends a value to field `number` (scalar fields: sets/overwrites). */
+  void AddInt64(uint32_t number, int64_t value);
+  void AddBool(uint32_t number, bool value);
+  void AddDouble(uint32_t number, double value);
+  void AddFloat(uint32_t number, float value);
+  void AddString(uint32_t number, std::string value);
+  void AddMessage(uint32_t number, std::unique_ptr<Message> value);
+
+  /** Values present for a field (empty when unset). */
+  const std::vector<FieldValue>& ValuesOf(uint32_t number) const;
+  size_t FieldCount(uint32_t number) const { return ValuesOf(number).size(); }
+
+  /** Serialized wire size in bytes (computed, not cached). */
+  size_t ByteSize() const;
+
+  /** Appends the wire encoding of this message to `out`. */
+  void SerializeTo(WireBuffer& out) const;
+
+  /** Serializes into a fresh buffer. */
+  WireBuffer Serialize() const;
+
+  /**
+   * Parses wire bytes into a message of type `descriptor`.
+   * Unknown fields are skipped (proto semantics). Returns nullptr on
+   * malformed input.
+   */
+  static std::unique_ptr<Message> Parse(const Descriptor* descriptor,
+                                        const uint8_t* data, size_t size);
+
+  /** Structural equality on descriptor identity and all field values. */
+  bool Equals(const Message& other) const;
+
+  /** Total number of set values across all fields, including nested. */
+  size_t DeepValueCount() const;
+
+ private:
+  struct FieldSlot {
+    uint32_t number;
+    std::vector<FieldValue> values;
+  };
+
+  FieldSlot* FindSlot(uint32_t number);
+  const FieldSlot* FindSlot(uint32_t number) const;
+  FieldSlot& SlotFor(uint32_t number);
+
+  const Descriptor* descriptor_;
+  std::vector<FieldSlot> slots_;
+};
+
+/**
+ * Owning pool of message schemas; descriptors hand out stable pointers.
+ *
+ * Nested message fields reference descriptors in the same pool, so the pool
+ * must outlive all Messages created against it.
+ */
+class SchemaPool {
+ public:
+  /** Creates a new empty descriptor with the given type name. */
+  Descriptor* Add(std::string name);
+
+  size_t size() const { return descriptors_.size(); }
+  const Descriptor* at(size_t i) const { return descriptors_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<Descriptor>> descriptors_;
+};
+
+}  // namespace hyperprof::protowire
+
+#endif  // HYPERPROF_WORKLOADS_PROTOWIRE_MESSAGE_H_

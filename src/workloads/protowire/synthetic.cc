@@ -1,0 +1,122 @@
+#include "workloads/protowire/synthetic.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/strings.h"
+
+namespace hyperprof::protowire {
+
+namespace {
+
+const Descriptor* GenerateSchemaAtDepth(SchemaPool& pool,
+                                        const SyntheticSchemaParams& params,
+                                        int depth, Rng& rng) {
+  Descriptor* descriptor =
+      pool.Add(StrFormat("Synthetic.D%d.N%zu", depth, pool.size()));
+  uint32_t next_number = 1;
+
+  auto add_field = [&](FieldType type, const Descriptor* nested) {
+    FieldDescriptor field;
+    field.number = next_number++;
+    field.type = type;
+    field.repeated = rng.NextBool(params.repeated_probability);
+    field.name = StrFormat("f%u_%s", field.number, FieldTypeName(type));
+    field.message_type = nested;
+    descriptor->fields.push_back(std::move(field));
+  };
+
+  static const FieldType kScalarTypes[] = {
+      FieldType::kInt64, FieldType::kSint64, FieldType::kBool,
+      FieldType::kDouble, FieldType::kFloat};
+  for (int i = 0; i < params.num_scalar_fields; ++i) {
+    add_field(kScalarTypes[rng.NextBounded(std::size(kScalarTypes))],
+              nullptr);
+  }
+  for (int i = 0; i < params.num_string_fields; ++i) {
+    add_field(rng.NextBool(0.5) ? FieldType::kString : FieldType::kBytes,
+              nullptr);
+  }
+  if (depth < params.max_depth) {
+    for (int i = 0; i < params.num_message_fields; ++i) {
+      const Descriptor* nested =
+          GenerateSchemaAtDepth(pool, params, depth + 1, rng);
+      add_field(FieldType::kMessage, nested);
+    }
+  }
+  return descriptor;
+}
+
+std::string RandomString(const SyntheticSchemaParams& params, Rng& rng) {
+  double len = rng.NextLogNormal(params.string_len_mu, params.string_len_sigma);
+  size_t size = static_cast<size_t>(std::clamp(len, 1.0, 4096.0));
+  std::string out(size, '\0');
+  for (auto& c : out) {
+    c = static_cast<char>('a' + rng.NextBounded(26));
+  }
+  return out;
+}
+
+}  // namespace
+
+const Descriptor* GenerateSchema(SchemaPool& pool,
+                                 const SyntheticSchemaParams& params,
+                                 Rng& rng) {
+  return GenerateSchemaAtDepth(pool, params, 0, rng);
+}
+
+std::unique_ptr<Message> GenerateMessage(const Descriptor* descriptor,
+                                         const SyntheticSchemaParams& params,
+                                         Rng& rng) {
+  auto message = std::make_unique<Message>(descriptor);
+  for (const auto& field : descriptor->fields) {
+    if (!rng.NextBool(params.field_presence)) continue;
+    int count =
+        field.repeated
+            ? static_cast<int>(rng.NextInt(1, params.max_repeated_count))
+            : 1;
+    for (int i = 0; i < count; ++i) {
+      switch (field.type) {
+        case FieldType::kInt64:
+        case FieldType::kSint64:
+          message->AddInt64(field.number,
+                            static_cast<int64_t>(rng.Next() >> 16) -
+                                (1LL << 46));
+          break;
+        case FieldType::kBool:
+          message->AddBool(field.number, rng.NextBool(0.5));
+          break;
+        case FieldType::kDouble:
+          message->AddDouble(field.number, rng.NextGaussian() * 1e6);
+          break;
+        case FieldType::kFloat:
+          message->AddFloat(field.number,
+                            static_cast<float>(rng.NextGaussian()));
+          break;
+        case FieldType::kString:
+        case FieldType::kBytes:
+          message->AddString(field.number, RandomString(params, rng));
+          break;
+        case FieldType::kMessage:
+          message->AddMessage(field.number,
+                              GenerateMessage(field.message_type, params,
+                                              rng));
+          break;
+      }
+    }
+  }
+  return message;
+}
+
+std::vector<std::unique_ptr<Message>> GenerateMessages(
+    const Descriptor* descriptor, const SyntheticSchemaParams& params,
+    int count, Rng& rng) {
+  std::vector<std::unique_ptr<Message>> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(GenerateMessage(descriptor, params, rng));
+  }
+  return out;
+}
+
+}  // namespace hyperprof::protowire

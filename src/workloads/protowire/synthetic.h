@@ -1,0 +1,53 @@
+#ifndef HYPERPROF_WORKLOADS_PROTOWIRE_SYNTHETIC_H_
+#define HYPERPROF_WORKLOADS_PROTOWIRE_SYNTHETIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "workloads/protowire/message.h"
+
+namespace hyperprof::protowire {
+
+/**
+ * Shape parameters for fleet-representative synthetic protobuf messages.
+ *
+ * Defaults approximate the message population of HyperProtoBench (the
+ * fleet-derived protobuf benchmark the paper's validation builds on):
+ * string-heavy messages with shallow nesting, mixed scalar fields, and
+ * lognormal string lengths.
+ */
+struct SyntheticSchemaParams {
+  int num_scalar_fields = 6;      // scalar fields per message type
+  int num_string_fields = 4;      // string/bytes fields per message type
+  int num_message_fields = 2;     // nested-message fields per type
+  int max_depth = 3;              // nesting depth of the schema tree
+  double repeated_probability = 0.25;
+  double string_len_mu = 3.2;     // lognormal: median ~ e^3.2 ~ 24 bytes
+  double string_len_sigma = 1.1;
+  double field_presence = 0.8;    // probability a field is populated
+  int max_repeated_count = 8;
+};
+
+/**
+ * Generates a random message schema tree into `pool`.
+ *
+ * @return the root descriptor. Descriptors remain owned by the pool.
+ */
+const Descriptor* GenerateSchema(SchemaPool& pool,
+                                 const SyntheticSchemaParams& params,
+                                 Rng& rng);
+
+/** Populates one message instance of the given schema. */
+std::unique_ptr<Message> GenerateMessage(const Descriptor* descriptor,
+                                         const SyntheticSchemaParams& params,
+                                         Rng& rng);
+
+/** Generates `count` independent message instances. */
+std::vector<std::unique_ptr<Message>> GenerateMessages(
+    const Descriptor* descriptor, const SyntheticSchemaParams& params,
+    int count, Rng& rng);
+
+}  // namespace hyperprof::protowire
+
+#endif  // HYPERPROF_WORKLOADS_PROTOWIRE_SYNTHETIC_H_

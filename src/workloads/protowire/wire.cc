@@ -1,0 +1,152 @@
+#include "workloads/protowire/wire.h"
+
+#include <cstring>
+
+namespace hyperprof::protowire {
+
+void PutVarint(WireBuffer& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+void PutSignedVarint(WireBuffer& out, int64_t value) {
+  PutVarint(out, ZigZagEncode(value));
+}
+
+void PutFixed32(WireBuffer& out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void PutFixed64(WireBuffer& out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void PutTag(WireBuffer& out, uint32_t field_number, WireType type) {
+  PutVarint(out, (static_cast<uint64_t>(field_number) << 3) |
+                     static_cast<uint64_t>(type));
+}
+
+void PutLengthDelimited(WireBuffer& out, const uint8_t* data, size_t size) {
+  PutVarint(out, size);
+  out.insert(out.end(), data, data + size);
+}
+
+void PutLengthDelimited(WireBuffer& out, const std::string& data) {
+  PutLengthDelimited(out, reinterpret_cast<const uint8_t*>(data.data()),
+                     data.size());
+}
+
+size_t VarintSize(uint64_t value) {
+  size_t size = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+bool WireReader::GetVarint(uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (pos_ < size_) {
+    uint8_t byte = data_[pos_++];
+    if (shift >= 64) return false;  // overlong encoding
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // truncated
+}
+
+bool WireReader::GetSignedVarint(int64_t* value) {
+  uint64_t raw;
+  if (!GetVarint(&raw)) return false;
+  *value = ZigZagDecode(raw);
+  return true;
+}
+
+bool WireReader::GetFixed32(uint32_t* value) {
+  if (pos_ + 4 > size_) return false;
+  uint32_t v = 0;
+  std::memcpy(&v, data_ + pos_, 4);  // little-endian host assumed
+  pos_ += 4;
+  *value = v;
+  return true;
+}
+
+bool WireReader::GetFixed64(uint64_t* value) {
+  if (pos_ + 8 > size_) return false;
+  uint64_t v = 0;
+  std::memcpy(&v, data_ + pos_, 8);
+  pos_ += 8;
+  *value = v;
+  return true;
+}
+
+bool WireReader::GetTag(uint32_t* field_number, WireType* type) {
+  uint64_t raw;
+  if (!GetVarint(&raw)) return false;
+  uint64_t number = raw >> 3;
+  uint64_t wire = raw & 0x7;
+  if (number == 0 || number > 0x1fffffff) return false;
+  if (wire != 0 && wire != 1 && wire != 2 && wire != 5) return false;
+  *field_number = static_cast<uint32_t>(number);
+  *type = static_cast<WireType>(wire);
+  return true;
+}
+
+bool WireReader::GetLengthDelimited(const uint8_t** data, size_t* size) {
+  uint64_t length;
+  if (!GetVarint(&length)) return false;
+  if (length > size_ - pos_) return false;
+  *data = data_ + pos_;
+  *size = static_cast<size_t>(length);
+  pos_ += static_cast<size_t>(length);
+  return true;
+}
+
+bool WireReader::SkipField(WireType type) {
+  switch (type) {
+    case WireType::kVarint: {
+      uint64_t ignored;
+      return GetVarint(&ignored);
+    }
+    case WireType::kFixed64: {
+      if (pos_ + 8 > size_) return false;
+      pos_ += 8;
+      return true;
+    }
+    case WireType::kFixed32: {
+      if (pos_ + 4 > size_) return false;
+      pos_ += 4;
+      return true;
+    }
+    case WireType::kLengthDelimited: {
+      const uint8_t* ignored_data;
+      size_t ignored_size;
+      return GetLengthDelimited(&ignored_data, &ignored_size);
+    }
+  }
+  return false;
+}
+
+}  // namespace hyperprof::protowire

@@ -1,0 +1,91 @@
+#ifndef HYPERPROF_WORKLOADS_PROTOWIRE_WIRE_H_
+#define HYPERPROF_WORKLOADS_PROTOWIRE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyperprof::protowire {
+
+/**
+ * Protocol-buffers wire types (the physical encoding of a field).
+ *
+ * This module implements the protobuf wire format from scratch — varints,
+ * zigzag, tags, length-delimited payloads — because (de)serialization is
+ * one of the dominant datacenter taxes the paper characterizes, and the
+ * Table 8 validation chains real serialization into real hashing.
+ */
+enum class WireType : uint8_t {
+  kVarint = 0,
+  kFixed64 = 1,
+  kLengthDelimited = 2,
+  kFixed32 = 5,
+};
+
+/** Append-only output buffer for wire encoding. */
+using WireBuffer = std::vector<uint8_t>;
+
+/** Appends a base-128 varint. */
+void PutVarint(WireBuffer& out, uint64_t value);
+
+/** Appends a zigzag-encoded signed varint. */
+void PutSignedVarint(WireBuffer& out, int64_t value);
+
+/** Appends a little-endian fixed 32-bit value. */
+void PutFixed32(WireBuffer& out, uint32_t value);
+
+/** Appends a little-endian fixed 64-bit value. */
+void PutFixed64(WireBuffer& out, uint64_t value);
+
+/** Appends a field tag (field number + wire type). */
+void PutTag(WireBuffer& out, uint32_t field_number, WireType type);
+
+/** Appends a length-prefixed byte string. */
+void PutLengthDelimited(WireBuffer& out, const uint8_t* data, size_t size);
+void PutLengthDelimited(WireBuffer& out, const std::string& data);
+
+/** Number of bytes PutVarint would write for `value`. */
+size_t VarintSize(uint64_t value);
+
+/** Zigzag transforms between signed and unsigned space. */
+uint64_t ZigZagEncode(int64_t value);
+int64_t ZigZagDecode(uint64_t value);
+
+/**
+ * Sequential wire-format reader with bounds checking.
+ *
+ * All getters return false on malformed or truncated input instead of
+ * reading out of bounds; decode failure is a data error, not a crash.
+ */
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+  explicit WireReader(const WireBuffer& buffer)
+      : WireReader(buffer.data(), buffer.size()) {}
+
+  bool AtEnd() const { return pos_ >= size_; }
+  size_t position() const { return pos_; }
+
+  bool GetVarint(uint64_t* value);
+  bool GetSignedVarint(int64_t* value);
+  bool GetFixed32(uint32_t* value);
+  bool GetFixed64(uint64_t* value);
+  bool GetTag(uint32_t* field_number, WireType* type);
+
+  /** Reads a length prefix then exposes that many bytes. */
+  bool GetLengthDelimited(const uint8_t** data, size_t* size);
+
+  /** Skips a field's payload given its wire type. */
+  bool SkipField(WireType type);
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+}  // namespace hyperprof::protowire
+
+#endif  // HYPERPROF_WORKLOADS_PROTOWIRE_WIRE_H_

@@ -1,0 +1,264 @@
+#include "workloads/query_plan.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace hyperprof::relational {
+
+namespace {
+
+const char* PredicateName(Predicate pred) {
+  switch (pred) {
+    case Predicate::kLess: return "<";
+    case Predicate::kLessEq: return "<=";
+    case Predicate::kEq: return "==";
+    case Predicate::kNotEq: return "!=";
+    case Predicate::kGreaterEq: return ">=";
+    case Predicate::kGreater: return ">";
+  }
+  return "?";
+}
+
+const char* AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kSum: return "sum";
+    case AggOp::kCount: return "count";
+    case AggOp::kMin: return "min";
+    case AggOp::kMax: return "max";
+  }
+  return "?";
+}
+
+size_t RequireColumn(const Table& table, const std::string& name) {
+  int index = table.FindColumn(name);
+  assert(index >= 0 && "unknown column in plan");
+  return static_cast<size_t>(index);
+}
+
+class TableSourceNode : public PlanNode {
+ public:
+  TableSourceNode(const Table* table, std::string name)
+      : table_(table), name_(std::move(name)) {
+    assert(table != nullptr);
+  }
+  Table Execute() const override {
+    std::vector<size_t> all(table_->num_columns());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return Project(*table_, all);
+  }
+  std::string Describe() const override {
+    return StrFormat("TableSource(%s, %zu rows)", name_.c_str(),
+                     table_->num_rows());
+  }
+
+ private:
+  const Table* table_;
+  std::string name_;
+};
+
+class FilterNode : public PlanNode {
+ public:
+  FilterNode(PlanPtr child, std::string column, Predicate pred,
+             int64_t literal)
+      : column_(std::move(column)), pred_(pred), literal_(literal) {
+    children_.push_back(std::move(child));
+  }
+  Table Execute() const override {
+    Table input = children_[0]->Execute();
+    size_t column_index = RequireColumn(input, column_);
+    auto selection =
+        relational::Filter(input.column(column_index), pred_, literal_);
+    std::vector<size_t> all(input.num_columns());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return Materialize(input, selection, all);
+  }
+  std::string Describe() const override {
+    return StrFormat("Filter(%s %s %lld)", column_.c_str(),
+                     PredicateName(pred_), static_cast<long long>(literal_));
+  }
+
+ private:
+  std::string column_;
+  Predicate pred_;
+  int64_t literal_;
+};
+
+class ProjectNode : public PlanNode {
+ public:
+  ProjectNode(PlanPtr child, std::vector<std::string> columns)
+      : columns_(std::move(columns)) {
+    children_.push_back(std::move(child));
+  }
+  Table Execute() const override {
+    Table input = children_[0]->Execute();
+    std::vector<size_t> indices;
+    indices.reserve(columns_.size());
+    for (const auto& name : columns_) {
+      indices.push_back(RequireColumn(input, name));
+    }
+    return Project(input, indices);
+  }
+  std::string Describe() const override {
+    return "Project(" + StrJoin(columns_, ", ") + ")";
+  }
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+class AggregateNode : public PlanNode {
+ public:
+  AggregateNode(PlanPtr child, std::string group_column,
+                std::string value_column, AggOp op, bool sorted)
+      : group_column_(std::move(group_column)),
+        value_column_(std::move(value_column)),
+        op_(op),
+        sorted_(sorted) {
+    children_.push_back(std::move(child));
+  }
+  Table Execute() const override {
+    Table input = children_[0]->Execute();
+    size_t group_index = RequireColumn(input, group_column_);
+    size_t value_index = RequireColumn(input, value_column_);
+    return sorted_ ? SortAggregate(input, group_index, value_index, op_)
+                   : HashAggregate(input, group_index, value_index, op_);
+  }
+  std::string Describe() const override {
+    return StrFormat("%sAggregate(%s(%s) by %s)", sorted_ ? "Sort" : "Hash",
+                     AggOpName(op_), value_column_.c_str(),
+                     group_column_.c_str());
+  }
+
+ private:
+  std::string group_column_;
+  std::string value_column_;
+  AggOp op_;
+  bool sorted_;
+};
+
+class HashJoinNode : public PlanNode {
+ public:
+  HashJoinNode(PlanPtr left, std::string left_key, PlanPtr right,
+               std::string right_key)
+      : left_key_(std::move(left_key)), right_key_(std::move(right_key)) {
+    children_.push_back(std::move(left));
+    children_.push_back(std::move(right));
+  }
+  Table Execute() const override {
+    Table left = children_[0]->Execute();
+    Table right = children_[1]->Execute();
+    return HashJoin(left, RequireColumn(left, left_key_), right,
+                    RequireColumn(right, right_key_));
+  }
+  std::string Describe() const override {
+    return StrFormat("HashJoin(%s == %s)", left_key_.c_str(),
+                     right_key_.c_str());
+  }
+
+ private:
+  std::string left_key_;
+  std::string right_key_;
+};
+
+class SortNode : public PlanNode {
+ public:
+  SortNode(PlanPtr child, std::string column) : column_(std::move(column)) {
+    children_.push_back(std::move(child));
+  }
+  Table Execute() const override {
+    Table input = children_[0]->Execute();
+    SortByColumn(input, RequireColumn(input, column_));
+    return input;
+  }
+  std::string Describe() const override {
+    return StrFormat("Sort(%s)", column_.c_str());
+  }
+
+ private:
+  std::string column_;
+};
+
+class LimitNode : public PlanNode {
+ public:
+  LimitNode(PlanPtr child, size_t limit) : limit_(limit) {
+    children_.push_back(std::move(child));
+  }
+  Table Execute() const override {
+    Table input = children_[0]->Execute();
+    size_t keep = std::min(limit_, input.num_rows());
+    std::vector<uint32_t> selection(keep);
+    for (size_t i = 0; i < keep; ++i) {
+      selection[i] = static_cast<uint32_t>(i);
+    }
+    std::vector<size_t> all(input.num_columns());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return Materialize(input, selection, all);
+  }
+  std::string Describe() const override {
+    return StrFormat("Limit(%zu)", limit_);
+  }
+
+ private:
+  size_t limit_;
+};
+
+}  // namespace
+
+std::string PlanNode::DescribeTree(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += Describe() + "\n";
+  for (const auto& child : children_) {
+    out += child->DescribeTree(indent + 1);
+  }
+  return out;
+}
+
+PlanPtr MakeTableSource(const Table* table, std::string name) {
+  return std::make_unique<TableSourceNode>(table, std::move(name));
+}
+
+PlanPtr MakeFilter(PlanPtr child, std::string column, Predicate pred,
+                   int64_t literal) {
+  return std::make_unique<FilterNode>(std::move(child), std::move(column),
+                                      pred, literal);
+}
+
+PlanPtr MakeProject(PlanPtr child, std::vector<std::string> columns) {
+  return std::make_unique<ProjectNode>(std::move(child),
+                                       std::move(columns));
+}
+
+PlanPtr MakeHashAggregate(PlanPtr child, std::string group_column,
+                          std::string value_column, AggOp op) {
+  return std::make_unique<AggregateNode>(std::move(child),
+                                         std::move(group_column),
+                                         std::move(value_column), op,
+                                         /*sorted=*/false);
+}
+
+PlanPtr MakeSortAggregate(PlanPtr child, std::string group_column,
+                          std::string value_column, AggOp op) {
+  return std::make_unique<AggregateNode>(std::move(child),
+                                         std::move(group_column),
+                                         std::move(value_column), op,
+                                         /*sorted=*/true);
+}
+
+PlanPtr MakeHashJoin(PlanPtr left, std::string left_key, PlanPtr right,
+                     std::string right_key) {
+  return std::make_unique<HashJoinNode>(std::move(left),
+                                        std::move(left_key),
+                                        std::move(right),
+                                        std::move(right_key));
+}
+
+PlanPtr MakeSort(PlanPtr child, std::string column) {
+  return std::make_unique<SortNode>(std::move(child), std::move(column));
+}
+
+PlanPtr MakeLimit(PlanPtr child, size_t limit) {
+  return std::make_unique<LimitNode>(std::move(child), limit);
+}
+
+}  // namespace hyperprof::relational

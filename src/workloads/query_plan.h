@@ -1,0 +1,76 @@
+#ifndef HYPERPROF_WORKLOADS_QUERY_PLAN_H_
+#define HYPERPROF_WORKLOADS_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/relational.h"
+
+namespace hyperprof::relational {
+
+/**
+ * A small composable query executor over the columnar kernels — the
+ * "Query" / analytics core-compute code path in executable form. Plans
+ * are trees of operators; Execute() materializes bottom-up (simple bulk
+ * execution, which is how the vectorized engines the paper profiles
+ * behave at block granularity).
+ *
+ * Operators: TableSource, Filter, Project, HashAggregate, SortAggregate,
+ * HashJoin, Sort, Limit.
+ */
+class PlanNode {
+ public:
+  virtual ~PlanNode() = default;
+
+  /** Executes the subtree and returns the result table. */
+  virtual Table Execute() const = 0;
+
+  /** One-line description, e.g. "Filter(key < 10)". */
+  virtual std::string Describe() const = 0;
+
+  /** Renders the operator tree, one node per line, indented. */
+  std::string DescribeTree(int indent = 0) const;
+
+  const std::vector<std::unique_ptr<PlanNode>>& children() const {
+    return children_;
+  }
+
+ protected:
+  std::vector<std::unique_ptr<PlanNode>> children_;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/** Leaf: scans an in-memory table (by reference; caller keeps it alive). */
+PlanPtr MakeTableSource(const Table* table, std::string name = "table");
+
+/** Filters rows of the child by `column <pred> literal`. */
+PlanPtr MakeFilter(PlanPtr child, std::string column, Predicate pred,
+                   int64_t literal);
+
+/** Keeps only the named columns, in order. */
+PlanPtr MakeProject(PlanPtr child, std::vector<std::string> columns);
+
+/** Groups by `group_column`, aggregating `value_column` with `op`. */
+PlanPtr MakeHashAggregate(PlanPtr child, std::string group_column,
+                          std::string value_column, AggOp op);
+
+/** Sort-based variant of the aggregate (key-ordered output). */
+PlanPtr MakeSortAggregate(PlanPtr child, std::string group_column,
+                          std::string value_column, AggOp op);
+
+/** Inner hash join of two children on the named key columns. */
+PlanPtr MakeHashJoin(PlanPtr left, std::string left_key, PlanPtr right,
+                     std::string right_key);
+
+/** Sorts the child's rows by the named column. */
+PlanPtr MakeSort(PlanPtr child, std::string column);
+
+/** Keeps the first `limit` rows. */
+PlanPtr MakeLimit(PlanPtr child, size_t limit);
+
+}  // namespace hyperprof::relational
+
+#endif  // HYPERPROF_WORKLOADS_QUERY_PLAN_H_

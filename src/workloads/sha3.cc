@@ -1,0 +1,134 @@
+#include "workloads/sha3.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace hyperprof::workloads {
+
+namespace {
+
+constexpr int kRounds = 24;
+
+constexpr uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+};
+
+// Rotation offsets for the rho step, indexed [x][y].
+constexpr int kRho[5][5] = {
+    {0, 36, 3, 41, 18},
+    {1, 44, 10, 45, 2},
+    {62, 6, 43, 15, 61},
+    {28, 55, 25, 21, 56},
+    {27, 20, 39, 8, 14},
+};
+
+uint64_t Rotl64(uint64_t v, int k) {
+  return k == 0 ? v : (v << k) | (v >> (64 - k));
+}
+
+}  // namespace
+
+Sha3_256::Sha3_256() : buffer_fill_(0), finished_(false) {
+  state_.fill(0);
+  buffer_.fill(0);
+}
+
+void Sha3_256::KeccakF() {
+  auto& a = state_;  // a[x + 5*y]
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta.
+    uint64_t c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    }
+    uint64_t d[5];
+    for (int x = 0; x < 5; ++x) {
+      d[x] = c[(x + 4) % 5] ^ Rotl64(c[(x + 1) % 5], 1);
+    }
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        a[x + 5 * y] ^= d[x];
+      }
+    }
+    // Rho + Pi.
+    uint64_t b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        b[y + 5 * ((2 * x + 3 * y) % 5)] = Rotl64(a[x + 5 * y], kRho[x][y]);
+      }
+    }
+    // Chi.
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        a[x + 5 * y] =
+            b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // Iota.
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+void Sha3_256::Absorb() {
+  for (size_t i = 0; i < kRateBytes / 8; ++i) {
+    uint64_t lane;
+    std::memcpy(&lane, buffer_.data() + 8 * i, 8);
+    state_[i] ^= lane;  // little-endian host assumed
+  }
+  KeccakF();
+  buffer_fill_ = 0;
+}
+
+void Sha3_256::Update(const uint8_t* data, size_t size) {
+  assert(!finished_);
+  while (size > 0) {
+    size_t take = std::min(size, kRateBytes - buffer_fill_);
+    std::memcpy(buffer_.data() + buffer_fill_, data, take);
+    buffer_fill_ += take;
+    data += take;
+    size -= take;
+    if (buffer_fill_ == kRateBytes) Absorb();
+  }
+}
+
+std::array<uint8_t, Sha3_256::kDigestBytes> Sha3_256::Finish() {
+  assert(!finished_);
+  finished_ = true;
+  // Pad10*1 with SHA-3 domain bits: 0x06 ... 0x80.
+  std::memset(buffer_.data() + buffer_fill_, 0, kRateBytes - buffer_fill_);
+  buffer_[buffer_fill_] = 0x06;
+  buffer_[kRateBytes - 1] |= 0x80;
+  Absorb();
+  std::array<uint8_t, kDigestBytes> digest;
+  std::memcpy(digest.data(), state_.data(), kDigestBytes);
+  return digest;
+}
+
+std::array<uint8_t, Sha3_256::kDigestBytes> Sha3_256::Hash(
+    const uint8_t* data, size_t size) {
+  Sha3_256 hasher;
+  hasher.Update(data, size);
+  return hasher.Finish();
+}
+
+std::string DigestToHex(
+    const std::array<uint8_t, Sha3_256::kDigestBytes>& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(d.size() * 2);
+  for (uint8_t byte : d) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace hyperprof::workloads

@@ -1,0 +1,62 @@
+#ifndef HYPERPROF_WORKLOADS_SHA3_H_
+#define HYPERPROF_WORKLOADS_SHA3_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyperprof::workloads {
+
+/**
+ * SHA3-256 (FIPS 202) implemented from scratch on Keccak-f[1600].
+ *
+ * Cryptographic hashing is one of the paper's datacenter taxes; the Table 8
+ * validation chains protobuf serialization into exactly this hash. The
+ * implementation is a straightforward sponge: rate 1088 bits, capacity 512,
+ * domain padding 0x06.
+ */
+class Sha3_256 {
+ public:
+  static constexpr size_t kDigestBytes = 32;
+  static constexpr size_t kRateBytes = 136;  // (1600 - 2*256) / 8
+
+  Sha3_256();
+
+  /** Absorbs more input. May be called repeatedly. */
+  void Update(const uint8_t* data, size_t size);
+  void Update(const std::vector<uint8_t>& data) {
+    Update(data.data(), data.size());
+  }
+
+  /**
+   * Pads, squeezes, and returns the 32-byte digest. The object must not be
+   * reused after Finish (construct a fresh one per message).
+   */
+  std::array<uint8_t, kDigestBytes> Finish();
+
+  /** One-shot convenience. */
+  static std::array<uint8_t, kDigestBytes> Hash(const uint8_t* data,
+                                                size_t size);
+  static std::array<uint8_t, kDigestBytes> Hash(
+      const std::vector<uint8_t>& data) {
+    return Hash(data.data(), data.size());
+  }
+
+ private:
+  void Absorb();
+  void KeccakF();
+
+  std::array<uint64_t, 25> state_;
+  std::array<uint8_t, kRateBytes> buffer_;
+  size_t buffer_fill_;
+  bool finished_;
+};
+
+/** Hex rendering of a digest, for tests and logs. */
+std::string DigestToHex(const std::array<uint8_t, Sha3_256::kDigestBytes>& d);
+
+}  // namespace hyperprof::workloads
+
+#endif  // HYPERPROF_WORKLOADS_SHA3_H_

@@ -1,0 +1,49 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof {
+namespace {
+
+TEST(SimTimeTest, UnitConstructors) {
+  EXPECT_EQ(SimTime::Micros(1).nanos(), 1000);
+  EXPECT_EQ(SimTime::Millis(1).nanos(), 1000000);
+  EXPECT_EQ(SimTime::Seconds(1).nanos(), 1000000000);
+}
+
+TEST(SimTimeTest, FromSecondsRounds) {
+  EXPECT_EQ(SimTime::FromSeconds(1.5e-9).nanos(), 2);
+  EXPECT_EQ(SimTime::FromSeconds(1.4e-9).nanos(), 1);
+  EXPECT_EQ(SimTime::FromSeconds(0.001).nanos(), 1000000);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime a = SimTime::Micros(3);
+  SimTime b = SimTime::Micros(2);
+  EXPECT_EQ((a + b).nanos(), 5000);
+  EXPECT_EQ((a - b).nanos(), 1000);
+  EXPECT_EQ((a * 4).nanos(), 12000);
+  a += b;
+  EXPECT_EQ(a.nanos(), 5000);
+  a -= b;
+  EXPECT_EQ(a.nanos(), 3000);
+}
+
+TEST(SimTimeTest, Comparisons) {
+  EXPECT_LT(SimTime::Nanos(1), SimTime::Nanos(2));
+  EXPECT_EQ(SimTime::Micros(1), SimTime::Nanos(1000));
+  EXPECT_GT(SimTime::Seconds(1), SimTime::Millis(999));
+}
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(SimTime::Millis(5).ToSeconds(), 0.005);
+  EXPECT_DOUBLE_EQ(SimTime::Micros(7).ToMicros(), 7.0);
+}
+
+TEST(SimTimeTest, ToStringUsesHumanUnits) {
+  EXPECT_EQ(SimTime::Micros(518).ToString(), "518.0 us");
+  EXPECT_EQ(SimTime::Zero().ToString(), "0 s");
+}
+
+}  // namespace
+}  // namespace hyperprof

@@ -1,0 +1,122 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hyperprof {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_EQ(stat.sum(), 0.0);
+}
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat stat;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(v);
+  EXPECT_EQ(stat.count(), 8u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  // Sample variance of the classic dataset is 32/7.
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stat.min(), 2.0);
+  EXPECT_EQ(stat.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStat all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextGaussian() * 3 + 1;
+    all.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat stat, empty;
+  stat.Add(3.0);
+  stat.Merge(empty);
+  EXPECT_EQ(stat.count(), 1u);
+  empty.Merge(stat);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 3.0);
+}
+
+TEST(LogHistogramTest, CountAndMean) {
+  LogHistogram hist;
+  hist.Add(1e-3);
+  hist.Add(3e-3);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 2e-3);
+}
+
+TEST(LogHistogramTest, QuantilesOrdered) {
+  LogHistogram hist;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) hist.Add(rng.NextExponential(1e-3));
+  double p50 = hist.Quantile(0.5);
+  double p90 = hist.Quantile(0.9);
+  double p99 = hist.Quantile(0.99);
+  EXPECT_LT(p50, p90);
+  EXPECT_LT(p90, p99);
+  // Exponential(1ms): median = ln(2) ms, p90 = ln(10) ms.
+  EXPECT_NEAR(p50, std::log(2.0) * 1e-3, 0.15e-3);
+  EXPECT_NEAR(p90, std::log(10.0) * 1e-3, 0.4e-3);
+}
+
+TEST(LogHistogramTest, UnderflowCountsButClamps) {
+  LogHistogram hist(1e-6);
+  hist.Add(1e-9);  // below min bucket
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_GT(hist.Quantile(0.5), 0.0);
+}
+
+TEST(LogHistogramTest, MergeAddsCounts) {
+  LogHistogram a, b;
+  a.Add(1e-3);
+  b.Add(2e-3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.sum(), 3e-3);
+}
+
+TEST(LogHistogramTest, SummaryMentionsCount) {
+  LogHistogram hist;
+  hist.Add(1e-3);
+  EXPECT_NE(hist.Summary().find("n=1"), std::string::npos);
+}
+
+TEST(NormalizeToFractionsTest, SumsToOne) {
+  auto fractions = NormalizeToFractions({1, 2, 3, 4});
+  double sum = 0;
+  for (double f : fractions) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fractions[3], 0.4);
+}
+
+TEST(NormalizeToFractionsTest, ZeroTotalYieldsZeros) {
+  auto fractions = NormalizeToFractions({0, 0});
+  EXPECT_EQ(fractions[0], 0.0);
+  EXPECT_EQ(fractions[1], 0.0);
+}
+
+TEST(L1DistanceTest, Basics) {
+  EXPECT_DOUBLE_EQ(L1Distance({1, 0}, {0, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(L1Distance({0.5, 0.5}, {0.5, 0.5}), 0.0);
+}
+
+}  // namespace
+}  // namespace hyperprof

@@ -1,0 +1,58 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+}
+
+TEST(StrFormatTest, LongOutputAllocatesCorrectly) {
+  std::string big(500, 'a');
+  std::string out = StrFormat("[%s]", big.c_str());
+  EXPECT_EQ(out.size(), 502u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({"only"}, ","), "only");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StrSplitTest, SplitsAndKeepsEmpties) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("tcmalloc::Alloc", "tcmalloc::"));
+  EXPECT_FALSE(StartsWith("tc", "tcmalloc::"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(HumanBytesTest, PicksBinaryUnits) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(1024), "1.00 KiB");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KiB");
+  EXPECT_EQ(HumanBytes(1ULL << 50), "1.00 PiB");
+}
+
+TEST(HumanSecondsTest, PicksTimeUnits) {
+  EXPECT_EQ(HumanSeconds(0), "0 s");
+  EXPECT_EQ(HumanSeconds(5e-9), "5.0 ns");
+  EXPECT_EQ(HumanSeconds(518.3e-6), "518.3 us");
+  EXPECT_EQ(HumanSeconds(12e-3), "12.0 ms");
+  EXPECT_EQ(HumanSeconds(2.5), "2.500 s");
+}
+
+}  // namespace
+}  // namespace hyperprof

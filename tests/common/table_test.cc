@@ -1,0 +1,41 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator line exists.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericRowFormatting) {
+  TextTable table({"label", "x", "y"});
+  table.AddRow("row", {1.234, 5.678}, "%.1f");
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("1.2"), std::string::npos);
+  EXPECT_NE(out.find("5.7"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace hyperprof

@@ -1,0 +1,143 @@
+#include "consensus/paxos.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+namespace hyperprof::consensus {
+namespace {
+
+class PaxosTest : public ::testing::Test {
+ protected:
+  PaxosTest() : rpc_(&simulator_, &network_, Rng(3)) {}
+
+  std::vector<net::NodeId> Acceptors(int count) {
+    std::vector<net::NodeId> nodes;
+    for (int i = 0; i < count; ++i) {
+      nodes.push_back(net::NodeId{0, static_cast<uint32_t>(i % 3),
+                                  static_cast<uint32_t>(10 + i)});
+    }
+    return nodes;
+  }
+
+  sim::Simulator simulator_;
+  net::NetworkModel network_;
+  net::RpcSystem rpc_;
+};
+
+TEST_F(PaxosTest, SingleProposerChoosesItsValue) {
+  PaxosGroup group(&simulator_, &rpc_, Acceptors(3), PaxosParams(), Rng(1));
+  ProposeResult result;
+  group.Propose(net::NodeId{0, 0, 1}, 1, "v-alpha",
+                [&](const ProposeResult& r) { result = r; });
+  simulator_.Run();
+  EXPECT_TRUE(result.chosen);
+  EXPECT_EQ(result.value, "v-alpha");
+  EXPECT_EQ(result.phase1_round_trips, 1);
+  EXPECT_EQ(result.phase2_round_trips, 1);
+  EXPECT_GT(result.elapsed, SimTime::Zero());
+  EXPECT_EQ(group.ChosenValue(), "v-alpha");
+}
+
+TEST_F(PaxosTest, MajorityAcceptanceRecorded) {
+  PaxosGroup group(&simulator_, &rpc_, Acceptors(5), PaxosParams(), Rng(2));
+  group.Propose(net::NodeId{0, 0, 1}, 1, "value",
+                [](const ProposeResult&) {});
+  simulator_.Run();
+  size_t accepted = 0;
+  for (size_t i = 0; i < group.acceptor_count(); ++i) {
+    if (group.acceptor_state(i).has_accepted) ++accepted;
+  }
+  EXPECT_GE(accepted, group.majority());
+}
+
+TEST_F(PaxosTest, CompetingProposersAgreeOnOneValue) {
+  PaxosGroup group(&simulator_, &rpc_, Acceptors(5), PaxosParams(), Rng(4));
+  std::vector<ProposeResult> results;
+  for (uint32_t p = 1; p <= 4; ++p) {
+    group.Propose(net::NodeId{0, p % 3, p}, p, StrFormat("value-%u", p),
+                  [&results](const ProposeResult& r) {
+                    results.push_back(r);
+                  });
+  }
+  simulator_.Run();
+  ASSERT_EQ(results.size(), 4u);
+  std::set<std::string> chosen_values;
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.chosen);
+    chosen_values.insert(result.value);
+  }
+  // Safety: every proposer learned the SAME value.
+  EXPECT_EQ(chosen_values.size(), 1u);
+  EXPECT_EQ(group.ChosenValue(), *chosen_values.begin());
+}
+
+TEST_F(PaxosTest, SafetyHoldsAcrossManySeeds) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    sim::Simulator simulator;
+    net::NetworkModel network;
+    net::RpcSystem rpc(&simulator, &network, Rng(seed * 11));
+    PaxosGroup group(&simulator, &rpc, Acceptors(3), PaxosParams(),
+                     Rng(seed));
+    std::set<std::string> chosen_values;
+    int completions = 0;
+    for (uint32_t p = 1; p <= 3; ++p) {
+      group.Propose(net::NodeId{0, 0, p}, p, StrFormat("s%llu-p%u",
+                    (unsigned long long)seed, p),
+                    [&](const ProposeResult& r) {
+                      ++completions;
+                      if (r.chosen) chosen_values.insert(r.value);
+                    });
+    }
+    simulator.Run();
+    EXPECT_EQ(completions, 3) << "seed " << seed;
+    EXPECT_LE(chosen_values.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST_F(PaxosTest, LateProposerAdoptsChosenValue) {
+  PaxosGroup group(&simulator_, &rpc_, Acceptors(3), PaxosParams(), Rng(6));
+  ProposeResult first;
+  group.Propose(net::NodeId{0, 0, 1}, 1, "first",
+                [&](const ProposeResult& r) { first = r; });
+  simulator_.Run();
+  ASSERT_TRUE(first.chosen);
+  // A later proposer with a different value must learn "first".
+  ProposeResult second;
+  group.Propose(net::NodeId{0, 1, 2}, 2, "second",
+                [&](const ProposeResult& r) { second = r; });
+  simulator_.Run();
+  ASSERT_TRUE(second.chosen);
+  EXPECT_EQ(second.value, "first");
+}
+
+TEST_F(PaxosTest, ElapsedReflectsCrossClusterLatency) {
+  // Acceptors across clusters: one consensus round needs at least two
+  // cross-cluster round trips (prepare + accept).
+  std::vector<net::NodeId> nodes = {net::NodeId{0, 1, 1},
+                                    net::NodeId{0, 2, 2},
+                                    net::NodeId{0, 3, 3}};
+  PaxosGroup group(&simulator_, &rpc_, nodes, PaxosParams(), Rng(7));
+  ProposeResult result;
+  group.Propose(net::NodeId{0, 0, 1}, 1, "v",
+                [&](const ProposeResult& r) { result = r; });
+  simulator_.Run();
+  ASSERT_TRUE(result.chosen);
+  // 2 RTTs x ~240us cross-cluster + service times.
+  EXPECT_GT(result.elapsed, SimTime::Micros(500));
+}
+
+TEST_F(PaxosTest, SingleAcceptorGroupWorks) {
+  PaxosGroup group(&simulator_, &rpc_, Acceptors(1), PaxosParams(), Rng(8));
+  ProposeResult result;
+  group.Propose(net::NodeId{0, 0, 1}, 1, "solo",
+                [&](const ProposeResult& r) { result = r; });
+  simulator_.Run();
+  EXPECT_TRUE(result.chosen);
+  EXPECT_EQ(group.majority(), 1u);
+}
+
+}  // namespace
+}  // namespace hyperprof::consensus

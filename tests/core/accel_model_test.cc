@@ -1,0 +1,266 @@
+#include "core/accel_model.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::model {
+namespace {
+
+Component MakeComponent(const std::string& name, double t_sub,
+                        double speedup) {
+  Component component;
+  component.name = name;
+  component.t_sub = t_sub;
+  component.speedup = speedup;
+  return component;
+}
+
+TEST(ComponentTest, PenaltyEquation8) {
+  Component component;
+  component.t_setup = 1e-3;
+  component.bytes = 4e9;      // 4 GB
+  component.bandwidth = 4e9;  // 4 GB/s -> 2s round trip
+  EXPECT_DOUBLE_EQ(component.Penalty(), 1e-3 + 2.0);
+}
+
+TEST(ComponentTest, AcceleratedTimeEquation7) {
+  Component component = MakeComponent("c", 10e-3, 4.0);
+  component.t_setup = 1e-3;
+  EXPECT_DOUBLE_EQ(component.AcceleratedTime(), 10e-3 / 4.0 + 1e-3);
+}
+
+TEST(ComponentTest, OnChipHasNoTransferPenalty) {
+  Component component = MakeComponent("c", 1e-3, 2.0);
+  component.bytes = 0;
+  EXPECT_DOUBLE_EQ(component.Penalty(), 0.0);
+}
+
+TEST(WorkloadTest, UnacceleratedResidualEquation4) {
+  Workload workload;
+  workload.t_cpu = 10e-3;
+  workload.components.push_back(MakeComponent("a", 3e-3, 2));
+  workload.components.push_back(MakeComponent("b", 4e-3, 2));
+  EXPECT_DOUBLE_EQ(workload.CoveredCpuTime(), 7e-3);
+  EXPECT_DOUBLE_EQ(workload.UnacceleratedCpuTime(), 3e-3);
+}
+
+TEST(WorkloadTest, OverCoverageClampsResidualToZero) {
+  Workload workload;
+  workload.t_cpu = 1e-3;
+  workload.components.push_back(MakeComponent("a", 2e-3, 2));
+  EXPECT_DOUBLE_EQ(workload.UnacceleratedCpuTime(), 0.0);
+}
+
+TEST(BaselineTest, Equation1SerialWhenFIsOne) {
+  Workload workload;
+  workload.t_cpu = 3.0;
+  workload.t_dep = 2.0;
+  workload.f = 1.0;
+  EXPECT_DOUBLE_EQ(AccelModel(workload).BaselineE2e(), 5.0);
+}
+
+TEST(BaselineTest, Equation1FullOverlapWhenFIsZero) {
+  Workload workload;
+  workload.t_cpu = 3.0;
+  workload.t_dep = 2.0;
+  workload.f = 0.0;
+  EXPECT_DOUBLE_EQ(AccelModel(workload).BaselineE2e(), 3.0);  // max
+}
+
+TEST(BaselineTest, Equation1PartialOverlap) {
+  Workload workload;
+  workload.t_cpu = 3.0;
+  workload.t_dep = 2.0;
+  workload.f = 0.5;
+  // 3 + 2 - 0.5*min(3,2) = 4.
+  EXPECT_DOUBLE_EQ(AccelModel(workload).BaselineE2e(), 4.0);
+}
+
+TEST(AcceleratedCpuTest, SynchronousSumsEquation5) {
+  Workload workload;
+  workload.t_cpu = 10.0;
+  workload.components.push_back(MakeComponent("a", 4.0, 2.0));  // -> 2
+  workload.components.push_back(MakeComponent("b", 4.0, 4.0));  // -> 1
+  for (auto& component : workload.components) component.overlap = 1.0;
+  // t_nacc = 2, t_acc = 2+1 = 3.
+  EXPECT_DOUBLE_EQ(AccelModel(workload).AcceleratedCpu(), 5.0);
+}
+
+TEST(AcceleratedCpuTest, AsynchronousTakesMaxEquation5And6) {
+  Workload workload;
+  workload.t_cpu = 10.0;
+  workload.components.push_back(MakeComponent("a", 4.0, 2.0));  // -> 2
+  workload.components.push_back(MakeComponent("b", 4.0, 4.0));  // -> 1
+  for (auto& component : workload.components) component.overlap = 0.0;
+  // t_acc = max(0, max(2,1)) = 2; t_nacc = 2.
+  EXPECT_DOUBLE_EQ(AccelModel(workload).AcceleratedCpu(), 4.0);
+}
+
+TEST(AcceleratedCpuTest, PartialOverlapInterpolates) {
+  Workload workload;
+  workload.t_cpu = 8.0;
+  workload.components.push_back(MakeComponent("a", 4.0, 2.0));  // -> 2
+  workload.components.push_back(MakeComponent("b", 4.0, 4.0));  // -> 1
+  for (auto& component : workload.components) component.overlap = 0.5;
+  // sum g*t' = 1.5 < largest 2 -> t_acc = 2.
+  EXPECT_DOUBLE_EQ(AccelModel(workload).AcceleratedCpu(), 2.0);
+}
+
+TEST(ChainedTest, Equations9Through12) {
+  Workload workload;
+  workload.t_cpu = 20.0;
+  Component a = MakeComponent("a", 8.0, 4.0);  // service 2
+  a.t_setup = 0.5;
+  a.chained = true;
+  Component b = MakeComponent("b", 6.0, 2.0);  // service 3
+  b.t_setup = 1.0;
+  b.chained = true;
+  workload.components = {a, b};
+  // t_nacc = 20 - 14 = 6.
+  // t_lpen = max(0.5, 1.0) = 1; t_lsubnp = max(2, 3) = 3; t_chnd = 4.
+  EXPECT_DOUBLE_EQ(AccelModel(workload).AcceleratedCpu(), 10.0);
+}
+
+TEST(ChainedTest, MixedChainedAndUnchained) {
+  Workload workload;
+  workload.t_cpu = 20.0;
+  Component chained_a = MakeComponent("a", 8.0, 4.0);
+  chained_a.chained = true;
+  Component chained_b = MakeComponent("b", 6.0, 2.0);
+  chained_b.chained = true;
+  Component solo = MakeComponent("c", 4.0, 2.0);  // -> 2, sync
+  workload.components = {chained_a, chained_b, solo};
+  // t_chnd = 3, t_acc = 2, t_nacc = 2 -> 7.
+  EXPECT_DOUBLE_EQ(AccelModel(workload).AcceleratedCpu(), 7.0);
+}
+
+TEST(ChainedTest, PaperTable8ModeledValue) {
+  // Parameters measured on the paper's RISC-V SoC (Table 8): the model
+  // must reproduce the published modeled chained time of 6,459.3 us.
+  Workload workload;
+  workload.t_cpu = (4948.7 + 518.3 + 1112.5) * 1e-6;
+  workload.t_dep = 0;
+  workload.f = 1.0;
+  Component serialize = MakeComponent("Proto. Ser.", 518.3e-6, 31.0);
+  serialize.t_setup = 1488.9e-6;
+  serialize.chained = true;
+  Component hash = MakeComponent("SHA3", 1112.5e-6, 51.3);
+  hash.t_setup = 4.1e-6;
+  hash.chained = true;
+  workload.components = {serialize, hash};
+  AccelModel model(workload);
+  EXPECT_NEAR(model.AcceleratedE2e() * 1e6, 6459.3, 1.0);
+}
+
+TEST(SpeedupTest, NoAccelerationIsUnity) {
+  Workload workload;
+  workload.t_cpu = 5.0;
+  workload.t_dep = 3.0;
+  workload.f = 1.0;
+  EXPECT_DOUBLE_EQ(AccelModel(workload).Speedup(), 1.0);
+}
+
+TEST(SpeedupTest, RemoveDepDropsDependencies) {
+  Workload workload;
+  workload.t_cpu = 5.0;
+  workload.t_dep = 5.0;
+  workload.f = 1.0;
+  AccelModel model(workload);
+  EXPECT_DOUBLE_EQ(model.Speedup(false), 1.0);
+  EXPECT_DOUBLE_EQ(model.Speedup(true), 2.0);
+}
+
+TEST(SpeedupTest, AmdahlLimitRespected) {
+  // 50% of CPU accelerated infinitely fast cannot beat 2x on CPU time.
+  Workload workload;
+  workload.t_cpu = 10.0;
+  workload.t_dep = 0.0;
+  workload.components.push_back(MakeComponent("half", 5.0, 1e9));
+  double speedup = AccelModel(workload).Speedup();
+  EXPECT_LT(speedup, 2.0 + 1e-9);
+  EXPECT_GT(speedup, 1.99);
+}
+
+// Property sweep: asynchronous execution never loses to synchronous, and
+// chained execution is bounded between them; penalties only hurt.
+struct PropertyCase {
+  double t_cpu;
+  double t_dep;
+  double f;
+  double speedup;
+  double setup;
+};
+
+class ModelPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(ModelPropertyTest, InvocationOrderings) {
+  const PropertyCase& param = GetParam();
+  Workload base;
+  base.t_cpu = param.t_cpu;
+  base.t_dep = param.t_dep;
+  base.f = param.f;
+  // Three components covering 60% of CPU.
+  for (int i = 0; i < 3; ++i) {
+    Component component =
+        MakeComponent("c" + std::to_string(i), 0.2 * param.t_cpu,
+                      param.speedup);
+    component.t_setup = param.setup;
+    base.components.push_back(component);
+  }
+  auto with_mode = [&](double overlap, bool chained) {
+    Workload workload = base;
+    for (auto& component : workload.components) {
+      component.overlap = overlap;
+      component.chained = chained;
+    }
+    return AccelModel(workload).Speedup();
+  };
+  double sync = with_mode(1.0, false);
+  double async = with_mode(0.0, false);
+  double chained = with_mode(1.0, true);
+  EXPECT_GE(async, sync - 1e-12);
+  EXPECT_GE(chained, sync - 1e-12);
+  EXPECT_LE(chained, async + 1e-12);
+  EXPECT_GE(sync, 0.9);  // acceleration plus penalty can dip below 1
+}
+
+TEST_P(ModelPropertyTest, MoreSpeedupNeverHurts) {
+  const PropertyCase& param = GetParam();
+  Workload workload;
+  workload.t_cpu = param.t_cpu;
+  workload.t_dep = param.t_dep;
+  workload.f = param.f;
+  Component component = MakeComponent("c", 0.5 * param.t_cpu, 1.0);
+  component.t_setup = param.setup;
+  workload.components.push_back(component);
+  double previous = 0;
+  for (double s : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    workload.components[0].speedup = s;
+    double speedup = AccelModel(workload).Speedup();
+    EXPECT_GE(speedup, previous - 1e-12);
+    previous = speedup;
+  }
+}
+
+TEST_P(ModelPropertyTest, BaselineEqualsAcceleratedAtUnitySpeedupNoPenalty) {
+  const PropertyCase& param = GetParam();
+  Workload workload;
+  workload.t_cpu = param.t_cpu;
+  workload.t_dep = param.t_dep;
+  workload.f = param.f;
+  workload.components.push_back(MakeComponent("c", 0.4 * param.t_cpu, 1.0));
+  AccelModel model(workload);
+  EXPECT_NEAR(model.AcceleratedE2e(), model.BaselineE2e(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelPropertyTest,
+    ::testing::Values(PropertyCase{1.0, 0.0, 1.0, 8.0, 0.0},
+                      PropertyCase{1.0, 1.0, 1.0, 8.0, 0.0},
+                      PropertyCase{1.0, 1.0, 0.0, 8.0, 0.0},
+                      PropertyCase{1.0, 5.0, 0.5, 16.0, 0.0},
+                      PropertyCase{2.0, 0.5, 1.0, 4.0, 1e-3},
+                      PropertyCase{0.1, 10.0, 1.0, 64.0, 1e-4},
+                      PropertyCase{5.0, 0.0, 0.3, 2.0, 1e-2}));
+
+}  // namespace
+}  // namespace hyperprof::model

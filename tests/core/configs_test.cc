@@ -1,0 +1,90 @@
+#include "core/configs.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::model {
+namespace {
+
+Workload TwoComponentWorkload() {
+  Workload workload;
+  workload.t_cpu = 10e-3;
+  Component a;
+  a.name = "a";
+  a.t_sub = 3e-3;
+  Component b;
+  b.name = "b";
+  b.t_sub = 2e-3;
+  workload.components = {a, b};
+  return workload;
+}
+
+TEST(ConfigsTest, FactoryNamesAndModes) {
+  EXPECT_EQ(AccelSystemConfig::SyncOffChip().placement,
+            Placement::kOffChip);
+  EXPECT_EQ(AccelSystemConfig::SyncOffChip().invocation,
+            Invocation::kSynchronous);
+  EXPECT_EQ(AccelSystemConfig::AsyncOnChip().invocation,
+            Invocation::kAsynchronous);
+  EXPECT_EQ(AccelSystemConfig::ChainedOnChip().invocation,
+            Invocation::kChained);
+  EXPECT_EQ(AccelSystemConfig::ChainedOnChip().placement,
+            Placement::kOnChip);
+}
+
+TEST(ConfigsTest, ApplySynchronous) {
+  Workload workload = TwoComponentWorkload();
+  ApplyConfig(workload, AccelSystemConfig::SyncOnChip(), 1024);
+  for (const auto& component : workload.components) {
+    EXPECT_DOUBLE_EQ(component.overlap, 1.0);
+    EXPECT_FALSE(component.chained);
+    EXPECT_DOUBLE_EQ(component.bytes, 0.0);  // on-chip ignores offload
+  }
+}
+
+TEST(ConfigsTest, ApplyAsynchronous) {
+  Workload workload = TwoComponentWorkload();
+  ApplyConfig(workload, AccelSystemConfig::AsyncOnChip(), 0);
+  for (const auto& component : workload.components) {
+    EXPECT_DOUBLE_EQ(component.overlap, 0.0);
+    EXPECT_FALSE(component.chained);
+  }
+}
+
+TEST(ConfigsTest, ApplyChained) {
+  Workload workload = TwoComponentWorkload();
+  ApplyConfig(workload, AccelSystemConfig::ChainedOnChip(), 0);
+  for (const auto& component : workload.components) {
+    EXPECT_TRUE(component.chained);
+  }
+}
+
+TEST(ConfigsTest, ApplyOffChipSetsBytesAndBandwidth) {
+  Workload workload = TwoComponentWorkload();
+  AccelSystemConfig config = AccelSystemConfig::SyncOffChip();
+  config.link_bandwidth = 8e9;
+  ApplyConfig(workload, config, 4096);
+  for (const auto& component : workload.components) {
+    EXPECT_DOUBLE_EQ(component.bytes, 4096.0);
+    EXPECT_DOUBLE_EQ(component.bandwidth, 8e9);
+  }
+}
+
+TEST(ConfigsTest, ApplySetupTime) {
+  Workload workload = TwoComponentWorkload();
+  AccelSystemConfig config = AccelSystemConfig::SyncOnChip();
+  config.setup_time = 5e-6;
+  ApplyConfig(workload, config, 0);
+  for (const auto& component : workload.components) {
+    EXPECT_DOUBLE_EQ(component.t_setup, 5e-6);
+  }
+}
+
+TEST(ConfigsTest, Names) {
+  EXPECT_STREQ(PlacementName(Placement::kOnChip), "On-Chip");
+  EXPECT_STREQ(PlacementName(Placement::kOffChip), "Off-Chip");
+  EXPECT_STREQ(InvocationName(Invocation::kChained), "Chained");
+  EXPECT_EQ(AccelSystemConfig::SyncOffChip().name, "Sync + Off-Chip");
+}
+
+}  // namespace
+}  // namespace hyperprof::model

@@ -1,0 +1,180 @@
+#include "core/limit_studies.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::model {
+namespace {
+
+/** A workload shaped like a CPU-heavy database query. */
+Workload DatabaseLike() {
+  Workload workload;
+  workload.name = "db";
+  workload.t_cpu = 6e-3;
+  workload.t_dep = 4e-3;
+  workload.f = 1.0;
+  const char* names[] = {"Compression", "RPC", "Protobuf", "STL",
+                         "Operating Systems", "Read", "Write"};
+  for (const char* name : names) {
+    Component component;
+    component.name = name;
+    component.t_sub = 0.1 * workload.t_cpu;
+    workload.components.push_back(component);
+  }
+  return workload;
+}
+
+TEST(UniformSweepTest, SpeedupMonotoneInFactor) {
+  Workload base = DatabaseLike();
+  auto curve =
+      UniformSpeedupSweep(base, {1, 2, 4, 8, 16, 32, 64}, false);
+  ASSERT_EQ(curve.size(), 7u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].e2e_speedup, curve[i - 1].e2e_speedup);
+  }
+  EXPECT_DOUBLE_EQ(curve[0].e2e_speedup, 1.0);  // s=1, no penalty
+}
+
+TEST(UniformSweepTest, RemovingDependenciesHelps) {
+  Workload base = DatabaseLike();
+  auto with_dep = UniformSpeedupSweep(base, {8.0}, false);
+  auto without_dep = UniformSpeedupSweep(base, {8.0}, true);
+  EXPECT_GT(without_dep[0].e2e_speedup, with_dep[0].e2e_speedup);
+}
+
+TEST(UniformSweepTest, WithDepSpeedupBoundedByDepShare) {
+  // With dependencies kept and f=1, speedup can never exceed
+  // t_e2e / t_dep.
+  Workload base = DatabaseLike();
+  auto curve = UniformSpeedupSweep(base, {1000.0}, false);
+  EXPECT_LE(curve[0].e2e_speedup,
+            (base.t_cpu + base.t_dep) / base.t_dep + 1e-9);
+}
+
+TEST(UniformSweepTest, RemoteDominatedWorkloadHasHugeUpperBound) {
+  // The BigTable effect: tiny CPU share + dependency removal -> orders of
+  // magnitude.
+  Workload workload;
+  workload.t_cpu = 1e-3;
+  workload.t_dep = 1.0;
+  workload.f = 1.0;
+  Component component;
+  component.name = "c";
+  component.t_sub = 0.95e-3;
+  workload.components.push_back(component);
+  auto curve = UniformSpeedupSweep(workload, {64.0}, true);
+  EXPECT_GT(curve[0].e2e_speedup, 5000.0);
+}
+
+TEST(IncrementalTest, MoreAcceleratorsNeverHurtOnChip) {
+  Workload base = DatabaseLike();
+  auto rows = IncrementalAccelerationStudy(base, 8.0, 0.0);
+  ASSERT_EQ(rows.size(), base.components.size());
+  // Config order: sync+off, sync+on, async+on, chained+on.
+  for (size_t c = 1; c < 4; ++c) {
+    for (size_t i = 1; i < rows.size(); ++i) {
+      EXPECT_GE(rows[i].speedup_by_config[c],
+                rows[i - 1].speedup_by_config[c] - 1e-12)
+          << "config " << c << " row " << i;
+    }
+  }
+}
+
+TEST(IncrementalTest, OnChipBeatsOffChipAndAsyncBeatsSync) {
+  Workload base = DatabaseLike();
+  auto rows = IncrementalAccelerationStudy(base, 8.0, 32 << 10);
+  for (const auto& row : rows) {
+    EXPECT_GE(row.speedup_by_config[1], row.speedup_by_config[0] - 1e-12);
+    EXPECT_GE(row.speedup_by_config[2], row.speedup_by_config[1] - 1e-12);
+    // Chained is within (0, async] and >= sync.
+    EXPECT_GE(row.speedup_by_config[3], row.speedup_by_config[1] - 1e-12);
+    EXPECT_LE(row.speedup_by_config[3], row.speedup_by_config[2] + 1e-12);
+  }
+}
+
+TEST(IncrementalTest, LargePayloadsMakeOffChipASlowdown) {
+  // The BigQuery effect: off-chip transfer of large payloads swamps the
+  // acceleration benefit, pushing end-to-end speedup below 1.
+  Workload base = DatabaseLike();
+  auto rows = IncrementalAccelerationStudy(base, 8.0, 64.0 * (1 << 20));
+  EXPECT_LT(rows.back().speedup_by_config[0], 1.0);
+  EXPECT_GT(rows.back().speedup_by_config[1], 1.0);
+}
+
+TEST(SetupSweepTest, LargerSetupNeverFaster) {
+  Workload base = DatabaseLike();
+  auto rows = SetupTimeSweep(base, {0, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3}, 8.0,
+                             0.0);
+  ASSERT_EQ(rows.size(), 6u);
+  for (size_t c = 0; c < 4; ++c) {
+    for (size_t i = 1; i < rows.size(); ++i) {
+      EXPECT_LE(rows[i].speedup_by_config[c],
+                rows[i - 1].speedup_by_config[c] + 1e-12);
+    }
+  }
+}
+
+TEST(SetupSweepTest, AsynchronousHidesSetupBetterThanSync) {
+  Workload base = DatabaseLike();
+  auto rows = SetupTimeSweep(base, {1e-4}, 8.0, 0.0);
+  // sync+on-chip (index 1) suffers the setup on every component serially;
+  // async (2) pays only the largest.
+  EXPECT_GT(rows[0].speedup_by_config[2], rows[0].speedup_by_config[1]);
+}
+
+TEST(SetupSweepTest, ChainedAmortizesSetupAcrossChain) {
+  Workload base = DatabaseLike();
+  auto rows = SetupTimeSweep(base, {1e-3}, 8.0, 0.0);
+  EXPECT_GT(rows[0].speedup_by_config[3], rows[0].speedup_by_config[1]);
+}
+
+TEST(PriorStudyTest, SetIncludesPaperAccelerators) {
+  auto set = PriorAcceleratorSet();
+  bool has_malloc = false, has_protobuf = false, has_compression = false,
+       has_rpc = false;
+  for (const auto& accelerator : set) {
+    if (accelerator.component_name == "Mem. Allocation") has_malloc = true;
+    if (accelerator.component_name == "Protobuf") has_protobuf = true;
+    if (accelerator.component_name == "Compression") has_compression = true;
+    if (accelerator.component_name == "RPC") has_rpc = true;
+  }
+  EXPECT_TRUE(has_malloc);
+  EXPECT_TRUE(has_protobuf);
+  EXPECT_TRUE(has_compression);
+  EXPECT_TRUE(has_rpc);
+}
+
+TEST(PriorStudyTest, CombinedBeatsEveryIndividual) {
+  Workload base = DatabaseLike();
+  // Rename components to match published accelerator targets.
+  base.components[5].name = "Mem. Allocation";
+  auto rows = PriorAcceleratorStudy(base, PriorAcceleratorSet());
+  ASSERT_GE(rows.size(), 2u);
+  const auto& combined = rows.back();
+  EXPECT_EQ(combined.label, "Combined");
+  for (size_t i = 0; i + 1 < rows.size(); ++i) {
+    EXPECT_GE(combined.sync_speedup, rows[i].sync_speedup - 1e-12);
+  }
+}
+
+TEST(PriorStudyTest, ChainedLimitedByWeakestAccelerator) {
+  // With Mallacc's small speedup in the chain, chained gains over sync
+  // are limited (the paper's observation in Section 6.3.4).
+  Workload base;
+  base.t_cpu = 10e-3;
+  base.t_dep = 0;
+  base.f = 1.0;
+  for (const char* name : {"Compression", "Protobuf", "Mem. Allocation"}) {
+    Component component;
+    component.name = name;
+    component.t_sub = 3e-3;
+    base.components.push_back(component);
+  }
+  auto rows = PriorAcceleratorStudy(base, PriorAcceleratorSet());
+  const auto& combined = rows.back();
+  // Chained time bounded below by mem-alloc at 1.5x: 2ms of 10ms.
+  EXPECT_LT(combined.chained_speedup / combined.sync_speedup, 1.6);
+  EXPECT_GE(combined.chained_speedup, combined.sync_speedup - 1e-12);
+}
+
+}  // namespace
+}  // namespace hyperprof::model

@@ -1,0 +1,120 @@
+#include "core/platform_inputs.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::model {
+namespace {
+
+using profiling::FnCategory;
+
+TEST(CategorySelectionTest, SharedTaxesAlwaysIncluded) {
+  for (const char* platform : {"Spanner", "BigTable", "BigQuery"}) {
+    auto categories = AcceleratedCategoriesFor(platform);
+    EXPECT_NE(std::find(categories.begin(), categories.end(),
+                        FnCategory::kCompression),
+              categories.end());
+    EXPECT_NE(std::find(categories.begin(), categories.end(),
+                        FnCategory::kRpc),
+              categories.end());
+    EXPECT_NE(std::find(categories.begin(), categories.end(),
+                        FnCategory::kProtobuf),
+              categories.end());
+    EXPECT_NE(
+        std::find(categories.begin(), categories.end(), FnCategory::kStl),
+        categories.end());
+    EXPECT_NE(std::find(categories.begin(), categories.end(),
+                        FnCategory::kOperatingSystems),
+              categories.end());
+  }
+}
+
+TEST(CategorySelectionTest, PlatformSpecificCoreCompute) {
+  auto database = AcceleratedCategoriesFor("Spanner");
+  EXPECT_NE(std::find(database.begin(), database.end(), FnCategory::kRead),
+            database.end());
+  EXPECT_EQ(
+      std::find(database.begin(), database.end(), FnCategory::kFilter),
+      database.end());
+  auto analytics = AcceleratedCategoriesFor("BigQuery");
+  EXPECT_NE(
+      std::find(analytics.begin(), analytics.end(), FnCategory::kFilter),
+      analytics.end());
+  EXPECT_EQ(
+      std::find(analytics.begin(), analytics.end(), FnCategory::kRead),
+      analytics.end());
+}
+
+TEST(PriorStudyCategoriesTest, IncludesMemAllocationNotStl) {
+  auto categories = PriorStudyCategoriesFor("Spanner");
+  EXPECT_NE(std::find(categories.begin(), categories.end(),
+                      FnCategory::kMemAllocation),
+            categories.end());
+  EXPECT_EQ(std::find(categories.begin(), categories.end(),
+                      FnCategory::kStl),
+            categories.end());
+}
+
+/** Builds a synthetic PlatformResult with known shares. */
+platforms::PlatformResult FakeResult() {
+  platforms::PlatformResult result;
+  result.name = "Spanner";
+  result.e2e.overall.time.cpu = 6.0;
+  result.e2e.overall.time.io = 3.0;
+  result.e2e.overall.time.remote = 1.0;
+  result.e2e.overall.query_count = 100;
+  // Groups: put everything in CPU heavy for simplicity.
+  result.e2e.groups[0].time = result.e2e.overall.time;
+  result.e2e.groups[0].query_count = 100;
+  // Cycle breakdown: compression 10%, rpc 20%, rest uncategorized.
+  result.cycles.cycles_by_category[static_cast<size_t>(
+      FnCategory::kCompression)] = 10;
+  result.cycles
+      .cycles_by_category[static_cast<size_t>(FnCategory::kRpc)] = 20;
+  result.cycles.cycles_by_category[static_cast<size_t>(
+      FnCategory::kUncategorizedCore)] = 70;
+  return result;
+}
+
+TEST(BuildModelInputTest, ComponentTimesFollowCycleShares) {
+  auto result = FakeResult();
+  PlatformModelInput input = BuildModelInput(result, {}, 1024);
+  EXPECT_EQ(input.platform, "Spanner");
+  // Per-query averages: 6s CPU / 4s dep over 100 queries.
+  EXPECT_DOUBLE_EQ(input.overall.t_cpu, 0.06);
+  EXPECT_DOUBLE_EQ(input.overall.t_dep, 0.04);
+  double compression_t = -1, rpc_t = -1;
+  for (const auto& component : input.overall.components) {
+    if (component.name == std::string("Compression")) {
+      compression_t = component.t_sub;
+    }
+    if (component.name == std::string("RPC")) rpc_t = component.t_sub;
+  }
+  EXPECT_NEAR(compression_t, 0.006, 1e-9);  // 10% of the 60ms average
+  EXPECT_NEAR(rpc_t, 0.012, 1e-9);
+}
+
+TEST(BuildModelInputTest, GroupWorkloadsArePerQueryAverages) {
+  auto result = FakeResult();
+  PlatformModelInput input = BuildModelInput(result, {}, 1024);
+  EXPECT_NEAR(input.by_group[0].t_cpu, 0.06, 1e-9);  // 6s / 100 queries
+  EXPECT_DOUBLE_EQ(input.group_query_share[0], 1.0);
+  EXPECT_DOUBLE_EQ(input.group_query_share[1], 0.0);
+}
+
+TEST(BuildModelInputTest, NoTracesGivesFOne) {
+  auto result = FakeResult();
+  PlatformModelInput input = BuildModelInput(result, {}, 1024);
+  EXPECT_DOUBLE_EQ(input.overall.f, 1.0);
+}
+
+TEST(BuildWorkloadForCategoriesTest, RestrictsComponentSet) {
+  auto result = FakeResult();
+  Workload workload = BuildWorkloadForCategories(
+      result, {}, {FnCategory::kCompression});
+  ASSERT_EQ(workload.components.size(), 1u);
+  EXPECT_EQ(workload.components[0].name, "Compression");
+  EXPECT_NEAR(workload.UnacceleratedCpuTime(), 0.054, 1e-9);
+}
+
+}  // namespace
+}  // namespace hyperprof::model

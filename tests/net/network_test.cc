@@ -1,0 +1,83 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::net {
+namespace {
+
+TEST(NetworkTest, PathClassification) {
+  NodeId a{0, 0, 0};
+  EXPECT_EQ(NetworkModel::Classify(a, NodeId{0, 0, 0}),
+            PathClass::kSameHost);
+  EXPECT_EQ(NetworkModel::Classify(a, NodeId{0, 0, 1}),
+            PathClass::kSameCluster);
+  EXPECT_EQ(NetworkModel::Classify(a, NodeId{0, 1, 0}),
+            PathClass::kCrossCluster);
+  EXPECT_EQ(NetworkModel::Classify(a, NodeId{1, 0, 0}),
+            PathClass::kCrossRegion);
+}
+
+TEST(NetworkTest, MeanTimeGrowsWithDistance) {
+  NetworkModel network;
+  NodeId a{0, 0, 0};
+  SimTime same_host = network.MeanMessageTime(a, NodeId{0, 0, 0}, 1024);
+  SimTime same_cluster = network.MeanMessageTime(a, NodeId{0, 0, 1}, 1024);
+  SimTime cross_cluster = network.MeanMessageTime(a, NodeId{0, 1, 0}, 1024);
+  SimTime cross_region = network.MeanMessageTime(a, NodeId{1, 0, 0}, 1024);
+  EXPECT_LT(same_host, same_cluster);
+  EXPECT_LT(same_cluster, cross_cluster);
+  EXPECT_LT(cross_cluster, cross_region);
+}
+
+TEST(NetworkTest, MeanTimeGrowsWithBytes) {
+  NetworkModel network;
+  NodeId a{0, 0, 0}, b{0, 0, 1};
+  EXPECT_LT(network.MeanMessageTime(a, b, 1024),
+            network.MeanMessageTime(a, b, 10 << 20));
+}
+
+TEST(NetworkTest, SerializationMatchesBandwidth) {
+  NetworkModel network;
+  NodeId a{0, 0, 0}, b{0, 0, 1};
+  const PathParams& params = network.ParamsFor(PathClass::kSameCluster);
+  SimTime base = network.MeanMessageTime(a, b, 0);
+  SimTime with_payload = network.MeanMessageTime(a, b, 1 << 20);
+  double transfer_s = (with_payload - base).ToSeconds();
+  EXPECT_NEAR(transfer_s, (1 << 20) / params.bandwidth_bps, 1e-9);
+}
+
+TEST(NetworkTest, JitteredTimesVaryButStayPositive) {
+  NetworkModel network;
+  NodeId a{0, 0, 0}, b{0, 0, 1};
+  Rng rng(3);
+  SimTime first = network.MessageTime(a, b, 1024, rng);
+  bool varied = false;
+  for (int i = 0; i < 50; ++i) {
+    SimTime t = network.MessageTime(a, b, 1024, rng);
+    EXPECT_GT(t, SimTime::Zero());
+    if (t != first) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(NetworkTest, JitterIsDeterministicGivenSeed) {
+  NetworkModel network;
+  NodeId a{0, 0, 0}, b{1, 0, 0};
+  Rng rng1(9), rng2(9);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(network.MessageTime(a, b, 4096, rng1),
+              network.MessageTime(a, b, 4096, rng2));
+  }
+}
+
+TEST(NetworkTest, PathClassNames) {
+  EXPECT_STREQ(PathClassName(PathClass::kSameHost), "same-host");
+  EXPECT_STREQ(PathClassName(PathClass::kCrossRegion), "cross-region");
+}
+
+TEST(NodeIdTest, ToStringFormat) {
+  EXPECT_EQ((NodeId{1, 2, 3}).ToString(), "r1/c2/h3");
+}
+
+}  // namespace
+}  // namespace hyperprof::net

@@ -1,0 +1,164 @@
+#include "platforms/platforms.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "profiling/categories.h"
+
+namespace hyperprof::platforms {
+namespace {
+
+using profiling::BroadCategory;
+using profiling::BroadOf;
+using profiling::FnCategory;
+
+class SpecTest : public ::testing::TestWithParam<int> {
+ protected:
+  PlatformSpec Spec() const {
+    switch (GetParam()) {
+      case 0: return SpannerSpec();
+      case 1: return BigTableSpec();
+      default: return BigQuerySpec();
+    }
+  }
+};
+
+TEST_P(SpecTest, QueryWeightsSumToOne) {
+  PlatformSpec spec = Spec();
+  double total = 0;
+  for (const auto& type : spec.query_types) total += type.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(SpecTest, ComputeMixSumsToOne) {
+  PlatformSpec spec = Spec();
+  double total = 0;
+  for (double w : spec.compute_mix) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST_P(SpecTest, BroadSharesWithinPaperRanges) {
+  // Section 5.2: core compute 18-36%, DC tax 32-40%, system tax 32-42%.
+  PlatformSpec spec = Spec();
+  double broad[3] = {0, 0, 0};
+  for (size_t i = 0; i < profiling::kNumFnCategories; ++i) {
+    broad[static_cast<int>(BroadOf(static_cast<FnCategory>(i)))] +=
+        spec.compute_mix[i];
+  }
+  EXPECT_GE(broad[0], 0.18 - 1e-9);
+  EXPECT_LE(broad[0], 0.36 + 1e-9);
+  EXPECT_GE(broad[1], 0.32 - 1e-9);
+  EXPECT_LE(broad[1], 0.40 + 1e-9);
+  EXPECT_GE(broad[2], 0.32 - 1e-9);
+  EXPECT_LE(broad[2], 0.42 + 1e-9);
+}
+
+TEST_P(SpecTest, EveryQueryTypeHasPhases) {
+  PlatformSpec spec = Spec();
+  EXPECT_GE(spec.query_types.size(), 4u);
+  for (const auto& type : spec.query_types) {
+    EXPECT_FALSE(type.phases.empty()) << type.name;
+    // The first phase of a group must not be flagged as overlapping.
+    EXPECT_FALSE(type.phases[0].overlap_with_previous) << type.name;
+  }
+}
+
+TEST_P(SpecTest, HitTargetsOrdered) {
+  PlatformSpec spec = Spec();
+  EXPECT_GT(spec.ram_hit_target, 0.0);
+  EXPECT_LE(spec.ram_hit_target, spec.ram_ssd_hit_target);
+  EXPECT_LE(spec.ram_ssd_hit_target, 1.0);
+}
+
+TEST_P(SpecTest, MicroarchProfilesPopulated) {
+  PlatformSpec spec = Spec();
+  for (const auto& profile : spec.microarch) {
+    EXPECT_GT(profile.ipc, 0.0);
+    EXPECT_GT(profile.l1i_mpki, 0.0);
+  }
+}
+
+std::string PlatformParamName(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0: return "Spanner";
+    case 1: return "BigTable";
+    default: return "BigQuery";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlatforms, SpecTest, ::testing::Values(0, 1, 2),
+                         PlatformParamName);
+
+TEST(SpecValuesTest, PaperStatedTaxFractions) {
+  // Figure 5 values called out in the text.
+  PlatformSpec spanner = SpannerSpec();
+  PlatformSpec bigtable = BigTableSpec();
+  PlatformSpec bigquery = BigQuerySpec();
+  auto tax_fraction = [](const PlatformSpec& spec, FnCategory category) {
+    double broad_total = 0;
+    for (size_t i = 0; i < profiling::kNumFnCategories; ++i) {
+      if (BroadOf(static_cast<FnCategory>(i)) ==
+          BroadCategory::kDatacenterTax) {
+        broad_total += spec.compute_mix[i];
+      }
+    }
+    return spec.compute_mix[static_cast<size_t>(category)] / broad_total;
+  };
+  // RPC: 23% Spanner, 37% BigTable, 11% BigQuery.
+  EXPECT_NEAR(tax_fraction(spanner, FnCategory::kRpc), 0.23, 1e-6);
+  EXPECT_NEAR(tax_fraction(bigtable, FnCategory::kRpc), 0.37, 1e-6);
+  EXPECT_NEAR(tax_fraction(bigquery, FnCategory::kRpc), 0.11, 1e-6);
+  // Compression > 30% for BigTable and BigQuery.
+  EXPECT_GT(tax_fraction(bigtable, FnCategory::kCompression), 0.30);
+  EXPECT_GT(tax_fraction(bigquery, FnCategory::kCompression), 0.30);
+  // Protobuf in 20-25% across platforms.
+  for (const auto& spec : {spanner, bigtable, bigquery}) {
+    double fraction = tax_fraction(spec, FnCategory::kProtobuf);
+    EXPECT_GE(fraction, 0.20 - 1e-6);
+    EXPECT_LE(fraction, 0.25 + 1e-6);
+  }
+}
+
+TEST(SpecValuesTest, Table7ValuesExact) {
+  // Spot-check the encoded Table 7 ground truth.
+  PlatformSpec spanner = SpannerSpec();
+  EXPECT_DOUBLE_EQ(spanner.microarch[0].ipc, 0.9);
+  EXPECT_DOUBLE_EQ(spanner.microarch[1].ipc, 0.6);
+  EXPECT_DOUBLE_EQ(spanner.microarch[2].l1i_mpki, 21.6);
+  PlatformSpec bigquery = BigQuerySpec();
+  EXPECT_DOUBLE_EQ(bigquery.microarch[0].ipc, 1.4);
+  EXPECT_DOUBLE_EQ(bigquery.microarch[0].br_mpki, 2.0);
+  PlatformSpec bigtable = BigTableSpec();
+  EXPECT_DOUBLE_EQ(bigtable.microarch[2].dtlb_ld_mpki, 3.6);
+}
+
+TEST(SpecValuesTest, BigQueryUsesAnalyticsCategories) {
+  PlatformSpec spec = BigQuerySpec();
+  EXPECT_GT(spec.compute_mix[static_cast<size_t>(FnCategory::kFilter)], 0.0);
+  EXPECT_EQ(spec.compute_mix[static_cast<size_t>(FnCategory::kRead)], 0.0);
+  PlatformSpec spanner = SpannerSpec();
+  EXPECT_GT(spanner.compute_mix[static_cast<size_t>(FnCategory::kRead)],
+            0.0);
+  EXPECT_EQ(spanner.compute_mix[static_cast<size_t>(FnCategory::kFilter)],
+            0.0);
+}
+
+TEST(PhaseSpecTest, FactoryHelpers) {
+  PhaseSpec compute = PhaseSpec::Compute(0.01, 0.3);
+  EXPECT_EQ(compute.kind, PhaseSpec::Kind::kCompute);
+  EXPECT_DOUBLE_EQ(compute.compute.mean_seconds, 0.01);
+  IoPhaseSpec io;
+  io.num_blocks = 5;
+  PhaseSpec io_phase = PhaseSpec::Io(io);
+  EXPECT_EQ(io_phase.kind, PhaseSpec::Kind::kIo);
+  EXPECT_EQ(io_phase.io.num_blocks, 5);
+  RemotePhaseSpec remote;
+  remote.fanout = 3;
+  PhaseSpec remote_phase = PhaseSpec::Remote(remote);
+  EXPECT_EQ(remote_phase.kind, PhaseSpec::Kind::kRemote);
+  EXPECT_EQ(remote_phase.remote.fanout, 3);
+}
+
+}  // namespace
+}  // namespace hyperprof::platforms

@@ -1,0 +1,71 @@
+#include "profiling/categories.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::profiling {
+namespace {
+
+TEST(CategoriesTest, EveryCategoryHasAUniqueName) {
+  std::set<std::string> names;
+  for (size_t i = 0; i < kNumFnCategories; ++i) {
+    std::string name = FnCategoryName(static_cast<FnCategory>(i));
+    EXPECT_NE(name, "unknown");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate: " << name;
+  }
+}
+
+TEST(CategoriesTest, BroadNames) {
+  EXPECT_STREQ(BroadCategoryName(BroadCategory::kCoreCompute),
+               "Core Compute");
+  EXPECT_STREQ(BroadCategoryName(BroadCategory::kDatacenterTax),
+               "Datacenter Taxes");
+  EXPECT_STREQ(BroadCategoryName(BroadCategory::kSystemTax), "System Taxes");
+}
+
+TEST(CategoriesTest, BroadOfMatchesPaperTables) {
+  // Table 2 members are datacenter taxes.
+  for (FnCategory category :
+       {FnCategory::kCompression, FnCategory::kCryptography,
+        FnCategory::kDataMovement, FnCategory::kMemAllocation,
+        FnCategory::kProtobuf, FnCategory::kRpc}) {
+    EXPECT_EQ(BroadOf(category), BroadCategory::kDatacenterTax);
+  }
+  // Table 3 members are system taxes.
+  for (FnCategory category :
+       {FnCategory::kEdac, FnCategory::kFileSystems,
+        FnCategory::kOtherMemOps, FnCategory::kMultithreading,
+        FnCategory::kNetworking, FnCategory::kOperatingSystems,
+        FnCategory::kStl, FnCategory::kMiscSystem}) {
+    EXPECT_EQ(BroadOf(category), BroadCategory::kSystemTax);
+  }
+  // Tables 4 and 5 members are core compute.
+  for (FnCategory category :
+       {FnCategory::kRead, FnCategory::kWrite, FnCategory::kConsensus,
+        FnCategory::kAggregate, FnCategory::kFilter, FnCategory::kJoin}) {
+    EXPECT_EQ(BroadOf(category), BroadCategory::kCoreCompute);
+  }
+}
+
+TEST(CategoriesTest, CategoriesOfPartitionsTheEnum) {
+  size_t total = 0;
+  for (int b = 0; b < 3; ++b) {
+    auto members = CategoriesOf(static_cast<BroadCategory>(b));
+    total += members.size();
+    for (FnCategory category : members) {
+      EXPECT_EQ(BroadOf(category), static_cast<BroadCategory>(b));
+    }
+  }
+  EXPECT_EQ(total, kNumFnCategories);
+}
+
+TEST(CategoriesTest, PaperCategoryCounts) {
+  EXPECT_EQ(CategoriesOf(BroadCategory::kDatacenterTax).size(), 6u);
+  EXPECT_EQ(CategoriesOf(BroadCategory::kSystemTax).size(), 8u);
+  EXPECT_EQ(CategoriesOf(BroadCategory::kCoreCompute).size(), 15u);
+}
+
+}  // namespace
+}  // namespace hyperprof::profiling

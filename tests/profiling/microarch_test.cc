@@ -1,0 +1,104 @@
+#include "profiling/microarch.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::profiling {
+namespace {
+
+MicroarchProfile SampleProfile() {
+  return MicroarchProfile{0.9, 5.4, 12.4, 4.2, 0.6, 0.2, 0.8};
+}
+
+TEST(SynthesizeTest, InstructionsTrackIpc) {
+  Rng rng(1);
+  MicroarchProfile profile = SampleProfile();
+  double total_instr = 0, total_cycles = 0;
+  for (int i = 0; i < 2000; ++i) {
+    CounterDelta delta = SynthesizeCounters(profile, 1000000, rng);
+    total_instr += static_cast<double>(delta.instructions);
+    total_cycles += static_cast<double>(delta.cycles);
+  }
+  EXPECT_NEAR(total_instr / total_cycles, profile.ipc, 0.01);
+}
+
+TEST(SynthesizeTest, MissRatesTrackMpki) {
+  Rng rng(2);
+  MicroarchProfile profile = SampleProfile();
+  CounterRollup rollup;
+  for (int i = 0; i < 3000; ++i) {
+    rollup.Add(SynthesizeCounters(profile, 1000000, rng));
+  }
+  EXPECT_NEAR(rollup.BrMpki(), profile.br_mpki, 0.1);
+  EXPECT_NEAR(rollup.L1iMpki(), profile.l1i_mpki, 0.2);
+  EXPECT_NEAR(rollup.L2iMpki(), profile.l2i_mpki, 0.1);
+  EXPECT_NEAR(rollup.LlcMpki(), profile.llc_mpki, 0.05);
+  EXPECT_NEAR(rollup.ItlbMpki(), profile.itlb_mpki, 0.05);
+  EXPECT_NEAR(rollup.DtlbLdMpki(), profile.dtlb_ld_mpki, 0.05);
+}
+
+TEST(SynthesizeTest, ZeroMpkiYieldsZeroMisses) {
+  Rng rng(3);
+  MicroarchProfile profile;
+  profile.ipc = 1.0;  // all MPKIs zero
+  CounterDelta delta = SynthesizeCounters(profile, 100000, rng);
+  EXPECT_EQ(delta.br_misses, 0u);
+  EXPECT_EQ(delta.llc_misses, 0u);
+}
+
+TEST(SynthesizeTest, AtLeastOneInstruction) {
+  Rng rng(4);
+  MicroarchProfile profile;
+  profile.ipc = 1e-9;
+  CounterDelta delta = SynthesizeCounters(profile, 10, rng);
+  EXPECT_GE(delta.instructions, 1u);
+}
+
+TEST(CounterRollupTest, EmptyIsZero) {
+  CounterRollup rollup;
+  EXPECT_EQ(rollup.Ipc(), 0.0);
+  EXPECT_EQ(rollup.BrMpki(), 0.0);
+}
+
+TEST(CounterRollupTest, AddAccumulatesExactly) {
+  CounterRollup rollup;
+  CounterDelta delta;
+  delta.cycles = 1000;
+  delta.instructions = 700;
+  delta.br_misses = 7;
+  rollup.Add(delta);
+  rollup.Add(delta);
+  EXPECT_EQ(rollup.cycles(), 2000u);
+  EXPECT_EQ(rollup.instructions(), 1400u);
+  EXPECT_DOUBLE_EQ(rollup.Ipc(), 0.7);
+  EXPECT_DOUBLE_EQ(rollup.BrMpki(), 10.0);
+}
+
+TEST(CounterRollupTest, MergeEqualsAdds) {
+  CounterDelta delta;
+  delta.cycles = 500;
+  delta.instructions = 400;
+  delta.l1i_misses = 3;
+  CounterRollup a, b;
+  a.Add(delta);
+  b.Add(delta);
+  a.Merge(b);
+  EXPECT_EQ(a.cycles(), 1000u);
+  EXPECT_EQ(a.instructions(), 800u);
+}
+
+TEST(CounterRollupTest, ToProfileRoundTrips) {
+  CounterRollup rollup;
+  CounterDelta delta;
+  delta.cycles = 10000;
+  delta.instructions = 9000;
+  delta.br_misses = 45;
+  delta.dtlb_ld_misses = 18;
+  rollup.Add(delta);
+  MicroarchProfile profile = rollup.ToProfile();
+  EXPECT_DOUBLE_EQ(profile.ipc, 0.9);
+  EXPECT_DOUBLE_EQ(profile.br_mpki, 5.0);
+  EXPECT_DOUBLE_EQ(profile.dtlb_ld_mpki, 2.0);
+}
+
+}  // namespace
+}  // namespace hyperprof::profiling

@@ -1,0 +1,67 @@
+#include "profiling/function_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::profiling {
+namespace {
+
+TEST(RegistryTest, ExactMatchWins) {
+  FunctionRegistry registry;
+  registry.AddExact("foo::Bar", FnCategory::kRpc);
+  registry.AddPrefix("foo::", FnCategory::kStl);
+  EXPECT_EQ(registry.Classify("foo::Bar"), FnCategory::kRpc);
+  EXPECT_EQ(registry.Classify("foo::Other"), FnCategory::kStl);
+}
+
+TEST(RegistryTest, LongestPrefixWins) {
+  FunctionRegistry registry;
+  registry.AddPrefix("a::", FnCategory::kStl);
+  registry.AddPrefix("a::b::", FnCategory::kRpc);
+  EXPECT_EQ(registry.Classify("a::b::F"), FnCategory::kRpc);
+  EXPECT_EQ(registry.Classify("a::c::F"), FnCategory::kStl);
+}
+
+TEST(RegistryTest, UnknownIsUncategorized) {
+  FunctionRegistry registry;
+  EXPECT_EQ(registry.Classify("mystery_function"),
+            FnCategory::kUncategorizedCore);
+}
+
+TEST(RegistryTest, FleetRegistryCoversEveryCategoryButUncategorized) {
+  FunctionRegistry registry = BuildFleetRegistry();
+  for (size_t i = 0; i < kNumFnCategories; ++i) {
+    FnCategory category = static_cast<FnCategory>(i);
+    if (category == FnCategory::kUncategorizedCore) continue;
+    EXPECT_FALSE(registry.SymbolsFor(category).empty())
+        << "no symbols for " << FnCategoryName(category);
+  }
+}
+
+TEST(RegistryTest, FleetRegistryClassifiesItsOwnSymbols) {
+  FunctionRegistry registry = BuildFleetRegistry();
+  for (size_t i = 0; i < kNumFnCategories; ++i) {
+    FnCategory category = static_cast<FnCategory>(i);
+    for (const std::string& symbol : registry.SymbolsFor(category)) {
+      EXPECT_EQ(registry.Classify(symbol), category) << symbol;
+    }
+  }
+}
+
+TEST(RegistryTest, FleetRegistryPrefixFallbacks) {
+  FunctionRegistry registry = BuildFleetRegistry();
+  EXPECT_EQ(registry.Classify("paxos::SomeNewFunction"),
+            FnCategory::kConsensus);
+  EXPECT_EQ(registry.Classify("std::sort"), FnCategory::kStl);
+  EXPECT_EQ(registry.Classify("tcp_v4_rcv"), FnCategory::kNetworking);
+  EXPECT_EQ(registry.Classify("Spanner::internal::unknown_leaf"),
+            FnCategory::kUncategorizedCore);
+}
+
+TEST(RegistryTest, RuleCountsExposed) {
+  FunctionRegistry registry = BuildFleetRegistry();
+  EXPECT_GT(registry.exact_rules(), 80u);
+  EXPECT_GT(registry.prefix_rules(), 5u);
+}
+
+}  // namespace
+}  // namespace hyperprof::profiling

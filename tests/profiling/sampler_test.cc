@@ -1,0 +1,84 @@
+#include "profiling/sampler.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::profiling {
+namespace {
+
+MicroarchProfile FlatProfile() {
+  MicroarchProfile profile;
+  profile.ipc = 1.0;
+  return profile;
+}
+
+TEST(SamplerTest, LongActivityYieldsProportionalSamples) {
+  CpuProfiler profiler(SimTime::Micros(100), 3e9, Rng(1));
+  profiler.RecordActivity("f", SimTime::Millis(10), FlatProfile());
+  // 10ms / 100us = 100 samples (+-1 from the fractional draw).
+  EXPECT_NEAR(static_cast<double>(profiler.samples().size()), 100.0, 1.0);
+}
+
+TEST(SamplerTest, ShortActivitiesSampleProportionallyInExpectation) {
+  CpuProfiler profiler(SimTime::Micros(100), 3e9, Rng(2));
+  // 10k activities of 10us = 1s of CPU; expect ~10000 * 0.1 = 1000 samples.
+  for (int i = 0; i < 10000; ++i) {
+    profiler.RecordActivity("short", SimTime::Micros(10), FlatProfile());
+  }
+  EXPECT_NEAR(static_cast<double>(profiler.samples().size()), 1000.0, 100.0);
+}
+
+TEST(SamplerTest, RelativeCategoryWeightsRecovered) {
+  CpuProfiler profiler(SimTime::Micros(50), 3e9, Rng(3));
+  // "hot" gets 3x the CPU time of "cold".
+  for (int i = 0; i < 3000; ++i) {
+    profiler.RecordActivity("hot", SimTime::Micros(30), FlatProfile());
+  }
+  for (int i = 0; i < 1000; ++i) {
+    profiler.RecordActivity("cold", SimTime::Micros(30), FlatProfile());
+  }
+  uint32_t hot_id = profiler.InternSymbol("hot");
+  size_t hot = 0;
+  for (const CpuSample& sample : profiler.samples()) {
+    if (sample.symbol_id == hot_id) ++hot;
+  }
+  double fraction = static_cast<double>(hot) / profiler.samples().size();
+  EXPECT_NEAR(fraction, 0.75, 0.04);
+}
+
+TEST(SamplerTest, ZeroDurationIgnored) {
+  CpuProfiler profiler(SimTime::Micros(100), 3e9, Rng(4));
+  profiler.RecordActivity("f", SimTime::Zero(), FlatProfile());
+  EXPECT_TRUE(profiler.samples().empty());
+  EXPECT_EQ(profiler.activities_recorded(), 0u);
+}
+
+TEST(SamplerTest, CyclesPerSampleMatchesPeriodAndFrequency) {
+  CpuProfiler profiler(SimTime::Micros(500), 2e9, Rng(5));
+  EXPECT_DOUBLE_EQ(profiler.CyclesPerSample(), 1e6);
+  profiler.RecordActivity("f", SimTime::Millis(5), FlatProfile());
+  ASSERT_FALSE(profiler.samples().empty());
+  EXPECT_EQ(profiler.samples()[0].counters.cycles, 1000000u);
+}
+
+TEST(SamplerTest, SymbolsInterned) {
+  CpuProfiler profiler(SimTime::Micros(10), 3e9, Rng(6));
+  profiler.RecordActivity("alpha", SimTime::Millis(1), FlatProfile());
+  profiler.RecordActivity("beta", SimTime::Millis(1), FlatProfile());
+  profiler.RecordActivity("alpha", SimTime::Millis(1), FlatProfile());
+  uint32_t alpha = profiler.InternSymbol("alpha");
+  uint32_t beta = profiler.InternSymbol("beta");
+  EXPECT_NE(alpha, beta);
+  EXPECT_EQ(profiler.SymbolName(alpha), "alpha");
+  EXPECT_EQ(profiler.SymbolName(beta), "beta");
+}
+
+TEST(SamplerTest, TotalCpuTimeAccumulates) {
+  CpuProfiler profiler(SimTime::Micros(100), 3e9, Rng(7));
+  profiler.RecordActivity("f", SimTime::Millis(2), FlatProfile());
+  profiler.RecordActivity("g", SimTime::Millis(3), FlatProfile());
+  EXPECT_EQ(profiler.total_cpu_time(), SimTime::Millis(5));
+  EXPECT_EQ(profiler.activities_recorded(), 2u);
+}
+
+}  // namespace
+}  // namespace hyperprof::profiling

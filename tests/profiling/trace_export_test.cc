@@ -1,0 +1,93 @@
+#include "profiling/trace_export.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::profiling {
+namespace {
+
+QueryTrace SampleTrace(uint64_t id) {
+  QueryTrace trace;
+  trace.trace_id = id;
+  trace.platform = "Spanner";
+  trace.query_type = "point_read";
+  Span cpu;
+  cpu.kind = SpanKind::kCpu;
+  cpu.name = "compute";
+  cpu.start = SimTime::Micros(100);
+  cpu.end = SimTime::Micros(350);
+  Span io;
+  io.kind = SpanKind::kIo;
+  io.name = "dfs.read";
+  io.start = SimTime::Micros(350);
+  io.end = SimTime::Micros(500);
+  trace.spans = {cpu, io};
+  return trace;
+}
+
+TEST(TraceExportTest, EmitsCompleteEventsWithTimestamps) {
+  std::string json = ExportChromeTrace({SampleTrace(1)});
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"CPU\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"IO\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250.000"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":\"Spanner\""), std::string::npos);
+}
+
+TEST(TraceExportTest, ValidJsonArrayShape) {
+  std::string json = ExportChromeTrace({SampleTrace(1), SampleTrace(2)});
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  // Balanced braces.
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceExportTest, HonorsMaxQueries) {
+  std::vector<QueryTrace> traces;
+  for (uint64_t i = 1; i <= 10; ++i) traces.push_back(SampleTrace(i));
+  std::string json = ExportChromeTrace(traces, /*max_queries=*/3);
+  // 3 thread-name metadata events, not 10.
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = json.find("thread_name", pos)) != std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(TraceExportTest, EscapesSpecialCharacters) {
+  QueryTrace trace = SampleTrace(1);
+  trace.spans[0].name = "we\"ird\\name";
+  std::string json = ExportChromeTrace({trace});
+  EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(TraceExportTest, EmptyTracesYieldEmptyArray) {
+  EXPECT_EQ(ExportChromeTrace({}), "[\n\n]\n");
+}
+
+TEST(TraceExportTest, WritesFile) {
+  std::string path = ::testing::TempDir() + "/trace_export_test.json";
+  ASSERT_TRUE(WriteChromeTrace({SampleTrace(1)}, path));
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buffer[16] = {};
+  size_t read = std::fread(buffer, 1, 1, file);
+  std::fclose(file);
+  std::remove(path.c_str());
+  ASSERT_EQ(read, 1u);
+  EXPECT_EQ(buffer[0], '[');
+}
+
+}  // namespace
+}  // namespace hyperprof::profiling

@@ -1,0 +1,174 @@
+#include "profiling/tracer.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::profiling {
+namespace {
+
+QueryTrace MakeTrace(std::vector<Span> spans) {
+  QueryTrace trace;
+  trace.trace_id = 1;
+  trace.spans = std::move(spans);
+  return trace;
+}
+
+Span MakeSpan(SpanKind kind, int64_t start_us, int64_t end_us) {
+  Span span;
+  span.kind = kind;
+  span.start = SimTime::Micros(start_us);
+  span.end = SimTime::Micros(end_us);
+  return span;
+}
+
+TEST(AttributeTest, DisjointSpansSumDirectly) {
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kCpu, 0, 100),
+      MakeSpan(SpanKind::kIo, 100, 250),
+      MakeSpan(SpanKind::kRemoteWork, 250, 300),
+  });
+  AttributedTime time = AttributeTrace(trace);
+  EXPECT_NEAR(time.cpu, 100e-6, 1e-12);
+  EXPECT_NEAR(time.io, 150e-6, 1e-12);
+  EXPECT_NEAR(time.remote, 50e-6, 1e-12);
+}
+
+TEST(AttributeTest, PaperPrecedenceRemoteOverIoOverCpu) {
+  // All three active simultaneously: remote wins the whole interval.
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kCpu, 0, 100),
+      MakeSpan(SpanKind::kIo, 0, 100),
+      MakeSpan(SpanKind::kRemoteWork, 0, 100),
+  });
+  AttributedTime time = AttributeTrace(trace);
+  EXPECT_NEAR(time.remote, 100e-6, 1e-12);
+  EXPECT_EQ(time.cpu, 0.0);
+  EXPECT_EQ(time.io, 0.0);
+}
+
+TEST(AttributeTest, PartialOverlapSplitsAtBoundaries) {
+  // CPU [0,100), IO [60,160): CPU gets [0,60), IO gets [60,160).
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kCpu, 0, 100),
+      MakeSpan(SpanKind::kIo, 60, 160),
+  });
+  AttributedTime time = AttributeTrace(trace);
+  EXPECT_NEAR(time.cpu, 60e-6, 1e-12);
+  EXPECT_NEAR(time.io, 100e-6, 1e-12);
+}
+
+TEST(AttributeTest, CustomPolicyCpuFirst) {
+  AttributionPolicy policy;
+  policy.cpu_rank = 0;
+  policy.io_rank = 1;
+  policy.remote_rank = 2;
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kCpu, 0, 100),
+      MakeSpan(SpanKind::kIo, 0, 100),
+  });
+  AttributedTime time = AttributeTrace(trace, policy);
+  EXPECT_NEAR(time.cpu, 100e-6, 1e-12);
+  EXPECT_EQ(time.io, 0.0);
+}
+
+TEST(AttributeTest, GapsAttributeNothing) {
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kCpu, 0, 50),
+      MakeSpan(SpanKind::kCpu, 100, 150),
+  });
+  AttributedTime time = AttributeTrace(trace);
+  EXPECT_NEAR(time.Total(), 100e-6, 1e-12);
+}
+
+TEST(AttributeTest, NestedSameKindSpansDoNotDoubleCount) {
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kIo, 0, 100),
+      MakeSpan(SpanKind::kIo, 20, 60),
+  });
+  AttributedTime time = AttributeTrace(trace);
+  EXPECT_NEAR(time.io, 100e-6, 1e-12);
+}
+
+TEST(AttributeTest, ZeroLengthSpansIgnored) {
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kCpu, 50, 50),
+      MakeSpan(SpanKind::kIo, 0, 10),
+  });
+  AttributedTime time = AttributeTrace(trace);
+  EXPECT_EQ(time.cpu, 0.0);
+  EXPECT_NEAR(time.io, 10e-6, 1e-12);
+}
+
+TEST(AttributeTest, EmptyTraceIsZero) {
+  QueryTrace trace;
+  AttributedTime time = AttributeTrace(trace);
+  EXPECT_EQ(time.Total(), 0.0);
+}
+
+TEST(TracerTest, SampleEveryQueryWhenRateIsOne) {
+  Tracer tracer(1, Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    uint64_t id = tracer.StartQuery("P", "q", SimTime::Zero());
+    EXPECT_NE(id, Tracer::kNotSampled);
+    tracer.FinishQuery(id, SimTime::Micros(10));
+  }
+  EXPECT_EQ(tracer.queries_sampled(), 100u);
+  EXPECT_EQ(tracer.traces().size(), 100u);
+}
+
+TEST(TracerTest, SamplingRateApproximatelyOneInN) {
+  Tracer tracer(10, Rng(2));
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t id = tracer.StartQuery("P", "q", SimTime::Zero());
+    tracer.FinishQuery(id, SimTime::Micros(1));
+  }
+  EXPECT_EQ(tracer.queries_seen(), 20000u);
+  EXPECT_NEAR(static_cast<double>(tracer.queries_sampled()), 2000.0, 150.0);
+}
+
+TEST(TracerTest, UnsampledQueriesCostNothing) {
+  Tracer tracer(1000000, Rng(3));
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t id = tracer.StartQuery("P", "q", SimTime::Zero());
+    tracer.AddSpan(id, SpanKind::kCpu, "x", SimTime::Zero(),
+                   SimTime::Micros(1));
+    tracer.FinishQuery(id, SimTime::Micros(1));
+  }
+  EXPECT_TRUE(tracer.traces().empty() || tracer.traces().size() < 5);
+}
+
+TEST(TracerTest, SpansAttachToCorrectTrace) {
+  Tracer tracer(1, Rng(4));
+  uint64_t a = tracer.StartQuery("P", "a", SimTime::Zero());
+  uint64_t b = tracer.StartQuery("P", "b", SimTime::Zero());
+  tracer.AddSpan(a, SpanKind::kCpu, "a-span", SimTime::Zero(),
+                 SimTime::Micros(5));
+  tracer.AddSpan(b, SpanKind::kIo, "b-span", SimTime::Zero(),
+                 SimTime::Micros(7));
+  tracer.FinishQuery(b, SimTime::Micros(7));
+  tracer.FinishQuery(a, SimTime::Micros(5));
+  ASSERT_EQ(tracer.traces().size(), 2u);
+  EXPECT_EQ(tracer.traces()[0].query_type, "b");
+  EXPECT_EQ(tracer.traces()[0].spans[0].name, "b-span");
+  EXPECT_EQ(tracer.traces()[1].query_type, "a");
+}
+
+TEST(TracerTest, TraceRecordsMetadata) {
+  Tracer tracer(1, Rng(5));
+  uint64_t id = tracer.StartQuery("Spanner", "point_read",
+                                  SimTime::Micros(100));
+  tracer.FinishQuery(id, SimTime::Micros(400));
+  const QueryTrace& trace = tracer.traces()[0];
+  EXPECT_EQ(trace.platform, "Spanner");
+  EXPECT_EQ(trace.query_type, "point_read");
+  EXPECT_EQ(trace.start, SimTime::Micros(100));
+  EXPECT_EQ(trace.end, SimTime::Micros(400));
+}
+
+TEST(SpanKindTest, Names) {
+  EXPECT_STREQ(SpanKindName(SpanKind::kCpu), "CPU");
+  EXPECT_STREQ(SpanKindName(SpanKind::kIo), "IO");
+  EXPECT_STREQ(SpanKindName(SpanKind::kRemoteWork), "RemoteWork");
+}
+
+}  // namespace
+}  // namespace hyperprof::profiling

@@ -1,0 +1,102 @@
+#include "sim/resource.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::sim {
+namespace {
+
+TEST(ResourceTest, GrantsImmediatelyWhenFree) {
+  Simulator simulator;
+  Resource resource(&simulator, "cpu", 2);
+  bool granted = false;
+  resource.Acquire([&] { granted = true; });
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(resource.in_use(), 1u);
+  resource.Release();
+  EXPECT_EQ(resource.in_use(), 0u);
+}
+
+TEST(ResourceTest, QueuesBeyondCapacityFifo) {
+  Simulator simulator;
+  Resource resource(&simulator, "disk", 1);
+  std::vector<int> grant_order;
+  resource.Acquire([&] { grant_order.push_back(0); });
+  resource.Acquire([&] { grant_order.push_back(1); });
+  resource.Acquire([&] { grant_order.push_back(2); });
+  EXPECT_EQ(grant_order, (std::vector<int>{0}));
+  EXPECT_EQ(resource.queue_length(), 2u);
+  resource.Release();  // grants waiter 1
+  resource.Release();  // grants waiter 2
+  EXPECT_EQ(grant_order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(resource.in_use(), 1u);  // waiter 2 still holds
+  resource.Release();
+  EXPECT_EQ(resource.in_use(), 0u);
+}
+
+TEST(ResourceTest, ServeHoldsForServiceTime) {
+  Simulator simulator;
+  Resource resource(&simulator, "core", 1);
+  SimTime done_at;
+  resource.Serve(SimTime::Micros(100), [&] { done_at = simulator.Now(); });
+  simulator.Run();
+  EXPECT_EQ(done_at, SimTime::Micros(100));
+  EXPECT_EQ(resource.in_use(), 0u);
+}
+
+TEST(ResourceTest, SerializesServesAtUnitCapacity) {
+  Simulator simulator;
+  Resource resource(&simulator, "core", 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    resource.Serve(SimTime::Micros(10),
+                   [&] { completions.push_back(simulator.Now()); });
+  }
+  simulator.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], SimTime::Micros(10));
+  EXPECT_EQ(completions[1], SimTime::Micros(20));
+  EXPECT_EQ(completions[2], SimTime::Micros(30));
+}
+
+TEST(ResourceTest, ParallelServesAtHigherCapacity) {
+  Simulator simulator;
+  Resource resource(&simulator, "cores", 3);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 3; ++i) {
+    resource.Serve(SimTime::Micros(10),
+                   [&] { completions.push_back(simulator.Now()); });
+  }
+  simulator.Run();
+  for (const SimTime& at : completions) {
+    EXPECT_EQ(at, SimTime::Micros(10));
+  }
+}
+
+TEST(ResourceTest, WaitStatsRecordQueueing) {
+  Simulator simulator;
+  Resource resource(&simulator, "core", 1);
+  resource.Serve(SimTime::Micros(50), [] {});
+  resource.Serve(SimTime::Micros(50), [] {});
+  simulator.Run();
+  EXPECT_EQ(resource.wait_stats().count(), 2u);
+  EXPECT_DOUBLE_EQ(resource.wait_stats().min(), 0.0);
+  EXPECT_NEAR(resource.wait_stats().max(), 50e-6, 1e-9);
+}
+
+TEST(ResourceTest, UtilizationReflectsBusyTime) {
+  Simulator simulator;
+  Resource resource(&simulator, "core", 1);
+  resource.Serve(SimTime::Micros(30), [] {});
+  simulator.Run();
+  // Busy 30us over 30us elapsed -> utilization 1.
+  EXPECT_NEAR(resource.Utilization(), 1.0, 1e-9);
+  // Let time pass idle.
+  simulator.Schedule(SimTime::Micros(30), [] {});
+  simulator.Run();
+  EXPECT_NEAR(resource.Utilization(), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace hyperprof::sim

@@ -1,0 +1,77 @@
+#include "sim/sequence.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace hyperprof::sim {
+namespace {
+
+TEST(SequenceTest, RunsStepsInOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  Sequence::Run(
+      {
+          [&](Sequence::Done done) {
+            order.push_back(1);
+            simulator.Schedule(SimTime::Micros(10), std::move(done));
+          },
+          [&](Sequence::Done done) {
+            order.push_back(2);
+            simulator.Schedule(SimTime::Micros(10), std::move(done));
+          },
+          [&](Sequence::Done done) {
+            order.push_back(3);
+            done();
+          },
+      },
+      [&] { order.push_back(99); });
+  EXPECT_EQ(order, (std::vector<int>{1}));  // first step started inline
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 99}));
+  EXPECT_EQ(simulator.Now(), SimTime::Micros(20));
+}
+
+TEST(SequenceTest, EmptySequenceCompletesImmediately) {
+  bool completed = false;
+  Sequence::Run({}, [&] { completed = true; });
+  EXPECT_TRUE(completed);
+}
+
+TEST(SequenceTest, SynchronousStepsDoNotOverflow) {
+  // 100k immediate steps must not blow the stack... within reason; use 10k.
+  std::vector<Sequence::Step> steps;
+  int count = 0;
+  for (int i = 0; i < 10000; ++i) {
+    steps.push_back([&count](Sequence::Done done) {
+      ++count;
+      done();
+    });
+  }
+  bool completed = false;
+  Sequence::Run(std::move(steps), [&] { completed = true; });
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(count, 10000);
+}
+
+TEST(BarrierTest, FiresAfterAllArrive) {
+  bool done = false;
+  auto token = Barrier(3, [&] { done = true; });
+  token();
+  token();
+  EXPECT_FALSE(done);
+  token();
+  EXPECT_TRUE(done);
+}
+
+TEST(BarrierTest, SingleCount) {
+  bool done = false;
+  auto token = Barrier(1, [&] { done = true; });
+  token();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace hyperprof::sim

@@ -1,0 +1,122 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::sim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.Schedule(SimTime::Micros(30), [&] { order.push_back(3); });
+  simulator.Schedule(SimTime::Micros(10), [&] { order.push_back(1); });
+  simulator.Schedule(SimTime::Micros(20), [&] { order.push_back(2); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(simulator.Now(), SimTime::Micros(30));
+}
+
+TEST(SimulatorTest, SameTimeFiresInScheduleOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    simulator.Schedule(SimTime::Micros(1), [&order, i] {
+      order.push_back(i);
+    });
+  }
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.Schedule(SimTime::Micros(1), [&] {
+    ++fired;
+    simulator.Schedule(SimTime::Micros(1), [&] { ++fired; });
+  });
+  uint64_t ran = simulator.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(simulator.Now(), SimTime::Micros(2));
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator simulator;
+  simulator.Schedule(SimTime::Micros(5), [] {});
+  simulator.Run();
+  bool fired = false;
+  simulator.Schedule(SimTime::Micros(-10), [&] { fired = true; });
+  simulator.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(simulator.Now(), SimTime::Micros(5));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator simulator;
+  bool fired = false;
+  EventId id = simulator.Schedule(SimTime::Micros(1), [&] { fired = true; });
+  EXPECT_TRUE(simulator.Cancel(id));
+  simulator.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelInvalidIdReturnsFalse) {
+  Simulator simulator;
+  EXPECT_FALSE(simulator.Cancel(EventId{}));
+  EXPECT_FALSE(simulator.Cancel(EventId{9999}));
+}
+
+TEST(SimulatorTest, CancelTwiceReturnsFalse) {
+  Simulator simulator;
+  EventId id = simulator.Schedule(SimTime::Micros(1), [] {});
+  EXPECT_TRUE(simulator.Cancel(id));
+  EXPECT_FALSE(simulator.Cancel(id));
+  simulator.Run();
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator simulator;
+  std::vector<int> fired;
+  simulator.Schedule(SimTime::Micros(10), [&] { fired.push_back(1); });
+  simulator.Schedule(SimTime::Micros(20), [&] { fired.push_back(2); });
+  simulator.Schedule(SimTime::Micros(30), [&] { fired.push_back(3); });
+  simulator.RunUntil(SimTime::Micros(20));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(simulator.Now(), SimTime::Micros(20));
+  simulator.Run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator simulator;
+  simulator.RunUntil(SimTime::Millis(5));
+  EXPECT_EQ(simulator.Now(), SimTime::Millis(5));
+}
+
+TEST(SimulatorTest, EventCountersTrack) {
+  Simulator simulator;
+  for (int i = 0; i < 10; ++i) {
+    simulator.Schedule(SimTime::Micros(i), [] {});
+  }
+  EXPECT_EQ(simulator.pending_events(), 10u);
+  simulator.Run();
+  EXPECT_EQ(simulator.events_executed(), 10u);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, ScheduleAtPastClampsToNow) {
+  Simulator simulator;
+  simulator.Schedule(SimTime::Micros(10), [] {});
+  simulator.Run();
+  SimTime fired_at;
+  simulator.ScheduleAt(SimTime::Micros(3),
+                       [&] { fired_at = simulator.Now(); });
+  simulator.Run();
+  EXPECT_EQ(fired_at, SimTime::Micros(10));
+}
+
+}  // namespace
+}  // namespace hyperprof::sim

@@ -1,0 +1,63 @@
+#include "soc/host_pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::soc {
+namespace {
+
+TEST(HostPipelineTest, OutputsAgreeBetweenSerialAndChained) {
+  HostValidationResult result = RunHostValidation(60, /*seed=*/3,
+                                                  /*repetitions=*/2);
+  EXPECT_EQ(result.digest_xor, 0u) << "chained digests differ from serial";
+  EXPECT_EQ(result.num_messages, 60u);
+  EXPECT_GT(result.total_wire_bytes, 0u);
+}
+
+TEST(HostPipelineTest, TimesArePositiveAndConsistent) {
+  HostValidationResult result = RunHostValidation(60, /*seed=*/5,
+                                                  /*repetitions=*/2);
+  EXPECT_GT(result.serialize_seconds, 0.0);
+  EXPECT_GT(result.hash_seconds, 0.0);
+  EXPECT_NEAR(result.serial_total_seconds,
+              result.serialize_seconds + result.hash_seconds, 1e-9);
+  EXPECT_GT(result.chained_total_seconds, 0.0);
+}
+
+TEST(HostPipelineTest, ModelPredictsLongestStage) {
+  HostValidationResult result = RunHostValidation(60, /*seed=*/7,
+                                                  /*repetitions=*/2);
+  double longest = std::max(result.serialize_seconds, result.hash_seconds);
+  EXPECT_NEAR(result.modeled_chained_seconds, longest, 1e-9);
+}
+
+TEST(HostPipelineTest, ChainedBeatsSerialOnMultiCoreHosts) {
+  // With two host threads the chain overlaps the stages; allow generous
+  // slack for noisy CI machines but require it not be slower than serial
+  // by more than scheduling noise.
+  HostValidationResult result = RunHostValidation(150, /*seed=*/9,
+                                                  /*repetitions=*/4);
+  EXPECT_LT(result.chained_total_seconds,
+            result.serial_total_seconds * 1.15);
+}
+
+TEST(HostPipelineTest, DeterministicMessageShapes) {
+  HostValidationResult a = RunHostValidation(40, /*seed=*/11,
+                                             /*repetitions=*/1);
+  HostValidationResult b = RunHostValidation(40, /*seed=*/11,
+                                             /*repetitions=*/1);
+  EXPECT_EQ(a.total_wire_bytes, b.total_wire_bytes);
+}
+
+TEST(HostPipelineTest, ErrorFractionComputation) {
+  HostValidationResult result;
+  result.modeled_chained_seconds = 2.0;
+  result.chained_total_seconds = 2.2;
+  EXPECT_NEAR(result.ModelErrorFraction(), 0.1, 1e-12);
+  result.chained_total_seconds = 1.8;
+  EXPECT_NEAR(result.ModelErrorFraction(), 0.1, 1e-12);
+  result.modeled_chained_seconds = 0.0;
+  EXPECT_EQ(result.ModelErrorFraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace hyperprof::soc

@@ -1,0 +1,149 @@
+#include "storage/dfs.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace hyperprof::storage {
+namespace {
+
+class DfsTest : public ::testing::Test {
+ protected:
+  DfsTest() : rpc_(&simulator_, &network_, Rng(2)) {}
+
+  DfsParams SmallParams() {
+    DfsParams params;
+    params.num_fileservers = 4;
+    params.store.ram_bytes = 1 << 20;
+    params.store.ssd_bytes = 8 << 20;
+    return params;
+  }
+
+  sim::Simulator simulator_;
+  net::NetworkModel network_;
+  net::RpcSystem rpc_;
+  net::NodeId client_{0, 0, 1};
+};
+
+TEST_F(DfsTest, ReadCompletesWithTimes) {
+  DistributedFileSystem dfs(&simulator_, &rpc_, SmallParams(), Rng(3));
+  IoResult result;
+  bool done = false;
+  dfs.Read(client_, 42, 4096, [&](const IoResult& r) {
+    result = r;
+    done = true;
+  });
+  simulator_.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.served_by, Tier::kHdd);  // cold
+  EXPECT_GT(result.total_time, result.device_time);
+  EXPECT_GT(result.network_time, SimTime::Zero());
+}
+
+TEST_F(DfsTest, SecondReadHitsRam) {
+  DistributedFileSystem dfs(&simulator_, &rpc_, SmallParams(), Rng(3));
+  Tier second_tier = Tier::kHdd;
+  dfs.Read(client_, 42, 4096, [&](const IoResult&) {
+    dfs.Read(client_, 42, 4096,
+             [&](const IoResult& r) { second_tier = r.served_by; });
+  });
+  simulator_.Run();
+  EXPECT_EQ(second_tier, Tier::kRam);
+}
+
+TEST_F(DfsTest, BlocksSpreadAcrossFileservers) {
+  DistributedFileSystem dfs(&simulator_, &rpc_, SmallParams(), Rng(3));
+  std::vector<int> hits(4, 0);
+  for (uint64_t block = 0; block < 200; ++block) {
+    ++hits[dfs.HomeServer(block)];
+  }
+  for (int count : hits) {
+    EXPECT_GT(count, 20);  // roughly uniform placement
+  }
+}
+
+TEST_F(DfsTest, HomeServerIsStable) {
+  DistributedFileSystem dfs(&simulator_, &rpc_, SmallParams(), Rng(3));
+  for (uint64_t block = 0; block < 50; ++block) {
+    EXPECT_EQ(dfs.HomeServer(block), dfs.HomeServer(block));
+  }
+}
+
+TEST_F(DfsTest, WriteReplicatesToMultipleServers) {
+  DistributedFileSystem dfs(&simulator_, &rpc_, SmallParams(), Rng(3));
+  bool done = false;
+  dfs.Write(client_, 7, 8192, /*replication=*/3,
+            [&](const IoResult&) { done = true; });
+  simulator_.Run();
+  ASSERT_TRUE(done);
+  uint64_t total_writes = 0;
+  for (uint32_t s = 0; s < dfs.num_fileservers(); ++s) {
+    total_writes += dfs.server_store(s).writes();
+  }
+  EXPECT_EQ(total_writes, 3u);
+}
+
+TEST_F(DfsTest, ReplicationClampedToServerCount) {
+  DistributedFileSystem dfs(&simulator_, &rpc_, SmallParams(), Rng(3));
+  bool done = false;
+  dfs.Write(client_, 7, 1024, /*replication=*/99,
+            [&](const IoResult&) { done = true; });
+  simulator_.Run();
+  ASSERT_TRUE(done);
+  uint64_t total_writes = 0;
+  for (uint32_t s = 0; s < dfs.num_fileservers(); ++s) {
+    total_writes += dfs.server_store(s).writes();
+  }
+  EXPECT_EQ(total_writes, 4u);  // clamped to num_fileservers
+}
+
+TEST_F(DfsTest, WriteWaitsForSlowestReplica) {
+  DistributedFileSystem dfs(&simulator_, &rpc_, SmallParams(), Rng(3));
+  SimTime single_time, replicated_time;
+  dfs.Write(client_, 11, 4096, 1,
+            [&](const IoResult& r) { single_time = r.total_time; });
+  simulator_.Run();
+  dfs.Write(client_, 12, 4096, 3,
+            [&](const IoResult& r) { replicated_time = r.total_time; });
+  simulator_.Run();
+  // Max-of-three is stochastically >= a single ack; with jitter it is
+  // almost surely strictly larger.
+  EXPECT_GE(replicated_time, single_time);
+}
+
+TEST_F(DfsTest, PrewarmZipfWarmsHotBlocks) {
+  DistributedFileSystem dfs(&simulator_, &rpc_, SmallParams(), Rng(3));
+  dfs.PrewarmZipf(/*ram_blocks=*/10, /*ssd_blocks=*/50, 4096);
+  Tier hot_tier = Tier::kHdd, warm_tier = Tier::kHdd,
+       cold_tier = Tier::kRam;
+  dfs.Read(client_, 5, 4096, [&](const IoResult& r) {
+    hot_tier = r.served_by;
+  });
+  dfs.Read(client_, 30, 4096, [&](const IoResult& r) {
+    warm_tier = r.served_by;
+  });
+  dfs.Read(client_, 5000, 4096, [&](const IoResult& r) {
+    cold_tier = r.served_by;
+  });
+  simulator_.Run();
+  EXPECT_EQ(hot_tier, Tier::kRam);
+  EXPECT_EQ(warm_tier, Tier::kSsd);
+  EXPECT_EQ(cold_tier, Tier::kHdd);
+}
+
+TEST_F(DfsTest, TierServeFractionsAggregateAcrossServers) {
+  DistributedFileSystem dfs(&simulator_, &rpc_, SmallParams(), Rng(3));
+  dfs.PrewarmZipf(100, 100, 4096);
+  int outstanding = 0;
+  for (uint64_t block = 0; block < 100; ++block) {
+    ++outstanding;
+    dfs.Read(client_, block, 4096, [&](const IoResult&) { --outstanding; });
+  }
+  simulator_.Run();
+  EXPECT_EQ(outstanding, 0);
+  EXPECT_NEAR(dfs.TierServeFraction(Tier::kRam), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hyperprof::storage

@@ -1,0 +1,84 @@
+#include "storage/disaggregation.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::storage {
+namespace {
+
+TEST(DisaggregationTest, AlignedPeaksSaveNothing) {
+  DemandSeries a{"a", {1, 5, 2}};
+  DemandSeries b{"b", {2, 10, 4}};
+  DisaggregationStudy study = AnalyzeDisaggregation({a, b});
+  EXPECT_DOUBLE_EQ(study.sum_of_peaks, 15.0);
+  EXPECT_DOUBLE_EQ(study.peak_of_sum, 15.0);
+  EXPECT_DOUBLE_EQ(study.SavingsFraction(), 0.0);
+}
+
+TEST(DisaggregationTest, AntiCorrelatedPeaksSave) {
+  DemandSeries a{"a", {10, 1}};
+  DemandSeries b{"b", {1, 10}};
+  DisaggregationStudy study = AnalyzeDisaggregation({a, b});
+  EXPECT_DOUBLE_EQ(study.sum_of_peaks, 20.0);
+  EXPECT_DOUBLE_EQ(study.peak_of_sum, 11.0);
+  EXPECT_NEAR(study.SavingsFraction(), 0.45, 1e-12);
+}
+
+TEST(DisaggregationTest, PoolNeverWorseThanDedicated) {
+  Rng rng(5);
+  std::vector<DemandSeries> series;
+  for (int p = 0; p < 4; ++p) {
+    DiurnalParams params;
+    params.platform = "p" + std::to_string(p);
+    params.base_bytes = 100;
+    params.peak_bytes = 50 + 20 * p;
+    params.peak_hour = 6.0 * p;
+    series.push_back(GenerateDiurnalDemand(params, 288, rng));
+  }
+  DisaggregationStudy study = AnalyzeDisaggregation(series);
+  EXPECT_LE(study.peak_of_sum, study.sum_of_peaks + 1e-9);
+  EXPECT_GT(study.SavingsFraction(), 0.0);
+}
+
+TEST(DisaggregationTest, EmptyInputIsZero) {
+  DisaggregationStudy study = AnalyzeDisaggregation({});
+  EXPECT_EQ(study.sum_of_peaks, 0.0);
+  EXPECT_EQ(study.SavingsFraction(), 0.0);
+}
+
+TEST(DiurnalTest, PeaksNearConfiguredHour) {
+  Rng rng(7);
+  DiurnalParams params;
+  params.platform = "serving";
+  params.base_bytes = 100;
+  params.peak_bytes = 100;
+  params.peak_hour = 15.0;
+  params.noise_sigma = 0.0;  // deterministic shape
+  DemandSeries series = GenerateDiurnalDemand(params, 24 * 60, rng);
+  size_t argmax = 0;
+  for (size_t t = 1; t < series.demand_bytes.size(); ++t) {
+    if (series.demand_bytes[t] > series.demand_bytes[argmax]) argmax = t;
+  }
+  double peak_hour = 24.0 * static_cast<double>(argmax) /
+                     static_cast<double>(series.demand_bytes.size());
+  EXPECT_NEAR(peak_hour, 15.0, 0.1);
+  // Trough is half a day away with demand == base.
+  double trough = *std::min_element(series.demand_bytes.begin(),
+                                    series.demand_bytes.end());
+  EXPECT_NEAR(trough, 100.0, 1.0);
+}
+
+TEST(DiurnalTest, NoiseIsMultiplicativeAndSeedStable) {
+  DiurnalParams params;
+  params.base_bytes = 50;
+  params.peak_bytes = 10;
+  Rng a(9), b(9);
+  DemandSeries first = GenerateDiurnalDemand(params, 100, a);
+  DemandSeries second = GenerateDiurnalDemand(params, 100, b);
+  EXPECT_EQ(first.demand_bytes, second.demand_bytes);
+  for (double demand : first.demand_bytes) {
+    EXPECT_GT(demand, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hyperprof::storage

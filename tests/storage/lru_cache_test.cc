@@ -1,0 +1,93 @@
+#include "storage/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::storage {
+namespace {
+
+TEST(LruCacheTest, MissThenHit) {
+  LruCache cache(1024);
+  EXPECT_FALSE(cache.Touch(1));
+  cache.Insert(1, 100);
+  EXPECT_TRUE(cache.Touch(1));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(300);
+  cache.Insert(1, 100);
+  cache.Insert(2, 100);
+  cache.Insert(3, 100);
+  cache.Touch(1);          // 1 is now MRU; 2 is LRU
+  cache.Insert(4, 100);    // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCacheTest, OversizedBlockNotAdmitted) {
+  LruCache cache(100);
+  EXPECT_FALSE(cache.Insert(1, 200));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LruCacheTest, ReinsertUpdatesSize) {
+  LruCache cache(300);
+  cache.Insert(1, 100);
+  cache.Insert(1, 250);
+  EXPECT_EQ(cache.used_bytes(), 250u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(LruCacheTest, ReinsertLargerEvictsOthers) {
+  LruCache cache(300);
+  cache.Insert(1, 100);
+  cache.Insert(2, 100);
+  cache.Insert(2, 250);  // 1 must go
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_LE(cache.used_bytes(), 300u);
+}
+
+TEST(LruCacheTest, EraseRemoves) {
+  LruCache cache(300);
+  cache.Insert(1, 100);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LruCacheTest, ContainsDoesNotPromote) {
+  LruCache cache(200);
+  cache.Insert(1, 100);
+  cache.Insert(2, 100);
+  // Contains(1) must not promote 1; inserting 3 should evict 1 (LRU).
+  EXPECT_TRUE(cache.Contains(1));
+  cache.Insert(3, 100);
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(LruCacheTest, MultipleEvictionsToFit) {
+  LruCache cache(300);
+  cache.Insert(1, 100);
+  cache.Insert(2, 100);
+  cache.Insert(3, 100);
+  cache.Insert(4, 300);  // evicts all three
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_EQ(cache.evictions(), 3u);
+}
+
+TEST(LruCacheTest, ZeroCapacityAdmitsNothing) {
+  LruCache cache(0);
+  EXPECT_FALSE(cache.Insert(1, 1));
+  EXPECT_FALSE(cache.Touch(1));
+}
+
+}  // namespace
+}  // namespace hyperprof::storage

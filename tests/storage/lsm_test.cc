@@ -1,0 +1,249 @@
+#include "storage/lsm.h"
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace hyperprof::storage {
+namespace {
+
+LsmEntry Entry(const std::string& key, const std::string& value,
+               uint64_t sequence, bool deleted = false) {
+  return LsmEntry{key, value, sequence, deleted};
+}
+
+TEST(SsTableTest, FindAndBounds) {
+  SsTable table({Entry("b", "1", 1), Entry("d", "2", 2), Entry("f", "3", 3)});
+  EXPECT_EQ(table.min_key(), "b");
+  EXPECT_EQ(table.max_key(), "f");
+  ASSERT_NE(table.Find("d"), nullptr);
+  EXPECT_EQ(table.Find("d")->value, "2");
+  EXPECT_EQ(table.Find("c"), nullptr);
+  EXPECT_EQ(table.Find("a"), nullptr);
+  EXPECT_EQ(table.Find("g"), nullptr);
+}
+
+TEST(SsTableTest, ScanRange) {
+  SsTable table({Entry("a", "1", 1), Entry("c", "2", 2), Entry("e", "3", 3)});
+  auto hits = table.Scan("b", "f");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0]->key, "c");
+  EXPECT_EQ(hits[1]->key, "e");
+}
+
+TEST(SsTableTest, Overlaps) {
+  SsTable table({Entry("c", "1", 1), Entry("g", "2", 2)});
+  EXPECT_TRUE(table.Overlaps("a", "d"));
+  EXPECT_TRUE(table.Overlaps("d", "e"));
+  EXPECT_TRUE(table.Overlaps("g", "z"));
+  EXPECT_FALSE(table.Overlaps("a", "b"));
+  EXPECT_FALSE(table.Overlaps("h", "z"));
+}
+
+TEST(MergeRunsTest, NewestVersionWins) {
+  SsTable newer({Entry("a", "new", 5), Entry("c", "3", 6)});
+  SsTable older({Entry("a", "old", 1), Entry("b", "2", 2)});
+  auto merged = MergeRuns({&newer, &older}, false);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].key, "a");
+  EXPECT_EQ(merged[0].value, "new");
+  EXPECT_EQ(merged[1].key, "b");
+  EXPECT_EQ(merged[2].key, "c");
+}
+
+TEST(MergeRunsTest, TombstonesMaskAndDrop) {
+  SsTable newer({Entry("a", "", 5, /*deleted=*/true)});
+  SsTable older({Entry("a", "old", 1)});
+  auto kept = MergeRuns({&newer, &older}, /*drop_tombstones=*/false);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_TRUE(kept[0].deleted);
+  auto dropped = MergeRuns({&newer, &older}, /*drop_tombstones=*/true);
+  EXPECT_TRUE(dropped.empty());
+}
+
+TEST(LsmTreeTest, PutGetRoundTrip) {
+  LsmTree tree;
+  tree.Put("k1", "v1");
+  tree.Put("k2", "v2");
+  EXPECT_EQ(tree.Get("k1"), "v1");
+  EXPECT_EQ(tree.Get("k2"), "v2");
+  EXPECT_EQ(tree.Get("k3"), std::nullopt);
+}
+
+TEST(LsmTreeTest, OverwriteTakesLatest) {
+  LsmTree tree;
+  tree.Put("k", "old");
+  tree.Put("k", "new");
+  EXPECT_EQ(tree.Get("k"), "new");
+}
+
+TEST(LsmTreeTest, DeleteMasksValue) {
+  LsmTree tree;
+  tree.Put("k", "v");
+  tree.Delete("k");
+  EXPECT_EQ(tree.Get("k"), std::nullopt);
+}
+
+TEST(LsmTreeTest, DeleteSurvivesFlush) {
+  LsmParams params;
+  params.memtable_flush_bytes = 1 << 20;
+  LsmTree tree(params);
+  tree.Put("k", "v");
+  tree.Flush();
+  tree.Delete("k");
+  tree.Flush();
+  EXPECT_EQ(tree.Get("k"), std::nullopt);
+}
+
+TEST(LsmTreeTest, GetAfterFlushReadsSsTables) {
+  LsmTree tree;
+  tree.Put("k", "v");
+  tree.Flush();
+  EXPECT_EQ(tree.memtable_bytes(), 0u);
+  EXPECT_EQ(tree.Get("k"), "v");
+  EXPECT_GT(tree.stats().sstable_reads, 0u);
+}
+
+TEST(LsmTreeTest, AutomaticFlushAtThreshold) {
+  LsmParams params;
+  params.memtable_flush_bytes = 256;
+  LsmTree tree(params);
+  for (int i = 0; i < 50; ++i) {
+    tree.Put(StrFormat("key%04d", i), std::string(32, 'x'));
+  }
+  EXPECT_GT(tree.stats().flushes, 0u);
+}
+
+TEST(LsmTreeTest, CompactionTriggersAtL0Threshold) {
+  LsmParams params;
+  params.memtable_flush_bytes = 1 << 20;
+  params.level0_compaction_trigger = 2;
+  LsmTree tree(params);
+  for (int run = 0; run < 4; ++run) {
+    for (int i = 0; i < 10; ++i) {
+      tree.Put(StrFormat("key%02d", i), StrFormat("run%d", run));
+    }
+    tree.Flush();
+  }
+  EXPECT_GT(tree.stats().compactions, 0u);
+  // All versions resolve to the newest run.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(tree.Get(StrFormat("key%02d", i)), "run3");
+  }
+}
+
+TEST(LsmTreeTest, ScanMergesAllSources) {
+  LsmParams params;
+  params.memtable_flush_bytes = 1 << 20;
+  LsmTree tree(params);
+  tree.Put("a", "1");
+  tree.Flush();
+  tree.Put("b", "2");
+  tree.Flush();
+  tree.Put("c", "3");  // stays in memtable
+  tree.Delete("b");    // tombstone in memtable
+  auto rows = tree.Scan("a", "z");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "a");
+  EXPECT_EQ(rows[1].first, "c");
+}
+
+TEST(LsmTreeTest, ScanHonorsRange) {
+  LsmTree tree;
+  for (char c = 'a'; c <= 'f'; ++c) {
+    tree.Put(std::string(1, c), "v");
+  }
+  auto rows = tree.Scan("b", "e");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows.front().first, "b");
+  EXPECT_EQ(rows.back().first, "d");
+}
+
+TEST(LsmTreeTest, MatchesReferenceMapUnderRandomOps) {
+  LsmParams params;
+  params.memtable_flush_bytes = 512;
+  params.level0_compaction_trigger = 3;
+  LsmTree tree(params);
+  std::map<std::string, std::string> reference;
+  Rng rng(7);
+  for (int op = 0; op < 5000; ++op) {
+    std::string key = StrFormat("key%03d", (int)rng.NextBounded(200));
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      std::string value = StrFormat("v%d", op);
+      tree.Put(key, value);
+      reference[key] = value;
+    } else if (dice < 0.75) {
+      tree.Delete(key);
+      reference.erase(key);
+    } else {
+      auto expected = reference.find(key);
+      auto actual = tree.Get(key);
+      if (expected == reference.end()) {
+        EXPECT_EQ(actual, std::nullopt) << key << " op " << op;
+      } else {
+        EXPECT_EQ(actual, expected->second) << key << " op " << op;
+      }
+    }
+  }
+  // Final full comparison through Scan.
+  auto rows = tree.Scan("", "zzz");
+  EXPECT_EQ(rows.size(), reference.size());
+  for (const auto& [key, value] : rows) {
+    auto it = reference.find(key);
+    ASSERT_NE(it, reference.end()) << key;
+    EXPECT_EQ(value, it->second);
+  }
+}
+
+TEST(LsmTreeTest, DeeperLevelsStayNonOverlapping) {
+  LsmParams params;
+  params.memtable_flush_bytes = 512;
+  params.level0_compaction_trigger = 2;
+  params.level_size_multiplier = 2;
+  LsmTree tree(params);
+  Rng rng(11);
+  for (int op = 0; op < 4000; ++op) {
+    tree.Put(StrFormat("key%05d", (int)rng.NextBounded(3000)),
+             std::string(16, 'v'));
+  }
+  tree.CompactAll();
+  // After full compaction, L0 is empty and data lives deeper.
+  EXPECT_EQ(tree.TablesAtLevel(0), 0u);
+  uint64_t deep_bytes = 0;
+  for (size_t level = 1; level < tree.level_count(); ++level) {
+    deep_bytes += tree.LevelBytes(level);
+  }
+  EXPECT_GT(deep_bytes, 0u);
+}
+
+TEST(LsmTreeTest, WriteAmplificationReported) {
+  LsmParams params;
+  params.memtable_flush_bytes = 512;
+  params.level0_compaction_trigger = 2;
+  LsmTree tree(params);
+  for (int i = 0; i < 2000; ++i) {
+    tree.Put(StrFormat("key%03d", i % 100), std::string(24, 'x'));
+  }
+  tree.CompactAll();
+  // Rewriting the same 100 keys repeatedly must cost more than 1x.
+  EXPECT_GT(tree.stats().WriteAmplification(), 1.0);
+  EXPECT_LT(tree.stats().WriteAmplification(), 100.0);
+}
+
+TEST(LsmTreeTest, StatsCountOperations) {
+  LsmTree tree;
+  tree.Put("a", "1");
+  tree.Get("a");
+  tree.Get("missing");
+  EXPECT_EQ(tree.stats().writes, 1u);
+  EXPECT_EQ(tree.stats().reads, 2u);
+  EXPECT_EQ(tree.stats().memtable_hits, 1u);
+}
+
+}  // namespace
+}  // namespace hyperprof::storage

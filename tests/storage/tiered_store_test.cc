@@ -1,0 +1,110 @@
+#include "storage/tiered_store.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::storage {
+namespace {
+
+TieredStoreParams SmallParams() {
+  TieredStoreParams params;
+  params.ram_bytes = 1 << 20;
+  params.ssd_bytes = 4 << 20;
+  // Deterministic latencies for assertions.
+  params.ram.latency_sigma = 0;
+  params.ssd.latency_sigma = 0;
+  params.hdd.latency_sigma = 0;
+  return params;
+}
+
+TEST(TieredStoreTest, ColdReadServedByHdd) {
+  TieredStore store(SmallParams());
+  Rng rng(1);
+  AccessResult result = store.Read(42, 4096, rng);
+  EXPECT_EQ(result.served_by, Tier::kHdd);
+  EXPECT_GT(result.device_time, SimTime::Millis(7));
+}
+
+TEST(TieredStoreTest, ReadFillsUpperTiers) {
+  TieredStore store(SmallParams());
+  Rng rng(1);
+  store.Read(42, 4096, rng);
+  AccessResult second = store.Read(42, 4096, rng);
+  EXPECT_EQ(second.served_by, Tier::kRam);
+  EXPECT_LT(second.device_time, SimTime::Micros(5));
+}
+
+TEST(TieredStoreTest, SsdHitAfterRamEviction) {
+  TieredStoreParams params = SmallParams();
+  params.ram_bytes = 8192;  // tiny RAM: two 4K blocks
+  TieredStore store(params);
+  Rng rng(1);
+  store.Read(1, 4096, rng);
+  store.Read(2, 4096, rng);
+  store.Read(3, 4096, rng);  // evicts 1 from RAM; SSD still has it
+  AccessResult result = store.Read(1, 4096, rng);
+  EXPECT_EQ(result.served_by, Tier::kSsd);
+}
+
+TEST(TieredStoreTest, WriteGoesToSsdLog) {
+  TieredStore store(SmallParams());
+  Rng rng(1);
+  AccessResult result = store.Write(7, 4096, rng);
+  EXPECT_EQ(result.served_by, Tier::kSsd);
+  // Write buffers in RAM: read hits RAM.
+  AccessResult read = store.Read(7, 4096, rng);
+  EXPECT_EQ(read.served_by, Tier::kRam);
+}
+
+TEST(TieredStoreTest, TierServeFractionsSumToOne) {
+  TieredStore store(SmallParams());
+  Rng rng(2);
+  for (uint64_t id = 0; id < 100; ++id) store.Read(id % 30, 4096, rng);
+  double total = store.TierServeFraction(Tier::kRam) +
+                 store.TierServeFraction(Tier::kSsd) +
+                 store.TierServeFraction(Tier::kHdd);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(store.reads(), 100u);
+}
+
+TEST(TieredStoreTest, PrewarmServesFromRam) {
+  TieredStore store(SmallParams());
+  Rng rng(3);
+  store.Prewarm(5, 4096, Tier::kRam);
+  AccessResult result = store.Read(5, 4096, rng);
+  EXPECT_EQ(result.served_by, Tier::kRam);
+}
+
+TEST(TieredStoreTest, PrewarmSsdOnly) {
+  TieredStore store(SmallParams());
+  Rng rng(3);
+  store.Prewarm(5, 4096, Tier::kSsd);
+  AccessResult result = store.Read(5, 4096, rng);
+  EXPECT_EQ(result.served_by, Tier::kSsd);
+}
+
+TEST(TieredStoreTest, DeviceTimeIncludesTransfer) {
+  TieredStoreParams params = SmallParams();
+  params.ram_bytes = 4 << 20;  // both blocks fit in RAM together
+  TieredStore store(params);
+  Rng rng(4);
+  store.Prewarm(1, 1 << 20, Tier::kRam);
+  store.Prewarm(2, 64, Tier::kRam);
+  AccessResult big = store.Read(1, 1 << 20, rng);
+  AccessResult small = store.Read(2, 64, rng);
+  EXPECT_GT(big.device_time, small.device_time);
+}
+
+TEST(TieredStoreTest, HddLatencyDominatesHierarchy) {
+  TieredStoreParams params = SmallParams();
+  TieredStore store(params);
+  Rng rng(5);
+  AccessResult hdd = store.Read(100, 4096, rng);       // cold
+  AccessResult ram = store.Read(100, 4096, rng);       // now hot
+  store.Prewarm(200, 4096, Tier::kSsd);
+  AccessResult ssd = store.Read(200, 4096, rng);
+  EXPECT_GT(hdd.device_time, ssd.device_time);
+  EXPECT_GT(ssd.device_time, ram.device_time);
+}
+
+}  // namespace
+}  // namespace hyperprof::storage

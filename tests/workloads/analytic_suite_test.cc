@@ -1,0 +1,160 @@
+// An analytic-query suite in the TPC-H spirit, run through the plan
+// executor against brute-force reference computations on the same data —
+// the integration test for the analytics core-compute categories.
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "workloads/query_plan.h"
+
+namespace hyperprof::relational {
+namespace {
+
+class AnalyticSuiteTest : public ::testing::Test {
+ protected:
+  AnalyticSuiteTest() {
+    Rng rng(2024);
+    // lineitem(key=partkey, v0=quantity, v1=price)
+    lineitem_ = GenerateTable(20000, 2, 400, rng);
+    // part(key=partkey, v0=brand)
+    part_ = GenerateTable(400, 1, 400, rng);
+    // Make part's keys unique 0..399 so the join is a true FK lookup.
+    for (size_t i = 0; i < part_.column(0).values.size(); ++i) {
+      part_.column(0).values[i] = static_cast<int64_t>(i);
+      part_.column(1).values[i] = static_cast<int64_t>(i % 25);  // brand
+    }
+  }
+
+  Table lineitem_;
+  Table part_;
+};
+
+TEST_F(AnalyticSuiteTest, Q1PricingSummary) {
+  // SELECT partkey, sum(price) FROM lineitem WHERE quantity < 500000
+  // GROUP BY partkey
+  auto plan = MakeHashAggregate(
+      MakeFilter(MakeTableSource(&lineitem_), "v0", Predicate::kLess,
+                 500000),
+      "key", "v1", AggOp::kSum);
+  Table out = plan->Execute();
+
+  std::map<int64_t, int64_t> reference;
+  for (size_t i = 0; i < lineitem_.num_rows(); ++i) {
+    if (lineitem_.column(1).values[i] < 500000) {
+      reference[lineitem_.column(0).values[i]] +=
+          lineitem_.column(2).values[i];
+    }
+  }
+  ASSERT_EQ(out.num_rows(), reference.size());
+  for (size_t i = 0; i < out.num_rows(); ++i) {
+    EXPECT_EQ(out.column(1).values[i],
+              reference[out.column(0).values[i]]);
+  }
+}
+
+TEST_F(AnalyticSuiteTest, Q2RevenueByBrand) {
+  // SELECT p.brand, sum(l.price) FROM lineitem l JOIN part p
+  // ON l.partkey = p.partkey GROUP BY p.brand
+  auto plan = MakeHashAggregate(
+      MakeHashJoin(MakeTableSource(&lineitem_, "lineitem"), "key",
+                   MakeTableSource(&part_, "part"), "key"),
+      "r_v0", "l_v1", AggOp::kSum);
+  Table out = plan->Execute();
+
+  std::map<int64_t, int64_t> reference;
+  for (size_t i = 0; i < lineitem_.num_rows(); ++i) {
+    int64_t partkey = lineitem_.column(0).values[i];
+    int64_t brand = part_.column(1).values[static_cast<size_t>(partkey)];
+    reference[brand] += lineitem_.column(2).values[i];
+  }
+  ASSERT_EQ(out.num_rows(), reference.size());
+  for (size_t i = 0; i < out.num_rows(); ++i) {
+    EXPECT_EQ(out.column(1).values[i],
+              reference[out.column(0).values[i]]);
+  }
+}
+
+TEST_F(AnalyticSuiteTest, Q3TopPartsByVolume) {
+  // SELECT partkey, count(*) FROM lineitem GROUP BY partkey
+  // ORDER BY partkey LIMIT 5  (deterministic order column)
+  auto plan = MakeLimit(
+      MakeSort(MakeHashAggregate(MakeTableSource(&lineitem_), "key", "v0",
+                                 AggOp::kCount),
+               "key"),
+      5);
+  Table out = plan->Execute();
+  ASSERT_EQ(out.num_rows(), 5u);
+  std::map<int64_t, int64_t> reference;
+  for (int64_t key : lineitem_.column(0).values) ++reference[key];
+  auto it = reference.begin();
+  for (size_t i = 0; i < 5; ++i, ++it) {
+    EXPECT_EQ(out.column(0).values[i], it->first);
+    EXPECT_EQ(out.column(1).values[i], it->second);
+  }
+}
+
+TEST_F(AnalyticSuiteTest, Q4MinMaxExtremes) {
+  // SELECT partkey, min(price), max(price) — two plans over one source.
+  auto min_plan = MakeHashAggregate(MakeTableSource(&lineitem_), "key",
+                                    "v1", AggOp::kMin);
+  auto max_plan = MakeHashAggregate(MakeTableSource(&lineitem_), "key",
+                                    "v1", AggOp::kMax);
+  Table min_out = min_plan->Execute();
+  Table max_out = max_plan->Execute();
+  std::map<int64_t, std::pair<int64_t, int64_t>> reference;
+  for (size_t i = 0; i < lineitem_.num_rows(); ++i) {
+    int64_t key = lineitem_.column(0).values[i];
+    int64_t price = lineitem_.column(2).values[i];
+    auto [it, inserted] =
+        reference.try_emplace(key, std::make_pair(price, price));
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, price);
+      it->second.second = std::max(it->second.second, price);
+    }
+  }
+  for (size_t i = 0; i < min_out.num_rows(); ++i) {
+    EXPECT_EQ(min_out.column(1).values[i],
+              reference[min_out.column(0).values[i]].first);
+  }
+  for (size_t i = 0; i < max_out.num_rows(); ++i) {
+    EXPECT_EQ(max_out.column(1).values[i],
+              reference[max_out.column(0).values[i]].second);
+  }
+}
+
+TEST_F(AnalyticSuiteTest, Q5SelectiveJoinWithProjection) {
+  // SELECT l.price FROM lineitem l JOIN part p ON l.partkey = p.partkey
+  // WHERE p.brand == 7 AND l.quantity > 900000
+  auto plan = MakeProject(
+      MakeFilter(
+          MakeHashJoin(
+              MakeFilter(MakeTableSource(&lineitem_, "lineitem"), "v0",
+                         Predicate::kGreater, 900000),
+              "key",
+              MakeFilter(MakeTableSource(&part_, "part"), "v0",
+                         Predicate::kEq, 7),
+              "key"),
+          "r_v0", Predicate::kEq, 7),
+      {"l_v1"});
+  Table out = plan->Execute();
+
+  int64_t reference_count = 0;
+  int64_t reference_sum = 0;
+  for (size_t i = 0; i < lineitem_.num_rows(); ++i) {
+    int64_t partkey = lineitem_.column(0).values[i];
+    if (lineitem_.column(1).values[i] > 900000 &&
+        part_.column(1).values[static_cast<size_t>(partkey)] == 7) {
+      ++reference_count;
+      reference_sum += lineitem_.column(2).values[i];
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(out.num_rows()), reference_count);
+  int64_t sum = 0;
+  for (int64_t price : out.column(0).values) sum += price;
+  EXPECT_EQ(sum, reference_sum);
+}
+
+}  // namespace
+}  // namespace hyperprof::relational

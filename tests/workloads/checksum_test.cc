@@ -1,0 +1,51 @@
+#include "workloads/checksum.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::workloads {
+namespace {
+
+uint32_t Crc(const std::string& s, uint32_t seed = 0) {
+  return Crc32c(reinterpret_cast<const uint8_t*>(s.data()), s.size(), seed);
+}
+
+// Standard CRC32C test vectors.
+TEST(Crc32cTest, KnownVectors) {
+  EXPECT_EQ(Crc(""), 0x00000000u);
+  EXPECT_EQ(Crc("a"), 0xc1d04330u);
+  EXPECT_EQ(Crc("123456789"), 0xe3069283u);
+}
+
+TEST(Crc32cTest, AllZeros32Bytes) {
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc(zeros), 0x8a9136aau);
+}
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  EXPECT_NE(Crc("foo"), Crc("bar"));
+  EXPECT_NE(Crc("foo"), Crc("foo "));
+}
+
+TEST(Crc32cTest, SeedChaining) {
+  // CRC of the whole equals CRC of the tail seeded with CRC of the head.
+  std::string data = "hello, checksum world";
+  uint32_t whole = Crc(data);
+  uint32_t head = Crc(data.substr(0, 7));
+  uint32_t chained = Crc(data.substr(7), head);
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32cTest, SingleBitFlipDetected) {
+  std::string data(64, 'q');
+  uint32_t original = Crc(data);
+  for (size_t i = 0; i < data.size(); i += 13) {
+    std::string corrupted = data;
+    corrupted[i] ^= 0x01;
+    EXPECT_NE(Crc(corrupted), original) << "flip at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hyperprof::workloads

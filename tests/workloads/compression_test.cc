@@ -1,0 +1,143 @@
+#include "workloads/compression.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::workloads {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(LzCodecTest, EmptyInput) {
+  auto compressed = LzCodec::Compress(std::vector<uint8_t>{});
+  std::vector<uint8_t> output;
+  ASSERT_TRUE(LzCodec::Decompress(compressed, &output));
+  EXPECT_TRUE(output.empty());
+}
+
+TEST(LzCodecTest, ShortLiteralRoundTrip) {
+  auto input = Bytes("abc");
+  auto compressed = LzCodec::Compress(input);
+  std::vector<uint8_t> output;
+  ASSERT_TRUE(LzCodec::Decompress(compressed, &output));
+  EXPECT_EQ(output, input);
+}
+
+TEST(LzCodecTest, RepetitiveInputCompresses) {
+  std::string s;
+  for (int i = 0; i < 200; ++i) s += "the quick brown fox ";
+  auto input = Bytes(s);
+  auto compressed = LzCodec::Compress(input);
+  EXPECT_LT(compressed.size(), input.size() / 4);
+  std::vector<uint8_t> output;
+  ASSERT_TRUE(LzCodec::Decompress(compressed, &output));
+  EXPECT_EQ(output, input);
+}
+
+TEST(LzCodecTest, SingleByteRunRoundTrip) {
+  std::vector<uint8_t> input(100000, 'z');
+  auto compressed = LzCodec::Compress(input);
+  EXPECT_LT(compressed.size(), 3000u);
+  std::vector<uint8_t> output;
+  ASSERT_TRUE(LzCodec::Decompress(compressed, &output));
+  EXPECT_EQ(output, input);
+}
+
+TEST(LzCodecTest, IncompressibleInputRoundTrips) {
+  Rng rng(3);
+  std::vector<uint8_t> input(50000);
+  for (auto& b : input) b = static_cast<uint8_t>(rng.NextBounded(256));
+  auto compressed = LzCodec::Compress(input);
+  std::vector<uint8_t> output;
+  ASSERT_TRUE(LzCodec::Decompress(compressed, &output));
+  EXPECT_EQ(output, input);
+}
+
+TEST(LzCodecTest, OverlappingCopyRoundTrip) {
+  // "aaaa..." triggers copies whose source overlaps the destination —
+  // the classic RLE-via-LZ case that byte-by-byte copying must handle.
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 10; ++i) {
+    input.insert(input.end(), 50, static_cast<uint8_t>('a' + i));
+  }
+  auto compressed = LzCodec::Compress(input);
+  std::vector<uint8_t> output;
+  ASSERT_TRUE(LzCodec::Decompress(compressed, &output));
+  EXPECT_EQ(output, input);
+}
+
+TEST(LzCodecTest, RejectsTruncatedStream) {
+  auto compressed = LzCodec::Compress(Bytes("hello hello hello hello"));
+  compressed.pop_back();
+  std::vector<uint8_t> output;
+  EXPECT_FALSE(LzCodec::Decompress(compressed, &output));
+}
+
+TEST(LzCodecTest, RejectsCorruptedSizeHeader) {
+  auto compressed = LzCodec::Compress(Bytes("hello world"));
+  compressed[0] ^= 0x7f;  // corrupt uncompressed-size varint
+  std::vector<uint8_t> output;
+  EXPECT_FALSE(LzCodec::Decompress(compressed, &output));
+}
+
+TEST(LzCodecTest, RejectsCopyBeforeStart) {
+  std::vector<uint8_t> stream;
+  stream.push_back(1);  // uncompressed size claims 1
+  // Short copy op with offset 1 into an empty output.
+  stream.push_back(static_cast<uint8_t>(1 | (0 << 2)));
+  stream.push_back(1);
+  std::vector<uint8_t> output;
+  EXPECT_FALSE(LzCodec::Decompress(stream, &output));
+}
+
+TEST(LzCodecTest, RejectsEmptyStream) {
+  std::vector<uint8_t> output;
+  EXPECT_FALSE(LzCodec::Decompress(std::vector<uint8_t>{}, &output));
+}
+
+struct RoundTripCase {
+  size_t size;
+  double entropy;
+};
+
+class LzRoundTripTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(LzRoundTripTest, GeneratedBuffers) {
+  const RoundTripCase& param = GetParam();
+  Rng rng(param.size * 31 + static_cast<uint64_t>(param.entropy * 100));
+  auto input = GenerateCompressibleBuffer(param.size, param.entropy, rng);
+  ASSERT_EQ(input.size(), param.size);
+  auto compressed = LzCodec::Compress(input);
+  std::vector<uint8_t> output;
+  ASSERT_TRUE(LzCodec::Decompress(compressed, &output));
+  EXPECT_EQ(output, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndEntropies, LzRoundTripTest,
+    ::testing::Values(RoundTripCase{1, 0.5}, RoundTripCase{64, 0.0},
+                      RoundTripCase{64, 1.0}, RoundTripCase{4096, 0.2},
+                      RoundTripCase{4096, 0.8}, RoundTripCase{65536, 0.0},
+                      RoundTripCase{65536, 0.5}, RoundTripCase{65536, 1.0},
+                      RoundTripCase{1 << 20, 0.3}),
+    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
+      return "s" + std::to_string(info.param.size) + "_e" +
+             std::to_string(static_cast<int>(info.param.entropy * 100));
+    });
+
+TEST(LzCodecTest, LowerEntropyCompressesBetter) {
+  Rng rng(11);
+  auto low = GenerateCompressibleBuffer(1 << 16, 0.1, rng);
+  auto high = GenerateCompressibleBuffer(1 << 16, 0.9, rng);
+  double low_ratio =
+      static_cast<double>(LzCodec::Compress(low).size()) / low.size();
+  double high_ratio =
+      static_cast<double>(LzCodec::Compress(high).size()) / high.size();
+  EXPECT_LT(low_ratio, high_ratio);
+}
+
+}  // namespace
+}  // namespace hyperprof::workloads

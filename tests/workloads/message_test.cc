@@ -1,0 +1,164 @@
+#include "workloads/protowire/message.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::protowire {
+namespace {
+
+/** A pool with a nested schema used across tests. */
+class MessageTest : public ::testing::Test {
+ protected:
+  MessageTest() {
+    inner_ = pool_.Add("Inner");
+    inner_->fields.push_back({1, FieldType::kInt64, false, "id", nullptr});
+    inner_->fields.push_back(
+        {2, FieldType::kString, false, "name", nullptr});
+
+    outer_ = pool_.Add("Outer");
+    outer_->fields.push_back({1, FieldType::kInt64, false, "seq", nullptr});
+    outer_->fields.push_back(
+        {2, FieldType::kSint64, false, "delta", nullptr});
+    outer_->fields.push_back({3, FieldType::kBool, false, "flag", nullptr});
+    outer_->fields.push_back(
+        {4, FieldType::kDouble, false, "score", nullptr});
+    outer_->fields.push_back({5, FieldType::kFloat, false, "ratio", nullptr});
+    outer_->fields.push_back(
+        {6, FieldType::kString, true, "tags", nullptr});
+    outer_->fields.push_back(
+        {7, FieldType::kMessage, true, "items", inner_});
+  }
+
+  std::unique_ptr<Message> MakeSample() {
+    auto message = std::make_unique<Message>(outer_);
+    message->AddInt64(1, 42);
+    message->AddInt64(2, -17);
+    message->AddBool(3, true);
+    message->AddDouble(4, 3.25);
+    message->AddFloat(5, 0.5f);
+    message->AddString(6, "alpha");
+    message->AddString(6, "beta");
+    auto item = std::make_unique<Message>(inner_);
+    item->AddInt64(1, 7);
+    item->AddString(2, "seven");
+    message->AddMessage(7, std::move(item));
+    return message;
+  }
+
+  SchemaPool pool_;
+  Descriptor* inner_;
+  Descriptor* outer_;
+};
+
+TEST_F(MessageTest, ByteSizeMatchesSerializedSize) {
+  auto message = MakeSample();
+  WireBuffer wire = message->Serialize();
+  EXPECT_EQ(wire.size(), message->ByteSize());
+}
+
+TEST_F(MessageTest, RoundTripPreservesAllFields) {
+  auto message = MakeSample();
+  WireBuffer wire = message->Serialize();
+  auto parsed = Message::Parse(outer_, wire.data(), wire.size());
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_TRUE(parsed->Equals(*message));
+}
+
+TEST_F(MessageTest, RepeatedFieldsAccumulate) {
+  Message message(outer_);
+  message.AddString(6, "a");
+  message.AddString(6, "b");
+  message.AddString(6, "c");
+  EXPECT_EQ(message.FieldCount(6), 3u);
+}
+
+TEST_F(MessageTest, ScalarFieldOverwrites) {
+  Message message(outer_);
+  message.AddInt64(1, 1);
+  message.AddInt64(1, 2);
+  EXPECT_EQ(message.FieldCount(1), 1u);
+  EXPECT_EQ(std::get<int64_t>(message.ValuesOf(1)[0]), 2);
+}
+
+TEST_F(MessageTest, UnknownFieldsAreSkipped) {
+  // Serialize with the full schema, parse with a narrower one.
+  auto message = MakeSample();
+  WireBuffer wire = message->Serialize();
+  Descriptor* narrow = pool_.Add("Narrow");
+  narrow->fields.push_back({1, FieldType::kInt64, false, "seq", nullptr});
+  auto parsed = Message::Parse(narrow, wire.data(), wire.size());
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->FieldCount(1), 1u);
+  EXPECT_EQ(std::get<int64_t>(parsed->ValuesOf(1)[0]), 42);
+}
+
+TEST_F(MessageTest, WireTypeMismatchFailsParse) {
+  WireBuffer wire;
+  PutTag(wire, 1, WireType::kFixed32);  // field 1 is int64 (varint)
+  PutFixed32(wire, 5);
+  EXPECT_EQ(Message::Parse(outer_, wire.data(), wire.size()), nullptr);
+}
+
+TEST_F(MessageTest, TruncatedNestedMessageFailsParse) {
+  auto message = MakeSample();
+  WireBuffer wire = message->Serialize();
+  wire.pop_back();  // truncate the trailing nested message
+  EXPECT_EQ(Message::Parse(outer_, wire.data(), wire.size()), nullptr);
+}
+
+TEST_F(MessageTest, EmptyMessageRoundTrips) {
+  Message message(outer_);
+  WireBuffer wire = message.Serialize();
+  EXPECT_TRUE(wire.empty());
+  auto parsed = Message::Parse(outer_, wire.data(), wire.size());
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_TRUE(parsed->Equals(message));
+}
+
+TEST_F(MessageTest, EqualsDetectsValueDifference) {
+  auto a = MakeSample();
+  auto b = MakeSample();
+  EXPECT_TRUE(a->Equals(*b));
+  b->AddInt64(1, 43);
+  EXPECT_FALSE(a->Equals(*b));
+}
+
+TEST_F(MessageTest, EqualsDetectsNestedDifference) {
+  auto a = MakeSample();
+  auto b = MakeSample();
+  auto extra = std::make_unique<Message>(inner_);
+  extra->AddInt64(1, 99);
+  b->AddMessage(7, std::move(extra));
+  EXPECT_FALSE(a->Equals(*b));
+}
+
+TEST_F(MessageTest, DeepValueCountIncludesNested) {
+  auto message = MakeSample();
+  // 7 top-level values + nested message's 2 values.
+  EXPECT_EQ(message->DeepValueCount(), 10u);
+}
+
+TEST_F(MessageTest, NegativeInt64UsesTenByteVarint) {
+  Message message(outer_);
+  message.AddInt64(1, -1);
+  WireBuffer wire = message.Serialize();
+  auto parsed = Message::Parse(outer_, wire.data(), wire.size());
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(std::get<int64_t>(parsed->ValuesOf(1)[0]), -1);
+}
+
+TEST_F(MessageTest, SintFieldUsesCompactNegatives) {
+  Message a(outer_);
+  a.AddInt64(1, -1);  // plain int64: 10-byte varint
+  Message b(outer_);
+  b.AddInt64(2, -1);  // sint64: zigzag -> 1 byte
+  EXPECT_GT(a.ByteSize(), b.ByteSize());
+}
+
+TEST_F(MessageTest, DescriptorFindField) {
+  EXPECT_NE(outer_->FindField(1), nullptr);
+  EXPECT_EQ(outer_->FindField(99), nullptr);
+  EXPECT_EQ(outer_->FindField(7)->message_type, inner_);
+}
+
+}  // namespace
+}  // namespace hyperprof::protowire

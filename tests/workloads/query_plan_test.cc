@@ -1,0 +1,127 @@
+#include "workloads/query_plan.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::relational {
+namespace {
+
+Table Orders() {
+  std::vector<Column> columns;
+  columns.push_back(Column{"customer", {1, 2, 1, 3, 2, 1}});
+  columns.push_back(Column{"amount", {10, 20, 30, 40, 50, 60}});
+  return Table(std::move(columns));
+}
+
+Table Customers() {
+  std::vector<Column> columns;
+  columns.push_back(Column{"id", {1, 2, 3}});
+  columns.push_back(Column{"region", {7, 8, 9}});
+  return Table(std::move(columns));
+}
+
+TEST(QueryPlanTest, TableSourceCopiesInput) {
+  Table orders = Orders();
+  auto plan = MakeTableSource(&orders, "orders");
+  Table out = plan->Execute();
+  EXPECT_EQ(out.num_rows(), 6u);
+  EXPECT_EQ(out.num_columns(), 2u);
+}
+
+TEST(QueryPlanTest, FilterThenProject) {
+  Table orders = Orders();
+  auto plan = MakeProject(
+      MakeFilter(MakeTableSource(&orders), "amount", Predicate::kGreater,
+                 25),
+      {"customer"});
+  Table out = plan->Execute();
+  EXPECT_EQ(out.num_columns(), 1u);
+  EXPECT_EQ(out.column(0).values, (std::vector<int64_t>{1, 3, 2, 1}));
+}
+
+TEST(QueryPlanTest, AggregateMatchesDirectKernelCall) {
+  Table orders = Orders();
+  auto plan = MakeHashAggregate(MakeTableSource(&orders), "customer",
+                                "amount", AggOp::kSum);
+  Table out = plan->Execute();
+  std::map<int64_t, int64_t> result;
+  for (size_t i = 0; i < out.num_rows(); ++i) {
+    result[out.column(0).values[i]] = out.column(1).values[i];
+  }
+  EXPECT_EQ(result[1], 100);
+  EXPECT_EQ(result[2], 70);
+  EXPECT_EQ(result[3], 40);
+}
+
+TEST(QueryPlanTest, HashAndSortAggregatePlansAgree) {
+  Rng rng(3);
+  Table table = GenerateTable(2000, 1, 17, rng);
+  auto hash_plan = MakeHashAggregate(MakeTableSource(&table), "key", "v0",
+                                     AggOp::kSum);
+  auto sort_plan = MakeSortAggregate(MakeTableSource(&table), "key", "v0",
+                                     AggOp::kSum);
+  Table hash_out = hash_plan->Execute();
+  Table sort_out = sort_plan->Execute();
+  std::map<int64_t, int64_t> hash_map, sort_map;
+  for (size_t i = 0; i < hash_out.num_rows(); ++i) {
+    hash_map[hash_out.column(0).values[i]] = hash_out.column(1).values[i];
+  }
+  for (size_t i = 0; i < sort_out.num_rows(); ++i) {
+    sort_map[sort_out.column(0).values[i]] = sort_out.column(1).values[i];
+  }
+  EXPECT_EQ(hash_map, sort_map);
+}
+
+TEST(QueryPlanTest, JoinFilterAggregatePipeline) {
+  // SELECT c.region, sum(o.amount) FROM orders o JOIN customers c
+  // ON o.customer = c.id WHERE o.amount >= 30 GROUP BY c.region
+  Table orders = Orders();
+  Table customers = Customers();
+  auto plan = MakeHashAggregate(
+      MakeHashJoin(MakeFilter(MakeTableSource(&orders, "orders"), "amount",
+                              Predicate::kGreaterEq, 30),
+                   "customer", MakeTableSource(&customers, "customers"),
+                   "id"),
+      "r_region", "l_amount", AggOp::kSum);
+  Table out = plan->Execute();
+  std::map<int64_t, int64_t> by_region;
+  for (size_t i = 0; i < out.num_rows(); ++i) {
+    by_region[out.column(0).values[i]] = out.column(1).values[i];
+  }
+  // amounts >= 30: (1,30), (3,40), (2,50), (1,60)
+  EXPECT_EQ(by_region[7], 90);  // customer 1 -> region 7
+  EXPECT_EQ(by_region[8], 50);  // customer 2 -> region 8
+  EXPECT_EQ(by_region[9], 40);  // customer 3 -> region 9
+}
+
+TEST(QueryPlanTest, SortAndLimitTopN) {
+  Table orders = Orders();
+  auto plan =
+      MakeLimit(MakeSort(MakeTableSource(&orders), "amount"), 2);
+  Table out = plan->Execute();
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.column(1).values, (std::vector<int64_t>{10, 20}));
+}
+
+TEST(QueryPlanTest, LimitBeyondSizeKeepsAll) {
+  Table orders = Orders();
+  auto plan = MakeLimit(MakeTableSource(&orders), 100);
+  EXPECT_EQ(plan->Execute().num_rows(), 6u);
+}
+
+TEST(QueryPlanTest, DescribeTreeShowsStructure) {
+  Table orders = Orders();
+  auto plan = MakeHashAggregate(
+      MakeFilter(MakeTableSource(&orders, "orders"), "amount",
+                 Predicate::kLess, 100),
+      "customer", "amount", AggOp::kCount);
+  std::string tree = plan->DescribeTree();
+  EXPECT_NE(tree.find("HashAggregate(count(amount) by customer)"),
+            std::string::npos);
+  EXPECT_NE(tree.find("Filter(amount < 100)"), std::string::npos);
+  EXPECT_NE(tree.find("TableSource(orders"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyperprof::relational

@@ -1,0 +1,85 @@
+#include "workloads/sha3.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::workloads {
+namespace {
+
+std::string HashHex(const std::string& input) {
+  return DigestToHex(Sha3_256::Hash(
+      reinterpret_cast<const uint8_t*>(input.data()), input.size()));
+}
+
+// FIPS 202 / NIST test vectors.
+TEST(Sha3Test, EmptyString) {
+  EXPECT_EQ(HashHex(""),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a");
+}
+
+TEST(Sha3Test, Abc) {
+  EXPECT_EQ(HashHex("abc"),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532");
+}
+
+TEST(Sha3Test, LongStandardVector) {
+  EXPECT_EQ(HashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "41c0dba2a9d6240849100376a8235e2c82e1b9998a999e21db32dd97496d3376");
+}
+
+TEST(Sha3Test, ExactlyOneRateBlock) {
+  // 136 bytes = exactly the rate; exercises the block boundary + padding
+  // into a fresh block.
+  std::string input(Sha3_256::kRateBytes, 'a');
+  std::string once = HashHex(input);
+  // Compare against incremental absorption split across the boundary.
+  Sha3_256 hasher;
+  hasher.Update(reinterpret_cast<const uint8_t*>(input.data()), 100);
+  hasher.Update(reinterpret_cast<const uint8_t*>(input.data()) + 100, 36);
+  EXPECT_EQ(DigestToHex(hasher.Finish()), once);
+}
+
+TEST(Sha3Test, IncrementalEqualsOneShot) {
+  std::string input;
+  for (int i = 0; i < 1000; ++i) input += static_cast<char>('a' + i % 26);
+  std::string expected = HashHex(input);
+  for (size_t chunk : {1u, 7u, 64u, 135u, 137u, 999u}) {
+    Sha3_256 hasher;
+    size_t pos = 0;
+    while (pos < input.size()) {
+      size_t take = std::min(chunk, input.size() - pos);
+      hasher.Update(reinterpret_cast<const uint8_t*>(input.data()) + pos,
+                    take);
+      pos += take;
+    }
+    EXPECT_EQ(DigestToHex(hasher.Finish()), expected)
+        << "chunk size " << chunk;
+  }
+}
+
+TEST(Sha3Test, DifferentInputsDiffer) {
+  EXPECT_NE(HashHex("a"), HashHex("b"));
+  EXPECT_NE(HashHex("message"), HashHex("message "));
+}
+
+TEST(Sha3Test, LengthSweepIsStable) {
+  // Every length in [0, 300) hashes without error and deterministically.
+  for (size_t len = 0; len < 300; ++len) {
+    std::string input(len, 'x');
+    EXPECT_EQ(HashHex(input), HashHex(input));
+  }
+}
+
+TEST(Sha3Test, DigestToHexFormat) {
+  std::array<uint8_t, Sha3_256::kDigestBytes> digest{};
+  digest[0] = 0xab;
+  digest[31] = 0x01;
+  std::string hex = DigestToHex(digest);
+  EXPECT_EQ(hex.size(), 64u);
+  EXPECT_EQ(hex.substr(0, 2), "ab");
+  EXPECT_EQ(hex.substr(62, 2), "01");
+}
+
+}  // namespace
+}  // namespace hyperprof::workloads

@@ -1,0 +1,101 @@
+#include "workloads/protowire/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::protowire {
+namespace {
+
+TEST(SyntheticTest, SchemaIsDeterministicGivenSeed) {
+  SyntheticSchemaParams params;
+  SchemaPool pool_a, pool_b;
+  Rng rng_a(5), rng_b(5);
+  const Descriptor* a = GenerateSchema(pool_a, params, rng_a);
+  const Descriptor* b = GenerateSchema(pool_b, params, rng_b);
+  ASSERT_EQ(a->fields.size(), b->fields.size());
+  for (size_t i = 0; i < a->fields.size(); ++i) {
+    EXPECT_EQ(a->fields[i].type, b->fields[i].type);
+    EXPECT_EQ(a->fields[i].repeated, b->fields[i].repeated);
+    EXPECT_EQ(a->fields[i].number, b->fields[i].number);
+  }
+}
+
+TEST(SyntheticTest, SchemaHasConfiguredShape) {
+  SyntheticSchemaParams params;
+  params.num_scalar_fields = 3;
+  params.num_string_fields = 2;
+  params.num_message_fields = 1;
+  params.max_depth = 2;
+  SchemaPool pool;
+  Rng rng(7);
+  const Descriptor* root = GenerateSchema(pool, params, rng);
+  EXPECT_EQ(root->fields.size(), 6u);
+  // Depth 0, 1, 2 -> 1 + 1 + 1 nested types minimum.
+  EXPECT_GE(pool.size(), 3u);
+  // At least one leaf type (depth == max) has no message fields.
+  bool found_leaf = false;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    bool has_message_field = false;
+    for (const auto& field : pool.at(i)->fields) {
+      if (field.type == FieldType::kMessage) has_message_field = true;
+    }
+    if (!has_message_field) found_leaf = true;
+  }
+  EXPECT_TRUE(found_leaf);
+}
+
+TEST(SyntheticTest, MessageFieldsCarryDescriptors) {
+  SyntheticSchemaParams params;
+  SchemaPool pool;
+  Rng rng(9);
+  const Descriptor* root = GenerateSchema(pool, params, rng);
+  for (const auto& field : root->fields) {
+    if (field.type == FieldType::kMessage) {
+      EXPECT_NE(field.message_type, nullptr);
+    } else {
+      EXPECT_EQ(field.message_type, nullptr);
+    }
+  }
+}
+
+TEST(SyntheticTest, GeneratedMessagesRoundTrip) {
+  SyntheticSchemaParams params;
+  SchemaPool pool;
+  Rng rng(11);
+  const Descriptor* root = GenerateSchema(pool, params, rng);
+  auto messages = GenerateMessages(root, params, 50, rng);
+  for (const auto& message : messages) {
+    WireBuffer wire = message->Serialize();
+    EXPECT_EQ(wire.size(), message->ByteSize());
+    auto parsed = Message::Parse(root, wire.data(), wire.size());
+    ASSERT_NE(parsed, nullptr);
+    EXPECT_TRUE(parsed->Equals(*message));
+  }
+}
+
+TEST(SyntheticTest, MessagesVaryInSize) {
+  SyntheticSchemaParams params;
+  SchemaPool pool;
+  Rng rng(13);
+  const Descriptor* root = GenerateSchema(pool, params, rng);
+  auto messages = GenerateMessages(root, params, 30, rng);
+  size_t min_size = SIZE_MAX, max_size = 0;
+  for (const auto& message : messages) {
+    size_t size = message->ByteSize();
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
+  }
+  EXPECT_LT(min_size, max_size);
+}
+
+TEST(SyntheticTest, FieldPresenceZeroYieldsEmptyMessages) {
+  SyntheticSchemaParams params;
+  params.field_presence = 0.0;
+  SchemaPool pool;
+  Rng rng(17);
+  const Descriptor* root = GenerateSchema(pool, params, rng);
+  auto message = GenerateMessage(root, params, rng);
+  EXPECT_EQ(message->ByteSize(), 0u);
+}
+
+}  // namespace
+}  // namespace hyperprof::protowire

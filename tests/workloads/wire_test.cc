@@ -1,0 +1,214 @@
+#include "workloads/protowire/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hyperprof::protowire {
+namespace {
+
+TEST(VarintTest, KnownEncodings) {
+  WireBuffer out;
+  PutVarint(out, 0);
+  EXPECT_EQ(out, (WireBuffer{0x00}));
+  out.clear();
+  PutVarint(out, 1);
+  EXPECT_EQ(out, (WireBuffer{0x01}));
+  out.clear();
+  PutVarint(out, 127);
+  EXPECT_EQ(out, (WireBuffer{0x7f}));
+  out.clear();
+  PutVarint(out, 128);
+  EXPECT_EQ(out, (WireBuffer{0x80, 0x01}));
+  out.clear();
+  PutVarint(out, 300);
+  EXPECT_EQ(out, (WireBuffer{0xac, 0x02}));
+}
+
+TEST(VarintTest, MaxValueUsesTenBytes) {
+  WireBuffer out;
+  PutVarint(out, ~0ULL);
+  EXPECT_EQ(out.size(), 10u);
+  WireReader reader(out);
+  uint64_t value;
+  ASSERT_TRUE(reader.GetVarint(&value));
+  EXPECT_EQ(value, ~0ULL);
+}
+
+TEST(VarintTest, SizeMatchesEncoding) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t value = rng.Next() >> (rng.NextBounded(64));
+    WireBuffer out;
+    PutVarint(out, value);
+    EXPECT_EQ(out.size(), VarintSize(value));
+  }
+}
+
+class VarintRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VarintRoundTripTest, RandomValuesAtBitWidth) {
+  int bits = GetParam();
+  Rng rng(static_cast<uint64_t>(bits) * 7919);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t value =
+        bits == 0 ? 0 : (rng.Next() >> (64 - bits));
+    WireBuffer out;
+    PutVarint(out, value);
+    WireReader reader(out);
+    uint64_t decoded;
+    ASSERT_TRUE(reader.GetVarint(&decoded));
+    EXPECT_EQ(decoded, value);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, VarintRoundTripTest,
+                         ::testing::Values(0, 1, 7, 8, 14, 21, 32, 49, 63,
+                                           64));
+
+TEST(VarintTest, TruncatedInputFails) {
+  WireBuffer out;
+  PutVarint(out, 1ULL << 40);
+  out.pop_back();
+  WireReader reader(out);
+  uint64_t value;
+  EXPECT_FALSE(reader.GetVarint(&value));
+}
+
+TEST(ZigZagTest, KnownValues) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  EXPECT_EQ(ZigZagEncode(2147483647), 4294967294u);
+  EXPECT_EQ(ZigZagEncode(-2147483648LL), 4294967295u);
+}
+
+TEST(ZigZagTest, RoundTripExtremes) {
+  for (int64_t value : {int64_t{0}, int64_t{-1}, INT64_MAX, INT64_MIN}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(value)), value);
+  }
+}
+
+TEST(SignedVarintTest, RoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t value = static_cast<int64_t>(rng.Next());
+    WireBuffer out;
+    PutSignedVarint(out, value);
+    WireReader reader(out);
+    int64_t decoded;
+    ASSERT_TRUE(reader.GetSignedVarint(&decoded));
+    EXPECT_EQ(decoded, value);
+  }
+}
+
+TEST(FixedTest, RoundTrip) {
+  WireBuffer out;
+  PutFixed32(out, 0xdeadbeef);
+  PutFixed64(out, 0x0123456789abcdefULL);
+  WireReader reader(out);
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(reader.GetFixed32(&v32));
+  ASSERT_TRUE(reader.GetFixed64(&v64));
+  EXPECT_EQ(v32, 0xdeadbeef);
+  EXPECT_EQ(v64, 0x0123456789abcdefULL);
+}
+
+TEST(FixedTest, LittleEndianLayout) {
+  WireBuffer out;
+  PutFixed32(out, 0x01020304);
+  EXPECT_EQ(out, (WireBuffer{0x04, 0x03, 0x02, 0x01}));
+}
+
+TEST(FixedTest, TruncatedFails) {
+  WireBuffer out;
+  PutFixed64(out, 1);
+  out.resize(7);
+  WireReader reader(out);
+  uint64_t value;
+  EXPECT_FALSE(reader.GetFixed64(&value));
+}
+
+TEST(TagTest, RoundTrip) {
+  WireBuffer out;
+  PutTag(out, 1, WireType::kVarint);
+  PutTag(out, 16, WireType::kLengthDelimited);
+  PutTag(out, 1000, WireType::kFixed64);
+  WireReader reader(out);
+  uint32_t number;
+  WireType type;
+  ASSERT_TRUE(reader.GetTag(&number, &type));
+  EXPECT_EQ(number, 1u);
+  EXPECT_EQ(type, WireType::kVarint);
+  ASSERT_TRUE(reader.GetTag(&number, &type));
+  EXPECT_EQ(number, 16u);
+  EXPECT_EQ(type, WireType::kLengthDelimited);
+  ASSERT_TRUE(reader.GetTag(&number, &type));
+  EXPECT_EQ(number, 1000u);
+  EXPECT_EQ(type, WireType::kFixed64);
+}
+
+TEST(TagTest, RejectsFieldNumberZero) {
+  WireBuffer out;
+  PutVarint(out, 0);  // tag with field number 0
+  WireReader reader(out);
+  uint32_t number;
+  WireType type;
+  EXPECT_FALSE(reader.GetTag(&number, &type));
+}
+
+TEST(TagTest, RejectsInvalidWireType) {
+  WireBuffer out;
+  PutVarint(out, (1 << 3) | 3);  // wire type 3 (deprecated group)
+  WireReader reader(out);
+  uint32_t number;
+  WireType type;
+  EXPECT_FALSE(reader.GetTag(&number, &type));
+}
+
+TEST(LengthDelimitedTest, RoundTrip) {
+  WireBuffer out;
+  PutLengthDelimited(out, std::string("hello"));
+  WireReader reader(out);
+  const uint8_t* data;
+  size_t size;
+  ASSERT_TRUE(reader.GetLengthDelimited(&data, &size));
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(data), size),
+            "hello");
+}
+
+TEST(LengthDelimitedTest, LengthBeyondBufferFails) {
+  WireBuffer out;
+  PutVarint(out, 100);  // claims 100 bytes follow
+  out.push_back('x');
+  WireReader reader(out);
+  const uint8_t* data;
+  size_t size;
+  EXPECT_FALSE(reader.GetLengthDelimited(&data, &size));
+}
+
+TEST(SkipFieldTest, SkipsEveryWireType) {
+  WireBuffer out;
+  PutVarint(out, 12345);
+  PutFixed64(out, 1);
+  PutLengthDelimited(out, std::string("abc"));
+  PutFixed32(out, 2);
+  WireReader reader(out);
+  EXPECT_TRUE(reader.SkipField(WireType::kVarint));
+  EXPECT_TRUE(reader.SkipField(WireType::kFixed64));
+  EXPECT_TRUE(reader.SkipField(WireType::kLengthDelimited));
+  EXPECT_TRUE(reader.SkipField(WireType::kFixed32));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SkipFieldTest, TruncatedSkipFails) {
+  WireBuffer out = {0x01, 0x02};
+  WireReader reader(out);
+  EXPECT_FALSE(reader.SkipField(WireType::kFixed64));
+}
+
+}  // namespace
+}  // namespace hyperprof::protowire
