@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chain_granularity.dir/ablation_chain_granularity.cpp.o"
+  "CMakeFiles/ablation_chain_granularity.dir/ablation_chain_granularity.cpp.o.d"
+  "ablation_chain_granularity"
+  "ablation_chain_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chain_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

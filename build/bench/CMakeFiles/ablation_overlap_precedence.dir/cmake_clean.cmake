@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overlap_precedence.dir/ablation_overlap_precedence.cpp.o"
+  "CMakeFiles/ablation_overlap_precedence.dir/ablation_overlap_precedence.cpp.o.d"
+  "ablation_overlap_precedence"
+  "ablation_overlap_precedence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overlap_precedence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

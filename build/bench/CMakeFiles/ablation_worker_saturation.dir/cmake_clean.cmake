@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_worker_saturation.dir/ablation_worker_saturation.cpp.o"
+  "CMakeFiles/ablation_worker_saturation.dir/ablation_worker_saturation.cpp.o.d"
+  "ablation_worker_saturation"
+  "ablation_worker_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_worker_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

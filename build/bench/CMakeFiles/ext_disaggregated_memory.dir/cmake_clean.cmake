@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_disaggregated_memory.dir/ext_disaggregated_memory.cpp.o"
+  "CMakeFiles/ext_disaggregated_memory.dir/ext_disaggregated_memory.cpp.o.d"
+  "ext_disaggregated_memory"
+  "ext_disaggregated_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_disaggregated_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_model_extensions.dir/ext_model_extensions.cpp.o"
+  "CMakeFiles/ext_model_extensions.dir/ext_model_extensions.cpp.o.d"
+  "ext_model_extensions"
+  "ext_model_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_model_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pipeline_depth.dir/ext_pipeline_depth.cpp.o"
+  "CMakeFiles/ext_pipeline_depth.dir/ext_pipeline_depth.cpp.o.d"
+  "ext_pipeline_depth"
+  "ext_pipeline_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pipeline_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

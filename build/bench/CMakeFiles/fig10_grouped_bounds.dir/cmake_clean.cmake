@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_grouped_bounds.dir/fig10_grouped_bounds.cpp.o"
+  "CMakeFiles/fig10_grouped_bounds.dir/fig10_grouped_bounds.cpp.o.d"
+  "fig10_grouped_bounds"
+  "fig10_grouped_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_grouped_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

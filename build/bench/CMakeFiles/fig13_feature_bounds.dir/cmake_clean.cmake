@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_feature_bounds.dir/fig13_feature_bounds.cpp.o"
+  "CMakeFiles/fig13_feature_bounds.dir/fig13_feature_bounds.cpp.o.d"
+  "fig13_feature_bounds"
+  "fig13_feature_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_feature_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_feature_bounds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_prior_accels.dir/fig15_prior_accels.cpp.o"
+  "CMakeFiles/fig15_prior_accels.dir/fig15_prior_accels.cpp.o.d"
+  "fig15_prior_accels"
+  "fig15_prior_accels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_prior_accels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

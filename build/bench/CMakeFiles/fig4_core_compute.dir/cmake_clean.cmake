@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_core_compute.dir/fig4_core_compute.cpp.o"
+  "CMakeFiles/fig4_core_compute.dir/fig4_core_compute.cpp.o.d"
+  "fig4_core_compute"
+  "fig4_core_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_core_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_datacenter_tax.dir/fig5_datacenter_tax.cpp.o"
+  "CMakeFiles/fig5_datacenter_tax.dir/fig5_datacenter_tax.cpp.o.d"
+  "fig5_datacenter_tax"
+  "fig5_datacenter_tax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_datacenter_tax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_system_tax.dir/fig6_system_tax.cpp.o"
+  "CMakeFiles/fig6_system_tax.dir/fig6_system_tax.cpp.o.d"
+  "fig6_system_tax"
+  "fig6_system_tax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_system_tax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sync_onchip_bound.dir/fig9_sync_onchip_bound.cpp.o"
+  "CMakeFiles/fig9_sync_onchip_bound.dir/fig9_sync_onchip_bound.cpp.o.d"
+  "fig9_sync_onchip_bound"
+  "fig9_sync_onchip_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sync_onchip_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

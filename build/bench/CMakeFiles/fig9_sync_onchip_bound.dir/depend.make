@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_sync_onchip_bound.
+# This may be replaced when dependencies are built.

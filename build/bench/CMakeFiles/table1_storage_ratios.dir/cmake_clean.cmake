@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_storage_ratios.dir/table1_storage_ratios.cpp.o"
+  "CMakeFiles/table1_storage_ratios.dir/table1_storage_ratios.cpp.o.d"
+  "table1_storage_ratios"
+  "table1_storage_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_storage_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

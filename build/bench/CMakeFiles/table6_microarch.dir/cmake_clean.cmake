@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_microarch.dir/table6_microarch.cpp.o"
+  "CMakeFiles/table6_microarch.dir/table6_microarch.cpp.o.d"
+  "table6_microarch"
+  "table6_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

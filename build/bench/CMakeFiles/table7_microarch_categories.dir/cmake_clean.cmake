@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_microarch_categories.dir/table7_microarch_categories.cpp.o"
+  "CMakeFiles/table7_microarch_categories.dir/table7_microarch_categories.cpp.o.d"
+  "table7_microarch_categories"
+  "table7_microarch_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_microarch_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

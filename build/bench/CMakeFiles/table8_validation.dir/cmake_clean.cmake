@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_validation.dir/table8_validation.cpp.o"
+  "CMakeFiles/table8_validation.dir/table8_validation.cpp.o.d"
+  "table8_validation"
+  "table8_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/accelerator_dse.cpp" "examples/CMakeFiles/accelerator_dse.dir/accelerator_dse.cpp.o" "gcc" "examples/CMakeFiles/accelerator_dse.dir/accelerator_dse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hyperprof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/hyperprof_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hyperprof_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/hyperprof_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hyperprof_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyperprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/hyperprof_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hyperprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_dse.dir/accelerator_dse.cpp.o"
+  "CMakeFiles/accelerator_dse.dir/accelerator_dse.cpp.o.d"
+  "accelerator_dse"
+  "accelerator_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

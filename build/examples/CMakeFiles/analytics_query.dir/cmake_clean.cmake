@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_query.dir/analytics_query.cpp.o"
+  "CMakeFiles/analytics_query.dir/analytics_query.cpp.o.d"
+  "analytics_query"
+  "analytics_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

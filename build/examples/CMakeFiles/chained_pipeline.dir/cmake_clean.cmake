@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chained_pipeline.dir/chained_pipeline.cpp.o"
+  "CMakeFiles/chained_pipeline.dir/chained_pipeline.cpp.o.d"
+  "chained_pipeline"
+  "chained_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chained_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_profile.dir/fleet_profile.cpp.o"
+  "CMakeFiles/fleet_profile.dir/fleet_profile.cpp.o.d"
+  "fleet_profile"
+  "fleet_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

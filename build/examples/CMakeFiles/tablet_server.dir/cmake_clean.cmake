@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tablet_server.dir/tablet_server.cpp.o"
+  "CMakeFiles/tablet_server.dir/tablet_server.cpp.o.d"
+  "tablet_server"
+  "tablet_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tablet_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperprof_common.dir/rng.cc.o"
+  "CMakeFiles/hyperprof_common.dir/rng.cc.o.d"
+  "CMakeFiles/hyperprof_common.dir/sim_time.cc.o"
+  "CMakeFiles/hyperprof_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/hyperprof_common.dir/stats.cc.o"
+  "CMakeFiles/hyperprof_common.dir/stats.cc.o.d"
+  "CMakeFiles/hyperprof_common.dir/status.cc.o"
+  "CMakeFiles/hyperprof_common.dir/status.cc.o.d"
+  "CMakeFiles/hyperprof_common.dir/strings.cc.o"
+  "CMakeFiles/hyperprof_common.dir/strings.cc.o.d"
+  "CMakeFiles/hyperprof_common.dir/table.cc.o"
+  "CMakeFiles/hyperprof_common.dir/table.cc.o.d"
+  "libhyperprof_common.a"
+  "libhyperprof_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperprof_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperprof_consensus.dir/paxos.cc.o"
+  "CMakeFiles/hyperprof_consensus.dir/paxos.cc.o.d"
+  "libhyperprof_consensus.a"
+  "libhyperprof_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperprof_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperprof_core.dir/accel_model.cc.o"
+  "CMakeFiles/hyperprof_core.dir/accel_model.cc.o.d"
+  "CMakeFiles/hyperprof_core.dir/configs.cc.o"
+  "CMakeFiles/hyperprof_core.dir/configs.cc.o.d"
+  "CMakeFiles/hyperprof_core.dir/limit_studies.cc.o"
+  "CMakeFiles/hyperprof_core.dir/limit_studies.cc.o.d"
+  "CMakeFiles/hyperprof_core.dir/platform_inputs.cc.o"
+  "CMakeFiles/hyperprof_core.dir/platform_inputs.cc.o.d"
+  "libhyperprof_core.a"
+  "libhyperprof_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperprof_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

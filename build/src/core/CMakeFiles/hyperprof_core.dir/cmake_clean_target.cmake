@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhyperprof_core.a"
+)

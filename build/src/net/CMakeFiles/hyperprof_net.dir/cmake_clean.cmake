@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperprof_net.dir/network.cc.o"
+  "CMakeFiles/hyperprof_net.dir/network.cc.o.d"
+  "CMakeFiles/hyperprof_net.dir/rpc.cc.o"
+  "CMakeFiles/hyperprof_net.dir/rpc.cc.o.d"
+  "libhyperprof_net.a"
+  "libhyperprof_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperprof_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

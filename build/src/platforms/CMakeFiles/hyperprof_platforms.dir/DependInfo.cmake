@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platforms/engine.cc" "src/platforms/CMakeFiles/hyperprof_platforms.dir/engine.cc.o" "gcc" "src/platforms/CMakeFiles/hyperprof_platforms.dir/engine.cc.o.d"
+  "/root/repo/src/platforms/fleet.cc" "src/platforms/CMakeFiles/hyperprof_platforms.dir/fleet.cc.o" "gcc" "src/platforms/CMakeFiles/hyperprof_platforms.dir/fleet.cc.o.d"
+  "/root/repo/src/platforms/platforms.cc" "src/platforms/CMakeFiles/hyperprof_platforms.dir/platforms.cc.o" "gcc" "src/platforms/CMakeFiles/hyperprof_platforms.dir/platforms.cc.o.d"
+  "/root/repo/src/platforms/shuffle.cc" "src/platforms/CMakeFiles/hyperprof_platforms.dir/shuffle.cc.o" "gcc" "src/platforms/CMakeFiles/hyperprof_platforms.dir/shuffle.cc.o.d"
+  "/root/repo/src/platforms/spec.cc" "src/platforms/CMakeFiles/hyperprof_platforms.dir/spec.cc.o" "gcc" "src/platforms/CMakeFiles/hyperprof_platforms.dir/spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hyperprof_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyperprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hyperprof_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hyperprof_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/hyperprof_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/hyperprof_consensus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

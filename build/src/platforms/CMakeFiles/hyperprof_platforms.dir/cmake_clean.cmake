@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperprof_platforms.dir/engine.cc.o"
+  "CMakeFiles/hyperprof_platforms.dir/engine.cc.o.d"
+  "CMakeFiles/hyperprof_platforms.dir/fleet.cc.o"
+  "CMakeFiles/hyperprof_platforms.dir/fleet.cc.o.d"
+  "CMakeFiles/hyperprof_platforms.dir/platforms.cc.o"
+  "CMakeFiles/hyperprof_platforms.dir/platforms.cc.o.d"
+  "CMakeFiles/hyperprof_platforms.dir/shuffle.cc.o"
+  "CMakeFiles/hyperprof_platforms.dir/shuffle.cc.o.d"
+  "CMakeFiles/hyperprof_platforms.dir/spec.cc.o"
+  "CMakeFiles/hyperprof_platforms.dir/spec.cc.o.d"
+  "libhyperprof_platforms.a"
+  "libhyperprof_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperprof_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

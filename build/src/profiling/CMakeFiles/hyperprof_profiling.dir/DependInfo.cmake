@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/aggregate.cc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/aggregate.cc.o" "gcc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/aggregate.cc.o.d"
+  "/root/repo/src/profiling/categories.cc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/categories.cc.o" "gcc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/categories.cc.o.d"
+  "/root/repo/src/profiling/function_registry.cc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/function_registry.cc.o" "gcc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/function_registry.cc.o.d"
+  "/root/repo/src/profiling/microarch.cc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/microarch.cc.o" "gcc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/microarch.cc.o.d"
+  "/root/repo/src/profiling/report.cc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/report.cc.o" "gcc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/report.cc.o.d"
+  "/root/repo/src/profiling/sampler.cc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/sampler.cc.o" "gcc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/sampler.cc.o.d"
+  "/root/repo/src/profiling/trace_export.cc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/trace_export.cc.o" "gcc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/trace_export.cc.o.d"
+  "/root/repo/src/profiling/tracer.cc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/tracer.cc.o" "gcc" "src/profiling/CMakeFiles/hyperprof_profiling.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hyperprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

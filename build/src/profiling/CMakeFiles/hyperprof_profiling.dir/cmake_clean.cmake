@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperprof_profiling.dir/aggregate.cc.o"
+  "CMakeFiles/hyperprof_profiling.dir/aggregate.cc.o.d"
+  "CMakeFiles/hyperprof_profiling.dir/categories.cc.o"
+  "CMakeFiles/hyperprof_profiling.dir/categories.cc.o.d"
+  "CMakeFiles/hyperprof_profiling.dir/function_registry.cc.o"
+  "CMakeFiles/hyperprof_profiling.dir/function_registry.cc.o.d"
+  "CMakeFiles/hyperprof_profiling.dir/microarch.cc.o"
+  "CMakeFiles/hyperprof_profiling.dir/microarch.cc.o.d"
+  "CMakeFiles/hyperprof_profiling.dir/report.cc.o"
+  "CMakeFiles/hyperprof_profiling.dir/report.cc.o.d"
+  "CMakeFiles/hyperprof_profiling.dir/sampler.cc.o"
+  "CMakeFiles/hyperprof_profiling.dir/sampler.cc.o.d"
+  "CMakeFiles/hyperprof_profiling.dir/trace_export.cc.o"
+  "CMakeFiles/hyperprof_profiling.dir/trace_export.cc.o.d"
+  "CMakeFiles/hyperprof_profiling.dir/tracer.cc.o"
+  "CMakeFiles/hyperprof_profiling.dir/tracer.cc.o.d"
+  "libhyperprof_profiling.a"
+  "libhyperprof_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperprof_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

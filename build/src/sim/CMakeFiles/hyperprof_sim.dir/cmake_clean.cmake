@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperprof_sim.dir/resource.cc.o"
+  "CMakeFiles/hyperprof_sim.dir/resource.cc.o.d"
+  "CMakeFiles/hyperprof_sim.dir/sequence.cc.o"
+  "CMakeFiles/hyperprof_sim.dir/sequence.cc.o.d"
+  "CMakeFiles/hyperprof_sim.dir/simulator.cc.o"
+  "CMakeFiles/hyperprof_sim.dir/simulator.cc.o.d"
+  "libhyperprof_sim.a"
+  "libhyperprof_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperprof_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

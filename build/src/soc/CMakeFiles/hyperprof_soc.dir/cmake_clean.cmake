@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperprof_soc.dir/chained_soc.cc.o"
+  "CMakeFiles/hyperprof_soc.dir/chained_soc.cc.o.d"
+  "CMakeFiles/hyperprof_soc.dir/host_pipeline.cc.o"
+  "CMakeFiles/hyperprof_soc.dir/host_pipeline.cc.o.d"
+  "CMakeFiles/hyperprof_soc.dir/pipeline.cc.o"
+  "CMakeFiles/hyperprof_soc.dir/pipeline.cc.o.d"
+  "libhyperprof_soc.a"
+  "libhyperprof_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperprof_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/dfs.cc" "src/storage/CMakeFiles/hyperprof_storage.dir/dfs.cc.o" "gcc" "src/storage/CMakeFiles/hyperprof_storage.dir/dfs.cc.o.d"
+  "/root/repo/src/storage/disaggregation.cc" "src/storage/CMakeFiles/hyperprof_storage.dir/disaggregation.cc.o" "gcc" "src/storage/CMakeFiles/hyperprof_storage.dir/disaggregation.cc.o.d"
+  "/root/repo/src/storage/lru_cache.cc" "src/storage/CMakeFiles/hyperprof_storage.dir/lru_cache.cc.o" "gcc" "src/storage/CMakeFiles/hyperprof_storage.dir/lru_cache.cc.o.d"
+  "/root/repo/src/storage/lsm.cc" "src/storage/CMakeFiles/hyperprof_storage.dir/lsm.cc.o" "gcc" "src/storage/CMakeFiles/hyperprof_storage.dir/lsm.cc.o.d"
+  "/root/repo/src/storage/provisioning.cc" "src/storage/CMakeFiles/hyperprof_storage.dir/provisioning.cc.o" "gcc" "src/storage/CMakeFiles/hyperprof_storage.dir/provisioning.cc.o.d"
+  "/root/repo/src/storage/tiered_store.cc" "src/storage/CMakeFiles/hyperprof_storage.dir/tiered_store.cc.o" "gcc" "src/storage/CMakeFiles/hyperprof_storage.dir/tiered_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hyperprof_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hyperprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hyperprof_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

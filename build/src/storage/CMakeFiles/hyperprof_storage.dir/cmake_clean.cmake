@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperprof_storage.dir/dfs.cc.o"
+  "CMakeFiles/hyperprof_storage.dir/dfs.cc.o.d"
+  "CMakeFiles/hyperprof_storage.dir/disaggregation.cc.o"
+  "CMakeFiles/hyperprof_storage.dir/disaggregation.cc.o.d"
+  "CMakeFiles/hyperprof_storage.dir/lru_cache.cc.o"
+  "CMakeFiles/hyperprof_storage.dir/lru_cache.cc.o.d"
+  "CMakeFiles/hyperprof_storage.dir/lsm.cc.o"
+  "CMakeFiles/hyperprof_storage.dir/lsm.cc.o.d"
+  "CMakeFiles/hyperprof_storage.dir/provisioning.cc.o"
+  "CMakeFiles/hyperprof_storage.dir/provisioning.cc.o.d"
+  "CMakeFiles/hyperprof_storage.dir/tiered_store.cc.o"
+  "CMakeFiles/hyperprof_storage.dir/tiered_store.cc.o.d"
+  "libhyperprof_storage.a"
+  "libhyperprof_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperprof_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

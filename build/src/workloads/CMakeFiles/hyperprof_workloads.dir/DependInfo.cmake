@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/arena.cc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/arena.cc.o" "gcc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/arena.cc.o.d"
+  "/root/repo/src/workloads/checksum.cc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/checksum.cc.o" "gcc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/checksum.cc.o.d"
+  "/root/repo/src/workloads/compression.cc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/compression.cc.o" "gcc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/compression.cc.o.d"
+  "/root/repo/src/workloads/protowire/message.cc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/protowire/message.cc.o" "gcc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/protowire/message.cc.o.d"
+  "/root/repo/src/workloads/protowire/synthetic.cc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/protowire/synthetic.cc.o" "gcc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/protowire/synthetic.cc.o.d"
+  "/root/repo/src/workloads/protowire/wire.cc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/protowire/wire.cc.o" "gcc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/protowire/wire.cc.o.d"
+  "/root/repo/src/workloads/query_plan.cc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/query_plan.cc.o" "gcc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/query_plan.cc.o.d"
+  "/root/repo/src/workloads/relational.cc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/relational.cc.o" "gcc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/relational.cc.o.d"
+  "/root/repo/src/workloads/sha3.cc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/sha3.cc.o" "gcc" "src/workloads/CMakeFiles/hyperprof_workloads.dir/sha3.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hyperprof_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperprof_workloads.dir/arena.cc.o"
+  "CMakeFiles/hyperprof_workloads.dir/arena.cc.o.d"
+  "CMakeFiles/hyperprof_workloads.dir/checksum.cc.o"
+  "CMakeFiles/hyperprof_workloads.dir/checksum.cc.o.d"
+  "CMakeFiles/hyperprof_workloads.dir/compression.cc.o"
+  "CMakeFiles/hyperprof_workloads.dir/compression.cc.o.d"
+  "CMakeFiles/hyperprof_workloads.dir/protowire/message.cc.o"
+  "CMakeFiles/hyperprof_workloads.dir/protowire/message.cc.o.d"
+  "CMakeFiles/hyperprof_workloads.dir/protowire/synthetic.cc.o"
+  "CMakeFiles/hyperprof_workloads.dir/protowire/synthetic.cc.o.d"
+  "CMakeFiles/hyperprof_workloads.dir/protowire/wire.cc.o"
+  "CMakeFiles/hyperprof_workloads.dir/protowire/wire.cc.o.d"
+  "CMakeFiles/hyperprof_workloads.dir/query_plan.cc.o"
+  "CMakeFiles/hyperprof_workloads.dir/query_plan.cc.o.d"
+  "CMakeFiles/hyperprof_workloads.dir/relational.cc.o"
+  "CMakeFiles/hyperprof_workloads.dir/relational.cc.o.d"
+  "CMakeFiles/hyperprof_workloads.dir/sha3.cc.o"
+  "CMakeFiles/hyperprof_workloads.dir/sha3.cc.o.d"
+  "libhyperprof_workloads.a"
+  "libhyperprof_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperprof_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accel_model_test.dir/core/accel_model_test.cc.o"
+  "CMakeFiles/accel_model_test.dir/core/accel_model_test.cc.o.d"
+  "accel_model_test"
+  "accel_model_test.pdb"
+  "accel_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accel_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_suite_test.dir/workloads/analytic_suite_test.cc.o"
+  "CMakeFiles/analytic_suite_test.dir/workloads/analytic_suite_test.cc.o.d"
+  "analytic_suite_test"
+  "analytic_suite_test.pdb"
+  "analytic_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

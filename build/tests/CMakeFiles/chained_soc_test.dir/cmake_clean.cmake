@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chained_soc_test.dir/soc/chained_soc_test.cc.o"
+  "CMakeFiles/chained_soc_test.dir/soc/chained_soc_test.cc.o.d"
+  "chained_soc_test"
+  "chained_soc_test.pdb"
+  "chained_soc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chained_soc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaggregation_test.dir/storage/disaggregation_test.cc.o"
+  "CMakeFiles/disaggregation_test.dir/storage/disaggregation_test.cc.o.d"
+  "disaggregation_test"
+  "disaggregation_test.pdb"
+  "disaggregation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaggregation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

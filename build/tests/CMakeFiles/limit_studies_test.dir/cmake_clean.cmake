@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limit_studies_test.dir/core/limit_studies_test.cc.o"
+  "CMakeFiles/limit_studies_test.dir/core/limit_studies_test.cc.o.d"
+  "limit_studies_test"
+  "limit_studies_test.pdb"
+  "limit_studies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limit_studies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

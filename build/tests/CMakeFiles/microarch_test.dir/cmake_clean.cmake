@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microarch_test.dir/profiling/microarch_test.cc.o"
+  "CMakeFiles/microarch_test.dir/profiling/microarch_test.cc.o.d"
+  "microarch_test"
+  "microarch_test.pdb"
+  "microarch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microarch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_inputs_test.dir/core/platform_inputs_test.cc.o"
+  "CMakeFiles/platform_inputs_test.dir/core/platform_inputs_test.cc.o.d"
+  "platform_inputs_test"
+  "platform_inputs_test.pdb"
+  "platform_inputs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_inputs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sha3_test.dir/workloads/sha3_test.cc.o"
+  "CMakeFiles/sha3_test.dir/workloads/sha3_test.cc.o.d"
+  "sha3_test"
+  "sha3_test.pdb"
+  "sha3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sha3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
