@@ -12,6 +12,7 @@
 #include "common/strings.h"
 #include "common/table.h"
 #include "core/accel_model.h"
+#include "core/parallel_sweep.h"
 #include "soc/chained_soc.h"
 
 using namespace hyperprof;
@@ -47,26 +48,38 @@ void PrintAblation() {
               "model error is |measured - modeled| / modeled.\n\n");
   TextTable table({"Messages", "Setup overlap", "Measured", "Modeled",
                    "Model diff%"});
+  // Flatten the (count, overlap) grid; every cell is an independent SoC
+  // simulation seeded from its own point, so the sweep parallelizes.
+  struct GridPoint {
+    size_t count = 0;
+    double overlap = 0;
+  };
+  std::vector<GridPoint> grid;
   for (size_t count : {50u, 200u, 1000u}) {
     for (double overlap : {0.0, 0.25, 0.75}) {
-      Rng rng(17);
-      soc::MessageBatch batch =
-          soc::MessageBatch::Synthetic(count, 2048, rng);
-      soc::SocConfig config =
-          soc::SocConfig::CalibratedTo(batch.TotalBytes(), batch.size());
-      config.setup_overlap_fraction = overlap;
-      soc::ChainedSocSim sim(config);
-      auto unaccel = sim.RunUnaccelerated(batch);
-      auto chained = sim.RunChained(batch);
-      double modeled = ModeledChained(sim, unaccel);
-      double measured = chained.total.ToSeconds();
-      table.AddRow(
-          {StrFormat("%zu", count), StrFormat("%.0f%%", overlap * 100),
-           HumanSeconds(measured), HumanSeconds(modeled),
-           StrFormat("%.1f%%",
-                     100.0 * std::fabs(measured - modeled) / modeled)});
+      grid.push_back({count, overlap});
     }
   }
+  auto rows = model::ParallelSweep(grid, [](const GridPoint& point) {
+    Rng rng(17);
+    soc::MessageBatch batch =
+        soc::MessageBatch::Synthetic(point.count, 2048, rng);
+    soc::SocConfig config =
+        soc::SocConfig::CalibratedTo(batch.TotalBytes(), batch.size());
+    config.setup_overlap_fraction = point.overlap;
+    soc::ChainedSocSim sim(config);
+    auto unaccel = sim.RunUnaccelerated(batch);
+    auto chained = sim.RunChained(batch);
+    double modeled = ModeledChained(sim, unaccel);
+    double measured = chained.total.ToSeconds();
+    return std::vector<std::string>{
+        StrFormat("%zu", point.count),
+        StrFormat("%.0f%%", point.overlap * 100), HumanSeconds(measured),
+        HumanSeconds(modeled),
+        StrFormat("%.1f%%",
+                  100.0 * std::fabs(measured - modeled) / modeled)};
+  });
+  for (const auto& row : rows) table.AddRow(row);
   std::printf("%s", table.ToString().c_str());
   std::printf(
       "\nWith no setup overlap the pipeline matches the model's serial\n"

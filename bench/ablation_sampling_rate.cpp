@@ -10,6 +10,7 @@
 
 #include "common/strings.h"
 #include "common/table.h"
+#include "core/parallel_sweep.h"
 #include "platforms/fleet.h"
 #include "platforms/platforms.h"
 #include "profiling/aggregate.h"
@@ -18,17 +19,22 @@ using namespace hyperprof;
 
 namespace {
 
-profiling::AttributedTime RunWithSampling(uint32_t one_in,
-                                          uint64_t* sampled) {
+struct SamplingOutcome {
+  uint64_t sampled = 0;
+  profiling::AttributedTime mean;
+};
+
+SamplingOutcome RunWithSampling(uint32_t one_in) {
   platforms::FleetConfig config;
   config.queries_per_platform = 6000;
   config.trace_sample_one_in = one_in;
+  // The sweep owns the host threads; each point runs its fleet serially.
+  config.parallelism = 1;
   platforms::FleetSimulation fleet(config);
   fleet.AddPlatform(platforms::SpannerSpec());
   fleet.RunAll();
   auto result = fleet.Result(0);
-  *sampled = result.queries_sampled;
-  return result.e2e.overall.MeanQueryFractions();
+  return {result.queries_sampled, result.e2e.overall.MeanQueryFractions()};
 }
 
 void PrintAblation() {
@@ -36,18 +42,18 @@ void PrintAblation() {
   std::printf("Spanner overall breakdown recovered at different Dapper "
               "sampling rates (6,000 queries; baseline traces all of "
               "them).\n\n");
-  uint64_t baseline_count = 0;
-  auto baseline = RunWithSampling(1, &baseline_count);
+  std::vector<uint32_t> rates = {1, 5, 20, 100, 500, 1000};
+  auto outcomes = model::ParallelSweep(rates, RunWithSampling);
+  const auto& baseline = outcomes.front().mean;  // rates[0] == 1/1
   TextTable table({"Sampling", "Traced queries", "CPU%", "IO%", "Remote%",
                    "L1 error vs full"});
-  for (uint32_t one_in : {1u, 5u, 20u, 100u, 500u, 1000u}) {
-    uint64_t count = 0;
-    auto mean = RunWithSampling(one_in, &count);
+  for (size_t i = 0; i < rates.size(); ++i) {
+    const auto& mean = outcomes[i].mean;
     double l1 = std::abs(mean.cpu - baseline.cpu) +
                 std::abs(mean.io - baseline.io) +
                 std::abs(mean.remote - baseline.remote);
-    table.AddRow(StrFormat("1/%u", one_in),
-                 {static_cast<double>(count), mean.cpu * 100,
+    table.AddRow(StrFormat("1/%u", rates[i]),
+                 {static_cast<double>(outcomes[i].sampled), mean.cpu * 100,
                   mean.io * 100, mean.remote * 100, l1 * 100},
                  "%.1f");
   }

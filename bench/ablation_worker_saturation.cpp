@@ -10,6 +10,7 @@
 
 #include "common/strings.h"
 #include "common/table.h"
+#include "core/parallel_sweep.h"
 #include "platforms/fleet.h"
 #include "platforms/platforms.h"
 #include "profiling/aggregate.h"
@@ -30,6 +31,8 @@ RunOutcome RunAtCores(uint32_t cores, double qps) {
   config.queries_per_platform = 4000;
   config.arrival_rate_qps = qps;
   config.trace_sample_one_in = 5;
+  // The sweep owns the host threads; each point runs its fleet serially.
+  config.parallelism = 1;
   platforms::FleetSimulation fleet(config);
   platforms::PlatformSpec spec = platforms::SpannerSpec();
   spec.worker_cores = cores;
@@ -56,9 +59,13 @@ void PrintAblation() {
               "stretches latency; the attributed shares barely move "
               "because queue wait is invisible to span attribution.\n\n");
   TextTable table({"Cores", "Mean latency", "CPU%", "IO%", "Remote%"});
-  for (uint32_t cores : {0u, 32u, 12u, 8u, 6u}) {
-    RunOutcome outcome = RunAtCores(cores, 2000);
-    table.AddRow({cores == 0 ? "unlimited" : StrFormat("%u", cores),
+  std::vector<uint32_t> core_counts = {0, 32, 12, 8, 6};
+  auto outcomes = model::ParallelSweep(
+      core_counts, [](uint32_t cores) { return RunAtCores(cores, 2000); });
+  for (size_t i = 0; i < core_counts.size(); ++i) {
+    const RunOutcome& outcome = outcomes[i];
+    table.AddRow({core_counts[i] == 0 ? "unlimited"
+                                      : StrFormat("%u", core_counts[i]),
                   StrFormat("%.2f ms", outcome.mean_latency_ms),
                   StrFormat("%.1f", outcome.mean_fractions.cpu * 100),
                   StrFormat("%.1f", outcome.mean_fractions.io * 100),

@@ -28,7 +28,7 @@ inline platforms::FleetSimulation& GetFleet() {
     sim->RunAll();
     std::fprintf(stderr, "[bench] fleet run complete (%llu events)\n",
                  static_cast<unsigned long long>(
-                     sim->simulator().events_executed()));
+                     sim->total_events_executed()));
     return sim;
   }();
   return *fleet;

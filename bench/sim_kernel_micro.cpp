@@ -1,0 +1,205 @@
+// Microbenchmark of the discrete-event simulator kernel itself: raw
+// schedule/cancel/run throughput in events per second. Every fleet run,
+// sweep, and ablation in this repo bottoms out in this kernel, so its
+// trajectory is tracked across PRs via the emitted BENCH_sim_kernel.json.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "sim/simulator.h"
+
+using namespace hyperprof;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct KernelResult {
+  std::string name;
+  uint64_t events = 0;
+  double seconds = 0;
+  double events_per_sec = 0;
+};
+
+double Seconds(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+/**
+ * Runs `body` (which returns the number of events executed) `repeats`
+ * times and keeps the fastest pass, the standard microbenchmark noise
+ * filter.
+ */
+template <typename Body>
+KernelResult Measure(const std::string& name, int repeats, Body body) {
+  KernelResult result;
+  result.name = name;
+  for (int pass = 0; pass < repeats; ++pass) {
+    auto begin = Clock::now();
+    uint64_t events = body();
+    double elapsed = Seconds(begin, Clock::now());
+    if (pass == 0 || elapsed < result.seconds) {
+      result.seconds = elapsed;
+      result.events = events;
+    }
+  }
+  result.events_per_sec =
+      result.seconds > 0 ? static_cast<double>(result.events) / result.seconds
+                         : 0;
+  return result;
+}
+
+/** FIFO arrivals: each event lands strictly later than the previous. */
+uint64_t ScheduleDrainFifo(uint64_t n) {
+  sim::Simulator simulator;
+  uint64_t sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    simulator.Schedule(SimTime::Nanos(static_cast<int64_t>(i)),
+                       [&sum, i] { sum += i; });
+  }
+  uint64_t ran = simulator.Run();
+  if (sum == 0 && n > 1) std::abort();  // defeat over-optimization
+  return ran;
+}
+
+/** LIFO arrivals: worst-case sift distance for the binary heap. */
+uint64_t ScheduleDrainLifo(uint64_t n) {
+  sim::Simulator simulator;
+  uint64_t sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    simulator.Schedule(SimTime::Nanos(static_cast<int64_t>(n - i)),
+                       [&sum, i] { sum += i; });
+  }
+  return simulator.Run();
+}
+
+/**
+ * Timer-wheel pattern: `chains` self-rescheduling callbacks, the shape of
+ * profiler ticks and Poisson arrival processes in the fleet runs. Keeps
+ * the heap small and steady-state.
+ */
+uint64_t SelfReschedulingChains(uint64_t total_events, uint64_t chains) {
+  sim::Simulator simulator;
+  uint64_t budget = total_events;
+  std::function<void(uint64_t)> tick = [&](uint64_t lane) {
+    if (budget == 0) return;
+    --budget;
+    simulator.Schedule(SimTime::Nanos(static_cast<int64_t>(lane + 1)),
+                       [&tick, lane] { tick(lane); });
+  };
+  for (uint64_t lane = 0; lane < chains; ++lane) {
+    simulator.Schedule(SimTime::Nanos(static_cast<int64_t>(lane)),
+                       [&tick, lane] { tick(lane); });
+  }
+  return simulator.Run();
+}
+
+/**
+ * Cancel-heavy: schedule n, cancel the given percentage (the RPC-timeout
+ * pattern — nearly every timeout is cancelled by the response arriving
+ * first), drain the rest. Counts scheduled events as the work unit since
+ * cancelled events cost a schedule plus a cancel.
+ */
+uint64_t CancelPercent(uint64_t n, int percent) {
+  sim::Simulator simulator;
+  uint64_t sum = 0;
+  std::vector<sim::EventId> ids;
+  ids.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    ids.push_back(simulator.Schedule(
+        SimTime::Nanos(static_cast<int64_t>(i % 4096)), [&sum] { ++sum; }));
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    if (static_cast<int>(i % 100) < percent) simulator.Cancel(ids[i]);
+  }
+  simulator.Run();
+  return n;
+}
+
+/**
+ * Large captures: callbacks carrying 48 bytes of state, past the inline
+ * buffer of libstdc++'s std::function — the allocation profile of the
+ * RPC/engine continuations that dominate real fleet runs.
+ */
+uint64_t LargeCaptureDrain(uint64_t n) {
+  sim::Simulator simulator;
+  uint64_t sum = 0;
+  struct Payload {
+    uint64_t a, b, c, d, e;
+  };
+  for (uint64_t i = 0; i < n; ++i) {
+    Payload payload{i, i + 1, i + 2, i + 3, i + 4};
+    simulator.Schedule(SimTime::Nanos(static_cast<int64_t>(i)),
+                       [&sum, payload] { sum += payload.a + payload.e; });
+  }
+  return simulator.Run();
+}
+
+void WriteJson(const std::vector<KernelResult>& results, const char* path) {
+  std::FILE* file = std::fopen(path, "w");
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(file, "{\n  \"benchmark\": \"sim_kernel\",\n  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    std::fprintf(file,
+                 "    {\"name\": \"%s\", \"events\": %llu, "
+                 "\"seconds\": %.6f, \"events_per_sec\": %.0f}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.events),
+                 r.seconds, r.events_per_sec, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_sim_kernel.json";
+  constexpr uint64_t kEvents = 1'000'000;
+  constexpr int kRepeats = 3;
+
+  std::printf("=== Simulator Kernel Microbenchmark ===\n");
+  std::printf("%llu events per workload, best of %d passes.\n\n",
+              static_cast<unsigned long long>(kEvents), kRepeats);
+
+  std::vector<KernelResult> results;
+  results.push_back(Measure("schedule_drain_fifo", kRepeats,
+                            [] { return ScheduleDrainFifo(kEvents); }));
+  results.push_back(Measure("schedule_drain_lifo", kRepeats,
+                            [] { return ScheduleDrainLifo(kEvents); }));
+  results.push_back(Measure("self_rescheduling_x64", kRepeats, [] {
+    return SelfReschedulingChains(kEvents, 64);
+  }));
+  results.push_back(Measure("cancel_50pct", kRepeats,
+                            [] { return CancelPercent(kEvents, 50); }));
+  results.push_back(Measure("cancel_90pct", kRepeats,
+                            [] { return CancelPercent(kEvents, 90); }));
+  results.push_back(Measure("large_capture_48B", kRepeats,
+                            [] { return LargeCaptureDrain(kEvents); }));
+
+  TextTable table({"Workload", "Events", "Seconds", "Events/sec"});
+  double total_rate = 0;
+  for (const KernelResult& r : results) {
+    table.AddRow({r.name, StrFormat("%llu",
+                                    static_cast<unsigned long long>(r.events)),
+                  StrFormat("%.4f", r.seconds),
+                  StrFormat("%.2fM", r.events_per_sec / 1e6)});
+    total_rate += r.events_per_sec;
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("mean throughput: %.2fM events/sec\n\n",
+              total_rate / static_cast<double>(results.size()) / 1e6);
+
+  WriteJson(results, json_path);
+  return 0;
+}

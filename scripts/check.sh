@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite. Usage:
+#   scripts/check.sh            # RelWithDebInfo build + ctest
+#   TSAN=1 scripts/check.sh     # same, in a separate build dir with
+#                               # ThreadSanitizer (-DHYPERPROF_TSAN=ON)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
+if [[ "${TSAN:-0}" != "0" ]]; then
+  BUILD_DIR=build-tsan
+  CMAKE_ARGS+=(-DHYPERPROF_TSAN=ON)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -1,0 +1,147 @@
+#ifndef HYPERPROF_COMMON_INLINE_FUNCTION_H_
+#define HYPERPROF_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hyperprof {
+
+template <typename Signature, size_t InlineBytes = 48>
+class InlineFunction;
+
+/**
+ * Move-only callable wrapper with a larger small-buffer than
+ * std::function.
+ *
+ * The event kernel schedules tens of millions of callbacks per fleet run;
+ * libstdc++'s std::function spills any capture past ~16 bytes to the heap,
+ * which makes allocation the dominant kernel cost. With a 48-byte inline
+ * buffer the engine/RPC continuations (a shared_ptr plus a few words)
+ * stay inline. Unlike std::function the wrapped callable only needs to be
+ * move-constructible, so continuations may own move-only state.
+ *
+ * Callables larger than InlineBytes (or with extended alignment, or a
+ * throwing move) still work — they fall back to a single heap cell.
+ */
+template <typename R, typename... Args, size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT: match std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT: implicit like std::function
+    Construct(std::forward<F>(fn));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    // Move-constructs dst's payload from src's and destroys src's.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename F>
+  static constexpr bool kFitsInline =
+      sizeof(F) <= InlineBytes && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  static const Ops* InlineOps() {
+    static constexpr Ops ops = {
+        [](void* storage, Args&&... args) -> R {
+          return (*std::launder(reinterpret_cast<F*>(storage)))(
+              std::forward<Args>(args)...);
+        },
+        [](void* src, void* dst) {
+          F* from = std::launder(reinterpret_cast<F*>(src));
+          ::new (dst) F(std::move(*from));
+          from->~F();
+        },
+        [](void* storage) {
+          std::launder(reinterpret_cast<F*>(storage))->~F();
+        },
+    };
+    return &ops;
+  }
+
+  template <typename F>
+  static const Ops* HeapOps() {
+    static constexpr Ops ops = {
+        [](void* storage, Args&&... args) -> R {
+          return (**std::launder(reinterpret_cast<F**>(storage)))(
+              std::forward<Args>(args)...);
+        },
+        [](void* src, void* dst) {
+          // Pointer relocation: the heap cell itself does not move.
+          ::new (dst) (F*)(*std::launder(reinterpret_cast<F**>(src)));
+        },
+        [](void* storage) {
+          delete *std::launder(reinterpret_cast<F**>(storage));
+        },
+    };
+    return &ops;
+  }
+
+  template <typename F>
+  void Construct(F&& fn) {
+    using Decayed = std::decay_t<F>;
+    if constexpr (kFitsInline<Decayed>) {
+      ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(fn));
+      ops_ = InlineOps<Decayed>();
+    } else {
+      ::new (static_cast<void*>(storage_))
+          (Decayed*)(new Decayed(std::forward<F>(fn)));
+      ops_ = HeapOps<Decayed>();
+    }
+  }
+
+  void MoveFrom(InlineFunction& other) noexcept {
+    if (other.ops_) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hyperprof
+
+#endif  // HYPERPROF_COMMON_INLINE_FUNCTION_H_

@@ -1,0 +1,76 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace hyperprof {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> job) {
+  std::packaged_task<void()> task(std::move(job));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    futures.push_back(Submit([&fn, i] { fn(i); }));
+  }
+  // Wait for everything before rethrowing so no job references a dead
+  // stack frame.
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+size_t ThreadPool::ResolveParallelism(size_t parallelism) {
+  if (parallelism != 0) return parallelism;
+  size_t hardware = std::thread::hardware_concurrency();
+  return std::max<size_t>(1, hardware);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures any exception into the future
+  }
+}
+
+}  // namespace hyperprof

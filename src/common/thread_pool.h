@@ -1,0 +1,70 @@
+#ifndef HYPERPROF_COMMON_THREAD_POOL_H_
+#define HYPERPROF_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hyperprof {
+
+/**
+ * Reusable fixed-size worker pool.
+ *
+ * The fleet harness and the sweep runners push coarse-grained jobs (an
+ * entire platform simulation, one sweep point) through this pool, so the
+ * design favors simplicity over lock-free throughput: one mutex-guarded
+ * queue, workers parked on a condition variable. Exceptions thrown by a
+ * job are captured in the returned future and rethrown at Get/Wait, never
+ * swallowed. A pool outlives any number of Submit batches; the destructor
+ * drains remaining work before joining.
+ */
+class ThreadPool {
+ public:
+  /** Spawns `num_threads` workers (minimum 1). */
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /** Finishes all queued work, then joins the workers. */
+  ~ThreadPool();
+
+  /** Number of worker threads. */
+  size_t size() const { return workers_.size(); }
+
+  /**
+   * Enqueues `job`; the future resolves when it finishes and carries any
+   * exception it threw.
+   */
+  std::future<void> Submit(std::function<void()> job);
+
+  /**
+   * Runs fn(0..n-1) across the pool and blocks until all complete.
+   * Rethrows the first (lowest-index) exception after every job finished.
+   */
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /**
+   * Worker count for a `parallelism` knob: 0 means "all hardware
+   * threads" (minimum 1), anything else is taken literally.
+   */
+  static size_t ResolveParallelism(size_t parallelism);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hyperprof
+
+#endif  // HYPERPROF_COMMON_THREAD_POOL_H_

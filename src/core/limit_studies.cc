@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "core/parallel_sweep.h"
+
 namespace hyperprof::model {
 
 namespace {
@@ -19,9 +21,7 @@ std::vector<SweepPoint> UniformSpeedupSweep(const Workload& base,
                                             bool remove_dep,
                                             const AccelSystemConfig& config,
                                             double offload_bytes) {
-  std::vector<SweepPoint> curve;
-  curve.reserve(factors.size());
-  for (double factor : factors) {
+  return ParallelSweep(factors, [&](double factor) {
     assert(factor >= 1.0);
     Workload workload = base;
     ApplyConfig(workload, config, offload_bytes);
@@ -29,42 +29,40 @@ std::vector<SweepPoint> UniformSpeedupSweep(const Workload& base,
       component.speedup = factor;
     }
     AccelModel model(std::move(workload));
-    curve.push_back(SweepPoint{factor, model.Speedup(remove_dep)});
-  }
-  return curve;
+    return SweepPoint{factor, model.Speedup(remove_dep)};
+  });
 }
 
 std::vector<IncrementalPoint> IncrementalAccelerationStudy(
     const Workload& base, double per_accel_speedup, double offload_bytes,
     double link_bandwidth) {
-  std::vector<IncrementalPoint> rows;
   auto configs = FigureConfigs();
   for (auto& config : configs) config.link_bandwidth = link_bandwidth;
-  for (size_t count = 1; count <= base.components.size(); ++count) {
-    IncrementalPoint row;
-    row.component_added = base.components[count - 1].name;
-    for (size_t c = 0; c < configs.size(); ++c) {
-      Workload workload = base;
-      workload.components.resize(count);
-      ApplyConfig(workload, configs[c], offload_bytes);
-      for (Component& component : workload.components) {
-        component.speedup = per_accel_speedup;
-      }
-      AccelModel model(std::move(workload));
-      row.speedup_by_config[c] = model.Speedup(/*remove_dep=*/false);
-    }
-    rows.push_back(std::move(row));
-  }
-  return rows;
+  return ParallelSweepIndexed(
+      base.components.size(), [&](size_t index) {
+        size_t count = index + 1;
+        IncrementalPoint row;
+        row.component_added = base.components[count - 1].name;
+        for (size_t c = 0; c < configs.size(); ++c) {
+          Workload workload = base;
+          workload.components.resize(count);
+          ApplyConfig(workload, configs[c], offload_bytes);
+          for (Component& component : workload.components) {
+            component.speedup = per_accel_speedup;
+          }
+          AccelModel model(std::move(workload));
+          row.speedup_by_config[c] = model.Speedup(/*remove_dep=*/false);
+        }
+        return row;
+      });
 }
 
 std::vector<SetupSweepPoint> SetupTimeSweep(
     const Workload& base, const std::vector<double>& setup_times,
     double per_accel_speedup, double offload_bytes, double link_bandwidth) {
-  std::vector<SetupSweepPoint> rows;
   auto configs = FigureConfigs();
   for (auto& config : configs) config.link_bandwidth = link_bandwidth;
-  for (double setup : setup_times) {
+  return ParallelSweep(setup_times, [&](double setup) {
     SetupSweepPoint row;
     row.setup_time = setup;
     for (size_t c = 0; c < configs.size(); ++c) {
@@ -78,9 +76,8 @@ std::vector<SetupSweepPoint> SetupTimeSweep(
       AccelModel model(std::move(workload));
       row.speedup_by_config[c] = model.Speedup(/*remove_dep=*/false);
     }
-    rows.push_back(row);
-  }
-  return rows;
+    return row;
+  });
 }
 
 std::vector<PublishedAccelerator> PriorAcceleratorSet() {
@@ -154,26 +151,28 @@ double EvaluateWith(const Workload& base,
 std::vector<PriorAcceleratorPoint> PriorAcceleratorStudy(
     const Workload& base,
     const std::vector<PublishedAccelerator>& accelerators) {
-  std::vector<PriorAcceleratorPoint> rows;
   // Individual accelerators: include only those matching a component of
   // this workload.
+  std::vector<PublishedAccelerator> present;
   for (const PublishedAccelerator& accelerator : accelerators) {
-    bool present = false;
     for (const Component& component : base.components) {
       if (component.name == accelerator.component_name) {
-        present = true;
+        present.push_back(accelerator);
         break;
       }
     }
-    if (!present) continue;
-    PriorAcceleratorPoint row;
-    row.label = accelerator.component_name + " (" + accelerator.source + ")";
-    row.sync_speedup =
-        EvaluateWith(base, {accelerator}, Invocation::kSynchronous);
-    row.chained_speedup =
-        EvaluateWith(base, {accelerator}, Invocation::kChained);
-    rows.push_back(std::move(row));
   }
+  std::vector<PriorAcceleratorPoint> rows =
+      ParallelSweep(present, [&](const PublishedAccelerator& accelerator) {
+        PriorAcceleratorPoint row;
+        row.label =
+            accelerator.component_name + " (" + accelerator.source + ")";
+        row.sync_speedup =
+            EvaluateWith(base, {accelerator}, Invocation::kSynchronous);
+        row.chained_speedup =
+            EvaluateWith(base, {accelerator}, Invocation::kChained);
+        return row;
+      });
   PriorAcceleratorPoint combined;
   combined.label = "Combined";
   combined.sync_speedup =

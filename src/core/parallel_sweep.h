@@ -1,0 +1,74 @@
+#ifndef HYPERPROF_CORE_PARALLEL_SWEEP_H_
+#define HYPERPROF_CORE_PARALLEL_SWEEP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace hyperprof::model {
+
+/**
+ * Evaluates `fn` over every element of `items` across host threads and
+ * returns the results in input order.
+ *
+ * This is the execution substrate for the limit studies and sweep benches:
+ * every sweep point (a setup time, a sampling rate, a worker count, a whole
+ * single-platform fleet run) is independent, so the sweep parallelizes
+ * trivially. Determinism rule: `fn` must derive all randomness from its
+ * item (never from shared mutable state), which every study in this repo
+ * already satisfies — results are then identical at any parallelism.
+ *
+ * `parallelism` follows the fleet convention: 0 = one thread per hardware
+ * thread, 1 = serial in the calling thread (no pool spun up), N = at most
+ * N concurrent points. `fn` may throw; the first failure (lowest index)
+ * propagates after in-flight points finish.
+ *
+ * Points that themselves run a FleetSimulation should set that fleet's
+ * parallelism to 1 — the sweep already owns the host threads, and nested
+ * pools on a saturated host only add scheduling noise.
+ */
+template <typename Item, typename Fn>
+auto ParallelSweep(const std::vector<Item>& items, Fn fn,
+                   size_t parallelism = 0)
+    -> std::vector<std::invoke_result_t<Fn&, const Item&>> {
+  using Result = std::invoke_result_t<Fn&, const Item&>;
+  static_assert(std::is_default_constructible_v<Result>,
+                "ParallelSweep results are gathered into a pre-sized vector");
+  std::vector<Result> results(items.size());
+  size_t threads = std::min(ThreadPool::ResolveParallelism(parallelism),
+                            std::max<size_t>(1, items.size()));
+  if (threads <= 1 || items.size() <= 1) {
+    for (size_t i = 0; i < items.size(); ++i) results[i] = fn(items[i]);
+    return results;
+  }
+  ThreadPool pool(threads);
+  pool.ParallelFor(items.size(),
+                   [&](size_t i) { results[i] = fn(items[i]); });
+  return results;
+}
+
+/** Index-space variant: evaluates fn(0..n-1) and gathers results. */
+template <typename Fn>
+auto ParallelSweepIndexed(size_t n, Fn fn, size_t parallelism = 0)
+    -> std::vector<std::invoke_result_t<Fn&, size_t>> {
+  using Result = std::invoke_result_t<Fn&, size_t>;
+  static_assert(std::is_default_constructible_v<Result>,
+                "ParallelSweep results are gathered into a pre-sized vector");
+  std::vector<Result> results(n);
+  size_t threads =
+      std::min(ThreadPool::ResolveParallelism(parallelism), std::max<size_t>(1, n));
+  if (threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) results[i] = fn(i);
+    return results;
+  }
+  ThreadPool pool(threads);
+  pool.ParallelFor(n, [&](size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace hyperprof::model
+
+#endif  // HYPERPROF_CORE_PARALLEL_SWEEP_H_

@@ -29,6 +29,10 @@ struct FleetConfig {
   SimTime profiler_period = SimTime::Micros(1000);
   double cpu_hz = 3.0e9;
   uint64_t seed = 42;
+  // Host threads used by RunAll: 0 = one per hardware thread, 1 = the
+  // serial path, N = at most N platforms simulate concurrently. Every
+  // setting produces bit-identical results (see DESIGN.md).
+  uint32_t parallelism = 0;
   storage::DfsParams dfs;
 
   FleetConfig() {
@@ -50,11 +54,17 @@ struct PlatformResult {
 };
 
 /**
- * Builds the shared substrate (simulator, network, RPC, per-platform
- * distributed filesystems, tracers, profilers), runs the configured query
- * volumes for every added platform concurrently, and exposes the recovered
- * profiling reports. This is the reproduction harness behind the paper's
- * Figures 2-6 and Tables 6-7.
+ * Builds one fully isolated substrate shard per platform (simulator,
+ * network, RPC, distributed filesystem, tracer, profiler), runs the
+ * configured query volumes for every added platform, and exposes the
+ * recovered profiling reports. This is the reproduction harness behind the
+ * paper's Figures 2-6 and Tables 6-7.
+ *
+ * The three production platforms are independent services; their shards
+ * share no mutable state, so RunAll executes them concurrently on host
+ * threads. Each shard's RNG streams derive from hash(config.seed,
+ * platform_index), making reports bit-identical at every parallelism
+ * setting.
  */
 class FleetSimulation {
  public:
@@ -91,24 +101,43 @@ class FleetSimulation {
   /** The platform's distributed filesystem (tier stats, caches). */
   const storage::DistributedFileSystem& DfsOf(size_t index) const;
 
+  /** The platform's event-kernel shard. */
+  sim::Simulator& SimulatorOf(size_t index);
+
+  /** Events executed across all shards. */
+  uint64_t total_events_executed() const;
+
   const profiling::FunctionRegistry& registry() const { return registry_; }
-  sim::Simulator& simulator() { return *simulator_; }
+
+  /**
+   * Seed of platform shard `platform_index` under fleet seed `fleet_seed`
+   * (SplitMix64 of the pair). Exposed so studies can reproduce a single
+   * shard out of a fleet run.
+   */
+  static uint64_t PlatformSeed(uint64_t fleet_seed, size_t platform_index);
 
  private:
+  /**
+   * One platform's private substrate. Shards never reference each other;
+   * the only cross-shard state is the (immutable after construction)
+   * function registry and config.
+   */
   struct PlatformSlot {
     PlatformSpec spec;
+    std::unique_ptr<sim::Simulator> simulator;
+    std::unique_ptr<net::NetworkModel> network;
+    std::unique_ptr<net::RpcSystem> rpc;
     std::unique_ptr<storage::DistributedFileSystem> dfs;
     std::unique_ptr<profiling::Tracer> tracer;
     std::unique_ptr<profiling::CpuProfiler> profiler;
     std::unique_ptr<PlatformEngine> engine;
   };
 
+  /** Runs one shard's workload to completion (any thread). */
+  void RunSlot(PlatformSlot& slot);
+
   FleetConfig config_;
-  Rng rng_;
   profiling::FunctionRegistry registry_;
-  std::unique_ptr<sim::Simulator> simulator_;
-  std::unique_ptr<net::NetworkModel> network_;
-  std::unique_ptr<net::RpcSystem> rpc_;
   std::vector<std::unique_ptr<PlatformSlot>> slots_;
   bool ran_ = false;
 };

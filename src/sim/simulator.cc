@@ -1,8 +1,19 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace hyperprof::sim {
+
+namespace {
+
+// EventId layout: (slot + 1) in the high 32 bits (so every real id is
+// nonzero), the slot's generation in the low 32 bits.
+constexpr uint64_t EncodeId(uint32_t slot, uint32_t gen) {
+  return (static_cast<uint64_t>(slot) + 1) << 32 | gen;
+}
+
+}  // namespace
 
 EventId Simulator::Schedule(SimTime delay, Callback fn) {
   if (delay < SimTime::Zero()) delay = SimTime::Zero();
@@ -11,52 +22,92 @@ EventId Simulator::Schedule(SimTime delay, Callback fn) {
 
 EventId Simulator::ScheduleAt(SimTime when, Callback fn) {
   if (when < now_) when = now_;
-  uint64_t seq = next_seq_++;
-  queue_.push(Event{when, seq, std::move(fn)});
-  return EventId{seq};
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& cell = slots_[slot];
+  cell.fn = std::move(fn);
+  heap_.push_back(HeapEntry{when, next_order_++, slot, cell.gen});
+  std::push_heap(heap_.begin(), heap_.end(), After{});
+  ++live_events_;
+  return EventId{EncodeId(slot, cell.gen)};
 }
 
 bool Simulator::Cancel(EventId id) {
-  if (!id.valid() || id.seq >= next_seq_) return false;
-  return cancelled_.insert(id.seq).second;
+  uint64_t slot_plus_1 = id.seq >> 32;
+  if (slot_plus_1 == 0 || slot_plus_1 > slots_.size()) return false;
+  uint32_t slot = static_cast<uint32_t>(slot_plus_1 - 1);
+  uint32_t gen = static_cast<uint32_t>(id.seq);
+  Slot& cell = slots_[slot];
+  if (cell.gen != gen) return false;  // already fired, cancelled, or reused
+  cell.fn = Callback();               // release the payload immediately
+  ++cell.gen;                         // stale-out the heap entry
+  free_slots_.push_back(slot);
+  --live_events_;
+  ++stale_in_heap_;
+  return true;
+}
+
+Simulator::HeapEntry Simulator::PopTop() {
+  std::pop_heap(heap_.begin(), heap_.end(), After{});
+  HeapEntry entry = heap_.back();
+  heap_.pop_back();
+  return entry;
+}
+
+void Simulator::Fire(const HeapEntry& entry) {
+  Slot& cell = slots_[entry.slot];
+  now_ = entry.when;
+  Callback fn = std::move(cell.fn);
+  ++cell.gen;
+  // Recycle the slot before running: a callback that reschedules (the
+  // common timer/arrival pattern) lands back in the still-warm cell.
+  free_slots_.push_back(entry.slot);
+  --live_events_;
+  fn();
+  ++events_executed_;
 }
 
 uint64_t Simulator::Run() {
   uint64_t ran = 0;
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
+  while (!heap_.empty()) {
+    HeapEntry entry = PopTop();
+    if (slots_[entry.slot].gen != entry.gen) {
+      --stale_in_heap_;
       continue;
     }
-    now_ = ev.when;
-    ev.fn();
+    Fire(entry);
     ++ran;
-    ++events_executed_;
   }
   return ran;
 }
 
 uint64_t Simulator::RunUntil(SimTime deadline) {
   uint64_t ran = 0;
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (slots_[top.slot].gen != top.gen) {
+      PopTop();
+      --stale_in_heap_;
       continue;
     }
     if (top.when > deadline) break;
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.when;
-    ev.fn();
+    Fire(PopTop());
     ++ran;
-    ++events_executed_;
   }
   if (now_ < deadline) now_ = deadline;
   return ran;
+}
+
+void Simulator::Reserve(size_t expected_events) {
+  heap_.reserve(expected_events);
+  slots_.reserve(expected_events);
+  free_slots_.reserve(expected_events);
 }
 
 }  // namespace hyperprof::sim

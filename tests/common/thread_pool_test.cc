@@ -1,0 +1,102 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hyperprof {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsJobAndFutureResolves) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto future = pool.Submit([&] { value = 42; });
+  future.get();
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPoolTest, ZeroThreadRequestStillGetsOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  auto future = pool.Submit([] {});
+  future.get();
+}
+
+TEST(ThreadPoolTest, ManyJobsAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&] { ++counter; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter, 200);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing job and keeps serving.
+  auto ok = pool.Submit([] {});
+  ok.get();
+}
+
+TEST(ThreadPoolTest, ReuseAcrossBatches) {
+  ThreadPool pool(3);
+  for (int batch = 0; batch < 5; ++batch) {
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 30; ++i) {
+      futures.push_back(pool.Submit([&] { ++counter; }));
+    }
+    for (auto& future : futures) future.get();
+    EXPECT_EQ(counter, 30) << "batch " << batch;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(hits.size(), [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsAfterAllJobsFinish) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.ParallelFor(20,
+                                [&](size_t i) {
+                                  if (i == 3) {
+                                    throw std::runtime_error("sweep failed");
+                                  }
+                                  ++completed;
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(completed, 19);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { ++counter; });
+    }
+  }  // destructor must finish the queue before joining
+  EXPECT_EQ(counter, 50);
+}
+
+TEST(ThreadPoolTest, ResolveParallelismMapsZeroToHardware) {
+  EXPECT_GE(ThreadPool::ResolveParallelism(0), 1u);
+  EXPECT_EQ(ThreadPool::ResolveParallelism(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveParallelism(7), 7u);
+}
+
+}  // namespace
+}  // namespace hyperprof

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -105,6 +106,96 @@ TEST(SimulatorTest, EventCountersTrack) {
   simulator.Run();
   EXPECT_EQ(simulator.events_executed(), 10u);
   EXPECT_EQ(simulator.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, PendingCountsOnlyLiveEvents) {
+  Simulator simulator;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(simulator.Schedule(SimTime::Micros(i + 1), [] {}));
+  }
+  EXPECT_EQ(simulator.pending_events(), 6u);
+  EXPECT_EQ(simulator.cancelled_events(), 0u);
+  simulator.Cancel(ids[0]);
+  simulator.Cancel(ids[3]);
+  // Cancelled tombstones no longer inflate the live count.
+  EXPECT_EQ(simulator.pending_events(), 4u);
+  EXPECT_EQ(simulator.cancelled_events(), 2u);
+  uint64_t ran = simulator.Run();
+  EXPECT_EQ(ran, 4u);
+  EXPECT_EQ(simulator.pending_events(), 0u);
+  EXPECT_EQ(simulator.cancelled_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelledIdStaysInvalidAfterSlotReuse) {
+  Simulator simulator;
+  bool old_fired = false;
+  bool new_fired = false;
+  EventId old_id =
+      simulator.Schedule(SimTime::Micros(5), [&] { old_fired = true; });
+  ASSERT_TRUE(simulator.Cancel(old_id));
+  // The new event recycles the cancelled slot; the stale id must not be
+  // able to cancel it.
+  simulator.Schedule(SimTime::Micros(6), [&] { new_fired = true; });
+  EXPECT_FALSE(simulator.Cancel(old_id));
+  simulator.Run();
+  EXPECT_FALSE(old_fired);
+  EXPECT_TRUE(new_fired);
+}
+
+TEST(SimulatorTest, CancelFromInsideOwnCallbackReturnsFalse) {
+  Simulator simulator;
+  bool cancel_result = true;
+  EventId id;
+  id = simulator.Schedule(SimTime::Micros(1),
+                          [&] { cancel_result = simulator.Cancel(id); });
+  simulator.Run();
+  EXPECT_FALSE(cancel_result);
+}
+
+TEST(SimulatorTest, MoveOnlyCallbacksAreSupported) {
+  Simulator simulator;
+  auto payload = std::make_unique<int>(41);
+  int seen = 0;
+  simulator.Schedule(SimTime::Micros(1),
+                     [payload = std::move(payload), &seen] {
+                       seen = *payload + 1;
+                     });
+  simulator.Run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(SimulatorTest, LargeCapturesSurviveSlotRecycling) {
+  // Captures past the inline buffer take the heap fallback; interleave
+  // scheduling, cancelling, and firing to exercise slot churn.
+  Simulator simulator;
+  struct Big {
+    char bytes[96];
+  };
+  Big big{};
+  big.bytes[95] = 7;
+  int total = 0;
+  for (int round = 0; round < 50; ++round) {
+    EventId doomed = simulator.Schedule(SimTime::Micros(round), [] {});
+    simulator.Schedule(SimTime::Micros(round),
+                       [big, &total] { total += big.bytes[95]; });
+    simulator.Cancel(doomed);
+  }
+  simulator.Run();
+  EXPECT_EQ(total, 50 * 7);
+}
+
+TEST(SimulatorTest, DrainedKernelRetainsHeapCapacityAcrossRuns) {
+  Simulator simulator;
+  simulator.Reserve(1024);
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 1000; ++i) {
+      simulator.Schedule(SimTime::Micros(i), [] {});
+    }
+    simulator.Run();
+    EXPECT_EQ(simulator.pending_events(), 0u);
+  }
+  EXPECT_EQ(simulator.events_executed(), 3000u);
 }
 
 TEST(SimulatorTest, ScheduleAtPastClampsToNow) {
