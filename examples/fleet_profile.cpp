@@ -44,8 +44,9 @@ int main(int argc, char** argv) {
     std::printf("== Per-query-type breakdown (Dapper view) ==\n");
     {
       TextTable by_type({"Query type", "Queries", "CPU%", "IO%", "Remote%"});
+      // Streaming rows: folded at FinishQuery, no re-attribution pass.
       for (const auto& row :
-           profiling::ComputePerTypeBreakdown(fleet.TracesOf(i))) {
+           fleet.TracerOf(i).breakdown().TypeRows(fleet.NamesOf(i))) {
         auto fractions = row.aggregate.MeanQueryFractions();
         by_type.AddRow(row.query_type,
                        {static_cast<double>(row.aggregate.query_count),
@@ -81,7 +82,7 @@ int main(int argc, char** argv) {
                     .c_str());
 
     std::printf("Estimated sync factor f = %.3f\n",
-                profiling::EstimateSyncFactor(fleet.TracesOf(i)));
+                fleet.TracerOf(i).breakdown().EstimatedSyncFactor());
     std::printf(
         "Storage tier read mix: RAM %.1f%%, SSD %.1f%%, HDD %.1f%%\n\n",
         fleet.DfsOf(i).TierServeFraction(storage::Tier::kRam) * 100,
@@ -90,7 +91,8 @@ int main(int argc, char** argv) {
 
     std::string trace_path =
         "/tmp/hyperprof_" + result.name + "_traces.json";
-    if (profiling::WriteChromeTrace(fleet.TracesOf(i), trace_path, 100)) {
+    if (profiling::WriteChromeTrace(fleet.TracesOf(i), fleet.NamesOf(i),
+                                    trace_path, 100)) {
       std::printf("Wrote %s (load in a Chrome/Perfetto trace viewer)\n\n",
                   trace_path.c_str());
     }

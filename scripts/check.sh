@@ -3,6 +3,10 @@
 #   scripts/check.sh            # RelWithDebInfo build + ctest
 #   TSAN=1 scripts/check.sh     # same, in a separate build dir with
 #                               # ThreadSanitizer (-DHYPERPROF_TSAN=ON)
+#   ASAN=1 scripts/check.sh     # AddressSanitizer (-DHYPERPROF_ASAN=ON);
+#                               # also smoke-runs the trace ingest
+#                               # micro-bench to sweep the pooled/recycled
+#                               # trace storage under ASan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,7 +17,17 @@ if [[ "${TSAN:-0}" != "0" ]]; then
   BUILD_DIR=build-tsan
   CMAKE_ARGS+=(-DHYPERPROF_TSAN=ON)
 fi
+if [[ "${ASAN:-0}" != "0" ]]; then
+  BUILD_DIR=build-asan
+  CMAKE_ARGS+=(-DHYPERPROF_ASAN=ON)
+fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [[ "${ASAN:-0}" != "0" ]]; then
+  # Slot recycling, reservoir swaps, and interner string_view lifetimes get
+  # a dedicated pass under ASan via the ingest micro-bench in smoke mode.
+  "$BUILD_DIR/bench/trace_pipeline_micro" /tmp/asan_trace_pipeline.json smoke
+fi

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "common/rng.h"
 #include "common/sim_time.h"
@@ -15,9 +16,13 @@ namespace hyperprof::net {
 
 /** Shape of one RPC exchange. */
 struct RpcOptions {
-  std::string method;          // diagnostic method name ("spanner.Read")
-  uint64_t request_bytes = 0;  // wire size of the request
-  uint64_t response_bytes = 0; // wire size of the response
+  // Diagnostic method name ("spanner.Read"). A view, not a string: call
+  // sites issue millions of RPCs with a fixed method population, so they
+  // point at literals or pre-built strings that outlive the call instead
+  // of allocating a copy per RPC.
+  std::string_view method;
+  uint64_t request_bytes = 0;   // wire size of the request
+  uint64_t response_bytes = 0;  // wire size of the response
 };
 
 /** Completion record handed to the caller's callback. */

@@ -57,6 +57,27 @@ PlatformEngine::PlatformEngine(EngineContext context, PlatformSpec spec,
     worker_pool_ = std::make_unique<sim::Resource>(
         context_.simulator, spec_.name + "/workers", spec_.worker_cores);
   }
+
+  // Intern every name the query path will emit, so StartQuery/AddSpan carry
+  // plain ids and the measurement path never hashes or copies a string.
+  profiling::NameInterner& names = context_.tracer->names();
+  platform_id_ = names.Intern(spec_.name);
+  compute_span_id_ = names.Intern("compute");
+  dfs_read_span_id_ = names.Intern("dfs.read");
+  dfs_write_span_id_ = names.Intern("dfs.write");
+  type_name_ids_.reserve(spec_.query_types.size());
+  remote_info_.reserve(spec_.query_types.size());
+  for (const auto& type : spec_.query_types) {
+    type_name_ids_.push_back(names.Intern(type.name));
+    std::vector<RemotePhaseInfo> infos(type.phases.size());
+    for (size_t i = 0; i < type.phases.size(); ++i) {
+      if (type.phases[i].kind == PhaseSpec::Kind::kRemote) {
+        infos[i].name_id = names.Intern(type.phases[i].remote.name);
+        infos[i].method = spec_.name + "." + type.phases[i].remote.name;
+      }
+    }
+    remote_info_.push_back(std::move(infos));
+  }
 }
 
 double PlatformEngine::SampleLogNormalMean(double mean, double sigma) {
@@ -88,8 +109,7 @@ void PlatformEngine::StartQuery(size_t type_index) {
       net::NodeId{0, static_cast<uint32_t>(rng_.NextBounded(4)),
                   static_cast<uint32_t>(rng_.NextBounded(64))};
   query->trace_id = context_.tracer->StartQuery(
-      spec_.name, spec_.query_types[type_index].name,
-      context_.simulator->Now());
+      platform_id_, type_name_ids_[type_index], context_.simulator->Now());
   RunPhaseGroup(query, 0);
 }
 
@@ -111,13 +131,15 @@ void PlatformEngine::RunPhaseGroup(std::shared_ptr<QueryState> query,
     RunPhaseGroup(query, group_end);
   });
   for (size_t i = phase_index; i < group_end; ++i) {
-    RunPhase(query, phases[i], barrier);
+    RunPhase(query, i, barrier);
   }
 }
 
 void PlatformEngine::RunPhase(std::shared_ptr<QueryState> query,
-                              const PhaseSpec& phase,
+                              size_t phase_index,
                               std::function<void()> done) {
+  const PhaseSpec& phase =
+      spec_.query_types[query->type_index].phases[phase_index];
   switch (phase.kind) {
     case PhaseSpec::Kind::kCompute:
       RunComputePhase(query, phase.compute, std::move(done));
@@ -126,7 +148,9 @@ void PlatformEngine::RunPhase(std::shared_ptr<QueryState> query,
       RunIoPhase(query, phase.io, std::move(done));
       break;
     case PhaseSpec::Kind::kRemote:
-      RunRemotePhase(query, phase.remote, std::move(done));
+      RunRemotePhase(query, phase.remote,
+                     remote_info_[query->type_index][phase_index],
+                     std::move(done));
       break;
   }
 }
@@ -157,8 +181,8 @@ void PlatformEngine::RunComputePhase(std::shared_ptr<QueryState> query,
     worker_pool_->Acquire([this, query, span_length,
                            done = std::move(done)]() mutable {
       SimTime start = context_.simulator->Now();
-      context_.tracer->AddSpan(query->trace_id, SpanKind::kCpu, "compute",
-                               start, start + span_length);
+      context_.tracer->AddSpan(query->trace_id, SpanKind::kCpu,
+                               compute_span_id_, start, start + span_length);
       context_.simulator->Schedule(
           span_length, [this, done = std::move(done)]() {
             worker_pool_->Release();
@@ -168,8 +192,8 @@ void PlatformEngine::RunComputePhase(std::shared_ptr<QueryState> query,
     return;
   }
   SimTime start = context_.simulator->Now();
-  context_.tracer->AddSpan(query->trace_id, SpanKind::kCpu, "compute", start,
-                           start + span_length);
+  context_.tracer->AddSpan(query->trace_id, SpanKind::kCpu, compute_span_id_,
+                           start, start + span_length);
   context_.simulator->Schedule(span_length, std::move(done));
 }
 
@@ -182,22 +206,31 @@ void PlatformEngine::RunIoPhase(std::shared_ptr<QueryState> query,
   auto issue_wave = std::make_shared<std::function<void()>>();
   auto done_shared =
       std::make_shared<std::function<void()>>(std::move(done));
-  *issue_wave = [this, query, phase, remaining, issue_wave, done_shared]() {
+  // The wave closure must reference itself to reissue; capture weakly so
+  // the chain (barrier -> issue_wave -> closure) has no ownership cycle
+  // and frees once the final wave's barrier fires.
+  *issue_wave = [this, query, phase, remaining,
+                 weak_wave = std::weak_ptr<std::function<void()>>(issue_wave),
+                 done_shared]() {
     if (*remaining <= 0) {
       (*done_shared)();
       return;
     }
     int wave = std::min(*remaining, phase.parallelism);
     *remaining -= wave;
+    // Invocation implies a live strong ref (the caller's, or the previous
+    // wave's barrier), so the lock cannot fail.
+    auto self = weak_wave.lock();
     auto barrier = sim::Barrier(
-        static_cast<size_t>(wave), [issue_wave]() { (*issue_wave)(); });
+        static_cast<size_t>(wave), [self]() { (*self)(); });
     for (int i = 0; i < wave; ++i) {
       uint64_t block_id = block_sampler_->Sample(rng_);
       SimTime start = context_.simulator->Now();
       auto on_io = [this, query, start, barrier,
-                    write = phase.write](const storage::IoResult&) {
-        context_.tracer->AddSpan(query->trace_id, SpanKind::kIo,
-                                 write ? "dfs.write" : "dfs.read", start,
+                    name = phase.write ? dfs_write_span_id_
+                                       : dfs_read_span_id_](
+                       const storage::IoResult&) {
+        context_.tracer->AddSpan(query->trace_id, SpanKind::kIo, name, start,
                                  context_.simulator->Now());
         barrier();
       };
@@ -215,10 +248,11 @@ void PlatformEngine::RunIoPhase(std::shared_ptr<QueryState> query,
 
 void PlatformEngine::RunRemotePhase(std::shared_ptr<QueryState> query,
                                     const RemotePhaseSpec& phase,
+                                    const RemotePhaseInfo& info,
                                     std::function<void()> done) {
   assert(phase.fanout > 0);
   SimTime start = context_.simulator->Now();
-  auto finish = [this, query, start, name = phase.name,
+  auto finish = [this, query, start, name = info.name_id,
                  done = std::move(done)]() {
     context_.tracer->AddSpan(query->trace_id, SpanKind::kRemoteWork, name,
                              start, context_.simulator->Now());
@@ -282,7 +316,7 @@ void PlatformEngine::RunRemotePhase(std::shared_ptr<QueryState> query,
                          static_cast<uint32_t>(rng_.NextBounded(64))};
     }
     net::RpcOptions options;
-    options.method = spec_.name + "." + phase.name;
+    options.method = info.method;  // pre-built, no per-RPC allocation
     options.request_bytes = phase.request_bytes;
     options.response_bytes = phase.response_bytes;
     double server_s =

@@ -61,9 +61,15 @@ class PlatformEngine {
  private:
   struct QueryState;
 
+  /** Names and strings a remote phase needs per RPC, built once. */
+  struct RemotePhaseInfo {
+    profiling::NameId name_id = profiling::kInvalidNameId;
+    std::string method;  // "<platform>.<phase>", shared by every RPC
+  };
+
   void StartQuery(size_t type_index);
   void RunPhaseGroup(std::shared_ptr<QueryState> query, size_t phase_index);
-  void RunPhase(std::shared_ptr<QueryState> query, const PhaseSpec& phase,
+  void RunPhase(std::shared_ptr<QueryState> query, size_t phase_index,
                 std::function<void()> done);
   void RunComputePhase(std::shared_ptr<QueryState> query,
                        const ComputePhaseSpec& phase,
@@ -72,6 +78,7 @@ class PlatformEngine {
                   std::function<void()> done);
   void RunRemotePhase(std::shared_ptr<QueryState> query,
                       const RemotePhaseSpec& phase,
+                      const RemotePhaseInfo& info,
                       std::function<void()> done);
   void FinishQuery(std::shared_ptr<QueryState> query);
 
@@ -88,6 +95,14 @@ class PlatformEngine {
   std::unique_ptr<ZipfSampler> block_sampler_;
   // Finite worker-CPU pool when spec.worker_cores > 0 (else null).
   std::unique_ptr<sim::Resource> worker_pool_;
+  // Interned names, resolved once at construction so the per-query path
+  // never touches the interner's hash map.
+  profiling::NameId platform_id_ = profiling::kInvalidNameId;
+  profiling::NameId compute_span_id_ = profiling::kInvalidNameId;
+  profiling::NameId dfs_read_span_id_ = profiling::kInvalidNameId;
+  profiling::NameId dfs_write_span_id_ = profiling::kInvalidNameId;
+  std::vector<profiling::NameId> type_name_ids_;          // [type]
+  std::vector<std::vector<RemotePhaseInfo>> remote_info_;  // [type][phase]
   uint64_t completed_ = 0;
   uint64_t target_ = 0;
   std::function<void()> on_all_done_;

@@ -55,8 +55,11 @@ void FleetSimulation::AddPlatform(PlatformSpec spec) {
       slot->spec.block_zipf_s);
   slot->dfs->PrewarmZipf(ram_blocks, ssd_blocks,
                          slot->spec.typical_block_bytes);
+  profiling::TracerOptions tracer_options;
+  tracer_options.retention = config_.trace_retention;
+  tracer_options.reservoir_capacity = config_.trace_reservoir_capacity;
   slot->tracer = std::make_unique<profiling::Tracer>(
-      config_.trace_sample_one_in, shard_rng.Fork());
+      config_.trace_sample_one_in, shard_rng.Fork(), tracer_options);
   slot->profiler = std::make_unique<profiling::CpuProfiler>(
       config_.profiler_period, config_.cpu_hz, shard_rng.Fork());
   EngineContext context;
@@ -105,7 +108,10 @@ PlatformResult FleetSimulation::Result(size_t index) const {
   result.name = slot.spec.name;
   result.queries_completed = slot.engine->queries_completed();
   result.queries_sampled = slot.tracer->queries_sampled();
-  result.e2e = profiling::ComputeE2eBreakdown(slot.tracer->traces());
+  // The streaming accumulator folded every finished trace at FinishQuery
+  // with the same operation order as the batch path, so this is
+  // bit-identical to re-attributing the retained traces — and O(1).
+  result.e2e = slot.tracer->breakdown().e2e();
   result.cycles =
       profiling::ComputeCycleBreakdown(*slot.profiler, registry_);
   result.microarch =
@@ -125,6 +131,16 @@ const std::vector<profiling::QueryTrace>& FleetSimulation::TracesOf(
     size_t index) const {
   assert(index < slots_.size());
   return slots_[index]->tracer->traces();
+}
+
+const profiling::NameInterner& FleetSimulation::NamesOf(size_t index) const {
+  assert(index < slots_.size());
+  return slots_[index]->tracer->names();
+}
+
+const profiling::Tracer& FleetSimulation::TracerOf(size_t index) const {
+  assert(index < slots_.size());
+  return *slots_[index]->tracer;
 }
 
 const profiling::CpuProfiler& FleetSimulation::ProfilerOf(

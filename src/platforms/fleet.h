@@ -33,6 +33,14 @@ struct FleetConfig {
   // serial path, N = at most N platforms simulate concurrently. Every
   // setting produces bit-identical results (see DESIGN.md).
   uint32_t parallelism = 0;
+  // Trace retention: kRetainAll keeps every sampled trace for ablation
+  // studies (the default); kSampleReservoir keeps only a bounded export
+  // sample and folds everything into the streaming breakdown, making
+  // tracer memory independent of run length. Aggregate reports are
+  // bit-identical either way.
+  profiling::TraceRetention trace_retention =
+      profiling::TraceRetention::kRetainAll;
+  size_t trace_reservoir_capacity = 256;
   storage::DfsParams dfs;
 
   FleetConfig() {
@@ -94,6 +102,12 @@ class FleetSimulation {
 
   /** Raw traces of platform `index` (for ablation studies). */
   const std::vector<profiling::QueryTrace>& TracesOf(size_t index) const;
+
+  /** The platform tracer's name interner (resolves trace name ids). */
+  const profiling::NameInterner& NamesOf(size_t index) const;
+
+  /** The platform's tracer (streaming breakdown, drop counters). */
+  const profiling::Tracer& TracerOf(size_t index) const;
 
   /** Raw profiler of platform `index`. */
   const profiling::CpuProfiler& ProfilerOf(size_t index) const;

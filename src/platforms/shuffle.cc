@@ -115,7 +115,9 @@ void ShuffleOperation::Run(const net::NodeId& coordinator,
       state->total_bytes += bytes;
       state->reducer_bytes[static_cast<size_t>(r)] += bytes;
       net::RpcOptions options;
-      options.method = StrFormat("shuffle.Stream.m%d.r%d", m, r);
+      // One fixed method name for all streams: the per-(mapper, reducer)
+      // suffix was never read, and formatting it allocated on every RPC.
+      options.method = "shuffle.Stream";
       options.request_bytes = bytes;
       options.response_bytes = 64;  // ack
       SimTime ingest = SimTime::FromSeconds(

@@ -53,68 +53,117 @@ double E2eBreakdownReport::QueryShare(QueryGroup group) const {
          static_cast<double>(overall.query_count);
 }
 
+namespace {
+
+/**
+ * The single e2e fold body shared by the streaming accumulator and the
+ * batch ComputeE2eBreakdown: identical operation order guarantees
+ * bit-identical doubles between the two paths.
+ */
+void FoldE2e(const AttributedTime& time, const GroupThresholds& thresholds,
+             E2eBreakdownReport& report) {
+  QueryGroup group = ClassifyQuery(time, thresholds);
+  AttributedTime fractions;
+  double total = time.Total();
+  if (total > 0) {
+    fractions.cpu = time.cpu / total;
+    fractions.io = time.io / total;
+    fractions.remote = time.remote / total;
+  }
+  GroupAggregate& agg = report.groups[static_cast<size_t>(group)];
+  agg.time.cpu += time.cpu;
+  agg.time.io += time.io;
+  agg.time.remote += time.remote;
+  agg.fraction_sum.cpu += fractions.cpu;
+  agg.fraction_sum.io += fractions.io;
+  agg.fraction_sum.remote += fractions.remote;
+  ++agg.query_count;
+  report.overall.time.cpu += time.cpu;
+  report.overall.time.io += time.io;
+  report.overall.time.remote += time.remote;
+  report.overall.fraction_sum.cpu += fractions.cpu;
+  report.overall.fraction_sum.io += fractions.io;
+  report.overall.fraction_sum.remote += fractions.remote;
+  ++report.overall.query_count;
+}
+
+/** Shared per-type fold body (see FoldE2e). */
+void FoldTypeAggregate(GroupAggregate& agg, const AttributedTime& time) {
+  agg.time.cpu += time.cpu;
+  agg.time.io += time.io;
+  agg.time.remote += time.remote;
+  double total = time.Total();
+  if (total > 0) {
+    agg.fraction_sum.cpu += time.cpu / total;
+    agg.fraction_sum.io += time.io / total;
+    agg.fraction_sum.remote += time.remote / total;
+  }
+  ++agg.query_count;
+}
+
+/**
+ * O(1) row lookup for per-type aggregation: a flat NameId-indexed map into
+ * a first-seen-ordered row vector. Replaces the former linear string scan,
+ * which made per-type aggregation O(traces * types) with a string compare
+ * in the inner loop.
+ */
+TypeBreakdownRow& FindTypeRow(std::vector<TypeBreakdownRow>& rows,
+                              std::vector<int32_t>& row_of_type,
+                              NameId type_id) {
+  if (type_id >= row_of_type.size()) {
+    row_of_type.resize(type_id + 1, -1);
+  }
+  int32_t index = row_of_type[type_id];
+  if (index < 0) {
+    index = static_cast<int32_t>(rows.size());
+    row_of_type[type_id] = index;
+    rows.push_back(TypeBreakdownRow{});
+    rows.back().query_type_id = type_id;
+  }
+  return rows[static_cast<size_t>(index)];
+}
+
+void SortTypeRowsDescending(std::vector<TypeBreakdownRow>& rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const TypeBreakdownRow& a, const TypeBreakdownRow& b) {
+              return a.aggregate.time.Total() > b.aggregate.time.Total();
+            });
+}
+
+void ResolveTypeRowNames(std::vector<TypeBreakdownRow>& rows,
+                         const NameInterner& names) {
+  for (TypeBreakdownRow& row : rows) {
+    row.query_type = std::string(names.Name(row.query_type_id));
+  }
+}
+
+}  // namespace
+
 E2eBreakdownReport ComputeE2eBreakdown(const std::vector<QueryTrace>& traces,
                                        const AttributionPolicy& policy,
                                        const GroupThresholds& thresholds) {
   E2eBreakdownReport report;
+  AttributionScratch scratch;
   for (const QueryTrace& trace : traces) {
-    AttributedTime time = AttributeTrace(trace, policy);
-    QueryGroup group = ClassifyQuery(time, thresholds);
-    AttributedTime fractions;
-    double total = time.Total();
-    if (total > 0) {
-      fractions.cpu = time.cpu / total;
-      fractions.io = time.io / total;
-      fractions.remote = time.remote / total;
-    }
-    GroupAggregate& agg = report.groups[static_cast<size_t>(group)];
-    agg.time.cpu += time.cpu;
-    agg.time.io += time.io;
-    agg.time.remote += time.remote;
-    agg.fraction_sum.cpu += fractions.cpu;
-    agg.fraction_sum.io += fractions.io;
-    agg.fraction_sum.remote += fractions.remote;
-    ++agg.query_count;
-    report.overall.time.cpu += time.cpu;
-    report.overall.time.io += time.io;
-    report.overall.time.remote += time.remote;
-    report.overall.fraction_sum.cpu += fractions.cpu;
-    report.overall.fraction_sum.io += fractions.io;
-    report.overall.fraction_sum.remote += fractions.remote;
-    ++report.overall.query_count;
+    AttributedTime time = AttributeTrace(trace, policy, scratch);
+    FoldE2e(time, thresholds, report);
   }
   return report;
 }
 
 std::vector<TypeBreakdownRow> ComputePerTypeBreakdown(
-    const std::vector<QueryTrace>& traces,
+    const std::vector<QueryTrace>& traces, const NameInterner& names,
     const AttributionPolicy& policy) {
   std::vector<TypeBreakdownRow> rows;
-  auto find_row = [&rows](const std::string& type) -> TypeBreakdownRow& {
-    for (auto& row : rows) {
-      if (row.query_type == type) return row;
-    }
-    rows.push_back(TypeBreakdownRow{type, {}});
-    return rows.back();
-  };
+  std::vector<int32_t> row_of_type;
+  AttributionScratch scratch;
   for (const QueryTrace& trace : traces) {
-    AttributedTime time = AttributeTrace(trace, policy);
-    TypeBreakdownRow& row = find_row(trace.query_type);
-    row.aggregate.time.cpu += time.cpu;
-    row.aggregate.time.io += time.io;
-    row.aggregate.time.remote += time.remote;
-    double total = time.Total();
-    if (total > 0) {
-      row.aggregate.fraction_sum.cpu += time.cpu / total;
-      row.aggregate.fraction_sum.io += time.io / total;
-      row.aggregate.fraction_sum.remote += time.remote / total;
-    }
-    ++row.aggregate.query_count;
+    AttributedTime time = AttributeTrace(trace, policy, scratch);
+    FoldTypeAggregate(
+        FindTypeRow(rows, row_of_type, trace.query_type).aggregate, time);
   }
-  std::sort(rows.begin(), rows.end(),
-            [](const TypeBreakdownRow& a, const TypeBreakdownRow& b) {
-              return a.aggregate.time.Total() > b.aggregate.time.Total();
-            });
+  ResolveTypeRowNames(rows, names);
+  SortTypeRowsDescending(rows);
   return rows;
 }
 
@@ -223,6 +272,45 @@ double IntervalUnionSeconds(std::vector<std::pair<double, double>>& spans) {
   return covered;
 }
 
+/**
+ * Folds one trace into the sync-factor estimate. Shared between the batch
+ * EstimateSyncFactor and the streaming accumulator (bit-identical paths);
+ * the span buffers are caller-owned scratch, cleared here and recycled
+ * across traces.
+ */
+void FoldSyncFactor(const QueryTrace& trace,
+                    std::vector<std::pair<double, double>>& cpu_spans,
+                    std::vector<std::pair<double, double>>& dep_spans,
+                    std::vector<std::pair<double, double>>& all_spans,
+                    double& weighted_f, double& weight) {
+  cpu_spans.clear();
+  dep_spans.clear();
+  all_spans.clear();
+  for (const Span& span : trace.spans) {
+    double start = span.start.ToSeconds();
+    double end = span.end.ToSeconds();
+    if (end <= start) continue;
+    all_spans.emplace_back(start, end);
+    if (span.kind == SpanKind::kCpu) {
+      cpu_spans.emplace_back(start, end);
+    } else {
+      dep_spans.emplace_back(start, end);
+    }
+  }
+  double union_cpu = IntervalUnionSeconds(cpu_spans);
+  double union_dep = IntervalUnionSeconds(dep_spans);
+  double union_all = IntervalUnionSeconds(all_spans);
+  double total = union_cpu + union_dep;
+  if (total <= 0) return;
+  // Overlap between the CPU cover and the dependency cover.
+  double overlap = std::max(0.0, union_cpu + union_dep - union_all);
+  double denom = std::min(union_cpu, union_dep);
+  double f = denom <= 0 ? 1.0
+                        : std::clamp(1.0 - overlap / denom, 0.0, 1.0);
+  weighted_f += f * total;
+  weight += total;
+}
+
 }  // namespace
 
 double EstimateSyncFactor(const std::vector<QueryTrace>& traces,
@@ -230,33 +318,39 @@ double EstimateSyncFactor(const std::vector<QueryTrace>& traces,
   (void)policy;  // the estimator works on span unions, not attribution
   double weighted_f = 0;
   double weight = 0;
+  std::vector<std::pair<double, double>> cpu_spans, dep_spans, all_spans;
   for (const QueryTrace& trace : traces) {
-    std::vector<std::pair<double, double>> cpu_spans, dep_spans, all_spans;
-    for (const Span& span : trace.spans) {
-      double start = span.start.ToSeconds();
-      double end = span.end.ToSeconds();
-      if (end <= start) continue;
-      all_spans.emplace_back(start, end);
-      if (span.kind == SpanKind::kCpu) {
-        cpu_spans.emplace_back(start, end);
-      } else {
-        dep_spans.emplace_back(start, end);
-      }
-    }
-    double union_cpu = IntervalUnionSeconds(cpu_spans);
-    double union_dep = IntervalUnionSeconds(dep_spans);
-    double union_all = IntervalUnionSeconds(all_spans);
-    double total = union_cpu + union_dep;
-    if (total <= 0) continue;
-    // Overlap between the CPU cover and the dependency cover.
-    double overlap = std::max(0.0, union_cpu + union_dep - union_all);
-    double denom = std::min(union_cpu, union_dep);
-    double f = denom <= 0 ? 1.0
-                          : std::clamp(1.0 - overlap / denom, 0.0, 1.0);
-    weighted_f += f * total;
-    weight += total;
+    FoldSyncFactor(trace, cpu_spans, dep_spans, all_spans, weighted_f,
+                   weight);
   }
   return weight <= 0 ? 1.0 : weighted_f / weight;
+}
+
+BreakdownAccumulator::BreakdownAccumulator(const AttributionPolicy& policy,
+                                           const GroupThresholds& thresholds)
+    : policy_(policy), thresholds_(thresholds) {}
+
+void BreakdownAccumulator::Fold(const QueryTrace& trace) {
+  AttributedTime time = AttributeTrace(trace, policy_, scratch_);
+  FoldE2e(time, thresholds_, e2e_);
+  FoldTypeAggregate(
+      FindTypeRow(type_rows_, row_of_type_, trace.query_type).aggregate,
+      time);
+  FoldSyncFactor(trace, cpu_spans_, dep_spans_, all_spans_,
+                 sync_weighted_f_, sync_weight_);
+  ++traces_folded_;
+}
+
+std::vector<TypeBreakdownRow> BreakdownAccumulator::TypeRows(
+    const NameInterner& names) const {
+  std::vector<TypeBreakdownRow> rows = type_rows_;
+  ResolveTypeRowNames(rows, names);
+  SortTypeRowsDescending(rows);
+  return rows;
+}
+
+double BreakdownAccumulator::EstimatedSyncFactor() const {
+  return sync_weight_ <= 0 ? 1.0 : sync_weighted_f_ / sync_weight_;
 }
 
 }  // namespace hyperprof::profiling

@@ -76,18 +76,72 @@ E2eBreakdownReport ComputeE2eBreakdown(
 
 /** Per-query-type attributed breakdown (Dapper groups by RPC method). */
 struct TypeBreakdownRow {
-  std::string query_type;
+  NameId query_type_id = kInvalidNameId;
+  std::string query_type;  // resolved from the interner at report time
   GroupAggregate aggregate;
 };
 
 /**
  * Aggregates traces by their query type — the per-workload view a
  * Dapper-style UI offers alongside the Figure 2 groups. Rows are ordered
- * by descending total attributed time.
+ * by descending total attributed time. `names` resolves interned type ids
+ * back to display strings.
  */
 std::vector<TypeBreakdownRow> ComputePerTypeBreakdown(
-    const std::vector<QueryTrace>& traces,
+    const std::vector<QueryTrace>& traces, const NameInterner& names,
     const AttributionPolicy& policy = AttributionPolicy::PaperDefault());
+
+/**
+ * Streaming breakdown aggregation: folds one trace at a time into the
+ * Figure 2 group aggregates, the per-type rows, and the sync-factor
+ * estimate, attributing each trace exactly once.
+ *
+ * This is what lets the tracer discard trace storage after FinishQuery:
+ * aggregates no longer require retained traces. The batch Compute*
+ * functions below are implemented on the same fold helpers, so streaming
+ * and batch results are bit-identical for the same trace sequence.
+ *
+ * All scratch (attribution boundaries, interval-union buffers, type-row
+ * index) is owned and recycled by the accumulator: Fold performs no
+ * steady-state allocation once the type population has been seen.
+ */
+class BreakdownAccumulator {
+ public:
+  explicit BreakdownAccumulator(
+      const AttributionPolicy& policy = AttributionPolicy::PaperDefault(),
+      const GroupThresholds& thresholds = {});
+
+  /** Attributes and folds one completed trace into every aggregate. */
+  void Fold(const QueryTrace& trace);
+
+  /** Figure 2 aggregates over all folded traces. */
+  const E2eBreakdownReport& e2e() const { return e2e_; }
+
+  /** Per-type rows, resolved through `names`, descending by total time. */
+  std::vector<TypeBreakdownRow> TypeRows(const NameInterner& names) const;
+
+  /** Streaming counterpart of EstimateSyncFactor over folded traces. */
+  double EstimatedSyncFactor() const;
+
+  uint64_t traces_folded() const { return traces_folded_; }
+  const AttributionPolicy& policy() const { return policy_; }
+
+ private:
+  AttributionPolicy policy_;
+  GroupThresholds thresholds_;
+  E2eBreakdownReport e2e_;
+  // Per-type aggregates keyed by interned type id: row_of_type_ is a flat
+  // NameId-indexed map (ids are dense), so the per-trace row lookup is one
+  // array read instead of a linear string scan.
+  std::vector<TypeBreakdownRow> type_rows_;   // first-seen order
+  std::vector<int32_t> row_of_type_;          // NameId -> row index or -1
+  double sync_weighted_f_ = 0;
+  double sync_weight_ = 0;
+  uint64_t traces_folded_ = 0;
+  // Recycled scratch.
+  AttributionScratch scratch_;
+  std::vector<std::pair<double, double>> cpu_spans_, dep_spans_, all_spans_;
+};
 
 /**
  * CPU cycle breakdown recovered from profiler samples (Figures 3-6).

@@ -4,6 +4,26 @@
 
 namespace hyperprof::profiling {
 
+NameInterner::NameInterner() { names_.emplace_back(); }
+
+NameId NameInterner::Intern(std::string_view name) {
+  if (auto it = ids_.find(name); it != ids_.end()) return it->second;
+  NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+NameId NameInterner::Find(std::string_view name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidNameId : it->second;
+}
+
+std::string_view NameInterner::Name(NameId id) const {
+  if (id >= names_.size()) return {};
+  return names_[id];
+}
+
 void FunctionRegistry::AddExact(std::string symbol, FnCategory category) {
   exact_[std::move(symbol)] = category;
 }

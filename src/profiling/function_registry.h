@@ -1,13 +1,61 @@
 #ifndef HYPERPROF_PROFILING_FUNCTION_REGISTRY_H_
 #define HYPERPROF_PROFILING_FUNCTION_REGISTRY_H_
 
+#include <cstdint>
+#include <deque>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "profiling/categories.h"
 
 namespace hyperprof::profiling {
+
+/**
+ * Interned name handle. Id 0 (`kInvalidNameId`) is reserved for "no name";
+ * valid ids are dense and start at 1, so they double as array indices.
+ */
+using NameId = uint32_t;
+inline constexpr NameId kInvalidNameId = 0;
+
+/**
+ * Append-only string interner for the measurement path.
+ *
+ * A fleet-day of traces repeats a handful of platform, query-type, and
+ * span names millions of times; storing `std::string` per span is the
+ * dominant allocation of the instrumentation pipeline. Call sites intern
+ * once (at engine construction) and carry `NameId`s on the hot path;
+ * strings are resolved back only at report/export time.
+ *
+ * Returned `string_view`s stay valid for the interner's lifetime: names
+ * live in a deque whose elements never move.
+ */
+class NameInterner {
+ public:
+  NameInterner();
+  NameInterner(const NameInterner&) = delete;
+  NameInterner& operator=(const NameInterner&) = delete;
+
+  /** Interns `name`, returning its stable id (idempotent per string). */
+  NameId Intern(std::string_view name);
+
+  /**
+   * Looks up a name without interning; kInvalidNameId when absent. Lets
+   * tests and exporters probe for names that may never have been seen.
+   */
+  NameId Find(std::string_view name) const;
+
+  /** Resolves an id; "" for kInvalidNameId or out-of-range ids. */
+  std::string_view Name(NameId id) const;
+
+  /** Number of distinct interned names (excluding the reserved id 0). */
+  size_t size() const { return names_.size() - 1; }
+
+ private:
+  std::deque<std::string> names_;  // index == NameId; [0] is ""
+  std::unordered_map<std::string_view, NameId> ids_;
+};
 
 /**
  * Maps leaf-function symbols to fine cycle categories.

@@ -1,6 +1,7 @@
 #include "profiling/trace_export.h"
 
 #include <cstdio>
+#include <string_view>
 
 #include "common/strings.h"
 
@@ -9,7 +10,7 @@ namespace hyperprof::profiling {
 namespace {
 
 /** Escapes the small character set that can appear in span names. */
-std::string JsonEscape(const std::string& in) {
+std::string JsonEscape(std::string_view in) {
   std::string out;
   out.reserve(in.size());
   for (char c : in) {
@@ -32,6 +33,7 @@ std::string JsonEscape(const std::string& in) {
 }  // namespace
 
 std::string ExportChromeTrace(const std::vector<QueryTrace>& traces,
+                              const NameInterner& names,
                               size_t max_queries) {
   std::string out = "[\n";
   bool first = true;
@@ -44,12 +46,13 @@ std::string ExportChromeTrace(const std::vector<QueryTrace>& traces,
     // viewer collapses identical metadata).
     if (!first) out += ",\n";
     first = false;
+    std::string platform = JsonEscape(names.Name(trace.platform));
     out += StrFormat(
         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":\"%s\","
         "\"tid\":%llu,\"args\":{\"name\":\"%s #%llu\"}}",
-        JsonEscape(trace.platform).c_str(),
+        platform.c_str(),
         static_cast<unsigned long long>(trace.trace_id),
-        JsonEscape(trace.query_type).c_str(),
+        JsonEscape(names.Name(trace.query_type)).c_str(),
         static_cast<unsigned long long>(trace.trace_id));
     for (const Span& span : trace.spans) {
       double start_us = span.start.ToMicros();
@@ -58,8 +61,8 @@ std::string ExportChromeTrace(const std::vector<QueryTrace>& traces,
       out += StrFormat(
           ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
           "\"ts\":%.3f,\"dur\":%.3f,\"pid\":\"%s\",\"tid\":%llu}",
-          JsonEscape(span.name).c_str(), SpanKindName(span.kind), start_us,
-          duration_us, JsonEscape(trace.platform).c_str(),
+          JsonEscape(names.Name(span.name)).c_str(), SpanKindName(span.kind),
+          start_us, duration_us, platform.c_str(),
           static_cast<unsigned long long>(trace.trace_id));
     }
   }
@@ -68,8 +71,9 @@ std::string ExportChromeTrace(const std::vector<QueryTrace>& traces,
 }
 
 bool WriteChromeTrace(const std::vector<QueryTrace>& traces,
-                      const std::string& path, size_t max_queries) {
-  std::string json = ExportChromeTrace(traces, max_queries);
+                      const NameInterner& names, const std::string& path,
+                      size_t max_queries) {
+  std::string json = ExportChromeTrace(traces, names, max_queries);
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;
   size_t written = std::fwrite(json.data(), 1, json.size(), file);

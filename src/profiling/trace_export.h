@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "profiling/function_registry.h"
 #include "profiling/tracer.h"
 
 namespace hyperprof::profiling {
@@ -15,13 +16,18 @@ namespace hyperprof::profiling {
  * platform as the process name, and one row (tid) per query. Load the
  * output in any trace viewer to see the CPU/IO/remote-work structure the
  * paper's Figure 2 aggregates.
+ *
+ * Trace names are interned; `names` is the interner the traces were
+ * recorded against (typically `tracer.names()`).
  */
 std::string ExportChromeTrace(const std::vector<QueryTrace>& traces,
+                              const NameInterner& names,
                               size_t max_queries = 200);
 
 /** Writes ExportChromeTrace output to a file; returns false on IO error. */
 bool WriteChromeTrace(const std::vector<QueryTrace>& traces,
-                      const std::string& path, size_t max_queries = 200);
+                      const NameInterner& names, const std::string& path,
+                      size_t max_queries = 200);
 
 }  // namespace hyperprof::profiling
 

@@ -171,11 +171,13 @@ TEST_F(FleetTest, SpannerConsensusSpansComeFromRealPaxos) {
   // Every sampled read_write_txn / global_commit trace must contain a
   // consensus remote-work span produced by an actual Paxos round.
   const auto& traces = fleet_->TracesOf(0);
+  profiling::NameId consensus_id = fleet_->NamesOf(0).Find("consensus");
+  ASSERT_NE(consensus_id, profiling::kInvalidNameId);
   int consensus_spans = 0;
   for (const auto& trace : traces) {
     for (const auto& span : trace.spans) {
       if (span.kind == profiling::SpanKind::kRemoteWork &&
-          span.name == "consensus") {
+          span.name == consensus_id) {
         ++consensus_spans;
         // A Paxos round needs at least two message exchanges plus
         // acceptor service; anything under ~200us would mean the
@@ -189,11 +191,13 @@ TEST_F(FleetTest, SpannerConsensusSpansComeFromRealPaxos) {
 
 TEST_F(FleetTest, BigQueryShuffleSpansComeFromRealShuffle) {
   const auto& traces = fleet_->TracesOf(2);
+  profiling::NameId shuffle_id = fleet_->NamesOf(2).Find("shuffle");
+  ASSERT_NE(shuffle_id, profiling::kInvalidNameId);
   int shuffle_spans = 0;
   for (const auto& trace : traces) {
     for (const auto& span : trace.spans) {
       if (span.kind == profiling::SpanKind::kRemoteWork &&
-          span.name == "shuffle") {
+          span.name == shuffle_id) {
         ++shuffle_spans;
         // 8 mappers x 64 MiB through the fabric takes tens of ms.
         EXPECT_GT(span.end - span.start, SimTime::Millis(10));

@@ -1,0 +1,261 @@
+// Golden regression gate for the trace pipeline: the breakdown numbers a
+// fixed fleet configuration recovers must stay bit-identical across
+// pipeline rewrites. The constants below were captured from the pre-intern
+// (string-name, batch re-attribution) pipeline with %.17g formatting, so
+// every double round-trips exactly; the streaming interned pipeline must
+// reproduce them to the last bit, through both the streaming accumulator
+// and the batch Compute* functions.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "platforms/fleet.h"
+#include "profiling/aggregate.h"
+
+namespace hyperprof::platforms {
+namespace {
+
+struct GoldenAggregate {
+  double cpu, io, remote;        // summed attributed seconds
+  double f_cpu, f_io, f_remote;  // summed per-query fractions
+  uint64_t count;
+};
+
+struct GoldenTypeRow {
+  const char* name;
+  double cpu, io, remote;
+  uint64_t count;
+};
+
+struct GoldenFine {
+  int broad;
+  int category;
+  double fraction_within_broad;
+};
+
+struct GoldenPlatform {
+  const char* name;
+  GoldenAggregate groups[profiling::kNumQueryGroups];
+  GoldenAggregate overall;
+  std::vector<GoldenTypeRow> types;  // descending total time
+  double sync_factor;
+  std::vector<GoldenFine> fine;
+};
+
+const GoldenPlatform kGolden[] = {
+    {"Spanner",
+     {{0.81530036000000039, 0.071644810999999989, 0.11193633599999998,
+       171.01080875786667, 18.207121400675415, 15.782069841457947, 205},
+      {0.025907382999999996, 0.16993079999999997, 0.0029416199999999998,
+       9.83017022124716, 37.303777548706556, 0.86605223004627663, 48},
+      {0.11942266499999998, 0.015283269000000004, 0.25799732900000005,
+       24.544372344986126, 4.1795650375793754, 49.276062617434498, 78},
+      {0.0045226090000000004, 0.0021634720000000001, 0.002479312,
+       1.4757354438028263, 0.70988814338316497, 0.81437641281400852, 3}},
+     {0.96515301700000034, 0.25902235200000001, 0.37535459699999979,
+      206.86108676790275, 60.400352130344508, 66.738561101752722, 334},
+     {{"read_write_txn", 0.43060894999999993, 0.033522741000000009,
+       0.128031546, 82},
+      {"point_read", 0.409250799, 0.05096522400000001, 0, 134},
+      {"global_commit", 0.069632611000000011, 0, 0.21761244400000004, 51},
+      {"range_scan", 0.019517709999999997, 0.14898031, 0, 43},
+      {"mixed", 0.036142947000000009, 0.025554077000000005,
+       0.029710607000000003, 24}},
+     0.86084661682951247,
+     {{1, 15, 0.1301859799713877},
+      {1, 16, 0.068669527896995708},
+      {1, 17, 0.16595135908440631},
+      {1, 18, 0.14878397711015737},
+      {1, 19, 0.25178826895565093},
+      {1, 20, 0.23462088698140202},
+      {2, 21, 0.0087019579405366206},
+      {2, 22, 0.091370558375634514},
+      {2, 23, 0.03553299492385787},
+      {2, 24, 0.055837563451776651},
+      {2, 25, 0.047860768672951415},
+      {2, 26, 0.26178390137780999},
+      {2, 27, 0.46265409717186368},
+      {2, 28, 0.036258158085569252}}},
+    {"BigTable",
+     {{0.51835557099999974, 0.09132996700000004, 0.0013094180000000001,
+       198.82895214144315, 36.692051441779789, 0.47899641677697258, 236},
+      {0.078432855000000024, 0.18287106699999997, 0, 19.67678986265037,
+       27.323210137349626, 0, 47},
+      {0.098607502, 0.0089207729999999982, 304.87100889000004,
+       10.400419042736008, 2.5687176488888777, 28.03086330837511, 41},
+      {0, 0, 0, 0, 0, 0, 0}},
+     {0.69539592799999939, 0.28312180700000006, 304.87231830800005,
+      228.90616104682962, 66.583979228018322, 28.509859725152083, 324},
+     {{"compaction_wait", 0.059348601000000008, 0, 304.80906392900005, 12},
+      {"point_get", 0.2897576939999999, 0.06232451700000001, 0, 147},
+      {"scan", 0.11416812500000005, 0.18151841599999996, 0, 58},
+      {"put", 0.18921601599999999, 0.029784390000000008, 0, 76},
+      {"mixed", 0.04290549200000001, 0.0094944839999999992,
+       0.063254378999999999, 31}},
+     0.99999999999993405,
+     {{1, 15, 0.28397873955960518},
+      {1, 16, 0.031131359149582385},
+      {1, 17, 0.050873196659073652},
+      {1, 18, 0.040242976461655276},
+      {1, 19, 0.21791951404707668},
+      {1, 20, 0.37585421412300685},
+      {2, 21, 0.024107142857142858},
+      {2, 22, 0.16339285714285715},
+      {2, 23, 0.057142857142857141},
+      {2, 24, 0.060714285714285714},
+      {2, 25, 0.087499999999999994},
+      {2, 26, 0.22500000000000001},
+      {2, 27, 0.33303571428571427},
+      {2, 28, 0.049107142857142856}}},
+    {"BigQuery",
+     {{0.89424281299999986, 0.213182973, 0.041467868000000005,
+       34.234032600614853, 6.1097835254072583, 4.6561838739778878, 45},
+      {0.4447245580000001, 4.1817422059999991, 0.039652791,
+       22.809528933238347, 138.62620042892195, 2.5642706378397202, 164},
+      {1.6724444360000006, 1.3626812339999999, 3.9169732160000001,
+       16.542496336614018, 12.278294560480736, 36.17920910290524, 65},
+      {0, 0, 0, 0, 0, 0, 0}},
+     {3.0114118069999991, 5.7576064129999986, 3.9980938749999999,
+      73.586057870467158, 157.01427851480989, 43.39966361472284, 274},
+     {{"shuffle_join", 1.6597302900000006, 1.3609606299999999,
+       3.908873147, 61},
+      {"large_scan", 0.028755318000000005, 3.4026916530000002, 0, 90},
+      {"interactive_agg", 0.87873228699999983, 0.33897289100000011, 0, 30},
+      {"export", 0.16623079099999996, 0.44588444500000007, 0, 46},
+      {"lookup", 0.27796312099999998, 0.20909679399999997,
+       0.089220728000000027, 47}},
+     0.64196039165020924,
+     {{1, 15, 0.31032304638151958},
+      {1, 16, 0.050622631293990257},
+      {1, 17, 0.16143295434037178},
+      {1, 18, 0.12263129399025446},
+      {1, 19, 0.24742826204656199},
+      {1, 20, 0.10756181194730192},
+      {2, 21, 0.021398250021658148},
+      {2, 22, 0.09720176730486009},
+      {2, 23, 0.042103439313869881},
+      {2, 24, 0.048600883652430045},
+      {2, 25, 0.039244563804903404},
+      {2, 26, 0.18686649917699039},
+      {2, 27, 0.5267261543792775},
+      {2, 28, 0.037858442346010567}}},
+};
+
+void ExpectAggregateEq(const profiling::GroupAggregate& got,
+                       const GoldenAggregate& want, const char* what) {
+  EXPECT_EQ(got.time.cpu, want.cpu) << what;
+  EXPECT_EQ(got.time.io, want.io) << what;
+  EXPECT_EQ(got.time.remote, want.remote) << what;
+  EXPECT_EQ(got.fraction_sum.cpu, want.f_cpu) << what;
+  EXPECT_EQ(got.fraction_sum.io, want.f_io) << what;
+  EXPECT_EQ(got.fraction_sum.remote, want.f_remote) << what;
+  EXPECT_EQ(got.query_count, want.count) << what;
+}
+
+class GoldenBreakdownTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FleetConfig config;
+    config.queries_per_platform = 1500;
+    config.trace_sample_one_in = 5;
+    fleet_ = new FleetSimulation(config);
+    fleet_->AddDefaultPlatforms();
+    fleet_->RunAll();
+  }
+  static void TearDownTestSuite() {
+    delete fleet_;
+    fleet_ = nullptr;
+  }
+
+  static FleetSimulation* fleet_;
+};
+
+FleetSimulation* GoldenBreakdownTest::fleet_ = nullptr;
+
+TEST_F(GoldenBreakdownTest, StreamingE2eMatchesSeedBitForBit) {
+  for (size_t p = 0; p < 3; ++p) {
+    const GoldenPlatform& golden = kGolden[p];
+    PlatformResult result = fleet_->Result(p);
+    ASSERT_EQ(result.name, golden.name);
+    for (size_t g = 0; g < profiling::kNumQueryGroups; ++g) {
+      ExpectAggregateEq(result.e2e.groups[g], golden.groups[g], golden.name);
+    }
+    ExpectAggregateEq(result.e2e.overall, golden.overall, golden.name);
+  }
+}
+
+TEST_F(GoldenBreakdownTest, BatchE2eOverRetainedTracesMatchesStreaming) {
+  for (size_t p = 0; p < 3; ++p) {
+    profiling::E2eBreakdownReport batch =
+        profiling::ComputeE2eBreakdown(fleet_->TracesOf(p));
+    const profiling::E2eBreakdownReport& streaming =
+        fleet_->TracerOf(p).breakdown().e2e();
+    for (size_t g = 0; g < profiling::kNumQueryGroups; ++g) {
+      EXPECT_EQ(batch.groups[g].time.cpu, streaming.groups[g].time.cpu);
+      EXPECT_EQ(batch.groups[g].fraction_sum.remote,
+                streaming.groups[g].fraction_sum.remote);
+      EXPECT_EQ(batch.groups[g].query_count, streaming.groups[g].query_count);
+    }
+    EXPECT_EQ(batch.overall.time.io, streaming.overall.time.io);
+  }
+}
+
+TEST_F(GoldenBreakdownTest, PerTypeRowsMatchSeedBitForBit) {
+  for (size_t p = 0; p < 3; ++p) {
+    const GoldenPlatform& golden = kGolden[p];
+    // Both the streaming rows and the batch recomputation must agree with
+    // the seed capture.
+    auto streaming =
+        fleet_->TracerOf(p).breakdown().TypeRows(fleet_->NamesOf(p));
+    auto batch = profiling::ComputePerTypeBreakdown(fleet_->TracesOf(p),
+                                                    fleet_->NamesOf(p));
+    for (const auto* rows : {&streaming, &batch}) {
+      ASSERT_EQ(rows->size(), golden.types.size()) << golden.name;
+      for (size_t i = 0; i < golden.types.size(); ++i) {
+        const auto& got = (*rows)[i];
+        const auto& want = golden.types[i];
+        EXPECT_EQ(got.query_type, want.name) << golden.name;
+        EXPECT_EQ(got.aggregate.time.cpu, want.cpu) << want.name;
+        EXPECT_EQ(got.aggregate.time.io, want.io) << want.name;
+        EXPECT_EQ(got.aggregate.time.remote, want.remote) << want.name;
+        EXPECT_EQ(got.aggregate.query_count, want.count) << want.name;
+      }
+    }
+  }
+}
+
+TEST_F(GoldenBreakdownTest, SyncFactorMatchesSeedBitForBit) {
+  for (size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(fleet_->TracerOf(p).breakdown().EstimatedSyncFactor(),
+              kGolden[p].sync_factor)
+        << kGolden[p].name;
+    EXPECT_EQ(profiling::EstimateSyncFactor(fleet_->TracesOf(p)),
+              kGolden[p].sync_factor)
+        << kGolden[p].name;
+  }
+}
+
+TEST_F(GoldenBreakdownTest, CycleFineFractionsMatchSeedBitForBit) {
+  for (size_t p = 0; p < 3; ++p) {
+    const GoldenPlatform& golden = kGolden[p];
+    PlatformResult result = fleet_->Result(p);
+    for (const GoldenFine& fine : golden.fine) {
+      EXPECT_EQ(result.cycles.FineFractionWithinBroad(
+                    static_cast<profiling::FnCategory>(fine.category)),
+                fine.fraction_within_broad)
+          << golden.name << " category " << fine.category;
+    }
+  }
+}
+
+TEST_F(GoldenBreakdownTest, NoDroppedHandles) {
+  for (size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(fleet_->TracerOf(p).dropped_finishes(), 0u);
+    EXPECT_EQ(fleet_->TracerOf(p).dropped_spans(), 0u);
+    EXPECT_EQ(fleet_->TracerOf(p).open_traces(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hyperprof::platforms

@@ -181,17 +181,19 @@ TEST_F(CycleBreakdownTest, MicroarchReportSeparatesBroadCategories) {
 }
 
 TEST(PerTypeBreakdownTest, GroupsByTypeAndSortsByTotalTime) {
+  NameInterner names;
   std::vector<QueryTrace> traces;
   QueryTrace big = TraceWith(1000, 500, 0);
-  big.query_type = "scan";
+  big.query_type = names.Intern("scan");
   QueryTrace small_a = TraceWith(10, 0, 0);
-  small_a.query_type = "point";
+  small_a.query_type = names.Intern("point");
   QueryTrace small_b = TraceWith(20, 0, 0);
-  small_b.query_type = "point";
+  small_b.query_type = names.Intern("point");
   traces = {small_a, big, small_b};
-  auto rows = ComputePerTypeBreakdown(traces);
+  auto rows = ComputePerTypeBreakdown(traces, names);
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_EQ(rows[0].query_type, "scan");  // largest total first
+  EXPECT_EQ(rows[0].query_type_id, names.Find("scan"));
   EXPECT_EQ(rows[0].aggregate.query_count, 1u);
   EXPECT_EQ(rows[1].query_type, "point");
   EXPECT_EQ(rows[1].aggregate.query_count, 2u);
@@ -200,7 +202,57 @@ TEST(PerTypeBreakdownTest, GroupsByTypeAndSortsByTotalTime) {
 }
 
 TEST(PerTypeBreakdownTest, EmptyTraces) {
-  EXPECT_TRUE(ComputePerTypeBreakdown({}).empty());
+  NameInterner names;
+  EXPECT_TRUE(ComputePerTypeBreakdown({}, names).empty());
+}
+
+TEST(BreakdownAccumulatorTest, StreamingMatchesBatchBitForBit) {
+  NameInterner names;
+  std::vector<QueryTrace> traces;
+  traces.push_back(TraceWith(90, 5, 5));
+  traces.push_back(TraceWith(10, 85, 5));
+  traces.push_back(TraceWith(10, 5, 85));
+  traces.push_back(TraceWith(33, 33, 34));
+  traces[0].query_type = names.Intern("a");
+  traces[1].query_type = names.Intern("b");
+  traces[2].query_type = names.Intern("a");
+  traces[3].query_type = names.Intern("c");
+
+  BreakdownAccumulator acc;
+  for (const QueryTrace& trace : traces) acc.Fold(trace);
+
+  E2eBreakdownReport batch = ComputeE2eBreakdown(traces);
+  for (size_t g = 0; g < kNumQueryGroups; ++g) {
+    EXPECT_EQ(acc.e2e().groups[g].query_count, batch.groups[g].query_count);
+    EXPECT_EQ(acc.e2e().groups[g].time.cpu, batch.groups[g].time.cpu);
+    EXPECT_EQ(acc.e2e().groups[g].fraction_sum.io,
+              batch.groups[g].fraction_sum.io);
+  }
+  EXPECT_EQ(acc.e2e().overall.time.remote, batch.overall.time.remote);
+
+  auto streaming_rows = acc.TypeRows(names);
+  auto batch_rows = ComputePerTypeBreakdown(traces, names);
+  ASSERT_EQ(streaming_rows.size(), batch_rows.size());
+  for (size_t i = 0; i < batch_rows.size(); ++i) {
+    EXPECT_EQ(streaming_rows[i].query_type, batch_rows[i].query_type);
+    EXPECT_EQ(streaming_rows[i].aggregate.time.cpu,
+              batch_rows[i].aggregate.time.cpu);
+    EXPECT_EQ(streaming_rows[i].aggregate.fraction_sum.remote,
+              batch_rows[i].aggregate.fraction_sum.remote);
+    EXPECT_EQ(streaming_rows[i].aggregate.query_count,
+              batch_rows[i].aggregate.query_count);
+  }
+
+  EXPECT_EQ(acc.EstimatedSyncFactor(), EstimateSyncFactor(traces));
+  EXPECT_EQ(acc.traces_folded(), traces.size());
+}
+
+TEST(BreakdownAccumulatorTest, EmptyAccumulatorDefaults) {
+  NameInterner names;
+  BreakdownAccumulator acc;
+  EXPECT_EQ(acc.e2e().overall.query_count, 0u);
+  EXPECT_TRUE(acc.TypeRows(names).empty());
+  EXPECT_DOUBLE_EQ(acc.EstimatedSyncFactor(), 1.0);
 }
 
 TEST(SyncFactorTest, SerialSpansGiveFOne) {

@@ -1,0 +1,199 @@
+// Edge cases for AttributeTrace: degenerate spans, coincident boundaries,
+// policy rank ties, and scratch reuse. These pin down behavior the fleet
+// tests only exercise implicitly, so a future sweep rewrite can't silently
+// change attribution at the corners.
+#include "profiling/tracer.h"
+
+#include <gtest/gtest.h>
+
+namespace hyperprof::profiling {
+namespace {
+
+QueryTrace MakeTrace(std::vector<Span> spans) {
+  QueryTrace trace;
+  trace.trace_id = 1;
+  trace.spans = std::move(spans);
+  return trace;
+}
+
+Span MakeSpan(SpanKind kind, int64_t start_us, int64_t end_us) {
+  Span span;
+  span.kind = kind;
+  span.start = SimTime::Micros(start_us);
+  span.end = SimTime::Micros(end_us);
+  return span;
+}
+
+TEST(AttributionEdgeTest, AllSpansZeroLengthYieldZero) {
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kCpu, 10, 10),
+      MakeSpan(SpanKind::kIo, 20, 20),
+      MakeSpan(SpanKind::kRemoteWork, 30, 30),
+  });
+  AttributedTime time = AttributeTrace(trace);
+  EXPECT_EQ(time.Total(), 0.0);
+}
+
+TEST(AttributionEdgeTest, InvertedSpanIsTreatedAsZeroLength) {
+  // end < start must contribute nothing, not negative time.
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kIo, 100, 40),
+      MakeSpan(SpanKind::kCpu, 0, 10),
+  });
+  AttributedTime time = AttributeTrace(trace);
+  EXPECT_EQ(time.io, 0.0);
+  EXPECT_NEAR(time.cpu, 10e-6, 1e-12);
+}
+
+TEST(AttributionEdgeTest, ZeroLengthSpanInsideActiveIntervalIsInert) {
+  // A zero-length remote "blip" inside a CPU span must not split or steal
+  // any of the CPU interval, even though remote outranks CPU.
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kCpu, 0, 100),
+      MakeSpan(SpanKind::kRemoteWork, 50, 50),
+  });
+  AttributedTime time = AttributeTrace(trace);
+  EXPECT_NEAR(time.cpu, 100e-6, 1e-12);
+  EXPECT_EQ(time.remote, 0.0);
+}
+
+TEST(AttributionEdgeTest, IdenticalBoundariesAcrossKinds) {
+  // Two spans with identical [start, end): the higher-precedence kind takes
+  // the whole interval, exactly once.
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kIo, 0, 80),
+      MakeSpan(SpanKind::kRemoteWork, 0, 80),
+  });
+  AttributedTime time = AttributeTrace(trace);
+  EXPECT_NEAR(time.remote, 80e-6, 1e-12);
+  EXPECT_EQ(time.io, 0.0);
+  EXPECT_NEAR(time.Total(), 80e-6, 1e-12);
+}
+
+TEST(AttributionEdgeTest, BackToBackSpansShareOneBoundary) {
+  // End of one span coincides with start of the next: no gap, no overlap,
+  // no double count at the shared instant.
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kCpu, 0, 50),
+      MakeSpan(SpanKind::kIo, 50, 120),
+  });
+  AttributedTime time = AttributeTrace(trace);
+  EXPECT_NEAR(time.cpu, 50e-6, 1e-12);
+  EXPECT_NEAR(time.io, 70e-6, 1e-12);
+}
+
+TEST(AttributionEdgeTest, DeeplyNestedSameKindCountsWallClockOnce) {
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kIo, 0, 100),
+      MakeSpan(SpanKind::kIo, 10, 90),
+      MakeSpan(SpanKind::kIo, 20, 80),
+      MakeSpan(SpanKind::kIo, 30, 70),
+  });
+  AttributedTime time = AttributeTrace(trace);
+  EXPECT_NEAR(time.io, 100e-6, 1e-12);
+}
+
+TEST(AttributionEdgeTest, StaircaseOverlapsOfSameKind) {
+  // Overlapping chain io[0,60), io[40,100): union is [0,100).
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kIo, 0, 60),
+      MakeSpan(SpanKind::kIo, 40, 100),
+  });
+  AttributedTime time = AttributeTrace(trace);
+  EXPECT_NEAR(time.io, 100e-6, 1e-12);
+}
+
+TEST(AttributionEdgeTest, RankTieBreaksByKindOrderCpuIoRemote) {
+  // With equal ranks the sweep keeps the first best it finds scanning
+  // cpu -> io -> remote, so CPU wins a full three-way tie.
+  AttributionPolicy all_tied;
+  all_tied.cpu_rank = 0;
+  all_tied.io_rank = 0;
+  all_tied.remote_rank = 0;
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kCpu, 0, 100),
+      MakeSpan(SpanKind::kIo, 0, 100),
+      MakeSpan(SpanKind::kRemoteWork, 0, 100),
+  });
+  AttributedTime time = AttributeTrace(trace, all_tied);
+  EXPECT_NEAR(time.cpu, 100e-6, 1e-12);
+  EXPECT_EQ(time.io, 0.0);
+  EXPECT_EQ(time.remote, 0.0);
+}
+
+TEST(AttributionEdgeTest, PartialRankTiePrefersLowerKindIndex) {
+  // io and remote tied at rank 0, cpu worse: IO wins where both overlap
+  // because it scans before remote; remote keeps its exclusive tail.
+  AttributionPolicy policy;
+  policy.cpu_rank = 1;
+  policy.io_rank = 0;
+  policy.remote_rank = 0;
+  QueryTrace trace = MakeTrace({
+      MakeSpan(SpanKind::kIo, 0, 60),
+      MakeSpan(SpanKind::kRemoteWork, 0, 100),
+  });
+  AttributedTime time = AttributeTrace(trace, policy);
+  EXPECT_NEAR(time.io, 60e-6, 1e-12);
+  EXPECT_NEAR(time.remote, 40e-6, 1e-12);
+}
+
+TEST(AttributionEdgeTest, UnsortedSpansMatchSortedSpans) {
+  // The nearly-sorted fast path must agree with the sort fallback.
+  std::vector<Span> sorted = {
+      MakeSpan(SpanKind::kCpu, 0, 30),
+      MakeSpan(SpanKind::kIo, 20, 70),
+      MakeSpan(SpanKind::kRemoteWork, 60, 90),
+      MakeSpan(SpanKind::kCpu, 85, 120),
+  };
+  std::vector<Span> shuffled = {sorted[3], sorted[1], sorted[0], sorted[2]};
+  AttributedTime a = AttributeTrace(MakeTrace(sorted));
+  AttributedTime b = AttributeTrace(MakeTrace(shuffled));
+  EXPECT_EQ(a.cpu, b.cpu);
+  EXPECT_EQ(a.io, b.io);
+  EXPECT_EQ(a.remote, b.remote);
+}
+
+TEST(AttributionEdgeTest, ScratchReuseAcrossDifferentTraceShapes) {
+  // One scratch serving a big trace, then a small one, then an empty one
+  // must give the same answers as fresh scratch each time.
+  AttributionScratch scratch;
+  std::vector<QueryTrace> traces;
+  traces.push_back(MakeTrace({
+      MakeSpan(SpanKind::kCpu, 0, 10), MakeSpan(SpanKind::kIo, 5, 25),
+      MakeSpan(SpanKind::kRemoteWork, 20, 40), MakeSpan(SpanKind::kCpu, 35, 60),
+      MakeSpan(SpanKind::kIo, 55, 80), MakeSpan(SpanKind::kRemoteWork, 0, 3),
+  }));
+  traces.push_back(MakeTrace({MakeSpan(SpanKind::kIo, 7, 11)}));
+  traces.push_back(MakeTrace({}));
+  traces.push_back(MakeTrace({
+      MakeSpan(SpanKind::kRemoteWork, 100, 90),  // inverted
+      MakeSpan(SpanKind::kCpu, 0, 50),
+  }));
+  AttributionPolicy policy;  // paper default
+  for (const QueryTrace& trace : traces) {
+    AttributedTime reused = AttributeTrace(trace, policy, scratch);
+    AttributedTime fresh = AttributeTrace(trace, policy);
+    EXPECT_EQ(reused.cpu, fresh.cpu);
+    EXPECT_EQ(reused.io, fresh.io);
+    EXPECT_EQ(reused.remote, fresh.remote);
+  }
+}
+
+TEST(AttributionEdgeTest, ScratchCapacityGrowsButResultsStayCorrect) {
+  AttributionScratch scratch;
+  // Seed the scratch with a large trace so later small traces run inside
+  // leftover capacity.
+  std::vector<Span> big;
+  for (int i = 0; i < 64; ++i) {
+    big.push_back(MakeSpan(SpanKind::kCpu, i * 10, i * 10 + 8));
+  }
+  AttributeTrace(MakeTrace(big), AttributionPolicy(), scratch);
+  size_t capacity = scratch.boundaries.capacity();
+  QueryTrace small = MakeTrace({MakeSpan(SpanKind::kIo, 0, 5)});
+  AttributedTime time = AttributeTrace(small, AttributionPolicy(), scratch);
+  EXPECT_NEAR(time.io, 5e-6, 1e-12);
+  EXPECT_EQ(scratch.boundaries.capacity(), capacity);  // no reallocation
+}
+
+}  // namespace
+}  // namespace hyperprof::profiling

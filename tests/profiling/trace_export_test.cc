@@ -7,27 +7,32 @@
 namespace hyperprof::profiling {
 namespace {
 
-QueryTrace SampleTrace(uint64_t id) {
-  QueryTrace trace;
-  trace.trace_id = id;
-  trace.platform = "Spanner";
-  trace.query_type = "point_read";
-  Span cpu;
-  cpu.kind = SpanKind::kCpu;
-  cpu.name = "compute";
-  cpu.start = SimTime::Micros(100);
-  cpu.end = SimTime::Micros(350);
-  Span io;
-  io.kind = SpanKind::kIo;
-  io.name = "dfs.read";
-  io.start = SimTime::Micros(350);
-  io.end = SimTime::Micros(500);
-  trace.spans = {cpu, io};
-  return trace;
-}
+class TraceExportTest : public ::testing::Test {
+ protected:
+  QueryTrace SampleTrace(uint64_t id) {
+    QueryTrace trace;
+    trace.trace_id = id;
+    trace.platform = names_.Intern("Spanner");
+    trace.query_type = names_.Intern("point_read");
+    Span cpu;
+    cpu.kind = SpanKind::kCpu;
+    cpu.name = names_.Intern("compute");
+    cpu.start = SimTime::Micros(100);
+    cpu.end = SimTime::Micros(350);
+    Span io;
+    io.kind = SpanKind::kIo;
+    io.name = names_.Intern("dfs.read");
+    io.start = SimTime::Micros(350);
+    io.end = SimTime::Micros(500);
+    trace.spans = {cpu, io};
+    return trace;
+  }
 
-TEST(TraceExportTest, EmitsCompleteEventsWithTimestamps) {
-  std::string json = ExportChromeTrace({SampleTrace(1)});
+  NameInterner names_;
+};
+
+TEST_F(TraceExportTest, EmitsCompleteEventsWithTimestamps) {
+  std::string json = ExportChromeTrace({SampleTrace(1)}, names_);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\":\"CPU\""), std::string::npos);
@@ -37,8 +42,9 @@ TEST(TraceExportTest, EmitsCompleteEventsWithTimestamps) {
   EXPECT_NE(json.find("\"pid\":\"Spanner\""), std::string::npos);
 }
 
-TEST(TraceExportTest, ValidJsonArrayShape) {
-  std::string json = ExportChromeTrace({SampleTrace(1), SampleTrace(2)});
+TEST_F(TraceExportTest, ValidJsonArrayShape) {
+  std::string json =
+      ExportChromeTrace({SampleTrace(1), SampleTrace(2)}, names_);
   EXPECT_EQ(json.front(), '[');
   EXPECT_EQ(json[json.size() - 2], ']');
   // Balanced braces.
@@ -51,10 +57,10 @@ TEST(TraceExportTest, ValidJsonArrayShape) {
   EXPECT_EQ(depth, 0);
 }
 
-TEST(TraceExportTest, HonorsMaxQueries) {
+TEST_F(TraceExportTest, HonorsMaxQueries) {
   std::vector<QueryTrace> traces;
   for (uint64_t i = 1; i <= 10; ++i) traces.push_back(SampleTrace(i));
-  std::string json = ExportChromeTrace(traces, /*max_queries=*/3);
+  std::string json = ExportChromeTrace(traces, names_, /*max_queries=*/3);
   // 3 thread-name metadata events, not 10.
   size_t count = 0;
   size_t pos = 0;
@@ -65,20 +71,27 @@ TEST(TraceExportTest, HonorsMaxQueries) {
   EXPECT_EQ(count, 3u);
 }
 
-TEST(TraceExportTest, EscapesSpecialCharacters) {
+TEST_F(TraceExportTest, EscapesSpecialCharacters) {
   QueryTrace trace = SampleTrace(1);
-  trace.spans[0].name = "we\"ird\\name";
-  std::string json = ExportChromeTrace({trace});
+  trace.spans[0].name = names_.Intern("we\"ird\\name");
+  std::string json = ExportChromeTrace({trace}, names_);
   EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos);
 }
 
-TEST(TraceExportTest, EmptyTracesYieldEmptyArray) {
-  EXPECT_EQ(ExportChromeTrace({}), "[\n\n]\n");
+TEST_F(TraceExportTest, EmptyTracesYieldEmptyArray) {
+  EXPECT_EQ(ExportChromeTrace({}, names_), "[\n\n]\n");
 }
 
-TEST(TraceExportTest, WritesFile) {
+TEST_F(TraceExportTest, UnknownIdsRenderAsEmptyNames) {
+  QueryTrace trace = SampleTrace(1);
+  trace.spans[0].name = 9999;  // never interned
+  std::string json = ExportChromeTrace({trace}, names_);
+  EXPECT_NE(json.find("\"name\":\"\""), std::string::npos);
+}
+
+TEST_F(TraceExportTest, WritesFile) {
   std::string path = ::testing::TempDir() + "/trace_export_test.json";
-  ASSERT_TRUE(WriteChromeTrace({SampleTrace(1)}, path));
+  ASSERT_TRUE(WriteChromeTrace({SampleTrace(1)}, names_, path));
   std::FILE* file = std::fopen(path.c_str(), "r");
   ASSERT_NE(file, nullptr);
   char buffer[16] = {};

@@ -147,9 +147,10 @@ TEST(TracerTest, SpansAttachToCorrectTrace) {
   tracer.FinishQuery(b, SimTime::Micros(7));
   tracer.FinishQuery(a, SimTime::Micros(5));
   ASSERT_EQ(tracer.traces().size(), 2u);
-  EXPECT_EQ(tracer.traces()[0].query_type, "b");
-  EXPECT_EQ(tracer.traces()[0].spans[0].name, "b-span");
-  EXPECT_EQ(tracer.traces()[1].query_type, "a");
+  const NameInterner& names = tracer.names();
+  EXPECT_EQ(names.Name(tracer.traces()[0].query_type), "b");
+  EXPECT_EQ(names.Name(tracer.traces()[0].spans[0].name), "b-span");
+  EXPECT_EQ(names.Name(tracer.traces()[1].query_type), "a");
 }
 
 TEST(TracerTest, TraceRecordsMetadata) {
@@ -158,10 +159,87 @@ TEST(TracerTest, TraceRecordsMetadata) {
                                   SimTime::Micros(100));
   tracer.FinishQuery(id, SimTime::Micros(400));
   const QueryTrace& trace = tracer.traces()[0];
-  EXPECT_EQ(trace.platform, "Spanner");
-  EXPECT_EQ(trace.query_type, "point_read");
+  EXPECT_EQ(tracer.names().Name(trace.platform), "Spanner");
+  EXPECT_EQ(tracer.names().Name(trace.query_type), "point_read");
   EXPECT_EQ(trace.start, SimTime::Micros(100));
   EXPECT_EQ(trace.end, SimTime::Micros(400));
+}
+
+TEST(TracerTest, InternedNamesAreStableAndDeduplicated) {
+  Tracer tracer(1, Rng(6));
+  uint64_t a = tracer.StartQuery("P", "q", SimTime::Zero());
+  tracer.FinishQuery(a, SimTime::Micros(1));
+  uint64_t b = tracer.StartQuery("P", "q", SimTime::Zero());
+  tracer.FinishQuery(b, SimTime::Micros(1));
+  ASSERT_EQ(tracer.traces().size(), 2u);
+  EXPECT_EQ(tracer.traces()[0].platform, tracer.traces()[1].platform);
+  EXPECT_EQ(tracer.traces()[0].query_type, tracer.traces()[1].query_type);
+  EXPECT_EQ(tracer.names().size(), 2u);  // "P" and "q", stored once
+}
+
+TEST(TracerTest, UnknownFinishIsCountedNotFatal) {
+  Tracer tracer(1, Rng(7));
+  uint64_t id = tracer.StartQuery("P", "q", SimTime::Zero());
+  tracer.FinishQuery(id, SimTime::Micros(1));
+  // Double finish: the handle's slot generation no longer matches.
+  tracer.FinishQuery(id, SimTime::Micros(2));
+  // A handle that never existed.
+  tracer.FinishQuery(0xdeadbeef00000007ull, SimTime::Micros(3));
+  EXPECT_EQ(tracer.dropped_finishes(), 2u);
+  EXPECT_EQ(tracer.traces().size(), 1u);
+  EXPECT_EQ(tracer.queries_finished(), 1u);
+}
+
+TEST(TracerTest, StaleSpanAfterFinishIsCountedNotFatal) {
+  Tracer tracer(1, Rng(8));
+  uint64_t id = tracer.StartQuery("P", "q", SimTime::Zero());
+  tracer.FinishQuery(id, SimTime::Micros(1));
+  tracer.AddSpan(id, SpanKind::kCpu, "late", SimTime::Zero(),
+                 SimTime::Micros(1));
+  EXPECT_EQ(tracer.dropped_spans(), 1u);
+  EXPECT_TRUE(tracer.traces()[0].spans.empty());
+}
+
+TEST(TracerTest, SlotsAreRecycledAcrossQueries) {
+  Tracer tracer(1, Rng(9));
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t id = tracer.StartQuery("P", "q", SimTime::Zero());
+    tracer.AddSpan(id, SpanKind::kCpu, "c", SimTime::Zero(),
+                   SimTime::Micros(1));
+    tracer.FinishQuery(id, SimTime::Micros(1));
+  }
+  // Only one query is ever open at a time, so one slot suffices.
+  EXPECT_EQ(tracer.open_slot_capacity(), 1u);
+  EXPECT_EQ(tracer.open_traces(), 0u);
+}
+
+TEST(TracerTest, HandlesFromRecycledSlotsStayDistinct) {
+  Tracer tracer(1, Rng(10));
+  uint64_t first = tracer.StartQuery("P", "q", SimTime::Zero());
+  tracer.FinishQuery(first, SimTime::Micros(1));
+  uint64_t second = tracer.StartQuery("P", "q", SimTime::Zero());
+  EXPECT_NE(first, second);  // same slot, different generation
+  // The stale handle must not touch the new occupant.
+  tracer.AddSpan(first, SpanKind::kCpu, "stale", SimTime::Zero(),
+                 SimTime::Micros(1));
+  EXPECT_EQ(tracer.dropped_spans(), 1u);
+  tracer.FinishQuery(second, SimTime::Micros(2));
+  EXPECT_TRUE(tracer.traces()[1].spans.empty());
+}
+
+TEST(TracerTest, ReservoirModeBoundsRetainedTraces) {
+  TracerOptions options;
+  options.retention = TraceRetention::kSampleReservoir;
+  options.reservoir_capacity = 16;
+  Tracer tracer(1, Rng(11), options);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t id = tracer.StartQuery("P", "q", SimTime::Micros(i));
+    tracer.AddSpan(id, SpanKind::kCpu, "c", SimTime::Micros(i),
+                   SimTime::Micros(i + 1));
+    tracer.FinishQuery(id, SimTime::Micros(i + 1));
+  }
+  EXPECT_EQ(tracer.traces().size(), 16u);
+  EXPECT_EQ(tracer.queries_finished(), 500u);
 }
 
 TEST(SpanKindTest, Names) {
