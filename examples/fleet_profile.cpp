@@ -3,7 +3,12 @@
 // CPU-cycle breakdowns, the reproduction of the paper's Figures 2-6 and
 // Tables 6-7 methodology, plus a GWP-style flat profile.
 //
-// Usage: fleet_profile [queries_per_platform]
+// Usage: fleet_profile [queries_per_platform] [fault_rate]
+//
+// A nonzero fault_rate arms the fault injector on every shard (half the
+// rate as RPC slowdowns, a quarter each as drops and errors), enables
+// timeout/retry/hedge policies on the DFS paths, and appends the
+// recovered resilience report (wasted work, attempt-count distribution).
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,8 +29,20 @@ int main(int argc, char** argv) {
     config.queries_per_platform =
         static_cast<uint64_t>(std::strtoull(argv[1], nullptr, 10));
   }
-  std::printf("Simulating %llu queries per platform...\n\n",
-              static_cast<unsigned long long>(config.queries_per_platform));
+  double fault_rate = argc > 2 ? std::atof(argv[2]) : 0.0;
+  if (fault_rate > 0) {
+    config.fault.slowdown_probability = fault_rate / 2;
+    config.fault.drop_probability = fault_rate / 4;
+    config.fault.error_probability = fault_rate / 4;
+    config.dfs.read_policy.timeout = SimTime::Millis(50);
+    config.dfs.read_policy.max_attempts = 3;
+    config.dfs.read_policy.hedge_delay = SimTime::Millis(10);
+    config.dfs.write_policy.timeout = SimTime::Millis(100);
+    config.dfs.write_policy.max_attempts = 2;
+  }
+  std::printf("Simulating %llu queries per platform (fault rate %.2f%%)...\n\n",
+              static_cast<unsigned long long>(config.queries_per_platform),
+              fault_rate * 100.0);
 
   platforms::FleetSimulation fleet(config);
   fleet.AddDefaultPlatforms();
@@ -88,6 +105,31 @@ int main(int argc, char** argv) {
         fleet.DfsOf(i).TierServeFraction(storage::Tier::kRam) * 100,
         fleet.DfsOf(i).TierServeFraction(storage::Tier::kSsd) * 100,
         fleet.DfsOf(i).TierServeFraction(storage::Tier::kHdd) * 100);
+
+    if (fault_rate > 0) {
+      const net::RpcSystem& rpc = fleet.RpcOf(i);
+      std::printf(
+          "== Resilience (injected faults) ==\n"
+          "Injected: %llu (%llu drops, %llu errors, %llu slowdowns); "
+          "retries %llu, hedges %llu (%llu won), timeouts %llu, "
+          "IO failures %llu\n",
+          static_cast<unsigned long long>(fleet.FaultsOf(i).injected_total()),
+          static_cast<unsigned long long>(fleet.FaultsOf(i).injected_drops()),
+          static_cast<unsigned long long>(fleet.FaultsOf(i).injected_errors()),
+          static_cast<unsigned long long>(
+              fleet.FaultsOf(i).injected_slowdowns()),
+          static_cast<unsigned long long>(rpc.retries_issued()),
+          static_cast<unsigned long long>(rpc.hedges_issued()),
+          static_cast<unsigned long long>(rpc.hedge_wins()),
+          static_cast<unsigned long long>(rpc.timeouts_fired()),
+          static_cast<unsigned long long>(fleet.EngineOf(i).io_failures()));
+      std::printf("%s\n",
+                  profiling::RenderResilienceReport(
+                      profiling::ComputeResilienceReport(fleet.TracesOf(i),
+                                                         fleet.NamesOf(i)))
+                      .ToString()
+                      .c_str());
+    }
 
     std::string trace_path =
         "/tmp/hyperprof_" + result.name + "_traces.json";

@@ -7,6 +7,11 @@
 #                               # also smoke-runs the trace ingest
 #                               # micro-bench to sweep the pooled/recycled
 #                               # trace storage under ASan
+#   FAULTS=1 scripts/check.sh   # additionally smoke-runs the fleet
+#                               # example with a nonzero fault rate, so
+#                               # the retry/hedge/cancellation paths get
+#                               # exercised under whichever sanitizer the
+#                               # build uses
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,4 +35,12 @@ if [[ "${ASAN:-0}" != "0" ]]; then
   # Slot recycling, reservoir swaps, and interner string_view lifetimes get
   # a dedicated pass under ASan via the ingest micro-bench in smoke mode.
   "$BUILD_DIR/bench/trace_pipeline_micro" /tmp/asan_trace_pipeline.json smoke
+fi
+
+if [[ "${FAULTS:-0}" != "0" ]]; then
+  # Fault-injection smoke: a small fleet run with a 5% fault rate drives
+  # the timeout/retry/hedge machinery — timer cancellation, abandoned
+  # attempts, quorum stragglers — under the sanitizers, where lifetime
+  # bugs in the completion paths would otherwise hide.
+  "$BUILD_DIR/examples/fleet_profile" 500 0.05
 fi

@@ -1,0 +1,72 @@
+#include "net/fault.h"
+
+namespace hyperprof::net {
+
+void FaultModel::SetMethodFaults(std::string_view method,
+                                 const FaultSpec& spec) {
+  for (auto& entry : by_method_) {
+    if (entry.first == method) {
+      entry.second = spec;
+      return;
+    }
+  }
+  by_method_.emplace_back(std::string(method), spec);
+}
+
+bool FaultModel::armed() const {
+  if (default_.Enabled()) return true;
+  if (!outages_.empty()) return true;
+  for (const auto& entry : by_method_) {
+    if (entry.second.Enabled()) return true;
+  }
+  return false;
+}
+
+const FaultSpec& FaultModel::SpecFor(std::string_view method) const {
+  for (const auto& entry : by_method_) {
+    if (entry.first == method) return entry.second;
+  }
+  return default_;
+}
+
+FaultDecision FaultModel::Decide(std::string_view method, const NodeId& to,
+                                 SimTime now) {
+  ++decisions_;
+  FaultDecision decision;
+  // Outage windows are deterministic: no draw, so adding one does not
+  // shift the probabilistic stream for calls outside the window.
+  for (const OutageWindow& window : outages_) {
+    if (window.node == to && now >= window.start && now < window.end) {
+      ++outage_hits_;
+      decision.kind = FaultDecision::Kind::kError;
+      decision.code = StatusCode::kUnavailable;
+      return decision;
+    }
+  }
+  const FaultSpec& spec = SpecFor(method);
+  if (!spec.Enabled()) return decision;
+  double u = rng_.NextDouble();
+  double drop_edge = spec.drop_probability;
+  double error_edge = drop_edge + spec.error_probability;
+  double slow_edge = error_edge + spec.slowdown_probability;
+  if (u < drop_edge) {
+    ++injected_drops_;
+    decision.kind = FaultDecision::Kind::kDrop;
+    decision.code = spec.error_code;
+  } else if (u < error_edge) {
+    ++injected_errors_;
+    decision.kind = FaultDecision::Kind::kError;
+    decision.code = spec.error_code;
+  } else if (u < slow_edge) {
+    ++injected_slowdowns_;
+    decision.kind = FaultDecision::Kind::kSlow;
+    double span =
+        (spec.slowdown_ceil - spec.slowdown_floor).ToSeconds();
+    double extra = spec.slowdown_floor.ToSeconds() +
+                   (span > 0 ? span * rng_.NextDouble() : 0.0);
+    decision.slow_extra = SimTime::FromSeconds(extra);
+  }
+  return decision;
+}
+
+}  // namespace hyperprof::net

@@ -1,0 +1,133 @@
+#ifndef HYPERPROF_NET_FAULT_H_
+#define HYPERPROF_NET_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "net/network.h"
+
+namespace hyperprof::net {
+
+/**
+ * Fault probabilities applied to one RPC method (or, as the default spec,
+ * to every method without an override).
+ *
+ * Each wire attempt draws its fate independently: dropped (the request
+ * vanishes — only a caller timeout can rescue it), rejected (the server's
+ * front door returns an error after transport), or slowed (the response is
+ * delayed by a uniform draw in [slowdown_floor, slowdown_ceil], modeling a
+ * degraded or overloaded server). Probabilities must sum to <= 1.
+ */
+struct FaultSpec {
+  double drop_probability = 0;
+  double error_probability = 0;
+  double slowdown_probability = 0;
+  SimTime slowdown_floor = SimTime::Millis(5);
+  SimTime slowdown_ceil = SimTime::Millis(50);
+  StatusCode error_code = StatusCode::kUnavailable;
+
+  bool Enabled() const {
+    return drop_probability > 0 || error_probability > 0 ||
+           slowdown_probability > 0;
+  }
+};
+
+/**
+ * A scheduled unavailability window for one node: every call issued to
+ * `node` with `start <= now < end` fails with kUnavailable, no draw
+ * involved. Models planned fileserver outages / rolling restarts.
+ */
+struct OutageWindow {
+  NodeId node;
+  SimTime start;
+  SimTime end;  // exclusive
+};
+
+/** The fate assigned to one wire attempt. */
+struct FaultDecision {
+  enum class Kind : uint8_t { kNone = 0, kDrop, kError, kSlow };
+  Kind kind = Kind::kNone;
+  StatusCode code = StatusCode::kUnavailable;
+  SimTime slow_extra;  // response delay, kSlow only
+};
+
+/**
+ * Deterministic fault injector for the RPC fabric.
+ *
+ * Owns a private RNG stream forked from the platform seed tree *after*
+ * every pre-existing subsystem stream (see FleetSimulation::AddPlatform),
+ * so installing a model — enabled or not — never perturbs workload draws:
+ * with all probabilities zero and no outages, armed() is false and
+ * RpcSystem never calls Decide, making fault injection provably
+ * zero-perturbation when off (pinned by golden_breakdown_test).
+ *
+ * When armed, Decide makes exactly one uniform draw per attempt (plus one
+ * for the slowdown magnitude when that branch is taken), partitioning
+ * [0, 1) into drop | error | slow | none segments so the stream advances
+ * identically however the probability mass is split.
+ */
+class FaultModel {
+ public:
+  explicit FaultModel(Rng rng) : rng_(std::move(rng)) {}
+
+  FaultModel(const FaultModel&) = delete;
+  FaultModel& operator=(const FaultModel&) = delete;
+
+  /** Faults applied to methods without a per-method override. */
+  void set_default_faults(const FaultSpec& spec) { default_ = spec; }
+
+  /** Overrides the fault spec for one method name (exact match). */
+  void SetMethodFaults(std::string_view method, const FaultSpec& spec);
+
+  /** Schedules an outage window (checked before any probabilistic draw). */
+  void AddOutage(const OutageWindow& window) { outages_.push_back(window); }
+
+  /** True when any fault source could fire; RpcSystem gates on this. */
+  bool armed() const;
+
+  /** Decides the fate of one attempt to `to` issued at `now`. */
+  FaultDecision Decide(std::string_view method, const NodeId& to,
+                       SimTime now);
+
+  /**
+   * The failure-path RNG stream. RpcSystem also draws retry-backoff
+   * jitter from here so resilience draws never touch the network or
+   * workload streams.
+   */
+  Rng& rng() { return rng_; }
+
+  uint64_t injected_drops() const { return injected_drops_; }
+  uint64_t injected_errors() const { return injected_errors_; }
+  uint64_t injected_slowdowns() const { return injected_slowdowns_; }
+  uint64_t outage_hits() const { return outage_hits_; }
+  uint64_t decisions() const { return decisions_; }
+  uint64_t injected_total() const {
+    return injected_drops_ + injected_errors_ + injected_slowdowns_ +
+           outage_hits_;
+  }
+
+ private:
+  const FaultSpec& SpecFor(std::string_view method) const;
+
+  Rng rng_;
+  FaultSpec default_;
+  // Method overrides: linear scan over a small fixed population is cheaper
+  // and simpler than heterogenous hash lookup on the per-attempt path.
+  std::vector<std::pair<std::string, FaultSpec>> by_method_;
+  std::vector<OutageWindow> outages_;
+  uint64_t injected_drops_ = 0;
+  uint64_t injected_errors_ = 0;
+  uint64_t injected_slowdowns_ = 0;
+  uint64_t outage_hits_ = 0;
+  uint64_t decisions_ = 0;
+};
+
+}  // namespace hyperprof::net
+
+#endif  // HYPERPROF_NET_FAULT_H_

@@ -78,6 +78,12 @@ PlatformEngine::PlatformEngine(EngineContext context, PlatformSpec spec,
     }
     remote_info_.push_back(std::move(infos));
   }
+  // Interned last, after every workload name: fault-free traces never emit
+  // these, and late interning keeps the pre-existing NameId numbering (and
+  // everything keyed on it) untouched.
+  dfs_retry_span_id_ = names.Intern("dfs.retry");
+  dfs_hedge_span_id_ = names.Intern("dfs.hedge");
+  dfs_error_span_id_ = names.Intern("dfs.error");
 }
 
 double PlatformEngine::SampleLogNormalMean(double mean, double sigma) {
@@ -229,9 +235,32 @@ void PlatformEngine::RunIoPhase(std::shared_ptr<QueryState> query,
       auto on_io = [this, query, start, barrier,
                     name = phase.write ? dfs_write_span_id_
                                        : dfs_read_span_id_](
-                       const storage::IoResult&) {
+                       const storage::IoResult& io) {
+        SimTime end = context_.simulator->Now();
         context_.tracer->AddSpan(query->trace_id, SpanKind::kIo, name, start,
-                                 context_.simulator->Now());
+                                 end);
+        if (io.attempts > 1 || io.hedged) {
+          // Annotate wasted work inside the IO span's interval: same-kind
+          // overlapping spans union away in attribution, so these are
+          // aggregate-neutral markers that ComputeResilienceReport mines.
+          // One annotation per extra attempt; the first carries the wasted
+          // in-flight time as its extent.
+          SimTime anno_start = end - io.wasted_time;
+          if (anno_start < start) anno_start = start;
+          context_.tracer->AddSpan(
+              query->trace_id, SpanKind::kIo,
+              io.hedged ? dfs_hedge_span_id_ : dfs_retry_span_id_,
+              anno_start, end);
+          for (uint32_t extra = 2; extra < io.attempts; ++extra) {
+            context_.tracer->AddSpan(query->trace_id, SpanKind::kIo,
+                                     dfs_retry_span_id_, end, end);
+          }
+        }
+        if (!io.ok()) {
+          ++io_failures_;
+          context_.tracer->AddSpan(query->trace_id, SpanKind::kIo,
+                                   dfs_error_span_id_, end, end);
+        }
         barrier();
       };
       if (phase.write) {

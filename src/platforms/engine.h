@@ -53,6 +53,8 @@ class PlatformEngine {
            std::function<void()> on_all_done);
 
   uint64_t queries_completed() const { return completed_; }
+  /** IO-phase accesses that exhausted their policy and failed. */
+  uint64_t io_failures() const { return io_failures_; }
   const PlatformSpec& spec() const { return spec_; }
 
   /** Worker-pool stats (null when contention is disabled). */
@@ -101,9 +103,15 @@ class PlatformEngine {
   profiling::NameId compute_span_id_ = profiling::kInvalidNameId;
   profiling::NameId dfs_read_span_id_ = profiling::kInvalidNameId;
   profiling::NameId dfs_write_span_id_ = profiling::kInvalidNameId;
+  // Resilience annotation names (interned after every pre-existing name so
+  // established NameId values — and the goldens keyed on them — hold).
+  profiling::NameId dfs_retry_span_id_ = profiling::kInvalidNameId;
+  profiling::NameId dfs_hedge_span_id_ = profiling::kInvalidNameId;
+  profiling::NameId dfs_error_span_id_ = profiling::kInvalidNameId;
   std::vector<profiling::NameId> type_name_ids_;          // [type]
   std::vector<std::vector<RemotePhaseInfo>> remote_info_;  // [type][phase]
   uint64_t completed_ = 0;
+  uint64_t io_failures_ = 0;
   uint64_t target_ = 0;
   std::function<void()> on_all_done_;
 };

@@ -71,6 +71,14 @@ void FleetSimulation::AddPlatform(PlatformSpec spec) {
   context.registry = &registry_;
   slot->engine = std::make_unique<PlatformEngine>(context, std::move(spec),
                                                   shard_rng.Fork());
+  // The fault model's private stream forks LAST: every pre-existing
+  // subsystem sees exactly the stream it saw before fault injection
+  // existed, which is what keeps the fault-free goldens bit-identical
+  // (pinned by golden_breakdown_test). Do not reorder.
+  slot->faults = std::make_unique<net::FaultModel>(shard_rng.Fork());
+  slot->faults->set_default_faults(config_.fault);
+  for (const auto& window : config_.outages) slot->faults->AddOutage(window);
+  slot->rpc->set_fault_model(slot->faults.get());
   slots_.push_back(std::move(slot));
 }
 
@@ -153,6 +161,21 @@ const storage::DistributedFileSystem& FleetSimulation::DfsOf(
     size_t index) const {
   assert(index < slots_.size());
   return *slots_[index]->dfs;
+}
+
+const net::FaultModel& FleetSimulation::FaultsOf(size_t index) const {
+  assert(index < slots_.size());
+  return *slots_[index]->faults;
+}
+
+const net::RpcSystem& FleetSimulation::RpcOf(size_t index) const {
+  assert(index < slots_.size());
+  return *slots_[index]->rpc;
+}
+
+const PlatformEngine& FleetSimulation::EngineOf(size_t index) const {
+  assert(index < slots_.size());
+  return *slots_[index]->engine;
 }
 
 sim::Simulator& FleetSimulation::SimulatorOf(size_t index) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault.h"
 #include "net/network.h"
 #include "net/rpc.h"
 #include "platforms/engine.h"
@@ -42,6 +43,13 @@ struct FleetConfig {
       profiling::TraceRetention::kRetainAll;
   size_t trace_reservoir_capacity = 256;
   storage::DfsParams dfs;
+  // Default fault spec installed on every shard's RPC fabric. All-zero (the
+  // default) leaves the model un-armed: the fabric never consults it and
+  // runs are bit-identical to a build without fault injection. Per-IO
+  // resilience is configured via dfs.read_policy / dfs.write_policy.
+  net::FaultSpec fault;
+  // Scheduled node outage windows, applied to every shard.
+  std::vector<net::OutageWindow> outages;
 
   FleetConfig() {
     // Size per-fileserver caches well below the simulated working sets so
@@ -115,6 +123,15 @@ class FleetSimulation {
   /** The platform's distributed filesystem (tier stats, caches). */
   const storage::DistributedFileSystem& DfsOf(size_t index) const;
 
+  /** The platform's fault injector (draw/injection counters). */
+  const net::FaultModel& FaultsOf(size_t index) const;
+
+  /** The platform's RPC fabric (retry/hedge/timeout counters). */
+  const net::RpcSystem& RpcOf(size_t index) const;
+
+  /** The platform's engine (IO failure counter). */
+  const PlatformEngine& EngineOf(size_t index) const;
+
   /** The platform's event-kernel shard. */
   sim::Simulator& SimulatorOf(size_t index);
 
@@ -141,6 +158,7 @@ class FleetSimulation {
     std::unique_ptr<sim::Simulator> simulator;
     std::unique_ptr<net::NetworkModel> network;
     std::unique_ptr<net::RpcSystem> rpc;
+    std::unique_ptr<net::FaultModel> faults;
     std::unique_ptr<storage::DistributedFileSystem> dfs;
     std::unique_ptr<profiling::Tracer> tracer;
     std::unique_ptr<profiling::CpuProfiler> profiler;

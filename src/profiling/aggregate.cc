@@ -167,6 +167,51 @@ std::vector<TypeBreakdownRow> ComputePerTypeBreakdown(
   return rows;
 }
 
+double ResilienceReport::MeanWastedPerFaultedQuery() const {
+  return queries_with_faulted_io == 0
+             ? 0.0
+             : wasted_seconds /
+                   static_cast<double>(queries_with_faulted_io);
+}
+
+ResilienceReport ComputeResilienceReport(
+    const std::vector<QueryTrace>& traces, const NameInterner& names) {
+  ResilienceReport report;
+  report.traced_queries = traces.size();
+  NameId retry_id = names.Find("dfs.retry");
+  NameId hedge_id = names.Find("dfs.hedge");
+  NameId error_id = names.Find("dfs.error");
+  if (retry_id == kInvalidNameId && hedge_id == kInvalidNameId &&
+      error_id == kInvalidNameId) {
+    return report;  // engine predates / never enabled fault injection
+  }
+  for (const QueryTrace& trace : traces) {
+    uint64_t extras = 0;
+    bool faulted = false;
+    for (const Span& span : trace.spans) {
+      if (span.name == retry_id && retry_id != kInvalidNameId) {
+        ++report.retry_spans;
+        ++extras;
+        faulted = true;
+        report.wasted_seconds += (span.end - span.start).ToSeconds();
+      } else if (span.name == hedge_id && hedge_id != kInvalidNameId) {
+        ++report.hedge_spans;
+        ++extras;
+        faulted = true;
+        report.wasted_seconds += (span.end - span.start).ToSeconds();
+      } else if (span.name == error_id && error_id != kInvalidNameId) {
+        ++report.error_spans;
+        faulted = true;
+      }
+    }
+    if (faulted) ++report.queries_with_faulted_io;
+    size_t bucket = static_cast<size_t>(
+        std::min<uint64_t>(extras, report.extra_attempts_histogram.size() - 1));
+    ++report.extra_attempts_histogram[bucket];
+  }
+  return report;
+}
+
 double CycleBreakdownReport::TotalCycles() const {
   double total = 0;
   for (double cycles : cycles_by_category) total += cycles;

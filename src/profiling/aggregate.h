@@ -144,6 +144,35 @@ class BreakdownAccumulator {
 };
 
 /**
+ * Resilience view mined from the retry/hedge/error annotation spans the
+ * engine nests inside its IO spans ("dfs.retry", "dfs.hedge", "dfs.error").
+ * Annotations are same-kind overlaps of their IO span, so they are
+ * invisible to the attribution above — this report is the only consumer.
+ */
+struct ResilienceReport {
+  uint64_t traced_queries = 0;           // traces inspected
+  uint64_t queries_with_faulted_io = 0;  // >= 1 annotation span
+  uint64_t retry_spans = 0;
+  uint64_t hedge_spans = 0;
+  uint64_t error_spans = 0;   // IOs that exhausted their policy
+  double wasted_seconds = 0;  // extents of retry/hedge annotations
+  // Extra wire attempts per traced query (retry + hedge annotations);
+  // bucket i counts queries with i extras, the last bucket is "8 or more".
+  std::array<uint64_t, 9> extra_attempts_histogram{};
+
+  /** Mean wasted seconds per query that had any faulted IO. */
+  double MeanWastedPerFaultedQuery() const;
+};
+
+/**
+ * Scans traces for resilience annotation spans. `names` resolves the
+ * annotation names; a run whose engine never interned them (or that never
+ * emitted one) yields a zero report with traced_queries filled in.
+ */
+ResilienceReport ComputeResilienceReport(
+    const std::vector<QueryTrace>& traces, const NameInterner& names);
+
+/**
  * CPU cycle breakdown recovered from profiler samples (Figures 3-6).
  * Cycles are attributed per fine category by classifying each sample's
  * leaf symbol through the registry.

@@ -73,6 +73,31 @@ TextTable RenderMicroarchReport(const MicroarchReport& report) {
   return table;
 }
 
+TextTable RenderResilienceReport(const ResilienceReport& report) {
+  TextTable table({"Resilience metric", "Value"});
+  auto count_row = [&table](const std::string& label, uint64_t value) {
+    table.AddRow({label, StrFormat("%llu",
+                                   static_cast<unsigned long long>(value))});
+  };
+  count_row("Traced queries", report.traced_queries);
+  count_row("Queries with faulted IO", report.queries_with_faulted_io);
+  count_row("Retry spans", report.retry_spans);
+  count_row("Hedge spans", report.hedge_spans);
+  count_row("Error spans", report.error_spans);
+  table.AddRow("Wasted seconds (total)", {report.wasted_seconds}, "%.6f");
+  table.AddRow("Wasted seconds / faulted query",
+               {report.MeanWastedPerFaultedQuery()}, "%.6f");
+  for (size_t i = 0; i < report.extra_attempts_histogram.size(); ++i) {
+    if (report.extra_attempts_histogram[i] == 0) continue;
+    std::string label =
+        i + 1 == report.extra_attempts_histogram.size()
+            ? StrFormat("Queries with >=%zu extra attempts", i)
+            : StrFormat("Queries with %zu extra attempts", i);
+    count_row(label, report.extra_attempts_histogram[i]);
+  }
+  return table;
+}
+
 TextTable RenderTopSymbols(const CpuProfiler& profiler,
                            const FunctionRegistry& registry, size_t top_n) {
   std::unordered_map<uint32_t, uint64_t> cycles_by_symbol;

@@ -26,6 +26,9 @@ TextTable RenderFineCycleReport(const CycleBreakdownReport& report,
 /** Tables 6-7 style: IPC/MPKI overall and per broad class. */
 TextTable RenderMicroarchReport(const MicroarchReport& report);
 
+/** Wasted-work view: retry/hedge/error counts + extra-attempt histogram. */
+TextTable RenderResilienceReport(const ResilienceReport& report);
+
 /**
  * GWP-style flat profile: the top-N leaf symbols by sampled cycles with
  * their categories and cycle shares — what a fleet profiling UI shows

@@ -1,9 +1,8 @@
 #include "storage/dfs.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
-
-#include "sim/sequence.h"
 
 namespace hyperprof::storage {
 
@@ -61,8 +60,11 @@ void DistributedFileSystem::Read(const net::NodeId& client, uint64_t block_id,
   options.request_bytes = 128;  // block handle + offsets
   options.response_bytes = bytes;
 
-  rpc_->Call(
-      client, ServerNode(server_index), options,
+  // The handler runs once per wire attempt: a retried or hedged read does
+  // the media access again at the (same) home server, so device counters
+  // see the real amplification caused by the fault.
+  rpc_->CallWithPolicy(
+      client, ServerNode(server_index), options, params_.read_policy,
       [this, store, block_id, bytes, result](std::function<void()> respond) {
         AccessResult access = store->Read(block_id, bytes, rng_);
         result->served_by = access.served_by;
@@ -70,29 +72,75 @@ void DistributedFileSystem::Read(const net::NodeId& client, uint64_t block_id,
         sim_->Schedule(access.device_time + params_.server_cpu_per_request,
                        std::move(respond));
       },
-      [start, result, on_done = std::move(on_done)](
-          const net::RpcResult& rpc_result) {
-        result->total_time = rpc_result.completed_at - start;
-        result->network_time = rpc_result.network_time;
+      [this, start, result, on_done = std::move(on_done)](
+          const net::RpcOutcome& outcome) {
+        result->status = outcome.status;
+        result->total_time = sim_->Now() - start;
+        result->network_time = outcome.result.network_time;
+        result->attempts = outcome.attempts;
+        result->hedged = outcome.hedged;
+        result->wasted_time = outcome.wasted_time;
+        if (!outcome.ok()) ++failed_reads_;
         on_done(*result);
       });
 }
 
+/**
+ * Shared progress of one replicated write. Kept alive by the per-replica
+ * completions so stragglers can keep counting after the quorum has already
+ * completed the caller.
+ */
+struct DistributedFileSystem::WriteState {
+  IoResult result;
+  uint32_t replication = 0;
+  uint32_t quorum = 0;
+  uint32_t acks = 0;
+  uint32_t failures = 0;
+  uint32_t extra_attempts = 0;  // retries + hedges summed over replicas
+  bool completed = false;
+  ReadCallback on_done;
+};
+
 void DistributedFileSystem::Write(const net::NodeId& client,
                                   uint64_t block_id, uint64_t bytes,
-                                  uint32_t replication, ReadCallback on_done) {
-  assert(replication >= 1);
-  replication = std::min(replication, params_.num_fileservers);
-  uint32_t first = HomeServer(block_id);
-  SimTime start = sim_->Now();
-  auto result = std::make_shared<IoResult>();
-  result->served_by = Tier::kSsd;  // durable log append tier
+                                  uint32_t replication,
+                                  ReadCallback on_done) {
+  Write(client, block_id, bytes, replication, /*quorum_acks=*/0,
+        std::move(on_done));
+}
 
-  auto finish = [this, start, result, on_done = std::move(on_done)]() {
-    result->total_time = sim_->Now() - start;
-    on_done(*result);
-  };
-  auto barrier = sim::Barrier(replication, std::move(finish));
+void DistributedFileSystem::Write(const net::NodeId& client,
+                                  uint64_t block_id, uint64_t bytes,
+                                  uint32_t replication, uint32_t quorum_acks,
+                                  ReadCallback on_done) {
+  SimTime start = sim_->Now();
+  if (replication == 0) {
+    // Reject rather than assert: the assert compiled out in release builds
+    // and a zero-count barrier would have completed the caller before the
+    // "write" did anything. Completion is asynchronous like every other
+    // path so callers cannot observe a same-stack callback.
+    ++invalid_writes_;
+    sim_->Schedule(SimTime::Zero(),
+                   [on_done = std::move(on_done)]() {
+                     IoResult result;
+                     result.status = Status::InvalidArgument(
+                         "dfs.Write requires replication >= 1");
+                     result.served_by = Tier::kSsd;
+                     on_done(result);
+                   });
+    return;
+  }
+  replication = std::min(replication, params_.num_fileservers);
+  uint32_t quorum = quorum_acks == 0
+                        ? replication
+                        : std::min(quorum_acks, replication);
+  uint32_t first = HomeServer(block_id);
+
+  auto state = std::make_shared<WriteState>();
+  state->result.served_by = Tier::kSsd;  // durable log append tier
+  state->replication = replication;
+  state->quorum = quorum;
+  state->on_done = std::move(on_done);
 
   for (uint32_t r = 0; r < replication; ++r) {
     uint32_t server_index = (first + r) % params_.num_fileservers;
@@ -101,35 +149,71 @@ void DistributedFileSystem::Write(const net::NodeId& client,
     options.method = "dfs.Write";
     options.request_bytes = bytes;
     options.response_bytes = 64;  // ack
-    rpc_->Call(
-        client, ServerNode(server_index), options,
+    rpc_->CallWithPolicy(
+        client, ServerNode(server_index), options, params_.write_policy,
         [this, store, block_id, bytes,
-         result](std::function<void()> respond) {
+         state](std::function<void()> respond) {
           AccessResult access = store->Write(block_id, bytes, rng_);
           // Record the slowest replica's media time.
-          if (access.device_time > result->device_time) {
-            result->device_time = access.device_time;
+          if (access.device_time > state->result.device_time) {
+            state->result.device_time = access.device_time;
           }
           sim_->Schedule(access.device_time + params_.server_cpu_per_request,
                          std::move(respond));
         },
-        [result, barrier](const net::RpcResult& rpc_result) {
-          if (rpc_result.network_time > result->network_time) {
-            result->network_time = rpc_result.network_time;
+        [this, start, state](const net::RpcOutcome& outcome) {
+          state->extra_attempts += outcome.attempts - 1;
+          if (outcome.hedged) state->result.hedged = true;
+          state->result.wasted_time += outcome.wasted_time;
+          if (outcome.ok()) {
+            ++state->acks;
+            if (outcome.result.network_time > state->result.network_time) {
+              state->result.network_time = outcome.result.network_time;
+            }
+            if (state->completed) {
+              // Straggler replica finishing after the quorum released the
+              // caller — the background tail of a quorum-append log.
+              ++background_acks_;
+              return;
+            }
+            if (state->acks >= state->quorum) {
+              state->completed = true;
+              state->result.status = Status::Ok();
+              state->result.acks = state->acks;
+              state->result.attempts = 1 + state->extra_attempts;
+              state->result.total_time = sim_->Now() - start;
+              state->on_done(state->result);
+            }
+            return;
           }
-          barrier();
+          ++state->failures;
+          if (state->completed) return;
+          // Quorum unreachable: more replicas are dead than the write can
+          // tolerate. Fail now instead of waiting for the rest.
+          if (state->failures > state->replication - state->quorum) {
+            state->completed = true;
+            ++failed_writes_;
+            state->result.status = Status::Unavailable(
+                "dfs.Write quorum unreachable: " + outcome.status.message());
+            state->result.acks = state->acks;
+            state->result.attempts = 1 + state->extra_attempts;
+            state->result.total_time = sim_->Now() - start;
+            state->on_done(state->result);
+          }
         });
   }
 }
 
 double DistributedFileSystem::TierServeFraction(Tier tier) const {
+  // Sum the stores' exact per-tier counters. The previous implementation
+  // re-derived each store's count as round(fraction * reads + 0.5), which
+  // re-quantizes through a double and drifts once counters exceed 2^51 —
+  // see the regression constants in tests/storage/dfs_test.cc.
   uint64_t total = 0;
   uint64_t tier_count = 0;
   for (const auto& store : stores_) {
     total += store->reads();
-    tier_count += static_cast<uint64_t>(store->TierServeFraction(tier) *
-                                        static_cast<double>(store->reads()) +
-                                        0.5);
+    tier_count += store->tier_reads(tier);
   }
   return total == 0 ? 0.0
                     : static_cast<double>(tier_count) /

@@ -74,6 +74,11 @@ class TieredStore {
   /** Fraction of reads served by each tier (RAM, SSD, HDD). */
   double TierServeFraction(Tier tier) const;
 
+  /** Raw count of reads served by one tier (exact, unlike the fraction). */
+  uint64_t tier_reads(Tier tier) const {
+    return served_by_[static_cast<int>(tier)];
+  }
+
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
 

@@ -207,5 +207,90 @@ TEST_F(FleetTest, BigQueryShuffleSpansComeFromRealShuffle) {
   EXPECT_GT(shuffle_spans, 20);
 }
 
+FleetConfig FaultedConfig() {
+  FleetConfig config;
+  config.queries_per_platform = 300;
+  config.trace_sample_one_in = 5;
+  // Light but ever-present faults plus one fileserver dead for the whole
+  // run, with retry + hedge policies on the DFS paths.
+  config.fault.drop_probability = 0.01;
+  config.fault.error_probability = 0.01;
+  config.fault.slowdown_probability = 0.03;
+  config.outages.push_back({net::NodeId{0, 100, 2}, SimTime::Zero(),
+                            SimTime::FromSeconds(100)});
+  config.dfs.read_policy.timeout = SimTime::Millis(50);
+  config.dfs.read_policy.max_attempts = 3;
+  config.dfs.read_policy.hedge_delay = SimTime::Millis(10);
+  config.dfs.write_policy.timeout = SimTime::Millis(100);
+  config.dfs.write_policy.max_attempts = 2;
+  return config;
+}
+
+TEST(FaultedFleetTest, FaultedRunCompletesAndTracksResilience) {
+  FleetSimulation fleet(FaultedConfig());
+  fleet.AddDefaultPlatforms();
+  fleet.RunAll();
+  uint64_t injected = 0, outage_hits = 0, retries = 0, hedges = 0;
+  uint64_t annotations = 0;
+  for (size_t p = 0; p < 3; ++p) {
+    // Every query still completes — failures surface as Status, never as
+    // a hung barrier — and the tracer loses nothing under retries.
+    EXPECT_EQ(fleet.Result(p).queries_completed, 300u);
+    EXPECT_EQ(fleet.TracerOf(p).dropped_finishes(), 0u);
+    EXPECT_EQ(fleet.TracerOf(p).dropped_spans(), 0u);
+    EXPECT_EQ(fleet.TracerOf(p).open_traces(), 0u);
+    EXPECT_TRUE(fleet.FaultsOf(p).armed());
+    injected += fleet.FaultsOf(p).injected_total();
+    outage_hits += fleet.FaultsOf(p).outage_hits();
+    retries += fleet.RpcOf(p).retries_issued();
+    hedges += fleet.RpcOf(p).hedges_issued();
+    profiling::ResilienceReport report = profiling::ComputeResilienceReport(
+        fleet.TracesOf(p), fleet.NamesOf(p));
+    annotations +=
+        report.retry_spans + report.hedge_spans + report.error_spans;
+    EXPECT_GE(report.wasted_seconds, 0.0);
+  }
+  EXPECT_GT(injected, 0u);
+  EXPECT_GT(outage_hits, 0u);
+  EXPECT_GT(retries, 0u);
+  EXPECT_GT(hedges, 0u);
+  // Sampled traces carry the retry/hedge/error annotations the
+  // resilience report mines.
+  EXPECT_GT(annotations, 0u);
+}
+
+TEST(FaultedFleetTest, SerialAndParallelFaultedRunsBitIdentical) {
+  // PR 1's serial==parallel contract must hold with faults armed: fault
+  // draws come from per-shard private streams, so thread scheduling can
+  // never perturb them.
+  auto signature = [](uint32_t parallelism) {
+    FleetConfig config = FaultedConfig();
+    config.parallelism = parallelism;
+    FleetSimulation fleet(config);
+    fleet.AddDefaultPlatforms();
+    fleet.RunAll();
+    std::vector<double> values;
+    for (size_t p = 0; p < 3; ++p) {
+      const auto& overall = fleet.Result(p).e2e.overall;
+      values.push_back(overall.time.cpu);
+      values.push_back(overall.time.io);
+      values.push_back(overall.time.remote);
+      values.push_back(static_cast<double>(fleet.FaultsOf(p).decisions()));
+      values.push_back(
+          static_cast<double>(fleet.FaultsOf(p).injected_total()));
+      values.push_back(static_cast<double>(fleet.RpcOf(p).retries_issued()));
+      values.push_back(static_cast<double>(fleet.RpcOf(p).hedge_wins()));
+      values.push_back(fleet.RpcOf(p).wasted_seconds());
+    }
+    return values;
+  };
+  std::vector<double> serial = signature(1);
+  std::vector<double> parallel = signature(0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "signature index " << i;
+  }
+}
+
 }  // namespace
 }  // namespace hyperprof::platforms

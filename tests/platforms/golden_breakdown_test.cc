@@ -249,6 +249,34 @@ TEST_F(GoldenBreakdownTest, CycleFineFractionsMatchSeedBitForBit) {
   }
 }
 
+TEST_F(GoldenBreakdownTest, FaultInjectionDisabledIsProvablyInert) {
+  // The fault model is installed on every shard, but an all-zero spec
+  // leaves it un-armed: the RPC fabric never consults it, no resilience
+  // counter moves, and no annotation span exists in any trace. Together
+  // with the bit-identical goldens above, this pins the RNG-stream
+  // contract of DESIGN.md §10 — fault injection is zero-perturbation
+  // when off.
+  for (size_t p = 0; p < 3; ++p) {
+    EXPECT_FALSE(fleet_->FaultsOf(p).armed());
+    EXPECT_EQ(fleet_->FaultsOf(p).decisions(), 0u);
+    EXPECT_EQ(fleet_->FaultsOf(p).injected_total(), 0u);
+    EXPECT_EQ(fleet_->RpcOf(p).failed_calls(), 0u);
+    EXPECT_EQ(fleet_->RpcOf(p).retries_issued(), 0u);
+    EXPECT_EQ(fleet_->RpcOf(p).hedges_issued(), 0u);
+    EXPECT_EQ(fleet_->RpcOf(p).timeouts_fired(), 0u);
+    EXPECT_EQ(fleet_->RpcOf(p).cancelled_attempts(), 0u);
+    EXPECT_EQ(fleet_->RpcOf(p).wasted_seconds(), 0.0);
+    EXPECT_EQ(fleet_->EngineOf(p).io_failures(), 0u);
+    profiling::ResilienceReport report = profiling::ComputeResilienceReport(
+        fleet_->TracesOf(p), fleet_->NamesOf(p));
+    EXPECT_EQ(report.retry_spans, 0u);
+    EXPECT_EQ(report.hedge_spans, 0u);
+    EXPECT_EQ(report.error_spans, 0u);
+    EXPECT_EQ(report.queries_with_faulted_io, 0u);
+    EXPECT_EQ(report.wasted_seconds, 0.0);
+  }
+}
+
 TEST_F(GoldenBreakdownTest, NoDroppedHandles) {
   for (size_t p = 0; p < 3; ++p) {
     EXPECT_EQ(fleet_->TracerOf(p).dropped_finishes(), 0u);

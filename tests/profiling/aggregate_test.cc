@@ -315,5 +315,59 @@ TEST(QueryGroupTest, Names) {
                "Remote Work Heavy");
 }
 
+TEST(ResilienceReportTest, CountsAnnotationSpansAndBucketsExtras) {
+  NameInterner names;
+  NameId io = names.Intern("dfs.read");
+  NameId retry = names.Intern("dfs.retry");
+  NameId hedge = names.Intern("dfs.hedge");
+  NameId error = names.Intern("dfs.error");
+
+  auto span = [](SpanKind kind, NameId name, double start, double end) {
+    Span s;
+    s.kind = kind;
+    s.name = name;
+    s.start = SimTime::FromSeconds(start);
+    s.end = SimTime::FromSeconds(end);
+    return s;
+  };
+  std::vector<QueryTrace> traces(3);
+  // Clean query: one IO span, no annotations.
+  traces[0].spans.push_back(span(SpanKind::kIo, io, 0.0, 1.0));
+  // One retried IO: the first annotation carries the wasted extent, the
+  // second extra attempt is a zero-length marker (engine convention).
+  traces[1].spans.push_back(span(SpanKind::kIo, io, 0.0, 3.0));
+  traces[1].spans.push_back(span(SpanKind::kIo, retry, 1.0, 3.0));
+  traces[1].spans.push_back(span(SpanKind::kIo, retry, 3.0, 3.0));
+  // One hedged IO plus one IO that exhausted its policy.
+  traces[2].spans.push_back(span(SpanKind::kIo, io, 0.0, 1.0));
+  traces[2].spans.push_back(span(SpanKind::kIo, hedge, 0.5, 1.0));
+  traces[2].spans.push_back(span(SpanKind::kIo, error, 1.0, 1.0));
+
+  ResilienceReport report = ComputeResilienceReport(traces, names);
+  EXPECT_EQ(report.traced_queries, 3u);
+  EXPECT_EQ(report.queries_with_faulted_io, 2u);
+  EXPECT_EQ(report.retry_spans, 2u);
+  EXPECT_EQ(report.hedge_spans, 1u);
+  EXPECT_EQ(report.error_spans, 1u);
+  EXPECT_DOUBLE_EQ(report.wasted_seconds, 2.0 + 0.0 + 0.5);
+  EXPECT_EQ(report.extra_attempts_histogram[0], 1u);  // clean query
+  EXPECT_EQ(report.extra_attempts_histogram[1], 1u);  // hedged query
+  EXPECT_EQ(report.extra_attempts_histogram[2], 1u);  // double-retried
+  EXPECT_DOUBLE_EQ(report.MeanWastedPerFaultedQuery(), 2.5 / 2.0);
+}
+
+TEST(ResilienceReportTest, MissingAnnotationNamesYieldZeroReport) {
+  NameInterner names;  // "dfs.retry" & co never interned (pre-fault engine)
+  std::vector<QueryTrace> traces(2);
+  traces[0].spans.push_back(Span{});
+  ResilienceReport report = ComputeResilienceReport(traces, names);
+  EXPECT_EQ(report.traced_queries, 2u);
+  EXPECT_EQ(report.queries_with_faulted_io, 0u);
+  EXPECT_EQ(report.retry_spans + report.hedge_spans + report.error_spans,
+            0u);
+  EXPECT_EQ(report.wasted_seconds, 0.0);
+  EXPECT_EQ(report.MeanWastedPerFaultedQuery(), 0.0);
+}
+
 }  // namespace
 }  // namespace hyperprof::profiling

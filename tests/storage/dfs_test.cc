@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/fault.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 
@@ -143,6 +144,204 @@ TEST_F(DfsTest, TierServeFractionsAggregateAcrossServers) {
   simulator_.Run();
   EXPECT_EQ(outstanding, 0);
   EXPECT_NEAR(dfs.TierServeFraction(Tier::kRam), 1.0, 1e-9);
+}
+
+TEST_F(DfsTest, TierServeFractionSumsRawCountersExactly) {
+  DistributedFileSystem dfs(&simulator_, &rpc_, SmallParams(), Rng(3));
+  dfs.PrewarmZipf(20, 60, 4096);
+  for (uint64_t block = 0; block < 120; ++block) {
+    dfs.Read(client_, block, 4096, [](const IoResult&) {});
+  }
+  simulator_.Run();
+  for (Tier tier : {Tier::kRam, Tier::kSsd, Tier::kHdd}) {
+    uint64_t total = 0, tier_count = 0;
+    for (uint32_t s = 0; s < dfs.num_fileservers(); ++s) {
+      total += dfs.server_store(s).reads();
+      tier_count += dfs.server_store(s).tier_reads(tier);
+    }
+    ASSERT_GT(total, 0u);
+    // Exact equality: the aggregate is the raw-counter ratio, not a sum of
+    // re-rounded per-store fractions.
+    EXPECT_EQ(dfs.TierServeFraction(tier),
+              static_cast<double>(tier_count) / static_cast<double>(total));
+  }
+}
+
+TEST_F(DfsTest, TierServeFractionOldRoundingMathLosesCounts) {
+  // Regression pin for the bug this replaces: the old aggregation derived
+  // each store's per-tier count as round(fraction * reads + 0.5), where
+  // fraction itself is served/reads in double. Past 2^51 reads the
+  // round-trip through the fraction no longer recovers the integer. These
+  // (reads, served) pairs were found by search; each one re-derives to a
+  // different count, so an aggregation built on the old math reports a
+  // wrong total while summing raw counters is exact at any magnitude.
+  struct Pair {
+    uint64_t reads, served;
+  };
+  const Pair kDiverging[] = {
+      {7378732916781557ULL, 7226161561168607ULL},
+      {8435094068304335ULL, 6537899815195893ULL},
+      {7004262855817095ULL, 6878807688530173ULL},
+      {8348309313425887ULL, 6854008534861993ULL},
+      {4921447804138685ULL, 4510805342071287ULL},
+  };
+  for (const Pair& pair : kDiverging) {
+    double fraction = static_cast<double>(pair.served) /
+                      static_cast<double>(pair.reads);
+    uint64_t rederived = static_cast<uint64_t>(
+        fraction * static_cast<double>(pair.reads) + 0.5);
+    EXPECT_NE(rederived, pair.served)
+        << "expected divergence for reads=" << pair.reads;
+  }
+}
+
+TEST_F(DfsTest, ZeroReplicationWriteReportsInvalidArgument) {
+  DistributedFileSystem dfs(&simulator_, &rpc_, SmallParams(), Rng(3));
+  bool done = false;
+  bool callback_was_async = true;
+  dfs.Write(client_, 7, 4096, /*replication=*/0, [&](const IoResult& r) {
+    done = true;
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  });
+  // The completion must not have run on the caller's stack.
+  callback_was_async = !done;
+  simulator_.Run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(callback_was_async);
+  EXPECT_EQ(dfs.invalid_writes(), 1u);
+  uint64_t total_writes = 0;
+  for (uint32_t s = 0; s < dfs.num_fileservers(); ++s) {
+    total_writes += dfs.server_store(s).writes();
+  }
+  EXPECT_EQ(total_writes, 0u);  // nothing touched any store
+}
+
+TEST_F(DfsTest, QuorumWriteCompletesEarlyAndStragglersFinish) {
+  DistributedFileSystem dfs(&simulator_, &rpc_, SmallParams(), Rng(3));
+  bool done = false;
+  IoResult at_completion;
+  SimTime quorum_time;
+  dfs.Write(client_, 7, 8192, /*replication=*/3, /*quorum_acks=*/1,
+            [&](const IoResult& r) {
+              done = true;
+              at_completion = r;
+              quorum_time = simulator_.Now();
+            });
+  simulator_.Run();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(at_completion.ok());
+  EXPECT_EQ(at_completion.acks, 1u);  // released at the first ack
+  EXPECT_EQ(dfs.background_acks(), 2u);
+  // All three replicas still landed, just in the background.
+  uint64_t total_writes = 0;
+  for (uint32_t s = 0; s < dfs.num_fileservers(); ++s) {
+    total_writes += dfs.server_store(s).writes();
+  }
+  EXPECT_EQ(total_writes, 3u);
+  // The quorum completion is no later than a full-set write of the same
+  // block from an identical substrate.
+  sim::Simulator full_sim;
+  net::NetworkModel full_net;
+  net::RpcSystem full_rpc(&full_sim, &full_net, Rng(2));
+  DistributedFileSystem full_dfs(&full_sim, &full_rpc, SmallParams(), Rng(3));
+  SimTime full_time;
+  full_dfs.Write(client_, 7, 8192, 3,
+                 [&](const IoResult&) { full_time = full_sim.Now(); });
+  full_sim.Run();
+  EXPECT_LE(quorum_time, full_time);
+}
+
+TEST_F(DfsTest, WriteFailsWhenQuorumUnreachable) {
+  net::FaultModel faults{Rng(9)};
+  // Every fileserver node is down for the whole test window.
+  for (uint32_t s = 0; s < 4; ++s) {
+    faults.AddOutage({net::NodeId{0, 100, s}, SimTime::Zero(),
+                      SimTime::FromSeconds(100)});
+  }
+  rpc_.set_fault_model(&faults);
+  DistributedFileSystem dfs(&simulator_, &rpc_, SmallParams(), Rng(3));
+  bool done = false;
+  dfs.Write(client_, 7, 4096, /*replication=*/2, /*quorum_acks=*/2,
+            [&](const IoResult& r) {
+              done = true;
+              EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+              EXPECT_EQ(r.acks, 0u);
+            });
+  simulator_.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(dfs.failed_writes(), 1u);
+}
+
+TEST_F(DfsTest, ReadRetriesThroughTransientFaultAndReportsAttempts) {
+  net::FaultModel faults{Rng(9)};
+  net::FaultSpec errors;
+  errors.error_probability = 1.0;
+  faults.SetMethodFaults("dfs.Read", errors);
+  rpc_.set_fault_model(&faults);
+  DfsParams params = SmallParams();
+  params.read_policy.max_attempts = 2;
+  params.read_policy.backoff_base = SimTime::FromSeconds(1);
+  DistributedFileSystem dfs(&simulator_, &rpc_, params, Rng(3));
+  // Heal the fault before the backed-off retry fires.
+  simulator_.Schedule(SimTime::FromSeconds(0.5), [&]() {
+    faults.SetMethodFaults("dfs.Read", net::FaultSpec{});
+  });
+  bool done = false;
+  dfs.Read(client_, 42, 4096, [&](const IoResult& r) {
+    done = true;
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.attempts, 2u);
+    EXPECT_GT(r.wasted_time, SimTime::Zero());
+  });
+  simulator_.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(dfs.failed_reads(), 0u);
+}
+
+TEST_F(DfsTest, ReadExhaustingPolicySurfacesError) {
+  net::FaultModel faults{Rng(9)};
+  net::FaultSpec errors;
+  errors.error_probability = 1.0;
+  faults.SetMethodFaults("dfs.Read", errors);
+  rpc_.set_fault_model(&faults);
+  DfsParams params = SmallParams();
+  params.read_policy.max_attempts = 2;
+  DistributedFileSystem dfs(&simulator_, &rpc_, params, Rng(3));
+  bool done = false;
+  dfs.Read(client_, 42, 4096, [&](const IoResult& r) {
+    done = true;
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+    EXPECT_EQ(r.attempts, 2u);
+  });
+  simulator_.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(dfs.failed_reads(), 1u);
+}
+
+TEST_F(DfsTest, HedgedReadCutsInjectedSlowdownTail) {
+  net::FaultModel faults{Rng(9)};
+  net::FaultSpec slow;
+  slow.slowdown_probability = 1.0;
+  slow.slowdown_floor = SimTime::Millis(20);
+  slow.slowdown_ceil = SimTime::Millis(20);
+  faults.SetMethodFaults("dfs.Read", slow);
+  rpc_.set_fault_model(&faults);
+  DfsParams params = SmallParams();
+  params.read_policy.max_attempts = 2;
+  params.read_policy.hedge_delay = SimTime::Millis(1);
+  DistributedFileSystem dfs(&simulator_, &rpc_, params, Rng(3));
+  bool done = false;
+  dfs.Read(client_, 42, 4096, [&](const IoResult& r) {
+    done = true;
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.hedged);
+  });
+  simulator_.Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(rpc_.hedges_issued(), 1u);
+  EXPECT_EQ(rpc_.cancelled_attempts(), 1u);
 }
 
 }  // namespace
