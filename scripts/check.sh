@@ -12,6 +12,15 @@
 #                               # the retry/hedge/cancellation paths get
 #                               # exercised under whichever sanitizer the
 #                               # build uses
+#   UBSAN=1 scripts/check.sh    # UndefinedBehaviorSanitizer
+#                               # (-DHYPERPROF_UBSAN=ON); also runs the
+#                               # fixed-seed simtest fuzz block, which
+#                               # sweeps the bit-punning digest and
+#                               # attribution arithmetic
+#   FUZZ=1 scripts/check.sh     # additionally runs the deterministic
+#                               # simulation fuzz block (simtest_fuzz
+#                               # --seeds 100 --base-seed 1) on whichever
+#                               # build the other flags selected
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,6 +34,16 @@ fi
 if [[ "${ASAN:-0}" != "0" ]]; then
   BUILD_DIR=build-asan
   CMAKE_ARGS+=(-DHYPERPROF_ASAN=ON)
+fi
+if [[ "${UBSAN:-0}" != "0" ]]; then
+  # Composes with ASAN=1 (one build dir with both sanitizers); TSan+UBSan
+  # is rejected at configure time.
+  if [[ "${ASAN:-0}" != "0" ]]; then
+    BUILD_DIR=build-asan-ubsan
+  else
+    BUILD_DIR=build-ubsan
+  fi
+  CMAKE_ARGS+=(-DHYPERPROF_UBSAN=ON)
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
@@ -43,4 +62,12 @@ if [[ "${FAULTS:-0}" != "0" ]]; then
   # attempts, quorum stragglers — under the sanitizers, where lifetime
   # bugs in the completion paths would otherwise hide.
   "$BUILD_DIR/examples/fleet_profile" 500 0.05
+fi
+
+if [[ "${UBSAN:-0}" != "0" || "${FUZZ:-0}" != "0" ]]; then
+  # Deterministic simulation fuzz: 100 fixed-seed scenarios, each run
+  # serial, parallel, and replayed, with the full invariant catalogue.
+  # Reproduce a failure locally with:
+  #   $BUILD_DIR/src/testing/simtest_fuzz --seeds 1 --base-seed <seed> --shrink
+  "$BUILD_DIR/src/testing/simtest_fuzz" --seeds 100 --base-seed 1 --probe-ms 10
 fi

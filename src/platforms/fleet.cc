@@ -88,10 +88,22 @@ void FleetSimulation::AddDefaultPlatforms() {
   AddPlatform(BigQuerySpec());
 }
 
-void FleetSimulation::RunSlot(PlatformSlot& slot) {
+void FleetSimulation::RunSlot(size_t index) {
+  PlatformSlot& slot = *slots_[index];
   slot.engine->Run(config_.queries_per_platform, config_.arrival_rate_qps,
                    []() {});
-  slot.simulator->Run();
+  if (config_.probe_period > SimTime::Zero() && config_.probe) {
+    // Bounded stepping with probe calls between steps. RunUntil executes
+    // the same events in the same order as Run, so stepped and unstepped
+    // shards are bit-identical (the simtest determinism invariant pins
+    // this by comparing probed and unprobed digests).
+    while (slot.simulator->pending_events() > 0) {
+      slot.simulator->RunUntil(slot.simulator->Now() + config_.probe_period);
+      config_.probe(index);
+    }
+  } else {
+    slot.simulator->Run();
+  }
 }
 
 void FleetSimulation::RunAll() {
@@ -101,12 +113,11 @@ void FleetSimulation::RunAll() {
       std::min(ThreadPool::ResolveParallelism(config_.parallelism),
                std::max<size_t>(1, slots_.size()));
   if (threads <= 1) {
-    for (auto& slot : slots_) RunSlot(*slot);
+    for (size_t i = 0; i < slots_.size(); ++i) RunSlot(i);
     return;
   }
   ThreadPool pool(threads);
-  pool.ParallelFor(slots_.size(),
-                   [this](size_t index) { RunSlot(*slots_[index]); });
+  pool.ParallelFor(slots_.size(), [this](size_t index) { RunSlot(index); });
 }
 
 PlatformResult FleetSimulation::Result(size_t index) const {

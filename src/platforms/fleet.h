@@ -1,6 +1,7 @@
 #ifndef HYPERPROF_PLATFORMS_FLEET_H_
 #define HYPERPROF_PLATFORMS_FLEET_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,6 +51,16 @@ struct FleetConfig {
   net::FaultSpec fault;
   // Scheduled node outage windows, applied to every shard.
   std::vector<net::OutageWindow> outages;
+  // Optional mid-run probe: when `probe_period` is nonzero and `probe` is
+  // set, RunAll drives each shard's simulator in bounded RunUntil steps of
+  // that length and invokes probe(platform_index) between steps (and once
+  // after the shard quiesces). Stepping fires the exact same events in the
+  // exact same order as an unstepped Run, so results stay bit-identical at
+  // every probe setting. In parallel runs the probe is invoked concurrently
+  // from different shards' host threads and must be thread-safe; it may
+  // only inspect the shard whose index it was handed.
+  SimTime probe_period;
+  std::function<void(size_t platform_index)> probe;
 
   FleetConfig() {
     // Size per-fileserver caches well below the simulated working sets so
@@ -166,7 +177,7 @@ class FleetSimulation {
   };
 
   /** Runs one shard's workload to completion (any thread). */
-  void RunSlot(PlatformSlot& slot);
+  void RunSlot(size_t index);
 
   FleetConfig config_;
   profiling::FunctionRegistry registry_;

@@ -1,0 +1,137 @@
+#ifndef HYPERPROF_TESTING_INVARIANTS_H_
+#define HYPERPROF_TESTING_INVARIANTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "platforms/fleet.h"
+#include "profiling/tracer.h"
+
+namespace hyperprof::testing {
+
+/**
+ * Everything the invariant checks need from one platform shard, snapshotted
+ * after the run. Checks never touch the live FleetSimulation: they operate
+ * on this value type, which is what lets the simtest suite *corrupt* a copy
+ * to prove the checker catches broken invariants (and lets digests be
+ * compared across independent runs).
+ */
+struct PlatformArtifacts {
+  std::string name;
+
+  // Engine.
+  uint64_t queries_completed = 0;
+  uint64_t io_failures = 0;
+
+  // Tracer bookkeeping.
+  uint64_t queries_seen = 0;
+  uint64_t queries_sampled = 0;
+  uint64_t queries_finished = 0;
+  uint64_t dropped_finishes = 0;
+  uint64_t dropped_spans = 0;
+  uint64_t open_traces = 0;
+  uint64_t traces_folded = 0;
+  std::vector<profiling::QueryTrace> traces;  // retained traces (copied)
+  profiling::E2eBreakdownReport e2e;          // streaming aggregates
+
+  // Event kernel.
+  uint64_t events_executed = 0;
+  uint64_t pending_events = 0;
+  uint64_t cancelled_in_heap = 0;
+
+  // Distributed filesystem, aggregated and per fileserver.
+  struct ServerSnapshot {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t tier_reads[3] = {0, 0, 0};
+    uint64_t ram_used = 0, ram_capacity = 0;
+    uint64_t ssd_used = 0, ssd_capacity = 0;
+  };
+  std::vector<ServerSnapshot> servers;
+  double tier_fractions[3] = {0, 0, 0};
+  uint64_t failed_reads = 0;
+  uint64_t failed_writes = 0;
+  uint64_t invalid_writes = 0;
+  uint64_t background_acks = 0;
+
+  // RPC fabric.
+  uint64_t completed_calls = 0;
+  uint64_t failed_calls = 0;
+  uint64_t retries_issued = 0;
+  uint64_t hedges_issued = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t timeouts_fired = 0;
+  uint64_t cancelled_attempts = 0;
+  double wasted_seconds = 0;
+
+  // Fault injector.
+  uint64_t fault_decisions = 0;
+  uint64_t injected_drops = 0;
+  uint64_t injected_errors = 0;
+  uint64_t injected_slowdowns = 0;
+  uint64_t outage_hits = 0;
+};
+
+/** Snapshot of one full fleet run plus the scenario facts checks rely on. */
+struct RunArtifacts {
+  uint64_t scenario_seed = 0;
+  uint64_t queries_per_platform = 0;
+  bool retain_all = true;
+  uint64_t reservoir_capacity = 0;  // bound on traces when !retain_all
+  bool faults_armed = false;
+  bool read_policy_plain = true;
+  bool write_policy_plain = true;
+  std::vector<PlatformArtifacts> platforms;
+};
+
+/** Snapshots every shard of a completed fleet run. */
+RunArtifacts CollectArtifacts(const platforms::FleetSimulation& fleet);
+
+/**
+ * Order-independent-free bit-level fingerprint of a run: folds every
+ * recovered number (report doubles by bit pattern, counters, span
+ * boundaries) with FNV-1a. Two runs with equal digests recovered identical
+ * results; the determinism invariants compare digests across serial,
+ * parallel, and replay executions.
+ */
+uint64_t DigestArtifacts(const RunArtifacts& artifacts);
+
+/** One invariant violation, attributable to a platform and an invariant. */
+struct Violation {
+  std::string invariant;  // registry name
+  std::string platform;   // empty for fleet-wide checks
+  std::string detail;     // human-readable specifics
+
+  std::string ToString() const;
+};
+
+/**
+ * Registry of named cross-cutting invariants evaluated against a run's
+ * artifacts. `Default()` carries the full catalogue (see DESIGN.md §11);
+ * tests register extra or restricted sets as needed.
+ */
+class InvariantRegistry {
+ public:
+  using Check =
+      std::function<void(const RunArtifacts&, std::vector<Violation>&)>;
+
+  void Register(std::string name, Check check);
+
+  /** Runs every registered check; appends violations in registry order. */
+  std::vector<Violation> Evaluate(const RunArtifacts& artifacts) const;
+
+  std::vector<std::string> Names() const;
+  size_t size() const { return checks_.size(); }
+
+  /** The full default catalogue. */
+  static InvariantRegistry Default();
+
+ private:
+  std::vector<std::pair<std::string, Check>> checks_;
+};
+
+}  // namespace hyperprof::testing
+
+#endif  // HYPERPROF_TESTING_INVARIANTS_H_

@@ -1,0 +1,57 @@
+#ifndef HYPERPROF_TESTING_SCENARIO_H_
+#define HYPERPROF_TESTING_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platforms/fleet.h"
+#include "platforms/spec.h"
+
+namespace hyperprof::testing {
+
+/**
+ * One randomized fleet scenario, fully determined by a 64-bit seed.
+ *
+ * A scenario bundles everything RunScenario needs to execute a fleet
+ * end-to-end: the platform mix (specs), the fleet configuration (DFS
+ * tiering, fault model, outage windows, per-IO resilience policies,
+ * sampling and retention), and the comparison knobs. The struct is a plain
+ * value so the shrinker can mutate copies freely and a failing scenario
+ * can be reported as a one-line repro (`Describe()`).
+ */
+struct Scenario {
+  uint64_t seed = 0;
+  std::vector<platforms::PlatformSpec> specs;
+  // `config.parallelism` is owned by the runner (it executes the scenario
+  // serially, in parallel, and as a replay); every other field is the
+  // scenario's to vary.
+  platforms::FleetConfig config;
+  // When false the serial-vs-parallel digest comparison is skipped (the
+  // shrinker uses this to rule host threading in or out of a failure).
+  bool compare_parallel = true;
+
+  /** One-line human summary, printed with every failure report. */
+  std::string Describe() const;
+};
+
+/**
+ * Deterministic scenario generator: `Generate(seed)` is a pure function of
+ * the seed, so a CI failure line "seed=S" reproduces the exact scenario on
+ * any machine (see DESIGN.md §11 for the generation grammar).
+ *
+ * Scenarios are deliberately small (tens of queries, shrunken Zipf block
+ * spaces) so that a fixed block of ~100 seeds — each executed up to three
+ * times for the determinism invariants — runs in CI time while still
+ * sweeping the behaviour space: platform mixes, serial vs parallel, cold
+ * and warm cache geometries, plain and resilient IO policies, armed fault
+ * models, and scheduled fileserver outages.
+ */
+class ScenarioGen {
+ public:
+  static Scenario Generate(uint64_t seed);
+};
+
+}  // namespace hyperprof::testing
+
+#endif  // HYPERPROF_TESTING_SCENARIO_H_

@@ -1,0 +1,122 @@
+#include "testing/shrink.h"
+
+#include <vector>
+
+namespace hyperprof::testing {
+
+namespace {
+
+using Transform = bool (*)(Scenario&);  // returns false when a no-op
+
+bool HalveQueries(Scenario& s) {
+  if (s.config.queries_per_platform <= 1) return false;
+  s.config.queries_per_platform =
+      (s.config.queries_per_platform + 1) / 2;
+  return true;
+}
+
+bool DropLastPlatform(Scenario& s) {
+  if (s.specs.size() <= 1) return false;
+  s.specs.pop_back();
+  return true;
+}
+
+bool DropFirstPlatform(Scenario& s) {
+  if (s.specs.size() <= 1) return false;
+  s.specs.erase(s.specs.begin());
+  return true;
+}
+
+bool ClearOutages(Scenario& s) {
+  if (s.config.outages.empty()) return false;
+  s.config.outages.clear();
+  return true;
+}
+
+bool ZeroDrops(Scenario& s) {
+  if (s.config.fault.drop_probability == 0) return false;
+  s.config.fault.drop_probability = 0;
+  return true;
+}
+
+bool ZeroErrors(Scenario& s) {
+  if (s.config.fault.error_probability == 0) return false;
+  s.config.fault.error_probability = 0;
+  return true;
+}
+
+bool ZeroSlowdowns(Scenario& s) {
+  if (s.config.fault.slowdown_probability == 0) return false;
+  s.config.fault.slowdown_probability = 0;
+  return true;
+}
+
+bool PlainReadPolicy(Scenario& s) {
+  if (s.config.dfs.read_policy.Plain()) return false;
+  s.config.dfs.read_policy = net::RpcCallPolicy{};
+  return true;
+}
+
+bool PlainWritePolicy(Scenario& s) {
+  if (s.config.dfs.write_policy.Plain()) return false;
+  s.config.dfs.write_policy = net::RpcCallPolicy{};
+  return true;
+}
+
+bool RetainAll(Scenario& s) {
+  if (s.config.trace_retention == profiling::TraceRetention::kRetainAll)
+    return false;
+  s.config.trace_retention = profiling::TraceRetention::kRetainAll;
+  return true;
+}
+
+bool SampleEverything(Scenario& s) {
+  if (s.config.trace_sample_one_in == 1) return false;
+  s.config.trace_sample_one_in = 1;
+  return true;
+}
+
+bool SkipParallelComparison(Scenario& s) {
+  if (!s.compare_parallel) return false;
+  s.compare_parallel = false;
+  return true;
+}
+
+}  // namespace
+
+ShrinkResult Shrinker::Minimize(Scenario failing) const {
+  // Most-impactful first: volume, then platform count, then the fault and
+  // resilience layers, then observation knobs, then host threading.
+  static const Transform kTransforms[] = {
+      HalveQueries,    DropLastPlatform,  DropFirstPlatform,
+      ClearOutages,    ZeroDrops,         ZeroErrors,
+      ZeroSlowdowns,   PlainReadPolicy,   PlainWritePolicy,
+      RetainAll,       SampleEverything,  SkipParallelComparison,
+  };
+
+  ShrinkResult result;
+  result.scenario = std::move(failing);
+
+  bool progressed = true;
+  while (progressed && result.runs < max_runs_) {
+    progressed = false;
+    for (Transform transform : kTransforms) {
+      if (result.runs >= max_runs_) break;
+      // Re-apply each transformation until it stops helping (HalveQueries
+      // wants to run log2(queries) times), bounded by the run budget.
+      for (;;) {
+        Scenario candidate = result.scenario;
+        if (!transform(candidate)) break;
+        ++result.runs;
+        if (!still_fails_(candidate)) break;
+        result.scenario = std::move(candidate);
+        ++result.accepted;
+        progressed = true;
+        if (result.runs >= max_runs_) break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hyperprof::testing

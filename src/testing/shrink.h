@@ -1,0 +1,50 @@
+#ifndef HYPERPROF_TESTING_SHRINK_H_
+#define HYPERPROF_TESTING_SHRINK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "testing/scenario.h"
+
+namespace hyperprof::testing {
+
+/** Outcome of minimizing a failing scenario. */
+struct ShrinkResult {
+  Scenario scenario;   // smallest scenario that still fails
+  size_t runs = 0;     // scenario executions spent shrinking
+  size_t accepted = 0; // transformations that kept the failure alive
+};
+
+/**
+ * Greedy delta-debugger over the scenario space. Given a predicate that
+ * re-runs a scenario and reports whether the failure still reproduces, it
+ * repeatedly applies simplifying transformations — halve the query count,
+ * drop platforms, disable outages, zero each fault probability, flatten
+ * the IO policies to Plain, force kRetainAll, drop the parallel
+ * comparison — keeping a transformation only when the failure survives,
+ * until a full pass accepts nothing or the run budget is spent.
+ *
+ * The transformation order is chosen to localize blame: if the failure
+ * survives with faults disabled and policies plain, the resilience layer
+ * is exonerated; if it survives with compare_parallel=false, host
+ * threading is; what remains is a minimal one-line repro (Describe()).
+ */
+class Shrinker {
+ public:
+  /** Returns true when the scenario still reproduces the failure. */
+  using FailurePredicate = std::function<bool(const Scenario&)>;
+
+  explicit Shrinker(FailurePredicate still_fails, size_t max_runs = 64)
+      : still_fails_(std::move(still_fails)), max_runs_(max_runs) {}
+
+  /** Minimizes `failing` (which must currently fail the predicate). */
+  ShrinkResult Minimize(Scenario failing) const;
+
+ private:
+  FailurePredicate still_fails_;
+  size_t max_runs_;
+};
+
+}  // namespace hyperprof::testing
+
+#endif  // HYPERPROF_TESTING_SHRINK_H_

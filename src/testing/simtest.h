@@ -1,0 +1,88 @@
+#ifndef HYPERPROF_TESTING_SIMTEST_H_
+#define HYPERPROF_TESTING_SIMTEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "testing/invariants.h"
+#include "testing/scenario.h"
+
+namespace hyperprof::testing {
+
+/** Knobs for one scenario execution. */
+struct SimtestOptions {
+  /**
+   * Re-run the scenario with host-thread parallelism and require a
+   * bit-identical digest (the PR-1 determinism contract). Skipped when the
+   * scenario itself sets compare_parallel=false.
+   */
+  bool check_parallel = true;
+
+  /** Re-run the scenario serially and require a bit-identical digest. */
+  bool check_replay = true;
+
+  /**
+   * When nonzero, the primary run is driven in RunUntil steps of this
+   * length with a mid-run invariant probe between steps (ledger bounds,
+   * counter monotonicity). Stepping is bit-identical to an unstepped run,
+   * so the comparison runs stay unprobed — which doubles as a regression
+   * test of that very property.
+   */
+  SimTime probe_period;
+
+  /**
+   * Test hook: mutates the primary run's artifacts before invariant
+   * evaluation and digesting. Used by the simtest suite to prove the
+   * checker catches deliberately broken invariants. Null in production.
+   */
+  std::function<void(RunArtifacts&)> corrupt;
+
+  /** Invariants to evaluate; the default catalogue when null. */
+  const InvariantRegistry* registry = nullptr;
+};
+
+/** Outcome of executing one scenario (up to three fleet runs). */
+struct SeedReport {
+  Scenario scenario;
+  uint64_t digest = 0;  // primary (serial) run digest
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+
+  /** Multi-line failure report: repro line plus every violation. */
+  std::string Summary() const;
+};
+
+/**
+ * Executes one scenario end-to-end and evaluates every invariant:
+ *   1. serial run (optionally probed mid-run), registry evaluation;
+ *   2. parallel run, digest equality ("determinism-serial-parallel");
+ *   3. serial replay, digest equality ("determinism-replay").
+ */
+SeedReport RunScenario(const Scenario& scenario,
+                       const SimtestOptions& options = {});
+
+/** Generates the scenario for `seed` and runs it. */
+SeedReport RunSeed(uint64_t seed, const SimtestOptions& options = {});
+
+/** Outcome of a fuzz block. */
+struct FuzzReport {
+  uint64_t seeds_run = 0;
+  std::vector<SeedReport> failures;  // only failing seeds are retained
+
+  bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Runs scenarios for seeds [base_seed, base_seed + count). `progress`
+ * (optional) is invoked after every seed with (seed, report).
+ */
+FuzzReport RunSeedBlock(
+    uint64_t base_seed, uint64_t count, const SimtestOptions& options = {},
+    const std::function<void(uint64_t, const SeedReport&)>& progress = {});
+
+}  // namespace hyperprof::testing
+
+#endif  // HYPERPROF_TESTING_SIMTEST_H_

@@ -16,15 +16,28 @@ void Arena::AddBlock(size_t min_bytes) {
   next_block_bytes_ = size * 2;
 }
 
+namespace {
+
+// Offset of the next `alignment`-aligned *address* within a block — the
+// block base is only guaranteed new[]-aligned (typically 16), so aligning
+// the offset alone would misalign stricter requests.
+size_t AlignedOffset(const uint8_t* data, size_t used, size_t alignment) {
+  uintptr_t base = reinterpret_cast<uintptr_t>(data);
+  uintptr_t next = (base + used + alignment - 1) & ~(alignment - 1);
+  return static_cast<size_t>(next - base);
+}
+
+}  // namespace
+
 void* Arena::Allocate(size_t bytes, size_t alignment) {
   assert(alignment != 0 && (alignment & (alignment - 1)) == 0);
   if (blocks_.empty()) AddBlock(bytes + alignment);
   Block* block = &blocks_.back();
-  size_t aligned = (block->used + alignment - 1) & ~(alignment - 1);
+  size_t aligned = AlignedOffset(block->data.get(), block->used, alignment);
   if (aligned + bytes > block->size) {
     AddBlock(bytes + alignment);
     block = &blocks_.back();
-    aligned = (block->used + alignment - 1) & ~(alignment - 1);
+    aligned = AlignedOffset(block->data.get(), block->used, alignment);
   }
   block->used = aligned + bytes;
   bytes_allocated_ += bytes;

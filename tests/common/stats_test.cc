@@ -119,4 +119,74 @@ TEST(L1DistanceTest, Basics) {
 }
 
 }  // namespace
+
+TEST(RunningStatTest, SingleSample) {
+  RunningStat stat;
+  stat.Add(4.5);
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(stat.min(), 4.5);
+  EXPECT_DOUBLE_EQ(stat.max(), 4.5);
+  EXPECT_DOUBLE_EQ(stat.sum(), 4.5);
+  // One sample has no spread.
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, MergeTwoEmpties) {
+  RunningStat a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(LogHistogramTest, EmptyHistogramEdges) {
+  LogHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+  // Quantiles of an empty histogram must not crash and stay finite.
+  EXPECT_GE(hist.Quantile(0.0), 0.0);
+  EXPECT_GE(hist.Quantile(0.5), 0.0);
+  EXPECT_GE(hist.Quantile(1.0), 0.0);
+}
+
+TEST(LogHistogramTest, SingleSampleQuantilesBracketValue) {
+  // With one sample every quantile interpolates inside that sample's
+  // bucket, so p0 and p100 bracket the value within bucket resolution.
+  LogHistogram hist;
+  hist.Add(5e-3);
+  double p0 = hist.Quantile(0.0);
+  double p100 = hist.Quantile(1.0);
+  EXPECT_LE(p0, 5e-3 * 1.13);  // one 20-per-decade bucket is ~12% wide
+  EXPECT_GE(p100, 5e-3 * 0.88);
+  EXPECT_LE(p0, p100);
+  EXPECT_DOUBLE_EQ(hist.mean(), 5e-3);
+}
+
+TEST(LogHistogramTest, ExtremeQuantilesOrderedUnderLoad) {
+  LogHistogram hist;
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) hist.Add(rng.NextExponential(2e-3));
+  double p0 = hist.Quantile(0.0);
+  double p100 = hist.Quantile(1.0);
+  EXPECT_GT(p0, 0.0);
+  EXPECT_LE(p0, hist.Quantile(0.5));
+  EXPECT_LE(hist.Quantile(0.99), p100);
+}
+
+TEST(NormalizeToFractionsTest, EmptyInput) {
+  EXPECT_TRUE(NormalizeToFractions({}).empty());
+}
+
+TEST(NormalizeToFractionsTest, SingleWeight) {
+  auto fractions = NormalizeToFractions({7.0});
+  ASSERT_EQ(fractions.size(), 1u);
+  EXPECT_DOUBLE_EQ(fractions[0], 1.0);
+}
+
+TEST(L1DistanceTest, EmptyVectorsAreIdentical) {
+  EXPECT_DOUBLE_EQ(L1Distance({}, {}), 0.0);
+}
+
 }  // namespace hyperprof

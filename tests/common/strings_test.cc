@@ -55,4 +55,43 @@ TEST(HumanSecondsTest, PicksTimeUnits) {
 }
 
 }  // namespace
+
+TEST(StrFormatTest, EmptyFormat) {
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StrJoinTest, EmptyAndSingletonInputs) {
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"only"}, ","), "only");
+  EXPECT_EQ(StrJoin({"", ""}, ","), ",");
+}
+
+TEST(StrSplitTest, EmptyInputYieldsOneEmptyField) {
+  auto fields = StrSplit("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(StrSplitTest, SeparatorOnlyYieldsEmptyFields) {
+  auto fields = StrSplit(",,", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_EQ(f, "");
+}
+
+TEST(StartsWithTest, EmptyEdges) {
+  EXPECT_TRUE(StartsWith("", ""));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+TEST(HumanBytesTest, ZeroAndSubUnitValues) {
+  EXPECT_NE(HumanBytes(0).find("0"), std::string::npos);
+  // Below 1 KiB stays in plain bytes.
+  EXPECT_NE(HumanBytes(512).find("B"), std::string::npos);
+}
+
+TEST(HumanSecondsTest, ZeroRendersWithoutCrashing) {
+  EXPECT_FALSE(HumanSeconds(0).empty());
+}
+
 }  // namespace hyperprof

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/strings.h"
+#include "net/fault.h"
 
 namespace hyperprof::consensus {
 namespace {
@@ -137,6 +138,100 @@ TEST_F(PaxosTest, SingleAcceptorGroupWorks) {
   simulator_.Run();
   EXPECT_TRUE(result.chosen);
   EXPECT_EQ(group.majority(), 1u);
+}
+
+
+TEST_F(PaxosTest, SingleReplicaCommitUnderFaults) {
+  // Single-acceptor group (replication factor 1) with an armed fault
+  // model: drops and errors surface as rejected attempts and the proposer
+  // retries through them to commit.
+  net::FaultModel faults{Rng(99)};
+  net::FaultSpec spec;
+  spec.drop_probability = 0.2;
+  spec.error_probability = 0.1;
+  faults.set_default_faults(spec);
+  rpc_.set_fault_model(&faults);
+  PaxosGroup group(&simulator_, &rpc_, Acceptors(1), PaxosParams(), Rng(9));
+  ProposeResult result;
+  group.Propose(net::NodeId{0, 0, 1}, 1, "solo-faulted",
+                [&](const ProposeResult& r) { result = r; });
+  simulator_.Run();
+  EXPECT_TRUE(result.chosen);
+  EXPECT_EQ(result.value, "solo-faulted");
+  EXPECT_EQ(group.ChosenValue(), "solo-faulted");
+  EXPECT_GT(faults.decisions(), 0u);
+}
+
+TEST_F(PaxosTest, CommitSurvivesMessageDrops) {
+  // Three acceptors with lossy links: every dropped prepare/accept counts
+  // as a rejection, so rounds fail and back off until a clean majority
+  // round lands. Safety must hold throughout.
+  net::FaultModel faults{Rng(42)};
+  net::FaultSpec spec;
+  spec.drop_probability = 0.15;
+  spec.error_probability = 0.05;
+  faults.set_default_faults(spec);
+  rpc_.set_fault_model(&faults);
+  PaxosGroup group(&simulator_, &rpc_, Acceptors(3), PaxosParams(), Rng(10));
+  ProposeResult result;
+  group.Propose(net::NodeId{0, 0, 1}, 1, "v-durable",
+                [&](const ProposeResult& r) { result = r; });
+  simulator_.Run();
+  ASSERT_TRUE(result.chosen);
+  EXPECT_EQ(result.value, "v-durable");
+  EXPECT_EQ(group.ChosenValue(), "v-durable");
+  EXPECT_GT(faults.injected_total(), 0u);
+}
+
+TEST_F(PaxosTest, DuelingProposersAgreeUnderFaults) {
+  // Two proposers race on a faulty fabric; every completed proposal must
+  // report the same chosen value, and it must match the acceptor state.
+  net::FaultModel faults{Rng(7)};
+  net::FaultSpec spec;
+  spec.drop_probability = 0.1;
+  faults.set_default_faults(spec);
+  rpc_.set_fault_model(&faults);
+  PaxosGroup group(&simulator_, &rpc_, Acceptors(5), PaxosParams(), Rng(11));
+  std::vector<ProposeResult> results;
+  for (uint32_t p = 1; p <= 2; ++p) {
+    group.Propose(net::NodeId{0, p % 3, p}, p, StrFormat("duel-%u", p),
+                  [&](const ProposeResult& r) { results.push_back(r); });
+  }
+  simulator_.Run();
+  ASSERT_EQ(results.size(), 2u);
+  std::set<std::string> chosen_values;
+  for (const auto& r : results) {
+    if (r.chosen) chosen_values.insert(r.value);
+  }
+  ASSERT_FALSE(chosen_values.empty());
+  EXPECT_EQ(chosen_values.size(), 1u);
+  EXPECT_EQ(group.ChosenValue(), *chosen_values.begin());
+}
+
+TEST_F(PaxosTest, LeaderFailureMidRoundRecovers) {
+  // The round leader loses its majority mid-protocol: outage windows take
+  // two of three acceptors dark from the start, so early rounds fail
+  // (kUnavailable counts as a rejection) and the proposer must keep
+  // re-preparing until the outage lifts. Liveness and safety both hold.
+  std::vector<net::NodeId> nodes = Acceptors(3);
+  net::FaultModel faults{Rng(13)};
+  const SimTime outage_end = SimTime::Millis(10);
+  faults.AddOutage({nodes[1], SimTime::Zero(), outage_end});
+  faults.AddOutage({nodes[2], SimTime::Zero(), outage_end});
+  rpc_.set_fault_model(&faults);
+  PaxosGroup group(&simulator_, &rpc_, nodes, PaxosParams(), Rng(12));
+  ProposeResult result;
+  group.Propose(net::NodeId{0, 0, 1}, 1, "after-failover",
+                [&](const ProposeResult& r) { result = r; });
+  simulator_.Run();
+  ASSERT_TRUE(result.chosen);
+  EXPECT_EQ(result.value, "after-failover");
+  EXPECT_EQ(group.ChosenValue(), "after-failover");
+  // The commit could only land after the outage lifted, and it took more
+  // than one prepare round to get there.
+  EXPECT_GT(result.elapsed, outage_end);
+  EXPECT_GT(result.phase1_round_trips, 1);
+  EXPECT_GT(faults.outage_hits(), 0u);
 }
 
 }  // namespace

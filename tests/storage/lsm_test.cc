@@ -245,5 +245,96 @@ TEST(LsmTreeTest, StatsCountOperations) {
   EXPECT_EQ(tree.stats().memtable_hits, 1u);
 }
 
+
+TEST(LsmTreeTest, TombstoneVisibilityAcrossCompaction) {
+  // A tombstone must keep masking the value through flushes and full
+  // compaction, and a re-put after compaction must resurrect the key.
+  LsmParams params;
+  params.memtable_flush_bytes = 256;
+  params.level0_compaction_trigger = 2;
+  LsmTree tree(params);
+  for (int i = 0; i < 50; ++i) {
+    tree.Put(StrFormat("key%02d", i), std::string(16, 'v'));
+  }
+  tree.Flush();
+  tree.Delete("key07");
+  EXPECT_EQ(tree.Get("key07"), std::nullopt);  // memtable tombstone
+  tree.Flush();
+  EXPECT_EQ(tree.Get("key07"), std::nullopt);  // L0 tombstone over L0 value
+  tree.CompactAll();
+  EXPECT_EQ(tree.Get("key07"), std::nullopt);  // survives compaction
+  // Neighbours are untouched and scans agree with point reads.
+  EXPECT_EQ(tree.Get("key06"), std::string(16, 'v'));
+  auto scanned = tree.Scan("key06", "key09");
+  ASSERT_EQ(scanned.size(), 2u);
+  EXPECT_EQ(scanned[0].first, "key06");
+  EXPECT_EQ(scanned[1].first, "key08");
+  // Resurrect after compaction: the new version wins.
+  tree.Put("key07", "reborn");
+  EXPECT_EQ(tree.Get("key07"), "reborn");
+}
+
+TEST(LsmTreeTest, BottomLevelCompactionDropsTombstoneBytes) {
+  // Delete every key, then fully compact: bottom-level compaction drops
+  // tombstone+value pairs entirely, so the surviving on-disk bytes must
+  // collapse to (almost) nothing and scans must come back empty.
+  LsmParams params;
+  params.memtable_flush_bytes = 512;
+  params.level0_compaction_trigger = 2;
+  LsmTree tree(params);
+  for (int i = 0; i < 200; ++i) {
+    tree.Put(StrFormat("key%03d", i), std::string(32, 'x'));
+  }
+  tree.Flush();
+  tree.CompactAll();
+  uint64_t populated_bytes = 0;
+  for (size_t level = 0; level < tree.level_count(); ++level) {
+    populated_bytes += tree.LevelBytes(level);
+  }
+  ASSERT_GT(populated_bytes, 0u);
+  for (int i = 0; i < 200; ++i) {
+    tree.Delete(StrFormat("key%03d", i));
+  }
+  tree.Flush();
+  tree.CompactAll();
+  EXPECT_TRUE(tree.Scan("key", "kez").empty());
+  uint64_t remaining_bytes = 0;
+  for (size_t level = 0; level < tree.level_count(); ++level) {
+    remaining_bytes += tree.LevelBytes(level);
+  }
+  EXPECT_LT(remaining_bytes, populated_bytes / 4);
+}
+
+TEST(LsmTreeTest, WriteAmpCountersAreConsistent) {
+  // The write-amplification ledger: every flushed/compacted byte is
+  // accounted in compacted_bytes, user_bytes tracks logical writes only,
+  // and the ratio is >= 1 once data has been flushed at least once.
+  LsmParams params;
+  params.memtable_flush_bytes = 1024;
+  params.level0_compaction_trigger = 2;
+  LsmTree tree(params);
+  EXPECT_EQ(tree.stats().WriteAmplification(), 0.0);  // no writes yet
+  for (int i = 0; i < 500; ++i) {
+    tree.Put(StrFormat("key%04d", i), std::string(40, 'y'));
+  }
+  const LsmStats& stats = tree.stats();
+  EXPECT_EQ(stats.writes, 500u);
+  EXPECT_GT(stats.user_bytes, 500u * 40u);
+  EXPECT_GT(stats.flushes, 0u);
+  tree.Flush();
+  tree.CompactAll();
+  // Everything was flushed once and compacted at least once on top.
+  EXPECT_GE(tree.stats().compacted_bytes, tree.stats().user_bytes);
+  EXPECT_GE(tree.stats().WriteAmplification(), 1.0);
+  uint64_t before = tree.stats().compacted_bytes;
+  // Deletes are logical writes too: they add user bytes and eventually
+  // rewrite bytes through flush/compaction.
+  for (int i = 0; i < 500; ++i) tree.Delete(StrFormat("key%04d", i));
+  tree.Flush();
+  tree.CompactAll();
+  EXPECT_EQ(tree.stats().writes, 1000u);
+  EXPECT_GT(tree.stats().compacted_bytes, before);
+}
+
 }  // namespace
 }  // namespace hyperprof::storage
