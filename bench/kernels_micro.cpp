@@ -2,8 +2,11 @@
 // workloads behind the simulated platforms' core compute and tax cycles.
 // Not tied to a specific paper figure; used to ground the cost models.
 
+#include <algorithm>
+
 #include <benchmark/benchmark.h>
 
+#include "common/cpu.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "storage/lsm.h"
@@ -84,6 +87,46 @@ void BM_Crc32cThroughput(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_Crc32cThroughput)->Range(256, 1 << 20);
+
+// Pins the dispatch policy for one benchmark run so the portable
+// slicing-by-8 path and the hardware crc32-instruction path can be read
+// side by side regardless of HYPERPROF_KERNEL_DISPATCH. Second range arg:
+// 0 = portable, 1 = native.
+void BM_Crc32cDispatch(benchmark::State& state) {
+  KernelDispatch mode = state.range(1) != 0 ? KernelDispatch::kNative
+                                            : KernelDispatch::kPortable;
+  SetKernelDispatchForTest(mode);
+  std::vector<uint8_t> input(static_cast<size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::Crc32c(input));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+  state.SetLabel(KernelDispatchName(mode));
+  SetKernelDispatchForTest(std::nullopt);
+}
+BENCHMARK(BM_Crc32cDispatch)
+    ->Args({1 << 12, 0})
+    ->Args({1 << 12, 1})
+    ->Args({1 << 20, 0})
+    ->Args({1 << 20, 1});
+
+// Incremental interface fed storage-block-sized chunks; should track the
+// one-shot numbers (the stream carries 4 bytes of state between chunks).
+void BM_Crc32cStream(benchmark::State& state) {
+  std::vector<uint8_t> input(1 << 20, 0xa5);
+  size_t chunk = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    workloads::Crc32cStream stream;
+    for (size_t pos = 0; pos < input.size(); pos += chunk) {
+      stream.Update(input.data() + pos, std::min(chunk, input.size() - pos));
+    }
+    benchmark::DoNotOptimize(stream.value());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(input.size()));
+}
+BENCHMARK(BM_Crc32cStream)->Arg(512)->Arg(64 << 10);
 
 // --- Compression ---
 

@@ -20,7 +20,13 @@
 #   FUZZ=1 scripts/check.sh     # additionally runs the deterministic
 #                               # simulation fuzz block (simtest_fuzz
 #                               # --seeds 100 --base-seed 1) on whichever
-#                               # build the other flags selected
+#                               # build the other flags selected, with
+#                               # native kernel dispatch forced (digests
+#                               # must not depend on the dispatch policy)
+#   BENCH=1 scripts/check.sh    # additionally smoke-runs the kernel
+#                               # microbenchmarks (short min-time) so the
+#                               # dispatch-pinned hot paths execute under
+#                               # whichever sanitizer the build uses
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -50,6 +56,20 @@ cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+# The datacenter-tax kernels select portable or hardware paths at runtime
+# (common/cpu.h). Re-run every kernel-facing suite with the policy pinned
+# each way: the bit-identity contract means both passes must be green on
+# any host, and under any sanitizer the surrounding build chose.
+KERNEL_TESTS=(kernel_dispatch_test checksum_test wire_test message_test
+              sha3_test compression_test fuzz_test)
+for dispatch in portable native; do
+  echo "== kernel suites with HYPERPROF_KERNEL_DISPATCH=$dispatch =="
+  for test in "${KERNEL_TESTS[@]}"; do
+    HYPERPROF_KERNEL_DISPATCH="$dispatch" "$BUILD_DIR/tests/$test" \
+      --gtest_brief=1
+  done
+done
+
 if [[ "${ASAN:-0}" != "0" ]]; then
   # Slot recycling, reservoir swaps, and interner string_view lifetimes get
   # a dedicated pass under ASan via the ingest micro-bench in smoke mode.
@@ -67,7 +87,20 @@ fi
 if [[ "${UBSAN:-0}" != "0" || "${FUZZ:-0}" != "0" ]]; then
   # Deterministic simulation fuzz: 100 fixed-seed scenarios, each run
   # serial, parallel, and replayed, with the full invariant catalogue.
+  # Native dispatch is forced so the hardware kernel paths run underneath
+  # the digest comparison — the digests are computed from simulated
+  # timings and must come out the same as under portable dispatch.
   # Reproduce a failure locally with:
   #   $BUILD_DIR/src/testing/simtest_fuzz --seeds 1 --base-seed <seed> --shrink
-  "$BUILD_DIR/src/testing/simtest_fuzz" --seeds 100 --base-seed 1 --probe-ms 10
+  HYPERPROF_KERNEL_DISPATCH=native \
+    "$BUILD_DIR/src/testing/simtest_fuzz" --seeds 100 --base-seed 1 --probe-ms 10
+fi
+
+if [[ "${BENCH:-0}" != "0" ]]; then
+  # Kernel micro-bench smoke: short min-time, kernel filter only. Not for
+  # numbers — it drives the SWAR/hardware hot paths (including both pinned
+  # dispatch modes via BM_Crc32cDispatch) under the build's sanitizers.
+  "$BUILD_DIR/bench/kernels_micro" \
+    --benchmark_filter='BM_(Crc32c|Varint|Sha3|Compress|MessageRoundTrip)' \
+    --benchmark_min_time=0.05
 fi

@@ -1,37 +1,130 @@
 #include "workloads/checksum.h"
 
 #include <array>
+#include <cstring>
+
+#include "common/cpu.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <nmmintrin.h>
+#define HYPERPROF_CRC_X86 1
+#endif
+
+#if defined(__aarch64__)
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC push_options
+#pragma GCC target("arch=armv8-a+crc")
+#define HYPERPROF_CRC_POP_OPTIONS 1
+#endif
+#include <arm_acle.h>
+#define HYPERPROF_CRC_AARCH64 1
+#endif
 
 namespace hyperprof::workloads {
 
 namespace {
 
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8: table[0] is the classic byte-at-a-time table; table[k]
+// advances a byte through k additional zero bytes, so eight table lookups
+// retire eight input bytes per step.
+using SliceTables = std::array<std::array<uint32_t, 256>, 8>;
+
+SliceTables BuildTables() {
+  SliceTables tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc & 1) ? (crc >> 1) ^ 0x82f63b78u : crc >> 1;
     }
-    table[i] = crc;
+    tables[0][i] = crc;
   }
-  return table;
+  for (size_t k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t prev = tables[k - 1][i];
+      tables[k][i] = tables[0][prev & 0xff] ^ (prev >> 8);
+    }
+  }
+  return tables;
 }
 
-const std::array<uint32_t, 256>& Table() {
-  static const std::array<uint32_t, 256> kTable = BuildTable();
-  return kTable;
+const SliceTables& Tables() {
+  static const SliceTables kTables = BuildTables();
+  return kTables;
+}
+
+// Running-state (no final complement) CRC extension, portable path.
+uint32_t ExtendPortable(uint32_t crc, const uint8_t* data, size_t size) {
+  const SliceTables& t = Tables();
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, data, 8);  // little-endian host assumed
+    word ^= crc;
+    crc = t[7][word & 0xff] ^ t[6][(word >> 8) & 0xff] ^
+          t[5][(word >> 16) & 0xff] ^ t[4][(word >> 24) & 0xff] ^
+          t[3][(word >> 32) & 0xff] ^ t[2][(word >> 40) & 0xff] ^
+          t[1][(word >> 48) & 0xff] ^ t[0][word >> 56];
+    data += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = t[0][(crc ^ *data++) & 0xff] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#if defined(HYPERPROF_CRC_X86)
+__attribute__((target("sse4.2"))) uint32_t ExtendHardware(uint32_t crc,
+                                                          const uint8_t* data,
+                                                          size_t size) {
+  uint64_t state = crc;
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, data, 8);
+    state = _mm_crc32_u64(state, word);
+    data += 8;
+    size -= 8;
+  }
+  uint32_t state32 = static_cast<uint32_t>(state);
+  while (size-- > 0) {
+    state32 = _mm_crc32_u8(state32, *data++);
+  }
+  return state32;
+}
+#elif defined(HYPERPROF_CRC_AARCH64)
+uint32_t ExtendHardware(uint32_t crc, const uint8_t* data, size_t size) {
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, data, 8);
+    crc = __crc32cd(crc, word);
+    data += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = __crc32cb(crc, *data++);
+  }
+  return crc;
+}
+#endif
+
+uint32_t ExtendDispatched(uint32_t crc, const uint8_t* data, size_t size) {
+#if defined(HYPERPROF_CRC_X86) || defined(HYPERPROF_CRC_AARCH64)
+  if (UseHardwareCrc32()) return ExtendHardware(crc, data, size);
+#endif
+  return ExtendPortable(crc, data, size);
 }
 
 }  // namespace
 
 uint32_t Crc32c(const uint8_t* data, size_t size, uint32_t seed) {
-  const auto& table = Table();
-  uint32_t crc = ~seed;
-  for (size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ data[i]) & 0xff] ^ (crc >> 8);
-  }
-  return ~crc;
+  return ~ExtendDispatched(~seed, data, size);
+}
+
+void Crc32cStream::Update(const uint8_t* data, size_t size) {
+  state_ = ExtendDispatched(state_, data, size);
 }
 
 }  // namespace hyperprof::workloads
+
+#if defined(HYPERPROF_CRC_POP_OPTIONS)
+#pragma GCC pop_options
+#endif

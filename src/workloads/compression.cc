@@ -31,6 +31,10 @@ bool GetVarint32(const uint8_t*& p, const uint8_t* end, uint32_t* value) {
   int shift = 0;
   while (p < end && shift < 35) {
     uint8_t byte = *p++;
+    // The 5th byte lands at shift 28: only its low 4 bits fit in 32 bits,
+    // and a set continuation bit would make the encoding 6+ bytes. Reject
+    // both instead of silently dropping the overflowing bits.
+    if (shift == 28 && byte > 0x0f) return false;
     result |= static_cast<uint32_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) {
       *value = result;
@@ -39,6 +43,32 @@ bool GetVarint32(const uint8_t*& p, const uint8_t* end, uint32_t* value) {
     shift += 7;
   }
   return false;
+}
+
+// Counts how many bytes starting at `dst` equal the bytes at `src`,
+// stopping at `limit`: eight bytes per comparison, with the first
+// differing byte located by count-trailing-zeros on the XOR (little-endian
+// host: low bits are earlier bytes).
+size_t ExtendMatch(const uint8_t* src, const uint8_t* dst,
+                   const uint8_t* limit) {
+  const uint8_t* start = dst;
+  while (dst + 8 <= limit) {
+    uint64_t s, d;
+    std::memcpy(&s, src, 8);
+    std::memcpy(&d, dst, 8);
+    uint64_t diff = s ^ d;
+    if (diff != 0) {
+      return static_cast<size_t>(dst - start) +
+             (static_cast<size_t>(__builtin_ctzll(diff)) >> 3);
+    }
+    src += 8;
+    dst += 8;
+  }
+  while (dst < limit && *src == *dst) {
+    ++src;
+    ++dst;
+  }
+  return static_cast<size_t>(dst - start);
 }
 
 void EmitLiteral(std::vector<uint8_t>& out, const uint8_t* data, size_t len) {
@@ -89,6 +119,11 @@ std::vector<uint8_t> LzCodec::Compress(const uint8_t* input, size_t size) {
   std::vector<uint32_t> table(kHashSize, 0xffffffffu);
   size_t pos = 0;
   size_t literal_start = 0;
+  // Skip-ahead heuristic for incompressible input (as in the production
+  // fast-path compressors): every 32 consecutive probe misses the stride
+  // grows by one byte, so pure noise degrades toward memcpy speed instead
+  // of paying a hash probe per byte. Any hit resets the stride.
+  size_t skip = 32;
 
   while (pos + kMinMatch <= size) {
     uint32_t h = HashFour(input + pos);
@@ -97,12 +132,11 @@ std::vector<uint8_t> LzCodec::Compress(const uint8_t* input, size_t size) {
     if (candidate != 0xffffffffu && candidate < pos &&
         pos - candidate < 65536 &&
         std::memcmp(input + candidate, input + pos, kMinMatch) == 0) {
-      // Extend the match.
-      size_t match_len = kMinMatch;
-      while (pos + match_len < size &&
-             input[candidate + match_len] == input[pos + match_len]) {
-        ++match_len;
-      }
+      skip = 32;
+      // Extend the match 8 bytes at a time.
+      size_t match_len =
+          kMinMatch + ExtendMatch(input + candidate + kMinMatch,
+                                  input + pos + kMinMatch, input + size);
       if (pos > literal_start) {
         EmitLiteral(out, input + literal_start, pos - literal_start);
       }
@@ -116,7 +150,7 @@ std::vector<uint8_t> LzCodec::Compress(const uint8_t* input, size_t size) {
       pos += match_len;
       literal_start = pos;
     } else {
-      ++pos;
+      pos += skip++ >> 5;
     }
   }
   if (size > literal_start) {

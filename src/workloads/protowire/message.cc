@@ -150,7 +150,44 @@ size_t Message::ByteSize() const {
   return total;
 }
 
+size_t Message::ComputeSizes(std::vector<size_t>& sizes) const {
+  size_t my_index = sizes.size();
+  sizes.push_back(0);
+  size_t total = 0;
+  for (const auto& slot : slots_) {
+    const FieldDescriptor* field = descriptor_->FindField(slot.number);
+    assert(field != nullptr);
+    for (const auto& value : slot.values) {
+      if (field->type == FieldType::kMessage) {
+        size_t tag = VarintSize(static_cast<uint64_t>(field->number) << 3);
+        size_t payload =
+            std::get<std::unique_ptr<Message>>(value)->ComputeSizes(sizes);
+        total += tag + VarintSize(payload) + payload;
+      } else {
+        total += ValueWireSize(*field, value);
+      }
+    }
+  }
+  sizes[my_index] = total;
+  return total;
+}
+
 void Message::SerializeTo(WireBuffer& out) const {
+  // Reused scratch: SerializeWithSizes recurses into itself, never back
+  // into SerializeTo, so one per-thread vector serves the whole tree and
+  // steady-state serialization does not allocate for sizes.
+  thread_local std::vector<size_t> sizes;
+  sizes.clear();
+  size_t total = ComputeSizes(sizes);
+  out.reserve(out.size() + total);
+  size_t cursor = 0;
+  SerializeWithSizes(out, sizes, cursor);
+}
+
+void Message::SerializeWithSizes(WireBuffer& out,
+                                 const std::vector<size_t>& sizes,
+                                 size_t& cursor) const {
+  ++cursor;  // past this message's own entry
   for (const auto& slot : slots_) {
     const FieldDescriptor* field = descriptor_->FindField(slot.number);
     assert(field != nullptr);
@@ -192,8 +229,8 @@ void Message::SerializeTo(WireBuffer& out) const {
         case FieldType::kMessage: {
           const Message& nested = *std::get<std::unique_ptr<Message>>(value);
           PutTag(out, field->number, WireType::kLengthDelimited);
-          PutVarint(out, nested.ByteSize());
-          nested.SerializeTo(out);
+          PutVarint(out, sizes[cursor]);  // nested total, preorder position
+          nested.SerializeWithSizes(out, sizes, cursor);
           break;
         }
       }
@@ -203,7 +240,6 @@ void Message::SerializeTo(WireBuffer& out) const {
 
 WireBuffer Message::Serialize() const {
   WireBuffer out;
-  out.reserve(ByteSize());
   SerializeTo(out);
   return out;
 }

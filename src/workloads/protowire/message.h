@@ -87,7 +87,11 @@ class Message {
   /** Serialized wire size in bytes (computed, not cached). */
   size_t ByteSize() const;
 
-  /** Appends the wire encoding of this message to `out`. */
+  /**
+   * Appends the wire encoding of this message to `out`. Sizes of the whole
+   * tree are precomputed in one pass and the buffer is grown once, so
+   * nested length prefixes never recompute their subtree's ByteSize.
+   */
   void SerializeTo(WireBuffer& out) const;
 
   /** Serializes into a fresh buffer. */
@@ -116,6 +120,14 @@ class Message {
   FieldSlot* FindSlot(uint32_t number);
   const FieldSlot* FindSlot(uint32_t number) const;
   FieldSlot& SlotFor(uint32_t number);
+
+  // Preorder byte-size computation: appends this message's total wire size
+  // followed by every nested message's (depth-first, serialization order),
+  // and returns this message's total. SerializeWithSizes consumes the same
+  // vector with a cursor instead of re-deriving sizes per nesting level.
+  size_t ComputeSizes(std::vector<size_t>& sizes) const;
+  void SerializeWithSizes(WireBuffer& out, const std::vector<size_t>& sizes,
+                          size_t& cursor) const;
 
   const Descriptor* descriptor_;
   std::vector<FieldSlot> slots_;

@@ -5,11 +5,31 @@
 namespace hyperprof::protowire {
 
 void PutVarint(WireBuffer& out, uint64_t value) {
-  while (value >= 0x80) {
-    out.push_back(static_cast<uint8_t>(value) | 0x80);
-    value >>= 7;
+  // Size the encoding up front (branchless, via VarintSize's bit scan) and
+  // grow the buffer once; per-byte push_back pays a capacity check and a
+  // size bump for every 7 bits.
+  size_t length = VarintSize(value);
+  size_t old_size = out.size();
+  out.resize(old_size + length);
+  if (length <= 8) {
+    // Branchless fast path for values below 2^56: spread the 7-bit groups
+    // across byte lanes with three SWAR deposit steps, OR in the
+    // continuation bits for all but the last byte, and store the encoded
+    // bytes with a single length-wide copy — no per-byte shift chain.
+    uint64_t x = value;
+    x = (x & 0x000000000fffffffull) | ((x & 0x00fffffff0000000ull) << 4);
+    x = (x & 0x00003fff00003fffull) | ((x & 0x0fffc0000fffc000ull) << 2);
+    x = (x & 0x007f007f007f007full) | ((x & 0x3f803f803f803f80ull) << 1);
+    x |= 0x8080808080808080ull & ((1ull << (8 * (length - 1))) - 1);
+    std::memcpy(out.data() + old_size, &x, length);  // little-endian host
+  } else {
+    uint8_t* p = out.data() + old_size;
+    for (size_t i = 1; i < length; ++i) {
+      *p++ = static_cast<uint8_t>(value) | 0x80;
+      value >>= 7;
+    }
+    *p = static_cast<uint8_t>(value);
   }
-  out.push_back(static_cast<uint8_t>(value));
 }
 
 uint64_t ZigZagEncode(int64_t value) {
@@ -26,15 +46,15 @@ void PutSignedVarint(WireBuffer& out, int64_t value) {
 }
 
 void PutFixed32(WireBuffer& out, uint32_t value) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
-  }
+  size_t old_size = out.size();
+  out.resize(old_size + 4);
+  std::memcpy(out.data() + old_size, &value, 4);  // little-endian host
 }
 
 void PutFixed64(WireBuffer& out, uint64_t value) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
-  }
+  size_t old_size = out.size();
+  out.resize(old_size + 8);
+  std::memcpy(out.data() + old_size, &value, 8);  // little-endian host
 }
 
 void PutTag(WireBuffer& out, uint32_t field_number, WireType type) {
@@ -53,20 +73,70 @@ void PutLengthDelimited(WireBuffer& out, const std::string& data) {
 }
 
 size_t VarintSize(uint64_t value) {
-  size_t size = 1;
-  while (value >= 0x80) {
-    value >>= 7;
-    ++size;
-  }
-  return size;
+  // ceil(bits/7) without a loop: highest set bit via clz (value|1 keeps
+  // the scan defined for zero), then the protobuf (log2*9 + 73)/64 trick.
+  uint32_t log2 = 63u ^ static_cast<uint32_t>(__builtin_clzll(value | 1));
+  return (log2 * 9 + 73) / 64;
 }
 
 bool WireReader::GetVarint(uint64_t* value) {
+  const uint8_t* p = data_ + pos_;
+  size_t available = size_ - pos_;
+  if (available >= 8) {
+    // Word-at-a-time fast path: one load covers every varint of up to 8
+    // bytes (values below 2^56). The terminating byte (clear continuation
+    // bit) is located with a count-trailing-zeros, the word is masked to
+    // the encoding's bytes, and the 7-bit groups are compacted with three
+    // branchless SWAR folds — no per-byte loads, shifts, or branches.
+    uint64_t word;
+    std::memcpy(&word, p, 8);  // little-endian host assumed
+    uint64_t stops = ~word & 0x8080808080808080ull;
+    uint64_t x = word & 0x7f7f7f7f7f7f7f7full;
+    if (stops != 0) {
+      // stops ^ (stops - 1) keeps every bit up to and including the
+      // terminator byte's top bit: a mask of exactly `length` bytes.
+      x &= stops ^ (stops - 1);
+    }
+    x = ((x & 0x7f007f007f007f00ull) >> 1) | (x & 0x007f007f007f007full);
+    x = ((x & 0x3fff00003fff0000ull) >> 2) | (x & 0x00003fff00003fffull);
+    x = ((x & 0x0fffffff00000000ull) >> 4) | (x & 0x000000000fffffffull);
+    if (stops != 0) {
+      pos_ += (static_cast<size_t>(__builtin_ctzll(stops)) >> 3) + 1;
+      *value = x;
+      return true;
+    }
+    // All eight loaded bytes were continuations: a 9- or 10-byte varint
+    // (or garbage). `x` already folds the low 56 bits.
+    if (available >= 9) {
+      uint8_t byte8 = p[8];
+      if (byte8 < 0x80) {
+        pos_ += 9;
+        *value = x | (static_cast<uint64_t>(byte8) << 56);
+        return true;
+      }
+      if (available >= 10) {
+        uint8_t byte9 = p[9];
+        // The 10th byte may only contribute its lowest bit (shift 63);
+        // a larger payload overflows uint64 and a set continuation bit
+        // would mean an 11-byte encoding — both are rejected rather than
+        // silently truncated.
+        if (byte9 <= 1) {
+          pos_ += 10;
+          *value = x | (static_cast<uint64_t>(byte8 & 0x7f) << 56) |
+                   (static_cast<uint64_t>(byte9) << 63);
+          return true;
+        }
+      }
+    }
+    return false;  // overflowing, >10 bytes, or truncated
+  }
+  // Tail path: fewer than 8 bytes left in the buffer. Same accept/reject
+  // rules as above (the 10-byte bound is unreachable here).
   uint64_t result = 0;
   int shift = 0;
   while (pos_ < size_) {
     uint8_t byte = data_[pos_++];
-    if (shift >= 64) return false;  // overlong encoding
+    if (shift == 63 && byte > 1) return false;  // overflow or >10 bytes
     result |= static_cast<uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) {
       *value = result;

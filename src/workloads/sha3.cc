@@ -21,17 +21,8 @@ constexpr uint64_t kRoundConstants[kRounds] = {
     0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
 };
 
-// Rotation offsets for the rho step, indexed [x][y].
-constexpr int kRho[5][5] = {
-    {0, 36, 3, 41, 18},
-    {1, 44, 10, 45, 2},
-    {62, 6, 43, 15, 61},
-    {28, 55, 25, 21, 56},
-    {27, 20, 39, 8, 14},
-};
-
 uint64_t Rotl64(uint64_t v, int k) {
-  return k == 0 ? v : (v << k) | (v >> (64 - k));
+  return (v << k) | (v >> (64 - k));
 }
 
 }  // namespace
@@ -41,61 +32,131 @@ Sha3_256::Sha3_256() : buffer_fill_(0), finished_(false) {
   buffer_.fill(0);
 }
 
+// Keccak-f[1600] with the 25 lanes held in locals (aXY = lane x=X, y=Y),
+// the x/y loops fully unrolled, and the rho/pi permutation flattened into
+// 25 constant-rotation assignments. The modular index arithmetic and the
+// in-memory b[25] scratch of the textbook formulation are gone; each round
+// is straight-line code over registers.
 void Sha3_256::KeccakF() {
-  auto& a = state_;  // a[x + 5*y]
+  uint64_t a00 = state_[0], a10 = state_[1], a20 = state_[2],
+           a30 = state_[3], a40 = state_[4];
+  uint64_t a01 = state_[5], a11 = state_[6], a21 = state_[7],
+           a31 = state_[8], a41 = state_[9];
+  uint64_t a02 = state_[10], a12 = state_[11], a22 = state_[12],
+           a32 = state_[13], a42 = state_[14];
+  uint64_t a03 = state_[15], a13 = state_[16], a23 = state_[17],
+           a33 = state_[18], a43 = state_[19];
+  uint64_t a04 = state_[20], a14 = state_[21], a24 = state_[22],
+           a34 = state_[23], a44 = state_[24];
   for (int round = 0; round < kRounds; ++round) {
     // Theta.
-    uint64_t c[5];
-    for (int x = 0; x < 5; ++x) {
-      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
-    }
-    uint64_t d[5];
-    for (int x = 0; x < 5; ++x) {
-      d[x] = c[(x + 4) % 5] ^ Rotl64(c[(x + 1) % 5], 1);
-    }
-    for (int x = 0; x < 5; ++x) {
-      for (int y = 0; y < 5; ++y) {
-        a[x + 5 * y] ^= d[x];
-      }
-    }
-    // Rho + Pi.
-    uint64_t b[25];
-    for (int x = 0; x < 5; ++x) {
-      for (int y = 0; y < 5; ++y) {
-        b[y + 5 * ((2 * x + 3 * y) % 5)] = Rotl64(a[x + 5 * y], kRho[x][y]);
-      }
-    }
+    uint64_t c0 = a00 ^ a01 ^ a02 ^ a03 ^ a04;
+    uint64_t c1 = a10 ^ a11 ^ a12 ^ a13 ^ a14;
+    uint64_t c2 = a20 ^ a21 ^ a22 ^ a23 ^ a24;
+    uint64_t c3 = a30 ^ a31 ^ a32 ^ a33 ^ a34;
+    uint64_t c4 = a40 ^ a41 ^ a42 ^ a43 ^ a44;
+    uint64_t d0 = c4 ^ Rotl64(c1, 1);
+    uint64_t d1 = c0 ^ Rotl64(c2, 1);
+    uint64_t d2 = c1 ^ Rotl64(c3, 1);
+    uint64_t d3 = c2 ^ Rotl64(c4, 1);
+    uint64_t d4 = c3 ^ Rotl64(c0, 1);
+    a00 ^= d0; a10 ^= d1; a20 ^= d2; a30 ^= d3; a40 ^= d4;
+    a01 ^= d0; a11 ^= d1; a21 ^= d2; a31 ^= d3; a41 ^= d4;
+    a02 ^= d0; a12 ^= d1; a22 ^= d2; a32 ^= d3; a42 ^= d4;
+    a03 ^= d0; a13 ^= d1; a23 ^= d2; a33 ^= d3; a43 ^= d4;
+    a04 ^= d0; a14 ^= d1; a24 ^= d2; a34 ^= d3; a44 ^= d4;
+    // Rho + Pi: b[y][(2x+3y)%5] = rotl(a[x][y], rho[x][y]).
+    uint64_t b00 = a00;
+    uint64_t b13 = Rotl64(a01, 36);
+    uint64_t b21 = Rotl64(a02, 3);
+    uint64_t b34 = Rotl64(a03, 41);
+    uint64_t b42 = Rotl64(a04, 18);
+    uint64_t b02 = Rotl64(a10, 1);
+    uint64_t b10 = Rotl64(a11, 44);
+    uint64_t b23 = Rotl64(a12, 10);
+    uint64_t b31 = Rotl64(a13, 45);
+    uint64_t b44 = Rotl64(a14, 2);
+    uint64_t b04 = Rotl64(a20, 62);
+    uint64_t b12 = Rotl64(a21, 6);
+    uint64_t b20 = Rotl64(a22, 43);
+    uint64_t b33 = Rotl64(a23, 15);
+    uint64_t b41 = Rotl64(a24, 61);
+    uint64_t b01 = Rotl64(a30, 28);
+    uint64_t b14 = Rotl64(a31, 55);
+    uint64_t b22 = Rotl64(a32, 25);
+    uint64_t b30 = Rotl64(a33, 21);
+    uint64_t b43 = Rotl64(a34, 56);
+    uint64_t b03 = Rotl64(a40, 27);
+    uint64_t b11 = Rotl64(a41, 20);
+    uint64_t b24 = Rotl64(a42, 39);
+    uint64_t b32 = Rotl64(a43, 8);
+    uint64_t b40 = Rotl64(a44, 14);
     // Chi.
-    for (int x = 0; x < 5; ++x) {
-      for (int y = 0; y < 5; ++y) {
-        a[x + 5 * y] =
-            b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
-      }
-    }
+    a00 = b00 ^ (~b10 & b20); a10 = b10 ^ (~b20 & b30);
+    a20 = b20 ^ (~b30 & b40); a30 = b30 ^ (~b40 & b00);
+    a40 = b40 ^ (~b00 & b10);
+    a01 = b01 ^ (~b11 & b21); a11 = b11 ^ (~b21 & b31);
+    a21 = b21 ^ (~b31 & b41); a31 = b31 ^ (~b41 & b01);
+    a41 = b41 ^ (~b01 & b11);
+    a02 = b02 ^ (~b12 & b22); a12 = b12 ^ (~b22 & b32);
+    a22 = b22 ^ (~b32 & b42); a32 = b32 ^ (~b42 & b02);
+    a42 = b42 ^ (~b02 & b12);
+    a03 = b03 ^ (~b13 & b23); a13 = b13 ^ (~b23 & b33);
+    a23 = b23 ^ (~b33 & b43); a33 = b33 ^ (~b43 & b03);
+    a43 = b43 ^ (~b03 & b13);
+    a04 = b04 ^ (~b14 & b24); a14 = b14 ^ (~b24 & b34);
+    a24 = b24 ^ (~b34 & b44); a34 = b34 ^ (~b44 & b04);
+    a44 = b44 ^ (~b04 & b14);
     // Iota.
-    a[0] ^= kRoundConstants[round];
+    a00 ^= kRoundConstants[round];
   }
+  state_[0] = a00; state_[1] = a10; state_[2] = a20;
+  state_[3] = a30; state_[4] = a40;
+  state_[5] = a01; state_[6] = a11; state_[7] = a21;
+  state_[8] = a31; state_[9] = a41;
+  state_[10] = a02; state_[11] = a12; state_[12] = a22;
+  state_[13] = a32; state_[14] = a42;
+  state_[15] = a03; state_[16] = a13; state_[17] = a23;
+  state_[18] = a33; state_[19] = a43;
+  state_[20] = a04; state_[21] = a14; state_[22] = a24;
+  state_[23] = a34; state_[24] = a44;
 }
 
-void Sha3_256::Absorb() {
+void Sha3_256::AbsorbBlock(const uint8_t* block) {
   for (size_t i = 0; i < kRateBytes / 8; ++i) {
     uint64_t lane;
-    std::memcpy(&lane, buffer_.data() + 8 * i, 8);
+    std::memcpy(&lane, block + 8 * i, 8);
     state_[i] ^= lane;  // little-endian host assumed
   }
   KeccakF();
+}
+
+void Sha3_256::Absorb() {
+  AbsorbBlock(buffer_.data());
   buffer_fill_ = 0;
 }
 
 void Sha3_256::Update(const uint8_t* data, size_t size) {
   assert(!finished_);
-  while (size > 0) {
+  // Top up a partially-filled buffer first.
+  if (buffer_fill_ > 0) {
     size_t take = std::min(size, kRateBytes - buffer_fill_);
     std::memcpy(buffer_.data() + buffer_fill_, data, take);
     buffer_fill_ += take;
     data += take;
     size -= take;
     if (buffer_fill_ == kRateBytes) Absorb();
+  }
+  // Full rate blocks are absorbed straight from the input, skipping the
+  // staging copy.
+  while (size >= kRateBytes) {
+    AbsorbBlock(data);
+    data += kRateBytes;
+    size -= kRateBytes;
+  }
+  if (size > 0) {
+    std::memcpy(buffer_.data(), data, size);
+    buffer_fill_ = size;
   }
 }
 

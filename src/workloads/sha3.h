@@ -46,6 +46,7 @@ class Sha3_256 {
 
  private:
   void Absorb();
+  void AbsorbBlock(const uint8_t* block);
   void KeccakF();
 
   std::array<uint64_t, 25> state_;

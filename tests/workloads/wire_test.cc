@@ -76,6 +76,55 @@ TEST(VarintTest, TruncatedInputFails) {
   EXPECT_FALSE(reader.GetVarint(&value));
 }
 
+TEST(VarintTest, RejectsOverflowingTenByteEncoding) {
+  // Ten continuation-free bytes where the 10th carries more than the single
+  // bit that fits at shift 63: accepting it would silently drop high bits.
+  for (uint8_t tenth : {0x02, 0x7f, 0x40}) {
+    WireBuffer bad(9, 0x80);
+    bad.push_back(tenth);
+    WireReader reader(bad);
+    uint64_t value;
+    EXPECT_FALSE(reader.GetVarint(&value))
+        << "tenth=" << static_cast<int>(tenth);
+  }
+}
+
+TEST(VarintTest, RejectsElevenByteEncoding) {
+  // 10th byte keeps the continuation bit set: no valid uint64 varint is
+  // longer than 10 bytes.
+  WireBuffer bad(10, 0x80);
+  bad.push_back(0x00);
+  WireReader reader(bad);
+  uint64_t value;
+  EXPECT_FALSE(reader.GetVarint(&value));
+}
+
+TEST(VarintTest, TailPathRejectsTruncation) {
+  // With fewer than 8 readable bytes the decoder takes its byte-at-a-time
+  // tail path; an unterminated encoding there must fail, not read past the
+  // end. Cover every short length.
+  for (size_t len = 1; len <= 7; ++len) {
+    WireBuffer bad(len, 0x80);  // all continuation bits set
+    WireReader reader(bad);
+    uint64_t value;
+    EXPECT_FALSE(reader.GetVarint(&value)) << "len=" << len;
+  }
+}
+
+TEST(VarintTest, TenByteBoundaryValuesDecode) {
+  // Largest valid encodings: max uint64 and the smallest 10-byte value.
+  for (uint64_t value : {~0ull, 1ull << 63}) {
+    WireBuffer out;
+    PutVarint(out, value);
+    ASSERT_EQ(out.size(), 10u);
+    uint64_t decoded;
+    WireReader reader(out);
+    ASSERT_TRUE(reader.GetVarint(&decoded));
+    EXPECT_EQ(decoded, value);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
 TEST(ZigZagTest, KnownValues) {
   EXPECT_EQ(ZigZagEncode(0), 0u);
   EXPECT_EQ(ZigZagEncode(-1), 1u);
