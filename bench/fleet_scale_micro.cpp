@@ -1,0 +1,218 @@
+// Microbenchmark of intra-platform fleet sharding (DESIGN.md §13): one
+// compute-heavy platform swept across worker-kernel counts {1, 2, 4, 8}.
+// Reports aggregate simulated events per wall-clock second, the speedup
+// over the single-kernel baseline, and the bit-identity of the recovered
+// results across the sweep — the whole point of the epoch-barrier design
+// is that the shard count buys wall-clock without moving a single output
+// bit. A second section scales the modeled worker fleet 30x and reports
+// simulation-state bytes per simulated worker, the capacity story toward
+// 100k-worker runs. Trajectory tracked via BENCH_fleet_scale.json.
+//
+// Usage: fleet_scale_micro [out.json] [--smoke]
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "platforms/fleet.h"
+
+using namespace hyperprof;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct SweepPoint {
+  uint32_t shards = 0;
+  uint64_t events = 0;
+  double seconds = 0;
+  double events_per_sec = 0;
+  double speedup = 0;  // vs the 1-shard baseline
+  // Result fingerprint, compared bitwise across the sweep.
+  uint64_t queries_completed = 0;
+  double overall_cpu_seconds = 0;
+  double bench_total_seconds = 0;  // e2e time folded over every group
+};
+
+/**
+ * The benchmark platform: compute-dominated queries (a 2ms and a 1ms
+ * phase, decomposed into 50us activities, so each query is dozens of
+ * worker-kernel events) around a single small storage read that keeps the
+ * cross-shard fabric honest without making the shared storage kernel the
+ * bottleneck.
+ */
+platforms::PlatformSpec BenchSpec() {
+  platforms::PlatformSpec spec;
+  spec.name = "shardbench";
+  spec.activity_mean_seconds = 50e-6;
+  spec.worker_cores = 0;  // sharded engines require the infinite-cores model
+  spec.block_space = 1 << 14;
+  for (size_t c = 0; c < profiling::kNumFnCategories; ++c) {
+    spec.compute_mix[c] = 1.0;
+  }
+
+  platforms::QueryTypeSpec query;
+  query.name = "scan";
+  query.phases.push_back(platforms::PhaseSpec::Compute(0.002));
+  platforms::IoPhaseSpec io;
+  io.num_blocks = 1;
+  io.block_bytes = 64 << 10;
+  query.phases.push_back(platforms::PhaseSpec::Io(io));
+  query.phases.push_back(platforms::PhaseSpec::Compute(0.001));
+  spec.query_types.push_back(std::move(query));
+  return spec;
+}
+
+platforms::FleetConfig BenchConfig(uint64_t queries, uint32_t shards,
+                                   uint32_t worker_hosts) {
+  platforms::FleetConfig config;
+  config.queries_per_platform = queries;
+  config.arrival_rate_qps = 50000;  // heavy overlap: many queries per epoch
+  config.trace_sample_one_in = 10;
+  config.seed = 42;
+  config.parallelism = 0;  // epoch jobs on the hardware-default pool
+  config.shards_per_platform = shards;
+  config.shard_window = SimTime::Micros(500);
+  config.worker_hosts = worker_hosts;
+  return config;
+}
+
+SweepPoint RunSweepPoint(uint64_t queries, uint32_t shards, int repeats) {
+  SweepPoint point;
+  point.shards = shards;
+  for (int pass = 0; pass < repeats; ++pass) {
+    platforms::FleetSimulation fleet(BenchConfig(queries, shards,
+                                                 /*worker_hosts=*/64));
+    fleet.AddPlatform(BenchSpec());
+    auto begin = Clock::now();
+    fleet.RunAll();
+    double elapsed =
+        std::chrono::duration<double>(Clock::now() - begin).count();
+    if (pass == 0 || elapsed < point.seconds) {
+      point.seconds = elapsed;
+      point.events = fleet.total_events_executed();
+    }
+    platforms::PlatformResult result = fleet.Result(0);
+    point.queries_completed = result.queries_completed;
+    point.overall_cpu_seconds = result.e2e.overall.time.cpu;
+    point.bench_total_seconds = result.e2e.overall.time.cpu +
+                                result.e2e.overall.time.io +
+                                result.e2e.overall.time.remote;
+  }
+  point.events_per_sec =
+      point.seconds > 0 ? static_cast<double>(point.events) / point.seconds
+                        : 0;
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_fleet_scale.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  const uint64_t queries = smoke ? 600 : 20000;
+  const int repeats = smoke ? 1 : 2;
+  const uint32_t shard_counts[] = {1, 2, 4, 8};
+  const unsigned host_cores = std::thread::hardware_concurrency();
+
+  std::printf("=== Fleet Sharding Scaling Microbenchmark ===\n");
+  std::printf("%llu queries, shard sweep {1,2,4,8}, best of %d passes, "
+              "%u host cores.\n",
+              static_cast<unsigned long long>(queries), repeats, host_cores);
+  std::printf("Wall-clock speedup is capped by min(shards + 1, host "
+              "cores); bit-identity never is.\n\n");
+
+  std::vector<SweepPoint> sweep;
+  for (uint32_t shards : shard_counts) {
+    sweep.push_back(RunSweepPoint(queries, shards, repeats));
+    SweepPoint& point = sweep.back();
+    point.speedup = sweep.front().seconds > 0 && point.seconds > 0
+                        ? sweep.front().seconds / point.seconds
+                        : 0;
+  }
+
+  // The determinism contract, asserted right here in the bench: every
+  // shard count recovered the same results, bit for bit.
+  bool identical = true;
+  for (const SweepPoint& point : sweep) {
+    identical = identical &&
+                point.queries_completed == sweep.front().queries_completed &&
+                point.overall_cpu_seconds == sweep.front().overall_cpu_seconds &&
+                point.bench_total_seconds == sweep.front().bench_total_seconds;
+  }
+
+  TextTable table({"Shards", "Events", "Seconds", "Events/sec", "Speedup"});
+  for (const SweepPoint& point : sweep) {
+    table.AddRow({StrFormat("%u", point.shards),
+                  StrFormat("%llu",
+                            static_cast<unsigned long long>(point.events)),
+                  StrFormat("%.3f", point.seconds),
+                  StrFormat("%.2fM", point.events_per_sec / 1e6),
+                  StrFormat("%.2fx", point.speedup)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("results bit-identical across shard counts: %s\n\n",
+              identical ? "yes" : "NO (BUG)");
+
+  // Capacity: a 30x larger modeled worker fleet on 8 kernels. Memory here
+  // is reserved simulation state (event heaps, open traces, samples), the
+  // quantity that bounds how far worker_hosts can scale.
+  const uint32_t big_hosts = 1920;  // 4 clusters x 1920 = 7680 workers
+  platforms::FleetSimulation big(
+      BenchConfig(smoke ? 300 : 2000, /*shards=*/8, big_hosts));
+  big.AddPlatform(BenchSpec());
+  big.RunAll();
+  platforms::FleetMemoryStats memory = big.MemoryStats();
+  std::printf("fleet of %llu simulated workers: %.1f MiB state, "
+              "%.0f bytes/worker\n",
+              static_cast<unsigned long long>(memory.simulated_workers),
+              static_cast<double>(memory.total_bytes) / (1 << 20),
+              memory.bytes_per_worker);
+
+  std::FILE* file = std::fopen(json_path, "w");
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(file,
+               "{\n  \"benchmark\": \"fleet_scale\",\n"
+               "  \"host_cores\": %u,\n"
+               "  \"bit_identical\": %s,\n  \"results\": [\n",
+               host_cores, identical ? "true" : "false");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& point = sweep[i];
+    std::fprintf(file,
+                 "    {\"shards\": %u, \"events\": %llu, "
+                 "\"seconds\": %.6f, \"events_per_sec\": %.0f, "
+                 "\"speedup_vs_1\": %.3f}%s\n",
+                 point.shards,
+                 static_cast<unsigned long long>(point.events),
+                 point.seconds, point.events_per_sec,
+                 point.speedup, i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(file,
+               "  ],\n  \"memory\": {\"worker_hosts\": %u, "
+               "\"simulated_workers\": %llu, \"total_bytes\": %llu, "
+               "\"bytes_per_worker\": %.1f}\n}\n",
+               big_hosts,
+               static_cast<unsigned long long>(memory.simulated_workers),
+               static_cast<unsigned long long>(memory.total_bytes),
+               memory.bytes_per_worker);
+  std::fclose(file);
+  std::printf("wrote %s\n", json_path);
+  return identical ? 0 : 1;
+}

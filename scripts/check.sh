@@ -23,9 +23,17 @@
 #                               # build the other flags selected, with
 #                               # native kernel dispatch forced (digests
 #                               # must not depend on the dispatch policy)
+#   SHARDS=N scripts/check.sh   # additionally re-runs the simtest fuzz
+#                               # block with every scenario forced to N
+#                               # worker kernels per platform (N=0 forces
+#                               # the fused path), pinning the sharded
+#                               # determinism contract — under TSan this
+#                               # sweeps the epoch-barrier fabric for races
 #   BENCH=1 scripts/check.sh    # additionally smoke-runs the kernel
-#                               # microbenchmarks (short min-time) so the
-#                               # dispatch-pinned hot paths execute under
+#                               # microbenchmarks (short min-time) and the
+#                               # fleet sharding scaling bench so the
+#                               # dispatch-pinned hot paths and the
+#                               # multi-kernel epoch loop execute under
 #                               # whichever sanitizer the build uses
 set -euo pipefail
 
@@ -96,6 +104,15 @@ if [[ "${UBSAN:-0}" != "0" || "${FUZZ:-0}" != "0" ]]; then
     "$BUILD_DIR/src/testing/simtest_fuzz" --seeds 100 --base-seed 1 --probe-ms 10
 fi
 
+if [[ -n "${SHARDS:-}" ]]; then
+  # Sharded-determinism fuzz: the same fixed-seed block with every
+  # scenario's shard count overridden. Each seed still runs serial,
+  # parallel, and replayed, so shard-count bit-identity and the
+  # shard-exchange invariant get swept under the build's sanitizers.
+  "$BUILD_DIR/src/testing/simtest_fuzz" --seeds 50 --base-seed 1 \
+    --probe-ms 10 --shards "$SHARDS"
+fi
+
 if [[ "${BENCH:-0}" != "0" ]]; then
   # Kernel micro-bench smoke: short min-time, kernel filter only. Not for
   # numbers — it drives the SWAR/hardware hot paths (including both pinned
@@ -103,4 +120,7 @@ if [[ "${BENCH:-0}" != "0" ]]; then
   "$BUILD_DIR/bench/kernels_micro" \
     --benchmark_filter='BM_(Crc32c|Varint|Sha3|Compress|MessageRoundTrip)' \
     --benchmark_min_time=0.05
+  # Fleet sharding scaling bench in smoke mode: drives the concurrent
+  # epoch loop, the cross-kernel fabric, and the trace/profiler merge.
+  "$BUILD_DIR/bench/fleet_scale_micro" /tmp/fleet_scale_smoke.json --smoke
 fi

@@ -2,6 +2,7 @@
 #define HYPERPROF_COMMON_SIM_TIME_H_
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 namespace hyperprof {
@@ -28,6 +29,8 @@ class SimTime {
   static constexpr SimTime Seconds(int64_t v) {
     return SimTime(v * 1000 * 1000 * 1000);
   }
+  /** Sentinel beyond any reachable timestamp ("no event" / "never"). */
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
 
   /** Converts a floating-point second count, rounding to the nearest tick. */
   static SimTime FromSeconds(double seconds) {

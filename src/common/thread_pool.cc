@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -41,9 +42,20 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     futures.push_back(Submit([&fn, i] { fn(i); }));
   }
   // Wait for everything before rethrowing so no job references a dead
-  // stack frame.
+  // stack frame. While a future is unresolved, help-run queued tasks:
+  // when this ParallelFor was issued from inside a pool worker, parking
+  // that worker would starve its own sub-jobs once the pool is at
+  // capacity. A job that leaves the queue is running (or done) on some
+  // thread, so blocking on the future is safe once the queue is empty.
   std::exception_ptr first_error;
   for (std::future<void>& future : futures) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!TryRunOneQueued()) {
+        future.wait();
+        break;
+      }
+    }
     try {
       future.get();
     } catch (...) {
@@ -51,6 +63,18 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+bool ThreadPool::TryRunOneQueued() {
+  std::packaged_task<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();  // packaged_task captures any exception into the future
+  return true;
 }
 
 size_t ThreadPool::ResolveParallelism(size_t parallelism) {

@@ -46,6 +46,11 @@ class ThreadPool {
   /**
    * Runs fn(0..n-1) across the pool and blocks until all complete.
    * Rethrows the first (lowest-index) exception after every job finished.
+   *
+   * Safe to call from inside a pool worker: while any job is unfinished
+   * the caller help-runs queued tasks instead of parking, so a nested
+   * ParallelFor (e.g. a platform job fanning out shard epochs) cannot
+   * deadlock a pool that is at capacity.
    */
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
@@ -57,6 +62,8 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+  /** Pops and runs one queued task if any; returns false when idle. */
+  bool TryRunOneQueued();
 
   std::mutex mutex_;
   std::condition_variable wake_;

@@ -94,6 +94,7 @@ void PaxosGroup::StartAttempt(std::shared_ptr<ProposerRun> run) {
     options.method = "paxos.Prepare";
     options.request_bytes = params_.message_bytes;
     options.response_bytes = params_.message_bytes;
+    if (params_.private_rpc_draws) options.rng = &rng_;
     rpc_->Call(
         run->node, acceptor_nodes_[i], options,
         [this, i, ballot, reply](std::function<void()> respond) {
@@ -168,6 +169,7 @@ void PaxosGroup::RunPhase2(std::shared_ptr<ProposerRun> run, uint64_t ballot,
     options.method = "paxos.Accept";
     options.request_bytes = params_.message_bytes;
     options.response_bytes = 128;
+    if (params_.private_rpc_draws) options.rng = &rng_;
     rpc_->Call(
         run->node, acceptor_nodes_[i], options,
         [this, i, ballot, proposed, reply](std::function<void()> respond) {

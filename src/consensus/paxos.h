@@ -62,6 +62,10 @@ struct PaxosParams {
   SimTime retry_backoff = SimTime::Micros(300);
   int max_attempts = 32;
   uint64_t message_bytes = 512;
+  // Route the prepare/accept RPC network/fault draws through the group's
+  // private rng rather than the RpcSystem's stream. Shard engines set
+  // this so co-resident queries cannot perturb each other's draws.
+  bool private_rpc_draws = false;
 };
 
 /**

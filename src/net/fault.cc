@@ -31,6 +31,11 @@ const FaultSpec& FaultModel::SpecFor(std::string_view method) const {
 
 FaultDecision FaultModel::Decide(std::string_view method, const NodeId& to,
                                  SimTime now) {
+  return Decide(method, to, now, rng_);
+}
+
+FaultDecision FaultModel::Decide(std::string_view method, const NodeId& to,
+                                 SimTime now, Rng& rng) {
   ++decisions_;
   FaultDecision decision;
   // Outage windows are deterministic: no draw, so adding one does not
@@ -45,7 +50,7 @@ FaultDecision FaultModel::Decide(std::string_view method, const NodeId& to,
   }
   const FaultSpec& spec = SpecFor(method);
   if (!spec.Enabled()) return decision;
-  double u = rng_.NextDouble();
+  double u = rng.NextDouble();
   double drop_edge = spec.drop_probability;
   double error_edge = drop_edge + spec.error_probability;
   double slow_edge = error_edge + spec.slowdown_probability;
@@ -63,7 +68,7 @@ FaultDecision FaultModel::Decide(std::string_view method, const NodeId& to,
     double span =
         (spec.slowdown_ceil - spec.slowdown_floor).ToSeconds();
     double extra = spec.slowdown_floor.ToSeconds() +
-                   (span > 0 ? span * rng_.NextDouble() : 0.0);
+                   (span > 0 ? span * rng.NextDouble() : 0.0);
     decision.slow_extra = SimTime::FromSeconds(extra);
   }
   return decision;

@@ -96,6 +96,15 @@ class FaultModel {
                        SimTime now);
 
   /**
+   * Decide with the probabilistic draws taken from `rng` instead of the
+   * model's own stream (counters still accumulate here). Shard engines
+   * pass the issuing query's stream via RpcOptions::rng so fault fates
+   * are independent of kernel co-residency.
+   */
+  FaultDecision Decide(std::string_view method, const NodeId& to, SimTime now,
+                       Rng& rng);
+
+  /**
    * The failure-path RNG stream. RpcSystem also draws retry-backoff
    * jitter from here so resilience draws never touch the network or
    * workload streams.

@@ -39,18 +39,24 @@ void RpcSystem::StartExchange(const NodeId& from, const NodeId& to,
   auto result = std::make_shared<RpcResult>();
   result->issued_at = sim_->Now();
 
+  // Caller-supplied stream (sharded engines) or the system stream.
+  Rng& draw_rng = options.rng != nullptr ? *options.rng : rng_;
   SimTime request_time =
-      network_->MessageTime(from, to, options.request_bytes, rng_);
+      network_->MessageTime(from, to, options.request_bytes, draw_rng);
   SimTime response_time =
-      network_->MessageTime(to, from, options.response_bytes, rng_);
+      network_->MessageTime(to, from, options.response_bytes, draw_rng);
   result->network_time = request_time + response_time;
 
   // Fault draws happen strictly after the network draws, from the fault
-  // model's private stream: a disarmed model leaves every schedule and
-  // every stream position identical to the fault-free build.
+  // model's private stream (or the caller's, when supplied): a disarmed
+  // model leaves every schedule and every stream position identical to
+  // the fault-free build.
   FaultDecision fault;
   if (fault_model_ != nullptr && fault_model_->armed()) {
-    fault = fault_model_->Decide(options.method, to, sim_->Now());
+    fault = options.rng != nullptr
+                ? fault_model_->Decide(options.method, to, sim_->Now(),
+                                       *options.rng)
+                : fault_model_->Decide(options.method, to, sim_->Now());
   }
   switch (fault.kind) {
     case FaultDecision::Kind::kDrop:

@@ -26,6 +26,14 @@ struct RpcOptions {
   std::string_view method;
   uint64_t request_bytes = 0;   // wire size of the request
   uint64_t response_bytes = 0;  // wire size of the response
+  // When set, the network-jitter and fault draws for this exchange come
+  // from this stream instead of the RpcSystem / FaultModel streams. Shard
+  // engines point it at the issuing query's private stream so draw order
+  // is a property of the query, not of which other queries share the
+  // kernel. Read only during the synchronous prefix of Call/CallFixed;
+  // policy calls retain the pointer across retries, so callers combining
+  // both must keep the stream alive until completion.
+  Rng* rng = nullptr;
 };
 
 /** Completion record handed to the caller's callback. */

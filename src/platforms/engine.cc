@@ -18,11 +18,37 @@ struct PlatformEngine::QueryState {
   uint64_t trace_id = profiling::Tracer::kNotSampled;
   size_t type_index = 0;
   net::NodeId client;
+  // Sharded mode: the query's private stream and its canonical identity
+  // on the cross-shard fabric. Unused (cheap to default) in legacy mode.
+  Rng rng{0};
+  uint64_t lane = 0;
+  uint64_t msg_seq = 0;
 };
+
+namespace {
+
+/**
+ * Seed of query `index`'s private stream: a SplitMix64 finalize of the
+ * platform stream base. Every shard computes the same value for the same
+ * index, which is the root of shard-count invariance.
+ */
+uint64_t DeriveQuerySeed(uint64_t base, uint64_t index) {
+  uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 PlatformEngine::PlatformEngine(EngineContext context, PlatformSpec spec,
                                Rng rng)
-    : context_(context), spec_(std::move(spec)), rng_(std::move(rng)) {
+    : context_(context),
+      spec_(std::move(spec)),
+      rng_(std::move(rng)),
+      sharded_(context.shard_io != nullptr) {
+  assert(!sharded_ || context_.shard_count > 0);
+  assert(!sharded_ || spec_.worker_cores == 0);
   assert(context_.simulator && context_.dfs && context_.rpc &&
          context_.tracer && context_.profiler && context_.registry);
   std::vector<double> type_weights;
@@ -86,24 +112,51 @@ PlatformEngine::PlatformEngine(EngineContext context, PlatformSpec spec,
   dfs_error_span_id_ = names.Intern("dfs.error");
 }
 
-double PlatformEngine::SampleLogNormalMean(double mean, double sigma) {
+double PlatformEngine::SampleLogNormalMean(Rng& rng, double mean,
+                                           double sigma) {
   // Lognormal with the requested arithmetic mean.
   double mu = std::log(mean) - sigma * sigma / 2.0;
-  return rng_.NextLogNormal(mu, sigma);
+  return rng.NextLogNormal(mu, sigma);
+}
+
+Rng& PlatformEngine::DrawStream(QueryState& query) {
+  return sharded_ ? query.rng : rng_;
 }
 
 void PlatformEngine::Run(uint64_t num_queries, double arrival_rate_qps,
                          std::function<void()> on_all_done) {
   assert(arrival_rate_qps > 0);
-  target_ += num_queries;
   on_all_done_ = std::move(on_all_done);
   SimTime arrival = context_.simulator->Now();
+  if (!sharded_) {
+    target_ += num_queries;
+    for (uint64_t i = 0; i < num_queries; ++i) {
+      arrival += SimTime::FromSeconds(
+          rng_.NextExponential(1.0 / arrival_rate_qps));
+      size_t type_index = type_sampler_->Sample(rng_);
+      context_.simulator->ScheduleAt(
+          arrival, [this, type_index]() { StartQuery(type_index); });
+    }
+    return;
+  }
+  // Sharded mode: every shard walks the full arrival sequence (each gap
+  // comes from its query's own stream, so the prefix sums agree across
+  // shards) but schedules only the queries it owns.
   for (uint64_t i = 0; i < num_queries; ++i) {
+    Rng query_rng(DeriveQuerySeed(context_.stream_seed, i));
     arrival += SimTime::FromSeconds(
-        rng_.NextExponential(1.0 / arrival_rate_qps));
-    size_t type_index = type_sampler_->Sample(rng_);
+        query_rng.NextExponential(1.0 / arrival_rate_qps));
+    size_t type_index = type_sampler_->Sample(query_rng);
+    if (i % context_.shard_count != context_.shard_index) continue;
+    ++target_;
+    // Packed capture (lane/type narrowed) so the arrival event stays
+    // within the kernel callback's inline buffer.
+    uint32_t lane32 = static_cast<uint32_t>(i);
+    uint16_t type16 = static_cast<uint16_t>(type_index);
     context_.simulator->ScheduleAt(
-        arrival, [this, type_index]() { StartQuery(type_index); });
+        arrival, [this, lane32, type16, query_rng]() mutable {
+          StartShardedQuery(lane32, type16, std::move(query_rng));
+        });
   }
 }
 
@@ -111,11 +164,32 @@ void PlatformEngine::StartQuery(size_t type_index) {
   auto query = std::make_shared<QueryState>();
   query->type_index = type_index;
   // Queries originate on worker hosts spread over four clusters.
-  query->client =
-      net::NodeId{0, static_cast<uint32_t>(rng_.NextBounded(4)),
-                  static_cast<uint32_t>(rng_.NextBounded(64))};
+  query->client = net::NodeId{
+      0, static_cast<uint32_t>(rng_.NextBounded(4)),
+      static_cast<uint32_t>(rng_.NextBounded(context_.worker_hosts))};
   query->trace_id = context_.tracer->StartQuery(
       platform_id_, type_name_ids_[type_index], context_.simulator->Now());
+  RunPhaseGroup(query, 0);
+}
+
+void PlatformEngine::StartShardedQuery(uint64_t lane, size_t type_index,
+                                       Rng rng) {
+  auto query = std::make_shared<QueryState>();
+  query->type_index = type_index;
+  query->lane = lane;
+  query->rng = std::move(rng);
+  Rng& draw = query->rng;
+  query->client = net::NodeId{
+      0, static_cast<uint32_t>(draw.NextBounded(4)),
+      static_cast<uint32_t>(draw.NextBounded(context_.worker_hosts))};
+  // The sampling decision comes from the query stream (not the tracer's)
+  // and the trace id is the global query index, so the sampled set and
+  // the ids are shard-layout-invariant.
+  bool sampled = context_.sample_one_in <= 1 ||
+                 draw.NextBounded(context_.sample_one_in) == 0;
+  query->trace_id = context_.tracer->StartQueryForced(
+      platform_id_, type_name_ids_[type_index], context_.simulator->Now(),
+      sampled, lane + 1);
   RunPhaseGroup(query, 0);
 }
 
@@ -164,20 +238,29 @@ void PlatformEngine::RunPhase(std::shared_ptr<QueryState> query,
 void PlatformEngine::RunComputePhase(std::shared_ptr<QueryState> query,
                                      const ComputePhaseSpec& phase,
                                      std::function<void()> done) {
-  double total = SampleLogNormalMean(phase.mean_seconds, phase.sigma);
+  Rng& draw = DrawStream(*query);
+  double total = SampleLogNormalMean(draw, phase.mean_seconds, phase.sigma);
   // Decompose the phase into categorized leaf-function activities and
   // report each to the fleet CPU profiler.
   double budget = total;
   while (budget > 1e-9) {
-    size_t category_index = mix_categories_[mix_sampler_->Sample(rng_)];
+    size_t category_index = mix_categories_[mix_sampler_->Sample(draw)];
     double duration = std::min(
-        budget, rng_.NextExponential(spec_.activity_mean_seconds));
+        budget, draw.NextExponential(spec_.activity_mean_seconds));
     const auto& pool = symbols_[category_index];
-    const std::string& symbol = pool[rng_.NextBounded(pool.size())];
+    const std::string& symbol = pool[draw.NextBounded(pool.size())];
     FnCategory category = static_cast<FnCategory>(category_index);
-    context_.profiler->RecordActivity(
-        symbol, SimTime::FromSeconds(duration),
-        spec_.microarch[static_cast<size_t>(BroadOf(category))]);
+    const auto& microarch =
+        spec_.microarch[static_cast<size_t>(BroadOf(category))];
+    if (sharded_) {
+      // Sampling draws from the query stream: sample counts and counter
+      // noise stay properties of the query, not of kernel co-residency.
+      context_.profiler->RecordActivity(
+          symbol, SimTime::FromSeconds(duration), microarch, draw);
+    } else {
+      context_.profiler->RecordActivity(
+          symbol, SimTime::FromSeconds(duration), microarch);
+    }
     budget -= duration;
   }
   SimTime span_length = SimTime::FromSeconds(total);
@@ -230,7 +313,7 @@ void PlatformEngine::RunIoPhase(std::shared_ptr<QueryState> query,
     auto barrier = sim::Barrier(
         static_cast<size_t>(wave), [self]() { (*self)(); });
     for (int i = 0; i < wave; ++i) {
-      uint64_t block_id = block_sampler_->Sample(rng_);
+      uint64_t block_id = block_sampler_->Sample(DrawStream(*query));
       SimTime start = context_.simulator->Now();
       auto on_io = [this, query, start, barrier,
                     name = phase.write ? dfs_write_span_id_
@@ -263,7 +346,21 @@ void PlatformEngine::RunIoPhase(std::shared_ptr<QueryState> query,
         }
         barrier();
       };
-      if (phase.write) {
+      if (sharded_) {
+        // Route through the cross-shard fabric: the request reaches the
+        // storage kernel one window later, the completion returns here
+        // one window after the storage plane finishes.
+        if (phase.write) {
+          context_.shard_io->Write(context_.shard_index, query->lane,
+                                   query->msg_seq++, query->client, block_id,
+                                   phase.block_bytes,
+                                   phase.write_replication, on_io);
+        } else {
+          context_.shard_io->Read(context_.shard_index, query->lane,
+                                  query->msg_seq++, query->client, block_id,
+                                  phase.block_bytes, on_io);
+        }
+      } else if (phase.write) {
         context_.dfs->Write(query->client, block_id, phase.block_bytes,
                             phase.write_replication, on_io);
       } else {
@@ -287,6 +384,8 @@ void PlatformEngine::RunRemotePhase(std::shared_ptr<QueryState> query,
                              start, context_.simulator->Now());
     done();
   };
+  Rng& draw = DrawStream(*query);
+  const uint32_t hosts = context_.worker_hosts;
   if (phase.use_shuffle) {
     // Execute a real distributed shuffle: fanout mappers stream to
     // fanout reducers; the span covers the shuffle makespan.
@@ -294,8 +393,10 @@ void PlatformEngine::RunRemotePhase(std::shared_ptr<QueryState> query,
     params.num_mappers = phase.fanout;
     params.num_reducers = phase.fanout;
     params.bytes_per_mapper = phase.request_bytes;
+    params.worker_hosts = hosts;
+    params.private_rpc_draws = sharded_;
     auto shuffle = std::make_shared<ShuffleOperation>(
-        context_.simulator, context_.rpc, params, rng_.Fork());
+        context_.simulator, context_.rpc, params, draw.Fork());
     shuffle->Run(query->client,
                  [shuffle, finish = std::move(finish)](
                      const ShuffleResult&) { finish(); });
@@ -309,25 +410,28 @@ void PlatformEngine::RunRemotePhase(std::shared_ptr<QueryState> query,
       if (phase.cross_region) {
         acceptors.push_back(
             net::NodeId{static_cast<uint32_t>(i % 3),
-                        static_cast<uint32_t>(rng_.NextBounded(4)),
-                        static_cast<uint32_t>(rng_.NextBounded(64))});
+                        static_cast<uint32_t>(draw.NextBounded(4)),
+                        static_cast<uint32_t>(draw.NextBounded(hosts))});
       } else {
         acceptors.push_back(
             net::NodeId{0, static_cast<uint32_t>(i % 4),
-                        static_cast<uint32_t>(rng_.NextBounded(64))});
+                        static_cast<uint32_t>(draw.NextBounded(hosts))});
       }
     }
     consensus::PaxosParams params;
     params.acceptor_service_time =
         SimTime::FromSeconds(phase.server_seconds_mean);
+    params.private_rpc_draws = sharded_;
     auto group = std::make_shared<consensus::PaxosGroup>(
         context_.simulator, context_.rpc, std::move(acceptors), params,
-        rng_.Fork());
+        draw.Fork());
     uint32_t proposer_id =
-        static_cast<uint32_t>(rng_.NextBounded(1 << 15)) + 1;
+        static_cast<uint32_t>(draw.NextBounded(1 << 15)) + 1;
+    // The commit value is this query's mutation id: the completion count
+    // in legacy mode, the shard-layout-invariant lane in sharded mode.
     group->Propose(
         query->client, proposer_id,
-        "commit-" + std::to_string(completed_),
+        "commit-" + std::to_string(sharded_ ? query->lane : completed_),
         [group, finish = std::move(finish)](
             const consensus::ProposeResult&) { finish(); });
     return;
@@ -337,19 +441,22 @@ void PlatformEngine::RunRemotePhase(std::shared_ptr<QueryState> query,
   for (int i = 0; i < phase.fanout; ++i) {
     net::NodeId peer;
     if (phase.cross_region) {
-      peer = net::NodeId{1 + static_cast<uint32_t>(rng_.NextBounded(2)),
-                         static_cast<uint32_t>(rng_.NextBounded(4)),
-                         static_cast<uint32_t>(rng_.NextBounded(64))};
+      peer = net::NodeId{1 + static_cast<uint32_t>(draw.NextBounded(2)),
+                         static_cast<uint32_t>(draw.NextBounded(4)),
+                         static_cast<uint32_t>(draw.NextBounded(hosts))};
     } else {
-      peer = net::NodeId{0, static_cast<uint32_t>(rng_.NextBounded(4)),
-                         static_cast<uint32_t>(rng_.NextBounded(64))};
+      peer = net::NodeId{0, static_cast<uint32_t>(draw.NextBounded(4)),
+                         static_cast<uint32_t>(draw.NextBounded(hosts))};
     }
     net::RpcOptions options;
     options.method = info.method;  // pre-built, no per-RPC allocation
     options.request_bytes = phase.request_bytes;
     options.response_bytes = phase.response_bytes;
-    double server_s =
-        SampleLogNormalMean(phase.server_seconds_mean, phase.server_sigma);
+    // Sharded mode: jitter/fault draws ride the query stream (read
+    // synchronously inside CallFixed, so the pointer's lifetime is safe).
+    if (sharded_) options.rng = &query->rng;
+    double server_s = SampleLogNormalMean(draw, phase.server_seconds_mean,
+                                          phase.server_sigma);
     context_.rpc->CallFixed(query->client, peer, options,
                             SimTime::FromSeconds(server_s),
                             [barrier](const net::RpcResult&) { barrier(); });

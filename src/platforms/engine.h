@@ -18,6 +18,31 @@
 
 namespace hyperprof::platforms {
 
+/**
+ * Cross-shard access to the storage plane for sharded platforms (see
+ * FleetConfig::shards_per_platform). A shard engine submits reads and
+ * writes here instead of calling the filesystem directly; the fabric
+ * carries the request to the storage kernel and the completion back to
+ * the issuing shard, each hop taking one shard window. `lane` is the
+ * global query index and `seq` a per-query message counter — together
+ * the shard-layout-invariant key that fixes the canonical delivery order
+ * of same-instant cross-shard messages.
+ */
+class ShardIo {
+ public:
+  virtual ~ShardIo() = default;
+
+  virtual void Read(uint32_t shard, uint64_t lane, uint64_t seq,
+                    const net::NodeId& client, uint64_t block_id,
+                    uint64_t bytes,
+                    storage::DistributedFileSystem::ReadCallback on_done) = 0;
+
+  virtual void Write(uint32_t shard, uint64_t lane, uint64_t seq,
+                     const net::NodeId& client, uint64_t block_id,
+                     uint64_t bytes, uint32_t replication,
+                     storage::DistributedFileSystem::ReadCallback on_done) = 0;
+};
+
 /** Everything a platform engine needs from the substrate. */
 struct EngineContext {
   sim::Simulator* simulator = nullptr;
@@ -26,6 +51,25 @@ struct EngineContext {
   profiling::Tracer* tracer = nullptr;
   profiling::CpuProfiler* profiler = nullptr;
   const profiling::FunctionRegistry* registry = nullptr;
+
+  // --- Sharded mode (FleetConfig::shards_per_platform > 0) ---
+  // When `shard_io` is set the engine runs in per-query-stream mode: it
+  // owns queries whose global index is congruent to `shard_index` mod
+  // `shard_count`, derives every stochastic draw for a query from a
+  // stream seeded by (stream_seed, query index), draws trace-sampling
+  // decisions itself (forced into the tracer), and routes storage IO
+  // through `shard_io` instead of `dfs`. All of this makes a query's
+  // simulated timeline a function of its index alone, which is what lets
+  // any shard count produce bit-identical platform results.
+  ShardIo* shard_io = nullptr;
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 0;  // 0 = legacy fused mode
+  uint64_t stream_seed = 0;  // base of the per-query derived streams
+  // Trace sampling rate applied via forced decisions (sharded mode).
+  uint32_t sample_one_in = 1;
+  // Simulated worker hosts per cluster that clients/peers are drawn
+  // from; 64 matches the legacy draws bit-for-bit.
+  uint32_t worker_hosts = 64;
 };
 
 /**
@@ -70,6 +114,9 @@ class PlatformEngine {
   };
 
   void StartQuery(size_t type_index);
+  /** Sharded-mode arrival: `rng` is the query's private stream, already
+   * advanced past the arrival/type draws. */
+  void StartShardedQuery(uint64_t lane, size_t type_index, Rng rng);
   void RunPhaseGroup(std::shared_ptr<QueryState> query, size_t phase_index);
   void RunPhase(std::shared_ptr<QueryState> query, size_t phase_index,
                 std::function<void()> done);
@@ -84,11 +131,14 @@ class PlatformEngine {
                       std::function<void()> done);
   void FinishQuery(std::shared_ptr<QueryState> query);
 
-  double SampleLogNormalMean(double mean, double sigma);
+  double SampleLogNormalMean(Rng& rng, double mean, double sigma);
+  /** The query's own stream in sharded mode, the engine stream otherwise. */
+  Rng& DrawStream(QueryState& query);
 
   EngineContext context_;
   PlatformSpec spec_;
   Rng rng_;
+  const bool sharded_;
   std::unique_ptr<AliasSampler> type_sampler_;
   std::unique_ptr<AliasSampler> mix_sampler_;
   std::vector<size_t> mix_categories_;  // categories with nonzero weight

@@ -2,12 +2,122 @@
 
 #include <algorithm>
 #include <cassert>
+#include <tuple>
 
 #include "common/thread_pool.h"
 #include "platforms/platforms.h"
 #include "storage/provisioning.h"
 
 namespace hyperprof::platforms {
+
+namespace {
+
+// Seed of the merged tracer's reservoir stream and the merged profiler.
+// Any fixed value works: the merge is a deterministic replay, and this
+// constant is the only randomness source it constructs.
+constexpr uint64_t kMergeSeed = 0x9e3779b97f4a7c15ULL;
+
+}  // namespace
+
+/** One worker shard's private substrate (sharded platforms only). */
+struct FleetSimulation::PlatformSlot::WorkerShard {
+  std::unique_ptr<sim::Simulator> simulator;
+  std::unique_ptr<net::RpcSystem> rpc;
+  std::unique_ptr<net::FaultModel> faults;
+  std::unique_ptr<profiling::Tracer> tracer;
+  std::unique_ptr<profiling::CpuProfiler> profiler;
+  std::unique_ptr<PlatformEngine> engine;
+};
+
+/**
+ * ShardIo over a ShardGroup: a request hops from its worker kernel to the
+ * storage kernel and the completion hops back, each hop taking exactly one
+ * shard window — the modeled worker<->fileserver fabric latency that makes
+ * the group's conservative epochs sound. The (lane, seq) key travels with
+ * both hops; request and reply stay distinct because they differ in
+ * destination.
+ */
+class ShardIoFabric : public ShardIo {
+ public:
+  /** `kernels` = worker kernels in shard order, storage kernel last. */
+  ShardIoFabric(sim::ShardGroup* group, std::vector<sim::Simulator*> kernels,
+                storage::DistributedFileSystem* dfs)
+      : group_(group),
+        kernels_(std::move(kernels)),
+        storage_index_(static_cast<uint32_t>(kernels_.size() - 1)),
+        dfs_(dfs) {}
+
+  void Read(uint32_t shard, uint64_t lane, uint64_t seq,
+            const net::NodeId& client, uint64_t block_id, uint64_t bytes,
+            storage::DistributedFileSystem::ReadCallback on_done) override {
+    Submit(shard, lane, seq, client, block_id, bytes, /*replication=*/0,
+           /*is_write=*/false, std::move(on_done));
+  }
+
+  void Write(uint32_t shard, uint64_t lane, uint64_t seq,
+             const net::NodeId& client, uint64_t block_id, uint64_t bytes,
+             uint32_t replication,
+             storage::DistributedFileSystem::ReadCallback on_done) override {
+    Submit(shard, lane, seq, client, block_id, bytes, replication,
+           /*is_write=*/true, std::move(on_done));
+  }
+
+ private:
+  struct Request {
+    ShardIoFabric* fabric = nullptr;
+    uint32_t shard = 0;
+    uint64_t lane = 0;
+    uint64_t seq = 0;
+    net::NodeId client;
+    uint64_t block_id = 0;
+    uint64_t bytes = 0;
+    uint32_t replication = 0;
+    bool is_write = false;
+    storage::DistributedFileSystem::ReadCallback on_done;
+  };
+
+  void Submit(uint32_t shard, uint64_t lane, uint64_t seq,
+              const net::NodeId& client, uint64_t block_id, uint64_t bytes,
+              uint32_t replication, bool is_write,
+              storage::DistributedFileSystem::ReadCallback on_done) {
+    auto req = std::make_shared<Request>();
+    req->fabric = this;
+    req->shard = shard;
+    req->lane = lane;
+    req->seq = seq;
+    req->client = client;
+    req->block_id = block_id;
+    req->bytes = bytes;
+    req->replication = replication;
+    req->is_write = is_write;
+    req->on_done = std::move(on_done);
+    group_->Post(shard, storage_index_,
+                 kernels_[shard]->Now() + group_->window(), lane, seq,
+                 [req]() { req->fabric->Serve(req); });
+  }
+
+  void Serve(const std::shared_ptr<Request>& req) {
+    auto reply = [req](const storage::IoResult& io) {
+      ShardIoFabric* fabric = req->fabric;
+      fabric->group_->Post(
+          fabric->storage_index_, req->shard,
+          fabric->kernels_[fabric->storage_index_]->Now() +
+              fabric->group_->window(),
+          req->lane, req->seq, [req, io]() { req->on_done(io); });
+    };
+    if (req->is_write) {
+      dfs_->Write(req->client, req->block_id, req->bytes, req->replication,
+                  std::move(reply));
+    } else {
+      dfs_->Read(req->client, req->block_id, req->bytes, std::move(reply));
+    }
+  }
+
+  sim::ShardGroup* group_;
+  std::vector<sim::Simulator*> kernels_;
+  uint32_t storage_index_;
+  storage::DistributedFileSystem* dfs_;
+};
 
 FleetSimulation::FleetSimulation(FleetConfig config)
     : config_(config), registry_(profiling::BuildFleetRegistry()) {}
@@ -31,6 +141,10 @@ uint64_t FleetSimulation::PlatformSeed(uint64_t fleet_seed,
 
 void FleetSimulation::AddPlatform(PlatformSpec spec) {
   assert(!ran_);
+  if (config_.shards_per_platform > 0) {
+    AddShardedPlatform(std::move(spec));
+    return;
+  }
   auto slot = std::make_unique<PlatformSlot>();
   // Every stochastic component of the shard forks from one per-platform
   // stream, so a shard's behaviour depends only on (seed, index) — never
@@ -69,6 +183,7 @@ void FleetSimulation::AddPlatform(PlatformSpec spec) {
   context.tracer = slot->tracer.get();
   context.profiler = slot->profiler.get();
   context.registry = &registry_;
+  context.worker_hosts = config_.worker_hosts;
   slot->engine = std::make_unique<PlatformEngine>(context, std::move(spec),
                                                   shard_rng.Fork());
   // The fault model's private stream forks LAST: every pre-existing
@@ -82,14 +197,129 @@ void FleetSimulation::AddPlatform(PlatformSpec spec) {
   slots_.push_back(std::move(slot));
 }
 
+void FleetSimulation::AddShardedPlatform(PlatformSpec spec) {
+  const uint32_t num_shards = config_.shards_per_platform;
+  auto slot = std::make_unique<PlatformSlot>();
+  slot->sharded = true;
+  slot->spec = spec;
+  // Mirror the fused fork order (rpc, dfs, tracer, profiler, engine,
+  // faults LAST) so the storage plane draws the same streams in both
+  // modes. The tracer/profiler/rpc/fault streams of the workers are
+  // never consumed — every sharded-mode draw comes from a per-query
+  // stream — so their seeds only need to be deterministic.
+  Rng shard_rng(PlatformSeed(config_.seed, slots_.size()));
+  // The fused slot members double as the storage plane: `simulator` is
+  // the storage kernel, and rpc/dfs run on it exactly as in fused mode.
+  slot->simulator = std::make_unique<sim::Simulator>();
+  slot->simulator->Reserve(4096);
+  slot->network = std::make_unique<net::NetworkModel>();
+  slot->rpc = std::make_unique<net::RpcSystem>(
+      slot->simulator.get(), slot->network.get(), shard_rng.Fork());
+  slot->dfs = std::make_unique<storage::DistributedFileSystem>(
+      slot->simulator.get(), slot->rpc.get(), config_.dfs, shard_rng.Fork());
+  uint64_t ram_blocks = storage::MinKeysForMass(
+      slot->spec.ram_hit_target, slot->spec.block_space,
+      slot->spec.block_zipf_s);
+  uint64_t ssd_blocks = storage::MinKeysForMass(
+      slot->spec.ram_ssd_hit_target, slot->spec.block_space,
+      slot->spec.block_zipf_s);
+  slot->dfs->PrewarmZipf(ram_blocks, ssd_blocks,
+                         slot->spec.typical_block_bytes);
+  Rng tracer_rng = shard_rng.Fork();
+  Rng profiler_rng = shard_rng.Fork();
+  Rng engine_rng = shard_rng.Fork();
+  // One base for the per-query derived streams, shared by every worker:
+  // a query's stream depends on its global index alone, which is the
+  // whole reason any shard count recovers bit-identical results.
+  const uint64_t stream_seed = engine_rng.Next();
+
+  // Worker kernels first (kernel index == shard index), storage last.
+  std::vector<sim::Simulator*> kernels;
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    auto worker = std::make_unique<PlatformSlot::WorkerShard>();
+    worker->simulator = std::make_unique<sim::Simulator>();
+    worker->simulator->Reserve(4096);
+    kernels.push_back(worker->simulator.get());
+    slot->workers.push_back(std::move(worker));
+  }
+  kernels.push_back(slot->simulator.get());
+  slot->group =
+      std::make_unique<sim::ShardGroup>(kernels, config_.shard_window);
+  slot->fabric = std::make_unique<ShardIoFabric>(slot->group.get(), kernels,
+                                                 slot->dfs.get());
+
+  // Workers retain every trace regardless of the configured retention:
+  // the post-run merge replays them through a tracer built with the
+  // configured retention, which is where reservoir bounds apply.
+  profiling::TracerOptions worker_tracer_options;
+  worker_tracer_options.retention = profiling::TraceRetention::kRetainAll;
+  for (uint32_t k = 0; k < num_shards; ++k) {
+    PlatformSlot::WorkerShard& worker = *slot->workers[k];
+    worker.rpc = std::make_unique<net::RpcSystem>(
+        worker.simulator.get(), slot->network.get(), engine_rng.Fork());
+    worker.faults = std::make_unique<net::FaultModel>(engine_rng.Fork());
+    worker.faults->set_default_faults(config_.fault);
+    for (const auto& window : config_.outages) {
+      worker.faults->AddOutage(window);
+    }
+    worker.rpc->set_fault_model(worker.faults.get());
+    worker.tracer = std::make_unique<profiling::Tracer>(
+        config_.trace_sample_one_in, tracer_rng.Fork(),
+        worker_tracer_options);
+    worker.profiler = std::make_unique<profiling::CpuProfiler>(
+        config_.profiler_period, config_.cpu_hz, profiler_rng.Fork());
+    EngineContext context;
+    context.simulator = worker.simulator.get();
+    context.dfs = slot->dfs.get();  // unused when sharded; kept non-null
+    context.rpc = worker.rpc.get();
+    context.tracer = worker.tracer.get();
+    context.profiler = worker.profiler.get();
+    context.registry = &registry_;
+    context.shard_io = slot->fabric.get();
+    context.shard_index = k;
+    context.shard_count = num_shards;
+    context.stream_seed = stream_seed;
+    context.sample_one_in = config_.trace_sample_one_in;
+    context.worker_hosts = config_.worker_hosts;
+    PlatformSpec worker_spec = spec;
+    // Worker-pool contention is a fused-mode feature: a finite core pool
+    // is cross-query mutable state, which sharded determinism forbids.
+    worker_spec.worker_cores = 0;
+    worker.engine = std::make_unique<PlatformEngine>(
+        context, std::move(worker_spec), engine_rng.Fork());
+  }
+  // Storage-plane fault stream forks LAST, as in fused mode.
+  slot->faults = std::make_unique<net::FaultModel>(shard_rng.Fork());
+  slot->faults->set_default_faults(config_.fault);
+  for (const auto& window : config_.outages) slot->faults->AddOutage(window);
+  slot->rpc->set_fault_model(slot->faults.get());
+  slots_.push_back(std::move(slot));
+}
+
 void FleetSimulation::AddDefaultPlatforms() {
   AddPlatform(SpannerSpec());
   AddPlatform(BigTableSpec());
   AddPlatform(BigQuerySpec());
 }
 
-void FleetSimulation::RunSlot(size_t index) {
+void FleetSimulation::RunSlot(size_t index, ThreadPool* pool) {
   PlatformSlot& slot = *slots_[index];
+  if (slot.sharded) {
+    for (auto& worker : slot.workers) {
+      worker->engine->Run(config_.queries_per_platform,
+                          config_.arrival_rate_qps, []() {});
+    }
+    sim::ShardGroup::RunOptions options;
+    options.pool = pool;
+    options.pin_threads = config_.pin_shard_threads;
+    if (config_.probe_period > SimTime::Zero() && config_.probe) {
+      options.probe_period = config_.probe_period;
+      options.probe = [this, index]() { config_.probe(index); };
+    }
+    slot.group->Run(options);
+    FinalizePlatform(slot);
+    return;
+  }
   slot.engine->Run(config_.queries_per_platform, config_.arrival_rate_qps,
                    []() {});
   if (config_.probe_period > SimTime::Zero() && config_.probe) {
@@ -106,18 +336,92 @@ void FleetSimulation::RunSlot(size_t index) {
   }
 }
 
+void FleetSimulation::FinalizePlatform(PlatformSlot& slot) {
+  // --- Tracer merge: replay worker traces in canonical order ------------
+  profiling::TracerOptions options;
+  options.retention = config_.trace_retention;
+  options.reservoir_capacity = config_.trace_reservoir_capacity;
+  slot.merged_tracer = std::make_unique<profiling::Tracer>(
+      config_.trace_sample_one_in, Rng(kMergeSeed), options);
+  // Every worker interned the identical name table (the engines are
+  // clones of one spec); copy it in id order so the NameIds carried by
+  // replayed traces resolve unchanged.
+  const profiling::NameInterner& names = slot.workers[0]->tracer->names();
+  for (size_t id = 1; id <= names.size(); ++id) {
+    slot.merged_tracer->names().Intern(
+        names.Name(static_cast<profiling::NameId>(id)));
+  }
+  uint64_t seen = 0;
+  size_t retained = 0;
+  for (const auto& worker : slot.workers) {
+    seen += worker->tracer->queries_seen();
+    retained += worker->tracer->traces().size();
+  }
+  std::vector<const profiling::QueryTrace*> all;
+  all.reserve(retained);
+  for (const auto& worker : slot.workers) {
+    for (const auto& trace : worker->tracer->traces()) all.push_back(&trace);
+  }
+  // Canonical completion order: ties on `end` are broken by trace id,
+  // which is the global query index — unique and shard-layout-invariant.
+  std::sort(all.begin(), all.end(),
+            [](const profiling::QueryTrace* a,
+               const profiling::QueryTrace* b) {
+              return std::tie(a->end, a->trace_id) <
+                     std::tie(b->end, b->trace_id);
+            });
+  // Replaying through the regular Start/AddSpan/Finish pipeline renumbers
+  // span ids in replay order (shard-layout-invariant), folds each trace
+  // into the streaming breakdown exactly as a fused run would, and
+  // applies the configured retention (reservoir bounds included).
+  for (const profiling::QueryTrace* trace : all) {
+    uint64_t handle = slot.merged_tracer->StartQueryForced(
+        trace->platform, trace->query_type, trace->start, /*sampled=*/true,
+        trace->trace_id);
+    for (const profiling::Span& span : trace->spans) {
+      slot.merged_tracer->AddSpan(handle, span.kind, span.name, span.start,
+                                  span.end, span.parent_id);
+    }
+    slot.merged_tracer->FinishQuery(handle, trace->end);
+  }
+  // Unsampled queries only bump the seen counter.
+  while (slot.merged_tracer->queries_seen() < seen) {
+    slot.merged_tracer->StartQueryForced(profiling::kInvalidNameId,
+                                         profiling::kInvalidNameId,
+                                         SimTime::Zero(), /*sampled=*/false,
+                                         0);
+  }
+  // --- Profiler merge ---------------------------------------------------
+  // Sample order differs from a fused run, but every consumer aggregates
+  // by exact-integer counter sums, so reports are order-independent.
+  slot.merged_profiler = std::make_unique<profiling::CpuProfiler>(
+      config_.profiler_period, config_.cpu_hz, Rng(kMergeSeed));
+  for (const auto& worker : slot.workers) {
+    slot.merged_profiler->AbsorbSamples(*worker->profiler);
+  }
+}
+
 void FleetSimulation::RunAll() {
   assert(!ran_);
   ran_ = true;
+  // Size the pool to the real parallelism on offer: one unit per fused
+  // platform, workers + storage kernel for a sharded one.
+  size_t units = 0;
+  for (const auto& slot : slots_) {
+    units += slot->sharded ? slot->workers.size() + 1 : 1;
+  }
   size_t threads =
       std::min(ThreadPool::ResolveParallelism(config_.parallelism),
-               std::max<size_t>(1, slots_.size()));
+               std::max<size_t>(1, units));
   if (threads <= 1) {
-    for (size_t i = 0; i < slots_.size(); ++i) RunSlot(i);
+    for (size_t i = 0; i < slots_.size(); ++i) RunSlot(i, nullptr);
     return;
   }
   ThreadPool pool(threads);
-  pool.ParallelFor(slots_.size(), [this](size_t index) { RunSlot(index); });
+  // Sharded slots nest a per-epoch ParallelFor inside this one; the
+  // pool's help-running wait makes that composition deadlock-free.
+  pool.ParallelFor(slots_.size(),
+                   [this, &pool](size_t index) { RunSlot(index, &pool); });
 }
 
 PlatformResult FleetSimulation::Result(size_t index) const {
@@ -125,6 +429,19 @@ PlatformResult FleetSimulation::Result(size_t index) const {
   const PlatformSlot& slot = *slots_[index];
   PlatformResult result;
   result.name = slot.spec.name;
+  if (slot.sharded) {
+    assert(slot.merged_tracer && "Result() before RunAll on sharded fleet");
+    for (const auto& worker : slot.workers) {
+      result.queries_completed += worker->engine->queries_completed();
+    }
+    result.queries_sampled = slot.merged_tracer->queries_sampled();
+    result.e2e = slot.merged_tracer->breakdown().e2e();
+    result.cycles =
+        profiling::ComputeCycleBreakdown(*slot.merged_profiler, registry_);
+    result.microarch =
+        profiling::ComputeMicroarchReport(*slot.merged_profiler, registry_);
+    return result;
+  }
   result.queries_completed = slot.engine->queries_completed();
   result.queries_sampled = slot.tracer->queries_sampled();
   // The streaming accumulator folded every finished trace at FinishQuery
@@ -148,24 +465,34 @@ PlatformResult FleetSimulation::Result(const std::string& name) const {
 
 const std::vector<profiling::QueryTrace>& FleetSimulation::TracesOf(
     size_t index) const {
-  assert(index < slots_.size());
-  return slots_[index]->tracer->traces();
+  return TracerOf(index).traces();
 }
 
 const profiling::NameInterner& FleetSimulation::NamesOf(size_t index) const {
-  assert(index < slots_.size());
-  return slots_[index]->tracer->names();
+  return TracerOf(index).names();
 }
 
 const profiling::Tracer& FleetSimulation::TracerOf(size_t index) const {
   assert(index < slots_.size());
-  return *slots_[index]->tracer;
+  const PlatformSlot& slot = *slots_[index];
+  if (slot.sharded) {
+    // Post-run: the canonical merged view. Mid-run (probes): worker 0's
+    // live tracer — a representative, self-consistent partial view.
+    return slot.merged_tracer ? *slot.merged_tracer
+                              : *slot.workers[0]->tracer;
+  }
+  return *slot.tracer;
 }
 
 const profiling::CpuProfiler& FleetSimulation::ProfilerOf(
     size_t index) const {
   assert(index < slots_.size());
-  return *slots_[index]->profiler;
+  const PlatformSlot& slot = *slots_[index];
+  if (slot.sharded) {
+    return slot.merged_profiler ? *slot.merged_profiler
+                                : *slot.workers[0]->profiler;
+  }
+  return *slot.profiler;
 }
 
 const storage::DistributedFileSystem& FleetSimulation::DfsOf(
@@ -186,7 +513,8 @@ const net::RpcSystem& FleetSimulation::RpcOf(size_t index) const {
 
 const PlatformEngine& FleetSimulation::EngineOf(size_t index) const {
   assert(index < slots_.size());
-  return *slots_[index]->engine;
+  const PlatformSlot& slot = *slots_[index];
+  return slot.sharded ? *slot.workers[0]->engine : *slot.engine;
 }
 
 sim::Simulator& FleetSimulation::SimulatorOf(size_t index) {
@@ -194,9 +522,104 @@ sim::Simulator& FleetSimulation::SimulatorOf(size_t index) {
   return *slots_[index]->simulator;
 }
 
+PlatformTotals FleetSimulation::TotalsOf(size_t index) const {
+  assert(index < slots_.size());
+  const PlatformSlot& slot = *slots_[index];
+  PlatformTotals t;
+  auto add_kernel = [&t](const sim::Simulator& kernel) {
+    t.events_executed += kernel.events_executed();
+    t.pending_events += kernel.pending_events();
+    t.cancelled_in_heap += kernel.cancelled_events();
+  };
+  auto add_rpc = [&t](const net::RpcSystem& rpc) {
+    t.completed_calls += rpc.completed_calls();
+    t.failed_calls += rpc.failed_calls();
+    t.retries_issued += rpc.retries_issued();
+    t.hedges_issued += rpc.hedges_issued();
+    t.hedge_wins += rpc.hedge_wins();
+    t.timeouts_fired += rpc.timeouts_fired();
+    t.cancelled_attempts += rpc.cancelled_attempts();
+    t.wasted_seconds += rpc.wasted_seconds();
+  };
+  auto add_faults = [&t](const net::FaultModel& faults) {
+    t.fault_decisions += faults.decisions();
+    t.injected_drops += faults.injected_drops();
+    t.injected_errors += faults.injected_errors();
+    t.injected_slowdowns += faults.injected_slowdowns();
+    t.outage_hits += faults.outage_hits();
+  };
+  if (slot.sharded) {
+    for (const auto& worker : slot.workers) {
+      t.queries_completed += worker->engine->queries_completed();
+      t.io_failures += worker->engine->io_failures();
+      add_kernel(*worker->simulator);
+      add_rpc(*worker->rpc);
+      add_faults(*worker->faults);
+    }
+  } else {
+    t.queries_completed = slot.engine->queries_completed();
+    t.io_failures = slot.engine->io_failures();
+  }
+  add_kernel(*slot.simulator);
+  add_rpc(*slot.rpc);
+  add_faults(*slot.faults);
+  return t;
+}
+
+ShardStats FleetSimulation::ShardStatsOf(size_t index) const {
+  assert(index < slots_.size());
+  const PlatformSlot& slot = *slots_[index];
+  ShardStats stats;
+  if (!slot.sharded) return stats;
+  stats.shard_count = static_cast<uint32_t>(slot.workers.size());
+  stats.messages_posted = slot.group->messages_posted();
+  stats.messages_delivered = slot.group->messages_delivered();
+  stats.undelivered = slot.group->undelivered();
+  stats.epochs = slot.group->epochs();
+  return stats;
+}
+
+FleetMemoryStats FleetSimulation::MemoryStats() const {
+  FleetMemoryStats stats;
+  for (const auto& slot : slots_) {
+    stats.kernel_bytes += slot->simulator->memory_bytes();
+    if (slot->sharded) {
+      for (const auto& worker : slot->workers) {
+        stats.kernel_bytes += worker->simulator->memory_bytes();
+        stats.tracer_bytes += worker->tracer->memory_bytes();
+        stats.profiler_bytes += worker->profiler->memory_bytes();
+      }
+      if (slot->merged_tracer) {
+        stats.tracer_bytes += slot->merged_tracer->memory_bytes();
+      }
+      if (slot->merged_profiler) {
+        stats.profiler_bytes += slot->merged_profiler->memory_bytes();
+      }
+    } else {
+      stats.tracer_bytes += slot->tracer->memory_bytes();
+      stats.profiler_bytes += slot->profiler->memory_bytes();
+    }
+    // Four clusters of worker hosts per platform region (the client and
+    // fan-out draw space of the engine).
+    stats.simulated_workers += 4ULL * config_.worker_hosts;
+  }
+  stats.total_bytes =
+      stats.kernel_bytes + stats.tracer_bytes + stats.profiler_bytes;
+  if (stats.simulated_workers > 0) {
+    stats.bytes_per_worker = static_cast<double>(stats.total_bytes) /
+                             static_cast<double>(stats.simulated_workers);
+  }
+  return stats;
+}
+
 uint64_t FleetSimulation::total_events_executed() const {
   uint64_t total = 0;
-  for (const auto& slot : slots_) total += slot->simulator->events_executed();
+  for (const auto& slot : slots_) {
+    total += slot->simulator->events_executed();
+    for (const auto& worker : slot->workers) {
+      total += worker->simulator->events_executed();
+    }
+  }
   return total;
 }
 

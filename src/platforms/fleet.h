@@ -15,10 +15,13 @@
 #include "profiling/function_registry.h"
 #include "profiling/sampler.h"
 #include "profiling/tracer.h"
+#include "sim/shard_group.h"
 #include "sim/simulator.h"
 #include "storage/dfs.h"
 
 namespace hyperprof::platforms {
+
+class ShardIoFabric;  // fleet.cc: ShardIo over a ShardGroup
 
 /** Configuration of a whole-fleet characterization run. */
 struct FleetConfig {
@@ -35,6 +38,28 @@ struct FleetConfig {
   // serial path, N = at most N platforms simulate concurrently. Every
   // setting produces bit-identical results (see DESIGN.md).
   uint32_t parallelism = 0;
+  // --- Intra-platform sharding -------------------------------------------
+  // 0 (the default) is the legacy fused platform: one event kernel runs
+  // the engine and the storage plane together, bit-identical to every
+  // prior release. N > 0 splits the platform into N worker kernels plus
+  // one storage kernel coordinated by sim::ShardGroup in conservative
+  // epochs; recovered results are bit-identical for every N >= 1 (see
+  // DESIGN.md §13), though the sharded timing model differs from the
+  // fused one (storage hops carry the explicit 2x shard_window fabric
+  // latency).
+  uint32_t shards_per_platform = 0;
+  // Conservative-lookahead window = the one-way worker<->storage fabric
+  // latency. Larger windows mean fewer barriers (better wall-clock
+  // scaling) and higher modeled IO latency; the window is part of the
+  // model, so changing it changes results — the shard *count* never does.
+  SimTime shard_window = SimTime::Micros(50);
+  // Best-effort pinning of shard epoch jobs to CPUs spread round-robin
+  // over NUMA nodes (Linux only). Wall-clock only; never results.
+  bool pin_shard_threads = false;
+  // Simulated worker hosts per cluster that clients and fan-out peers are
+  // drawn from. 64 reproduces the legacy draws bit-for-bit; scale it
+  // together with shards_per_platform to simulate 100k-worker platforms.
+  uint32_t worker_hosts = 64;
   // Trace retention: kRetainAll keeps every sampled trace for ablation
   // studies (the default); kSampleReservoir keeps only a bounded export
   // sample and folds everything into the streaming breakdown, making
@@ -78,6 +103,56 @@ struct PlatformResult {
   profiling::E2eBreakdownReport e2e;
   profiling::CycleBreakdownReport cycles;
   profiling::MicroarchReport microarch;
+};
+
+/**
+ * Aggregate accounting across every component of one platform. For a
+ * fused platform these are the single instance's counters verbatim; for
+ * a sharded platform they sum the storage plane and all worker shards
+ * (every field is an exact-integer or additive-from-zero quantity, so
+ * the sums are shard-layout-invariant).
+ */
+struct PlatformTotals {
+  uint64_t queries_completed = 0;
+  uint64_t io_failures = 0;
+  // Event kernels.
+  uint64_t events_executed = 0;
+  uint64_t pending_events = 0;
+  uint64_t cancelled_in_heap = 0;
+  // RPC fabrics.
+  uint64_t completed_calls = 0;
+  uint64_t failed_calls = 0;
+  uint64_t retries_issued = 0;
+  uint64_t hedges_issued = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t timeouts_fired = 0;
+  uint64_t cancelled_attempts = 0;
+  double wasted_seconds = 0;
+  // Fault injectors.
+  uint64_t fault_decisions = 0;
+  uint64_t injected_drops = 0;
+  uint64_t injected_errors = 0;
+  uint64_t injected_slowdowns = 0;
+  uint64_t outage_hits = 0;
+};
+
+/** Shard-fabric accounting of one platform (all zero when fused). */
+struct ShardStats {
+  uint32_t shard_count = 0;  // worker kernels; 0 = fused platform
+  uint64_t messages_posted = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t undelivered = 0;  // must be zero after RunAll
+  uint64_t epochs = 0;
+};
+
+/** Simulation-state memory accounting across the whole fleet. */
+struct FleetMemoryStats {
+  uint64_t kernel_bytes = 0;    // event heaps + slot tables
+  uint64_t tracer_bytes = 0;    // open slots + retained traces
+  uint64_t profiler_bytes = 0;  // samples + symbol tables
+  uint64_t total_bytes = 0;
+  uint64_t simulated_workers = 0;  // worker hosts modeled fleet-wide
+  double bytes_per_worker = 0;     // total_bytes / simulated_workers
 };
 
 /**
@@ -140,13 +215,27 @@ class FleetSimulation {
   /** The platform's RPC fabric (retry/hedge/timeout counters). */
   const net::RpcSystem& RpcOf(size_t index) const;
 
-  /** The platform's engine (IO failure counter). */
+  /** The platform's engine (worker shard 0's engine when sharded). */
   const PlatformEngine& EngineOf(size_t index) const;
 
-  /** The platform's event-kernel shard. */
+  /** The platform's event kernel (the storage kernel when sharded). */
   sim::Simulator& SimulatorOf(size_t index);
 
-  /** Events executed across all shards. */
+  /**
+   * Summed accounting over every component of platform `index`. Equals
+   * the single instance's counters for a fused platform; sums workers
+   * plus the storage plane for a sharded one. The invariant checker
+   * consumes these so its checks hold in both modes.
+   */
+  PlatformTotals TotalsOf(size_t index) const;
+
+  /** Shard-fabric counters of platform `index` (zeros when fused). */
+  ShardStats ShardStatsOf(size_t index) const;
+
+  /** Reserved simulation-state bytes across the fleet, per worker. */
+  FleetMemoryStats MemoryStats() const;
+
+  /** Events executed across all event kernels. */
   uint64_t total_events_executed() const;
 
   const profiling::FunctionRegistry& registry() const { return registry_; }
@@ -174,10 +263,34 @@ class FleetSimulation {
     std::unique_ptr<profiling::Tracer> tracer;
     std::unique_ptr<profiling::CpuProfiler> profiler;
     std::unique_ptr<PlatformEngine> engine;
+
+    // --- Sharded mode (shards_per_platform > 0) --------------------------
+    // The members above are repurposed: `simulator` hosts the storage
+    // kernel, and rpc/faults/dfs live on it unchanged, so the storage
+    // accessors work identically in both modes. tracer/profiler/engine
+    // stay null — per-worker instances live in `workers`, and the
+    // post-run merge materializes the platform-level views.
+    bool sharded = false;
+    struct WorkerShard;  // fleet.cc: one worker kernel's substrate
+    std::vector<std::unique_ptr<WorkerShard>> workers;
+    std::unique_ptr<sim::ShardGroup> group;
+    std::unique_ptr<ShardIoFabric> fabric;
+    std::unique_ptr<profiling::Tracer> merged_tracer;
+    std::unique_ptr<profiling::CpuProfiler> merged_profiler;
   };
 
-  /** Runs one shard's workload to completion (any thread). */
-  void RunSlot(size_t index);
+  /** Builds a sharded slot (workers + storage kernel + fabric). */
+  void AddShardedPlatform(PlatformSpec spec);
+
+  /**
+   * Runs one platform's workload to completion (any thread). `pool`,
+   * when non-null, parallelizes a sharded platform's epoch jobs; it has
+   * no effect on fused platforms and never on results.
+   */
+  void RunSlot(size_t index, ThreadPool* pool);
+
+  /** Post-run merge of a sharded platform's tracers and profilers. */
+  void FinalizePlatform(PlatformSlot& slot);
 
   FleetConfig config_;
   profiling::FunctionRegistry registry_;

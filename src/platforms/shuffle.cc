@@ -74,7 +74,7 @@ void ShuffleOperation::Run(const net::NodeId& coordinator,
   for (int r = 0; r < params_.num_reducers; ++r) {
     reducers.push_back(net::NodeId{
         coordinator.region, static_cast<uint32_t>(r % 4),
-        static_cast<uint32_t>(rng_.NextBounded(64))});
+        static_cast<uint32_t>(rng_.NextBounded(params_.worker_hosts))});
   }
 
   auto maybe_finish = [this, state]() {
@@ -104,7 +104,8 @@ void ShuffleOperation::Run(const net::NodeId& coordinator,
 
   for (int m = 0; m < params_.num_mappers; ++m) {
     net::NodeId mapper{coordinator.region, coordinator.cluster,
-                       static_cast<uint32_t>(rng_.NextBounded(64))};
+                       static_cast<uint32_t>(
+                           rng_.NextBounded(params_.worker_hosts))};
     std::vector<uint64_t> split = PartitionBytes();
     // Mapper-side partition/serialize time before streams depart.
     SimTime partition_time = SimTime::FromSeconds(
@@ -120,6 +121,7 @@ void ShuffleOperation::Run(const net::NodeId& coordinator,
       options.method = "shuffle.Stream";
       options.request_bytes = bytes;
       options.response_bytes = 64;  // ack
+      if (params_.private_rpc_draws) options.rng = &rng_;
       SimTime ingest = SimTime::FromSeconds(
           static_cast<double>(bytes) / params_.ingest_bytes_per_second);
       auto send = [this, state, mapper, reducer = reducers[r], options,

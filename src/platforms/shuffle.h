@@ -38,6 +38,14 @@ struct ShuffleParams {
   double merge_bytes_per_second = 4.0e9;
   // Mapper-side partitioning/serialization rate.
   double partition_bytes_per_second = 4.0e9;
+  // Simulated worker hosts per cluster that mappers/reducers are drawn
+  // from. Matches the engine's client population; raised by fleet-scale
+  // runs.
+  uint32_t worker_hosts = 64;
+  // Route the per-stream RPC network/fault draws through this operation's
+  // private rng rather than the RpcSystem's stream. Shard engines set
+  // this so co-resident queries cannot perturb each other's draws.
+  bool private_rpc_draws = false;
 };
 
 /** Outcome handed to the completion callback. */

@@ -30,6 +30,11 @@ const std::string& CpuProfiler::SymbolName(uint32_t symbol_id) const {
 
 void CpuProfiler::RecordActivity(const std::string& symbol, SimTime duration,
                                  const MicroarchProfile& profile) {
+  RecordActivity(symbol, duration, profile, rng_);
+}
+
+void CpuProfiler::RecordActivity(const std::string& symbol, SimTime duration,
+                                 const MicroarchProfile& profile, Rng& rng) {
   if (duration <= SimTime::Zero()) return;
   ++activities_;
   total_cpu_time_ += duration;
@@ -37,7 +42,7 @@ void CpuProfiler::RecordActivity(const std::string& symbol, SimTime duration,
   // floor(d/T) samples plus one more with probability frac(d/T).
   double expected = duration.ToSeconds() / sample_period_.ToSeconds();
   uint64_t count = static_cast<uint64_t>(expected);
-  if (rng_.NextBool(expected - std::floor(expected))) ++count;
+  if (rng.NextBool(expected - std::floor(expected))) ++count;
   if (count == 0) return;
   uint32_t symbol_id = InternSymbol(symbol);
   uint64_t cycles_per_sample =
@@ -45,9 +50,33 @@ void CpuProfiler::RecordActivity(const std::string& symbol, SimTime duration,
   for (uint64_t i = 0; i < count; ++i) {
     CpuSample sample;
     sample.symbol_id = symbol_id;
-    sample.counters = SynthesizeCounters(profile, cycles_per_sample, rng_);
+    sample.counters = SynthesizeCounters(profile, cycles_per_sample, rng);
     samples_.push_back(sample);
   }
+}
+
+void CpuProfiler::AbsorbSamples(const CpuProfiler& other) {
+  samples_.reserve(samples_.size() + other.samples_.size());
+  for (const CpuSample& sample : other.samples_) {
+    CpuSample copy = sample;
+    copy.symbol_id = InternSymbol(other.symbol_names_[sample.symbol_id]);
+    samples_.push_back(copy);
+  }
+  total_cpu_time_ += other.total_cpu_time_;
+  activities_ += other.activities_;
+}
+
+size_t CpuProfiler::memory_bytes() const {
+  size_t bytes = samples_.capacity() * sizeof(CpuSample) +
+                 symbol_names_.capacity() * sizeof(std::string);
+  for (const std::string& name : symbol_names_) bytes += name.capacity();
+  // Hash map bookkeeping: roughly one bucket pointer plus one node per
+  // entry; symbol keys are shared views of symbol_names_ in spirit but
+  // stored as copies, so count them too.
+  bytes += symbol_ids_.size() * (sizeof(void*) + sizeof(std::string) +
+                                 sizeof(uint32_t));
+  for (const auto& [key, id] : symbol_ids_) bytes += key.capacity();
+  return bytes;
 }
 
 }  // namespace hyperprof::profiling

@@ -49,6 +49,30 @@ class CpuProfiler {
   void RecordActivity(const std::string& symbol, SimTime duration,
                       const MicroarchProfile& profile);
 
+  /**
+   * RecordActivity with the sampling draws taken from `rng` instead of
+   * the profiler's own stream. Shard engines pass the running query's
+   * stream so sample counts and counter noise are properties of the
+   * query, not of which other queries share the kernel.
+   */
+  void RecordActivity(const std::string& symbol, SimTime duration,
+                      const MicroarchProfile& profile, Rng& rng);
+
+  /**
+   * Copies every sample of `other` into this profiler, re-interning
+   * symbols into this profiler's table, and folds its activity totals.
+   * Used to merge per-shard profilers into one platform view; all
+   * downstream reports aggregate counters by symbol, so append order is
+   * not observable in results.
+   */
+  void AbsorbSamples(const CpuProfiler& other);
+
+  /**
+   * Bytes of sample/symbol storage currently reserved (capacities, not
+   * sizes). RSS-independent input to the fleet's memory accounting.
+   */
+  size_t memory_bytes() const;
+
   const std::vector<CpuSample>& samples() const { return samples_; }
 
   /** Resolves an interned symbol id back to its name. */

@@ -118,6 +118,19 @@ uint64_t Tracer::StartQuery(NameId platform, NameId query_type, SimTime now) {
   if (sample_one_in_ > 1 && rng_.NextBounded(sample_one_in_) != 0) {
     return kNotSampled;
   }
+  return OpenTrace(platform, query_type, now, next_trace_id_++);
+}
+
+uint64_t Tracer::StartQueryForced(NameId platform, NameId query_type,
+                                  SimTime now, bool sampled,
+                                  uint64_t forced_trace_id) {
+  ++queries_seen_;
+  if (!sampled) return kNotSampled;
+  return OpenTrace(platform, query_type, now, forced_trace_id);
+}
+
+uint64_t Tracer::OpenTrace(NameId platform, NameId query_type, SimTime now,
+                           uint64_t trace_id) {
   ++queries_sampled_;
 
   uint32_t slot_index;
@@ -131,7 +144,7 @@ uint64_t Tracer::StartQuery(NameId platform, NameId query_type, SimTime now) {
   Slot& slot = slots_[slot_index];
   slot.gen++;
   slot.open = true;
-  slot.trace.trace_id = next_trace_id_++;
+  slot.trace.trace_id = trace_id;
   slot.trace.platform = platform;
   slot.trace.query_type = query_type;
   slot.trace.start = now;
@@ -215,6 +228,19 @@ void Tracer::FinishQuery(uint64_t trace_id, SimTime end) {
   slot->open = false;
   --open_count_;
   free_slots_.push_back(HandleSlot(trace_id));
+}
+
+size_t Tracer::memory_bytes() const {
+  size_t bytes = slots_.capacity() * sizeof(Slot) +
+                 free_slots_.capacity() * sizeof(uint32_t) +
+                 traces_.capacity() * sizeof(QueryTrace);
+  for (const Slot& slot : slots_) {
+    bytes += slot.trace.spans.capacity() * sizeof(Span);
+  }
+  for (const QueryTrace& trace : traces_) {
+    bytes += trace.spans.capacity() * sizeof(Span);
+  }
+  return bytes;
 }
 
 }  // namespace hyperprof::profiling

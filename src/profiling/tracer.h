@@ -177,6 +177,25 @@ class Tracer {
   uint64_t StartQuery(std::string_view platform, std::string_view query_type,
                       SimTime now);
 
+  /**
+   * StartQuery with the sampling decision made by the caller and, for
+   * sampled queries, a caller-chosen trace id (the internal id counter is
+   * not consumed). Shard engines draw the decision from the query's
+   * private stream and use the global query index as the id, so the set
+   * of sampled queries and their ids are independent of shard layout;
+   * the post-run merge replays shard traces through this entry point.
+   * `forced_trace_id` must be nonzero and unique per tracer when sampled.
+   */
+  uint64_t StartQueryForced(NameId platform, NameId query_type, SimTime now,
+                            bool sampled, uint64_t forced_trace_id);
+
+  /**
+   * Bytes of trace storage currently reserved (open-trace slots, retained
+   * traces, span vectors — capacities, not sizes). RSS-independent input
+   * to the fleet's memory accounting.
+   */
+  size_t memory_bytes() const;
+
   /** Adds a span to a sampled trace. No-op when trace_id==kNotSampled. */
   void AddSpan(uint64_t trace_id, SpanKind kind, NameId name, SimTime start,
                SimTime end, uint64_t parent_id = 0);
@@ -229,6 +248,10 @@ class Tracer {
 
   /** Resolves a handle to its open slot, or nullptr. */
   Slot* ResolveOpen(uint64_t trace_id);
+
+  /** Allocates a slot for a sampled query; returns its handle. */
+  uint64_t OpenTrace(NameId platform, NameId query_type, SimTime now,
+                     uint64_t trace_id);
 
   uint32_t sample_one_in_;
   Rng rng_;

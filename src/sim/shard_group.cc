@@ -1,0 +1,179 @@
+#include "sim/shard_group.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+
+#include <fstream>
+#endif
+
+namespace hyperprof::sim {
+
+namespace {
+
+/**
+ * CPU ids grouped by NUMA node, from sysfs on Linux; a single flat node
+ * everywhere else (or when sysfs is unavailable).
+ */
+std::vector<std::vector<int>> ReadCpuTopology() {
+  std::vector<std::vector<int>> nodes;
+#ifdef __linux__
+  for (int node = 0;; ++node) {
+    std::ifstream in("/sys/devices/system/node/node" + std::to_string(node) +
+                     "/cpulist");
+    if (!in) break;
+    std::string list;
+    std::getline(in, list);
+    std::vector<int> cpus;
+    size_t pos = 0;
+    while (pos < list.size()) {
+      size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      std::string range = list.substr(pos, comma - pos);
+      size_t dash = range.find('-');
+      if (!range.empty()) {
+        int lo = std::stoi(range.substr(0, dash));
+        int hi = dash == std::string::npos ? lo : std::stoi(range.substr(dash + 1));
+        for (int cpu = lo; cpu <= hi; ++cpu) cpus.push_back(cpu);
+      }
+      pos = comma + 1;
+    }
+    if (!cpus.empty()) nodes.push_back(std::move(cpus));
+  }
+#endif
+  if (nodes.empty()) {
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    nodes.emplace_back();
+    for (unsigned cpu = 0; cpu < hw; ++cpu) {
+      nodes.back().push_back(static_cast<int>(cpu));
+    }
+  }
+  return nodes;
+}
+
+}  // namespace
+
+ShardGroup::ShardGroup(std::vector<Simulator*> kernels, SimTime window)
+    : kernels_(std::move(kernels)),
+      window_(window),
+      outboxes_(kernels_.size()) {}
+
+void ShardGroup::Post(uint32_t from, uint32_t to, SimTime deliver,
+                      uint64_t lane, uint64_t seq,
+                      std::function<void()> payload) {
+  ShardEnvelope env;
+  env.to = to;
+  env.deliver = deliver;
+  env.lane = lane;
+  env.seq = seq;
+  env.payload = std::move(payload);
+  // Per-source outbox: only `from`'s epoch job appends here, so posting
+  // needs no lock. Counters are updated at the barrier, where the group
+  // is single-threaded.
+  outboxes_[from].push_back(std::move(env));
+}
+
+void ShardGroup::ExchangeMailboxes() {
+  exchange_.clear();
+  for (std::vector<ShardEnvelope>& box : outboxes_) {
+    posted_ += box.size();
+    for (ShardEnvelope& env : box) exchange_.push_back(std::move(env));
+    box.clear();
+  }
+  if (exchange_.empty()) return;
+  // Canonical merge order. The key is unique per barrier — a lane's
+  // messages have distinct seqs and a request/reply pair differs in `to`
+  // — so the result does not depend on outbox (shard) layout.
+  std::sort(exchange_.begin(), exchange_.end(),
+            [](const ShardEnvelope& a, const ShardEnvelope& b) {
+              return std::tie(a.to, a.deliver, a.lane, a.seq) <
+                     std::tie(b.to, b.deliver, b.lane, b.seq);
+            });
+  for (ShardEnvelope& env : exchange_) {
+    kernels_[env.to]->ScheduleAt(
+        env.deliver, [fn = std::move(env.payload)]() mutable { fn(); });
+    ++delivered_;
+  }
+  exchange_.clear();
+}
+
+void ShardGroup::RunEpoch(SimTime deadline, const RunOptions& options) {
+  if (options.pool != nullptr && kernels_.size() > 1) {
+    options.pool->ParallelFor(kernels_.size(), [&](size_t k) {
+      if (options.pin_threads) PinTo(static_cast<uint32_t>(k));
+      kernels_[k]->RunUntil(deadline);
+    });
+  } else {
+    for (Simulator* kernel : kernels_) kernel->RunUntil(deadline);
+  }
+}
+
+uint64_t ShardGroup::Run(const RunOptions& options) {
+  if (options.pin_threads && pin_cpus_.empty()) {
+    std::vector<std::vector<int>> nodes = ReadCpuTopology();
+    pin_cpus_.resize(kernels_.size(), -1);
+    for (size_t k = 0; k < kernels_.size(); ++k) {
+      const std::vector<int>& cpus = nodes[k % nodes.size()];
+      pin_cpus_[k] = cpus[(k / nodes.size()) % cpus.size()];
+    }
+  }
+  const bool probing =
+      options.probe && options.probe_period > SimTime::Zero();
+  SimTime next_probe = SimTime::Max();
+  for (;;) {
+    ExchangeMailboxes();
+    SimTime start = SimTime::Max();
+    for (Simulator* kernel : kernels_) {
+      start = std::min(start, kernel->next_event_time());
+    }
+    if (start == SimTime::Max()) break;  // global quiesce, mailboxes empty
+    SimTime end = start + window_;
+    if (probing && next_probe == SimTime::Max()) {
+      next_probe = start + options.probe_period;
+    }
+    RunEpoch(end, options);
+    ++epochs_;
+    if (probing && end >= next_probe) {
+      options.probe();
+      next_probe = end + options.probe_period;
+    }
+  }
+  // A final drain pops any stale cancelled heap entries (RunUntil stops
+  // scanning at its deadline), so kernels report a clean quiesce.
+  for (Simulator* kernel : kernels_) kernel->Run();
+  if (probing) options.probe();
+  return epochs_;
+}
+
+size_t ShardGroup::undelivered() const {
+  size_t pending = 0;
+  for (const std::vector<ShardEnvelope>& box : outboxes_) {
+    pending += box.size();
+  }
+  return pending;
+}
+
+void ShardGroup::PinTo(uint32_t kernel_index) const {
+#ifdef __linux__
+  if (kernel_index >= pin_cpus_.size() || pin_cpus_[kernel_index] < 0) return;
+  thread_local int pinned_cpu = -1;
+  int cpu = pin_cpus_[kernel_index];
+  if (pinned_cpu == cpu) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0) {
+    pinned_cpu = cpu;
+  }
+#else
+  (void)kernel_index;
+#endif
+}
+
+}  // namespace hyperprof::sim

@@ -1,0 +1,115 @@
+#ifndef HYPERPROF_SIM_SHARD_GROUP_H_
+#define HYPERPROF_SIM_SHARD_GROUP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/thread_pool.h"
+#include "sim/simulator.h"
+
+namespace hyperprof::sim {
+
+/**
+ * One cross-shard message. `deliver` is an absolute timestamp on the
+ * destination kernel's clock; `(lane, seq)` is the canonical ordering key:
+ * `lane` identifies the logical source stream (the fleet layer uses the
+ * global query index, which does not depend on how queries are partitioned
+ * over shards) and `seq` counts messages within that lane.
+ */
+struct ShardEnvelope {
+  uint32_t to = 0;
+  SimTime deliver;
+  uint64_t lane = 0;
+  uint64_t seq = 0;
+  std::function<void()> payload;
+};
+
+/**
+ * Conservative parallel-discrete-event scheduler over a group of
+ * Simulator kernels.
+ *
+ * The group advances all kernels in lock-step epochs of length `window`,
+ * the minimum cross-shard delivery latency. Within an epoch every kernel
+ * runs independently (optionally on a ThreadPool); messages to other
+ * kernels are buffered in per-source outboxes. At the epoch barrier the
+ * outboxes are merged in a canonical order — sorted by
+ * (to, deliver, lane, seq) — and inserted into the destination kernels.
+ *
+ * Correctness of the conservative window: an envelope posted at local
+ * time t carries deliver = t + window. With epochs [s, s+window] and an
+ * inclusive RunUntil, t <= s+window implies deliver >= s+window, which is
+ * exactly where every kernel's clock sits at the barrier — so insertion
+ * never clamps and no message arrives in a kernel's past.
+ *
+ * Determinism: epoch boundaries snap to the global minimum next-event
+ * time, and same-instant deliveries are tie-broken by the kernel's
+ * insertion order, which the canonical sort makes independent of shard
+ * count and thread schedule. Any shard count — including one — produces
+ * bit-identical simulations.
+ */
+class ShardGroup {
+ public:
+  struct RunOptions {
+    /** Pool for intra-epoch parallelism; nullptr runs kernels serially. */
+    ThreadPool* pool = nullptr;
+    /**
+     * Best-effort pinning of each kernel's epoch job to a fixed CPU,
+     * spread round-robin over NUMA nodes (Linux only; ignored
+     * elsewhere). Placement affects wall-clock only, never results.
+     */
+    bool pin_threads = false;
+    /** When nonzero, `probe` fires at barriers every `probe_period`. */
+    SimTime probe_period;
+    /** Read-only observer; runs with every kernel parked at the barrier. */
+    std::function<void()> probe;
+  };
+
+  /**
+   * The group borrows the kernels (callers keep ownership; they must
+   * outlive the group). `window` must be positive.
+   */
+  ShardGroup(std::vector<Simulator*> kernels, SimTime window);
+
+  /**
+   * Buffers a message from kernel `from` to kernel `to`. Must be called
+   * from `from`'s epoch job (or between epochs); `deliver` must be at
+   * least `window` past `from`'s clock so the barrier can honor it.
+   */
+  void Post(uint32_t from, uint32_t to, SimTime deliver, uint64_t lane,
+            uint64_t seq, std::function<void()> payload);
+
+  /**
+   * Runs epochs until every kernel quiesces and all mailboxes drain,
+   * then drains stale cancelled heap entries so kernels report a clean
+   * quiesce. Returns the number of epochs executed.
+   */
+  uint64_t Run(const RunOptions& options);
+
+  SimTime window() const { return window_; }
+  uint64_t epochs() const { return epochs_; }
+  uint64_t messages_posted() const { return posted_; }
+  uint64_t messages_delivered() const { return delivered_; }
+  /** Envelopes still buffered; zero after Run() returns. */
+  size_t undelivered() const;
+
+ private:
+  /** Merges all outboxes into destination kernels in canonical order. */
+  void ExchangeMailboxes();
+  void RunEpoch(SimTime deadline, const RunOptions& options);
+  void PinTo(uint32_t kernel_index) const;
+
+  std::vector<Simulator*> kernels_;
+  SimTime window_;
+  std::vector<std::vector<ShardEnvelope>> outboxes_;  // indexed by source
+  std::vector<ShardEnvelope> exchange_;               // merge scratch
+  std::vector<int> pin_cpus_;                         // kernel -> cpu, or -1
+  uint64_t epochs_ = 0;
+  uint64_t posted_ = 0;
+  uint64_t delivered_ = 0;
+};
+
+}  // namespace hyperprof::sim
+
+#endif  // HYPERPROF_SIM_SHARD_GROUP_H_

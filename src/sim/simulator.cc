@@ -104,6 +104,22 @@ uint64_t Simulator::RunUntil(SimTime deadline) {
   return ran;
 }
 
+SimTime Simulator::next_event_time() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (slots_[top.slot].gen == top.gen) return top.when;
+    PopTop();
+    --stale_in_heap_;
+  }
+  return SimTime::Max();
+}
+
+size_t Simulator::memory_bytes() const {
+  return heap_.capacity() * sizeof(HeapEntry) +
+         slots_.capacity() * sizeof(Slot) +
+         free_slots_.capacity() * sizeof(uint32_t);
+}
+
 void Simulator::Reserve(size_t expected_events) {
   heap_.reserve(expected_events);
   slots_.reserve(expected_events);

@@ -76,6 +76,20 @@ class Simulator {
    */
   void Reserve(size_t expected_events);
 
+  /**
+   * Timestamp of the earliest live event, or SimTime::Max() when the queue
+   * is empty. Lazily prunes stale (cancelled) entries off the heap top, so
+   * the answer is exact. Used by the epoch scheduler to skip idle windows.
+   */
+  SimTime next_event_time();
+
+  /**
+   * Bytes of kernel bookkeeping currently reserved (heap, slot table, free
+   * list — capacities, not sizes). RSS-independent input to the fleet's
+   * memory/worker accounting.
+   */
+  size_t memory_bytes() const;
+
   /** Total events executed so far. */
   uint64_t events_executed() const { return events_executed_; }
 

@@ -450,17 +450,51 @@ void CheckBreakdownConsistency(const RunArtifacts& run, Out& out) {
   }
 }
 
+/**
+ * Shard-exchange conservation: the epoch-barrier fabric must deliver every
+ * envelope it accepted — a sharded platform quiesces only when all
+ * cross-kernel mailboxes drain (DESIGN.md §13). Fused platforms report no
+ * fabric at all.
+ */
+void CheckShardExchange(const RunArtifacts& run, Out& out) {
+  for (const auto& p : run.platforms) {
+    if (p.shard_count == 0) {
+      if (p.shard_messages_posted != 0 || p.shard_messages_delivered != 0 ||
+          p.shard_undelivered != 0 || p.shard_epochs != 0) {
+        Report(out, "shard-exchange", p.name,
+               "fused platform reports shard fabric activity");
+      }
+      continue;
+    }
+    if (p.shard_messages_delivered != p.shard_messages_posted) {
+      Report(out, "shard-exchange", p.name,
+             StrFormat("delivered %llu != posted %llu",
+                       static_cast<unsigned long long>(
+                           p.shard_messages_delivered),
+                       static_cast<unsigned long long>(
+                           p.shard_messages_posted)));
+    }
+    if (p.shard_undelivered != 0) {
+      Report(out, "shard-exchange", p.name,
+             StrFormat("%llu envelopes stranded in mailboxes at quiesce",
+                       static_cast<unsigned long long>(p.shard_undelivered)));
+    }
+  }
+}
+
 }  // namespace
 
 RunArtifacts CollectArtifacts(const platforms::FleetSimulation& fleet) {
   RunArtifacts run;
-  auto& mutable_fleet = const_cast<platforms::FleetSimulation&>(fleet);
   for (size_t index = 0; index < fleet.platform_count(); ++index) {
     PlatformArtifacts p;
-    const auto& engine = fleet.EngineOf(index);
-    p.name = engine.spec().name;
-    p.queries_completed = engine.queries_completed();
-    p.io_failures = engine.io_failures();
+    p.name = fleet.EngineOf(index).spec().name;
+    // Summed accounting: identical to the single instance's counters for
+    // fused platforms, workers + storage plane for sharded ones — so the
+    // conservation checks below hold unchanged in both modes.
+    const platforms::PlatformTotals totals = fleet.TotalsOf(index);
+    p.queries_completed = totals.queries_completed;
+    p.io_failures = totals.io_failures;
 
     const auto& tracer = fleet.TracerOf(index);
     p.queries_seen = tracer.queries_seen();
@@ -473,10 +507,9 @@ RunArtifacts CollectArtifacts(const platforms::FleetSimulation& fleet) {
     p.traces = tracer.traces();
     p.e2e = tracer.breakdown().e2e();
 
-    const auto& simulator = mutable_fleet.SimulatorOf(index);
-    p.events_executed = simulator.events_executed();
-    p.pending_events = simulator.pending_events();
-    p.cancelled_in_heap = simulator.cancelled_events();
+    p.events_executed = totals.events_executed;
+    p.pending_events = totals.pending_events;
+    p.cancelled_in_heap = totals.cancelled_in_heap;
 
     const auto& dfs = fleet.DfsOf(index);
     for (uint32_t s = 0; s < dfs.num_fileservers(); ++s) {
@@ -503,22 +536,27 @@ RunArtifacts CollectArtifacts(const platforms::FleetSimulation& fleet) {
     p.invalid_writes = dfs.invalid_writes();
     p.background_acks = dfs.background_acks();
 
-    const auto& rpc = fleet.RpcOf(index);
-    p.completed_calls = rpc.completed_calls();
-    p.failed_calls = rpc.failed_calls();
-    p.retries_issued = rpc.retries_issued();
-    p.hedges_issued = rpc.hedges_issued();
-    p.hedge_wins = rpc.hedge_wins();
-    p.timeouts_fired = rpc.timeouts_fired();
-    p.cancelled_attempts = rpc.cancelled_attempts();
-    p.wasted_seconds = rpc.wasted_seconds();
+    p.completed_calls = totals.completed_calls;
+    p.failed_calls = totals.failed_calls;
+    p.retries_issued = totals.retries_issued;
+    p.hedges_issued = totals.hedges_issued;
+    p.hedge_wins = totals.hedge_wins;
+    p.timeouts_fired = totals.timeouts_fired;
+    p.cancelled_attempts = totals.cancelled_attempts;
+    p.wasted_seconds = totals.wasted_seconds;
 
-    const auto& faults = fleet.FaultsOf(index);
-    p.fault_decisions = faults.decisions();
-    p.injected_drops = faults.injected_drops();
-    p.injected_errors = faults.injected_errors();
-    p.injected_slowdowns = faults.injected_slowdowns();
-    p.outage_hits = faults.outage_hits();
+    p.fault_decisions = totals.fault_decisions;
+    p.injected_drops = totals.injected_drops;
+    p.injected_errors = totals.injected_errors;
+    p.injected_slowdowns = totals.injected_slowdowns;
+    p.outage_hits = totals.outage_hits;
+
+    const platforms::ShardStats shards = fleet.ShardStatsOf(index);
+    p.shard_count = shards.shard_count;
+    p.shard_messages_posted = shards.messages_posted;
+    p.shard_messages_delivered = shards.messages_delivered;
+    p.shard_undelivered = shards.undelivered;
+    p.shard_epochs = shards.epochs;
 
     run.platforms.push_back(std::move(p));
   }
@@ -580,6 +618,10 @@ uint64_t DigestArtifacts(const RunArtifacts& run) {
     fnv.U64(p.injected_errors);
     fnv.U64(p.injected_slowdowns);
     fnv.U64(p.outage_hits);
+    // Shard-layout-invariant fabric traffic; shard_count/epochs stay out
+    // (execution layout, not recovered results).
+    fnv.U64(p.shard_messages_posted);
+    fnv.U64(p.shard_messages_delivered);
   }
   return fnv.h;
 }
@@ -619,6 +661,7 @@ InvariantRegistry InvariantRegistry::Default() {
   registry.Register("rpc-accounting", CheckRpcAccounting);
   registry.Register("fault-gating", CheckFaultGating);
   registry.Register("breakdown-consistency", CheckBreakdownConsistency);
+  registry.Register("shard-exchange", CheckShardExchange);
   return registry;
 }
 

@@ -72,6 +72,16 @@ struct PlatformArtifacts {
   uint64_t injected_errors = 0;
   uint64_t injected_slowdowns = 0;
   uint64_t outage_hits = 0;
+
+  // Shard fabric (all zero for fused platforms). Digests fold the message
+  // counts — they are shard-layout-invariant (two per cross-kernel IO) —
+  // but not shard_count or epochs, which describe the execution layout
+  // rather than the recovered results.
+  uint32_t shard_count = 0;
+  uint64_t shard_messages_posted = 0;
+  uint64_t shard_messages_delivered = 0;
+  uint64_t shard_undelivered = 0;
+  uint64_t shard_epochs = 0;
 };
 
 /** Snapshot of one full fleet run plus the scenario facts checks rely on. */

@@ -27,7 +27,8 @@ std::string Scenario::Describe() const {
       "seed=%llu platforms=[%s] queries=%llu rate=%.0fqps sample=1/%u "
       "retention=%s fs=%u ram=%lluMiB ssd=%lluMiB "
       "read[t=%lldms a=%u h=%lldms] write[t=%lldms a=%u] "
-      "fault[drop=%.3f err=%.3f slow=%.3f] outages=%zu parallel_cmp=%d",
+      "fault[drop=%.3f err=%.3f slow=%.3f] outages=%zu shards=%u "
+      "parallel_cmp=%d",
       static_cast<unsigned long long>(seed), StrJoin(names, ",").c_str(),
       static_cast<unsigned long long>(config.queries_per_platform),
       config.arrival_rate_qps, config.trace_sample_one_in,
@@ -46,7 +47,8 @@ std::string Scenario::Describe() const {
                              1000000),
       config.dfs.write_policy.max_attempts, fault.drop_probability,
       fault.error_probability, fault.slowdown_probability,
-      config.outages.size(), compare_parallel ? 1 : 0);
+      config.outages.size(), config.shards_per_platform,
+      compare_parallel ? 1 : 0);
 }
 
 Scenario ScenarioGen::Generate(uint64_t seed) {
@@ -142,6 +144,16 @@ Scenario ScenarioGen::Generate(uint64_t seed) {
     window.start = SimTime::FromSeconds(rng.NextDouble() * run_seconds);
     window.end = window.start + SimTime::Millis(5 + rng.NextInt(0, 45));
     config.outages.push_back(window);
+  }
+
+  // Intra-platform sharding (DESIGN.md §13), drawn last so the shapes of
+  // pre-sharding seeds are untouched. Sharded engines forbid finite worker
+  // core pools (a core pool is cross-query mutable state), so sharded
+  // scenarios force the infinite-cores model on every platform.
+  const uint32_t shard_counts[] = {0, 0, 1, 2, 3};
+  config.shards_per_platform = Pick(rng, shard_counts);
+  if (config.shards_per_platform > 0) {
+    for (auto& spec : scenario.specs) spec.worker_cores = 0;
   }
 
   return scenario;

@@ -82,6 +82,14 @@ bool SkipParallelComparison(Scenario& s) {
   return true;
 }
 
+bool FuseShards(Scenario& s) {
+  if (s.config.shards_per_platform == 0) return false;
+  // Rules the shard fabric in or out of a failure. Fusing switches timing
+  // models, so a shard-specific bug keeps its shards in the minimized repro.
+  s.config.shards_per_platform = 0;
+  return true;
+}
+
 }  // namespace
 
 ShrinkResult Shrinker::Minimize(Scenario failing) const {
@@ -91,7 +99,8 @@ ShrinkResult Shrinker::Minimize(Scenario failing) const {
       HalveQueries,    DropLastPlatform,  DropFirstPlatform,
       ClearOutages,    ZeroDrops,         ZeroErrors,
       ZeroSlowdowns,   PlainReadPolicy,   PlainWritePolicy,
-      RetainAll,       SampleEverything,  SkipParallelComparison,
+      RetainAll,       SampleEverything,  FuseShards,
+      SkipParallelComparison,
   };
 
   ShrinkResult result;

@@ -177,7 +177,9 @@ SeedReport RunScenario(const Scenario& scenario,
 }
 
 SeedReport RunSeed(uint64_t seed, const SimtestOptions& options) {
-  return RunScenario(ScenarioGen::Generate(seed), options);
+  Scenario scenario = ScenarioGen::Generate(seed);
+  if (options.mutate) options.mutate(scenario);
+  return RunScenario(scenario, options);
 }
 
 FuzzReport RunSeedBlock(

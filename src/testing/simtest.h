@@ -39,6 +39,13 @@ struct SimtestOptions {
    */
   std::function<void(RunArtifacts&)> corrupt;
 
+  /**
+   * Applied to each generated scenario before it runs (RunSeed /
+   * RunSeedBlock only). The fuzz driver uses this to force a shard count
+   * across a whole seed block (`--shards N`). Null in production.
+   */
+  std::function<void(Scenario&)> mutate;
+
   /** Invariants to evaluate; the default catalogue when null. */
   const InvariantRegistry* registry = nullptr;
 };

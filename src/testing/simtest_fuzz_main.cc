@@ -4,7 +4,11 @@
 //
 // Usage:
 //   simtest_fuzz --seeds N --base-seed S [--shrink] [--probe-ms M]
-//                [--verbose]
+//                [--shards K] [--verbose]
+//
+// --shards K overrides every scenario's shard count: the whole block runs
+// with K worker kernels per platform (K=0 forces the fused single-kernel
+// path), pinning the sharded determinism contract under fuzz.
 //
 // On failure, prints one repro line per failing seed; with --shrink, also
 // minimizes each failing scenario and prints the reduced repro.
@@ -12,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "testing/shrink.h"
 #include "testing/simtest.h"
@@ -24,6 +29,7 @@ struct Args {
   bool shrink = false;
   bool verbose = false;
   int64_t probe_ms = 0;
+  int64_t shards = -1;  // -1: keep each scenario's own draw
 };
 
 bool ParseArgs(int argc, char** argv, Args& args) {
@@ -42,6 +48,8 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.base_seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = needs_value("--probe-ms")) {
       args.probe_ms = std::strtoll(v, nullptr, 10);
+    } else if (const char* v = needs_value("--shards")) {
+      args.shards = std::strtoll(v, nullptr, 10);
     } else if (std::strcmp(argv[i], "--shrink") == 0) {
       args.shrink = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
@@ -61,7 +69,7 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, args)) {
     std::fprintf(stderr,
                  "usage: simtest_fuzz [--seeds N] [--base-seed S] "
-                 "[--shrink] [--probe-ms M] [--verbose]\n");
+                 "[--shrink] [--probe-ms M] [--shards K] [--verbose]\n");
     return 2;
   }
 
@@ -70,11 +78,23 @@ int main(int argc, char** argv) {
 
   SimtestOptions options;
   if (args.probe_ms > 0) options.probe_period = SimTime::Millis(args.probe_ms);
+  if (args.shards >= 0) {
+    uint32_t shards = static_cast<uint32_t>(args.shards);
+    options.mutate = [shards](Scenario& scenario) {
+      scenario.config.shards_per_platform = shards;
+      if (shards > 0) {
+        // Sharded engines require the infinite-cores worker model.
+        for (auto& spec : scenario.specs) spec.worker_cores = 0;
+      }
+    };
+  }
 
-  std::printf("simtest_fuzz: seeds [%llu, %llu), %s\n",
+  std::printf("simtest_fuzz: seeds [%llu, %llu), %s, shards=%s\n",
               static_cast<unsigned long long>(args.base_seed),
               static_cast<unsigned long long>(args.base_seed + args.seeds),
-              args.probe_ms > 0 ? "probed" : "unprobed");
+              args.probe_ms > 0 ? "probed" : "unprobed",
+              args.shards >= 0 ? std::to_string(args.shards).c_str()
+                               : "scenario");
 
   FuzzReport fuzz = RunSeedBlock(
       args.base_seed, args.seeds, options,

@@ -92,6 +92,43 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
   EXPECT_EQ(counter, 50);
 }
 
+TEST(ThreadPoolTest, NestedParallelForFromWorkerDoesNotDeadlock) {
+  // Regression: a job running on the pool fans out its own sub-jobs with
+  // ParallelFor. With a single worker the pool is at capacity, so before
+  // help-running the outer job parked forever while its sub-jobs starved
+  // in the queue.
+  ThreadPool pool(1);
+  std::atomic<int> inner{0};
+  auto outer = pool.Submit([&] {
+    pool.ParallelFor(8, [&](size_t) { ++inner; });
+  });
+  outer.get();
+  EXPECT_EQ(inner, 8);
+}
+
+TEST(ThreadPoolTest, DeeplyNestedParallelForCompletes) {
+  // Two levels of nesting on a pool smaller than either fan-out: every
+  // waiter must keep draining the queue, not just the outermost one.
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(4, [&](size_t) { ++leaves; });
+  });
+  EXPECT_EQ(leaves, 16);
+}
+
+TEST(ThreadPoolTest, NestedParallelForPropagatesInnerException) {
+  ThreadPool pool(1);
+  auto outer = pool.Submit([&] {
+    pool.ParallelFor(4, [&](size_t i) {
+      if (i == 2) throw std::runtime_error("inner boom");
+    });
+  });
+  EXPECT_THROW(outer.get(), std::runtime_error);
+  // The pool keeps serving afterwards.
+  pool.Submit([] {}).get();
+}
+
 TEST(ThreadPoolTest, ResolveParallelismMapsZeroToHardware) {
   EXPECT_GE(ThreadPool::ResolveParallelism(0), 1u);
   EXPECT_EQ(ThreadPool::ResolveParallelism(1), 1u);

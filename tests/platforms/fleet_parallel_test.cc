@@ -15,12 +15,16 @@ namespace hyperprof::platforms {
 namespace {
 
 std::unique_ptr<FleetSimulation> RunFleet(uint32_t parallelism,
-                                          uint64_t seed = 42) {
+                                          uint64_t seed = 42,
+                                          uint32_t shards = 0) {
   FleetConfig config;
-  config.queries_per_platform = 400;
+  // Sharded runs pay per-epoch barrier overhead at test scale; a smaller
+  // volume keeps the 1/2/3/8 sweep fast without weakening bit-identity.
+  config.queries_per_platform = shards > 0 ? 200 : 400;
   config.trace_sample_one_in = 5;
   config.seed = seed;
   config.parallelism = parallelism;
+  config.shards_per_platform = shards;
   auto fleet = std::make_unique<FleetSimulation>(config);
   fleet->AddDefaultPlatforms();
   fleet->RunAll();
@@ -30,6 +34,13 @@ std::unique_ptr<FleetSimulation> RunFleet(uint32_t parallelism,
 /** Shares the serial (parallelism=1) reference run across the suite. */
 FleetSimulation& SerialReference() {
   static std::unique_ptr<FleetSimulation> fleet = RunFleet(1);
+  return *fleet;
+}
+
+/** The sharded reference: one worker shard, serial host execution. */
+FleetSimulation& ShardedReference() {
+  static std::unique_ptr<FleetSimulation> fleet =
+      RunFleet(/*parallelism=*/1, /*seed=*/42, /*shards=*/1);
   return *fleet;
 }
 
@@ -79,6 +90,7 @@ void ExpectBitIdentical(FleetSimulation& serial, FleetSimulation& parallel) {
     const auto& tb = parallel.TracesOf(p);
     ASSERT_EQ(ta.size(), tb.size()) << a.name;
     for (size_t t = 0; t < ta.size(); ++t) {
+      EXPECT_EQ(ta[t].trace_id, tb[t].trace_id) << a.name << " trace " << t;
       EXPECT_EQ(ta[t].start, tb[t].start) << a.name << " trace " << t;
       EXPECT_EQ(ta[t].end, tb[t].end) << a.name << " trace " << t;
       EXPECT_EQ(ta[t].spans.size(), tb[t].spans.size())
@@ -109,6 +121,67 @@ TEST(FleetParallelTest, DifferentSeedsProduceDifferentFleets) {
   auto other = RunFleet(/*parallelism=*/1, /*seed=*/43);
   EXPECT_NE(SerialReference().total_events_executed(),
             other->total_events_executed());
+}
+
+// --- Intra-platform sharding: shard count must never change an output bit
+// (DESIGN.md §13). All comparisons are within the sharded timing model;
+// fused (shards=0) platforms are a different model family.
+
+TEST(FleetShardingTest, ShardCountsRecoverBitIdenticalResults) {
+  for (uint32_t shards : {2u, 3u, 8u}) {
+    auto sharded = RunFleet(/*parallelism=*/1, /*seed=*/42, shards);
+    ExpectBitIdentical(ShardedReference(), *sharded);
+  }
+}
+
+TEST(FleetShardingTest, ParallelShardedMatchesSerialSharded) {
+  // Epoch jobs on the hardware-default pool, nested under the platform
+  // ParallelFor — must match both the serial 4-shard run and the 1-shard
+  // reference.
+  auto parallel = RunFleet(/*parallelism=*/0, /*seed=*/42, /*shards=*/4);
+  auto serial = RunFleet(/*parallelism=*/1, /*seed=*/42, /*shards=*/4);
+  ExpectBitIdentical(*serial, *parallel);
+  ExpectBitIdentical(ShardedReference(), *parallel);
+}
+
+TEST(FleetShardingTest, ShardFabricConservesMessages) {
+  auto fleet = RunFleet(/*parallelism=*/1, /*seed=*/42, /*shards=*/2);
+  for (size_t p = 0; p < fleet->platform_count(); ++p) {
+    ShardStats stats = fleet->ShardStatsOf(p);
+    EXPECT_EQ(stats.shard_count, 2u);
+    EXPECT_GT(stats.messages_posted, 0u);
+    EXPECT_EQ(stats.messages_delivered, stats.messages_posted);
+    EXPECT_EQ(stats.undelivered, 0u);
+    EXPECT_GT(stats.epochs, 0u);
+  }
+  // The fused reference reports no shard fabric at all.
+  EXPECT_EQ(SerialReference().ShardStatsOf(0).shard_count, 0u);
+}
+
+TEST(FleetShardingTest, TotalsMatchLegacyAccessorsWhenFused) {
+  FleetSimulation& fleet = SerialReference();
+  for (size_t p = 0; p < fleet.platform_count(); ++p) {
+    PlatformTotals totals = fleet.TotalsOf(p);
+    EXPECT_EQ(totals.queries_completed,
+              fleet.EngineOf(p).queries_completed());
+    EXPECT_EQ(totals.events_executed,
+              fleet.SimulatorOf(p).events_executed());
+    EXPECT_EQ(totals.completed_calls, fleet.RpcOf(p).completed_calls());
+    EXPECT_EQ(totals.wasted_seconds, fleet.RpcOf(p).wasted_seconds());
+    EXPECT_EQ(totals.fault_decisions, fleet.FaultsOf(p).decisions());
+  }
+}
+
+TEST(FleetShardingTest, MemoryStatsAccountSimulationState) {
+  FleetMemoryStats stats = ShardedReference().MemoryStats();
+  EXPECT_GT(stats.kernel_bytes, 0u);
+  EXPECT_GT(stats.tracer_bytes, 0u);
+  EXPECT_GT(stats.profiler_bytes, 0u);
+  EXPECT_EQ(stats.total_bytes,
+            stats.kernel_bytes + stats.tracer_bytes + stats.profiler_bytes);
+  // Three platforms x four clusters x the default 64 hosts.
+  EXPECT_EQ(stats.simulated_workers, 3u * 4u * 64u);
+  EXPECT_GT(stats.bytes_per_worker, 0.0);
 }
 
 TEST(FleetParallelTest, PlatformSeedsAreDistinctAndStable) {

@@ -78,6 +78,7 @@ TEST(InvariantRegistry, DefaultCatalogue) {
   EXPECT_TRUE(has("rpc-accounting"));
   EXPECT_TRUE(has("fault-gating"));
   EXPECT_TRUE(has("breakdown-consistency"));
+  EXPECT_TRUE(has("shard-exchange"));
 }
 
 // Returns true if `run` has at least one retained trace with a span.
@@ -152,6 +153,12 @@ TEST(Invariants, PerturbedCountersAreCaught) {
        [](RunArtifacts& run) {
          run.platforms[0].injected_drops =
              run.platforms[0].fault_decisions + 1;
+       }},
+      {"shard-exchange",
+       [](RunArtifacts& run) {
+         // A fused run reporting stranded envelopes is inconsistent either
+         // way: fabric activity without shards, or an undrained mailbox.
+         run.platforms[0].shard_undelivered = 1;
        }},
   };
   for (const auto& c : cases) {
