@@ -34,7 +34,15 @@
 #                               # fleet sharding scaling bench so the
 #                               # dispatch-pinned hot paths and the
 #                               # multi-kernel epoch loop execute under
-#                               # whichever sanitizer the build uses
+#                               # whichever sanitizer the build uses. The
+#                               # sharding bench doubles as a perf-smoke
+#                               # guard: on a 2+-core unsanitized host it
+#                               # fails if any sharded point that fits the
+#                               # cores drops below 0.9x the 1-shard
+#                               # events/sec baseline (skipped with a
+#                               # printed reason on 1-core or sanitized
+#                               # runs), and on any host it fails if a
+#                               # warmed-up exchange path heap-allocates
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

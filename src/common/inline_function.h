@@ -28,6 +28,15 @@ class InlineFunction;
 template <typename R, typename... Args, size_t InlineBytes>
 class InlineFunction<R(Args...), InlineBytes> {
  public:
+  /** Inline-buffer size; callers can pre-check whether a capture fits. */
+  static constexpr size_t kInlineBytes = InlineBytes;
+
+  /** True when F is stored in the inline buffer (no heap cell). */
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return kFitsInline<std::decay_t<F>>;
+  }
+
   InlineFunction() = default;
   InlineFunction(std::nullptr_t) {}  // NOLINT: match std::function
 

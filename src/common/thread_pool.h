@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/inline_function.h"
+
 namespace hyperprof {
 
 /**
@@ -19,9 +21,14 @@ namespace hyperprof {
  * entire platform simulation, one sweep point) through this pool, so the
  * design favors simplicity over lock-free throughput: one mutex-guarded
  * queue, workers parked on a condition variable. Exceptions thrown by a
- * job are captured in the returned future and rethrown at Get/Wait, never
- * swallowed. A pool outlives any number of Submit batches; the destructor
- * drains remaining work before joining.
+ * Submit job are captured in the returned future and rethrown at
+ * Get/Wait, never swallowed. A pool outlives any number of Submit
+ * batches; the destructor drains remaining work before joining.
+ *
+ * The queue element is an InlineFunction rather than std::function so
+ * that the per-task closures ParallelFor enqueues (a control-block
+ * pointer plus an index) never touch the heap: a ParallelFor over n
+ * indices performs zero allocations beyond what fn itself does.
  */
 class ThreadPool {
  public:
@@ -45,7 +52,7 @@ class ThreadPool {
 
   /**
    * Runs fn(0..n-1) across the pool and blocks until all complete.
-   * Rethrows the first (lowest-index) exception after every job finished.
+   * Rethrows the lowest-index exception after every job finished.
    *
    * Safe to call from inside a pool worker: while any job is unfinished
    * the caller help-runs queued tasks instead of parking, so a nested
@@ -61,13 +68,20 @@ class ThreadPool {
   static size_t ResolveParallelism(size_t parallelism);
 
  private:
+  // 48 bytes comfortably holds a packaged_task (one shared-state
+  // pointer) and the ParallelFor closures (control pointer + index).
+  using Task = InlineFunction<void(), 48>;
+
+  /** Bookkeeping for one ParallelFor call, on the caller's stack. */
+  struct ForControl;
+
   void WorkerLoop();
   /** Pops and runs one queued task if any; returns false when idle. */
   bool TryRunOneQueued();
 
   std::mutex mutex_;
   std::condition_variable wake_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<Task> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -302,7 +302,7 @@ void FleetSimulation::AddDefaultPlatforms() {
   AddPlatform(BigQuerySpec());
 }
 
-void FleetSimulation::RunSlot(size_t index, ThreadPool* pool) {
+void FleetSimulation::RunSlot(size_t index, bool parallel) {
   PlatformSlot& slot = *slots_[index];
   if (slot.sharded) {
     for (auto& worker : slot.workers) {
@@ -310,12 +310,23 @@ void FleetSimulation::RunSlot(size_t index, ThreadPool* pool) {
                           config_.arrival_rate_qps, []() {});
     }
     sim::ShardGroup::RunOptions options;
-    options.pool = pool;
+    options.parallel = parallel;
     options.pin_threads = config_.pin_shard_threads;
     if (config_.probe_period > SimTime::Zero() && config_.probe) {
       options.probe_period = config_.probe_period;
       options.probe = [this, index]() { config_.probe(index); };
     }
+    // Post-horizon hook for epoch coalescing: workers report their
+    // engine's flagged-event bound; the storage kernel (last) posts only
+    // synchronously inside delivered events, so its own next-event time
+    // is a sound bound (Max when drained).
+    PlatformSlot* slot_ptr = &slot;
+    options.post_horizon = [slot_ptr](uint32_t kernel) -> SimTime {
+      if (kernel < slot_ptr->workers.size()) {
+        return slot_ptr->workers[kernel]->engine->PostHorizon();
+      }
+      return slot_ptr->simulator->next_event_time();
+    };
     slot.group->Run(options);
     FinalizePlatform(slot);
     return;
@@ -404,24 +415,25 @@ void FleetSimulation::FinalizePlatform(PlatformSlot& slot) {
 void FleetSimulation::RunAll() {
   assert(!ran_);
   ran_ = true;
-  // Size the pool to the real parallelism on offer: one unit per fused
-  // platform, workers + storage kernel for a sharded one.
-  size_t units = 0;
-  for (const auto& slot : slots_) {
-    units += slot->sharded ? slot->workers.size() + 1 : 1;
+  // parallelism <= 1 selects the fully serial path: no pool, no shard
+  // runner threads. Otherwise sharded platforms spawn their own
+  // persistent runners (one thread per kernel) and the pool only spreads
+  // whole platforms; with several sharded platforms this oversubscribes
+  // cores rather than serializing kernels — wall-clock only, results are
+  // bit-identical either way.
+  size_t resolved = ThreadPool::ResolveParallelism(config_.parallelism);
+  if (resolved <= 1) {
+    for (size_t i = 0; i < slots_.size(); ++i) RunSlot(i, false);
+    return;
   }
-  size_t threads =
-      std::min(ThreadPool::ResolveParallelism(config_.parallelism),
-               std::max<size_t>(1, units));
+  size_t threads = std::min(resolved, slots_.size());
   if (threads <= 1) {
-    for (size_t i = 0; i < slots_.size(); ++i) RunSlot(i, nullptr);
+    for (size_t i = 0; i < slots_.size(); ++i) RunSlot(i, true);
     return;
   }
   ThreadPool pool(threads);
-  // Sharded slots nest a per-epoch ParallelFor inside this one; the
-  // pool's help-running wait makes that composition deadlock-free.
   pool.ParallelFor(slots_.size(),
-                   [this, &pool](size_t index) { RunSlot(index, &pool); });
+                   [this](size_t index) { RunSlot(index, true); });
 }
 
 PlatformResult FleetSimulation::Result(size_t index) const {
@@ -576,6 +588,9 @@ ShardStats FleetSimulation::ShardStatsOf(size_t index) const {
   stats.messages_delivered = slot.group->messages_delivered();
   stats.undelivered = slot.group->undelivered();
   stats.epochs = slot.group->epochs();
+  stats.coalesced_epochs = slot.group->coalesced_epochs();
+  stats.exchange_allocs = slot.group->exchange_allocs();
+  stats.late_deliveries = slot.group->late_deliveries();
   return stats;
 }
 

@@ -53,8 +53,9 @@ struct FleetConfig {
   // scaling) and higher modeled IO latency; the window is part of the
   // model, so changing it changes results — the shard *count* never does.
   SimTime shard_window = SimTime::Micros(50);
-  // Best-effort pinning of shard epoch jobs to CPUs spread round-robin
-  // over NUMA nodes (Linux only). Wall-clock only; never results.
+  // Best-effort pinning of shard runner threads to CPUs spread
+  // round-robin over NUMA nodes (Linux only). Wall-clock only; never
+  // results.
   bool pin_shard_threads = false;
   // Simulated worker hosts per cluster that clients and fan-out peers are
   // drawn from. 64 reproduces the legacy draws bit-for-bit; scale it
@@ -143,6 +144,15 @@ struct ShardStats {
   uint64_t messages_delivered = 0;
   uint64_t undelivered = 0;  // must be zero after RunAll
   uint64_t epochs = 0;
+  // Barriers skipped by adaptive epoch coalescing (schedule- and
+  // layout-invariant; folded into the simtest digest alongside epochs).
+  uint64_t coalesced_epochs = 0;
+  // Exchange-path heap allocations (mailbox/arena growth); zero at a
+  // warmed-up steady state. Layout-dependent — reporting only.
+  uint64_t exchange_allocs = 0;
+  // Envelopes that arrived in a kernel's past; nonzero means an unsound
+  // post-horizon bound (checked by the shard-exchange invariant).
+  uint64_t late_deliveries = 0;
 };
 
 /** Simulation-state memory accounting across the whole fleet. */
@@ -283,11 +293,11 @@ class FleetSimulation {
   void AddShardedPlatform(PlatformSpec spec);
 
   /**
-   * Runs one platform's workload to completion (any thread). `pool`,
-   * when non-null, parallelizes a sharded platform's epoch jobs; it has
-   * no effect on fused platforms and never on results.
+   * Runs one platform's workload to completion (any thread). `parallel`
+   * lets a sharded platform spawn persistent per-kernel runner threads;
+   * it has no effect on fused platforms and never on results.
    */
-  void RunSlot(size_t index, ThreadPool* pool);
+  void RunSlot(size_t index, bool parallel);
 
   /** Post-run merge of a sharded platform's tracers and profilers. */
   void FinalizePlatform(PlatformSlot& slot);

@@ -1,9 +1,12 @@
 #include "sim/shard_group.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
 #include <string>
 #include <thread>
-#include <tuple>
 #include <utility>
 
 #ifdef __linux__
@@ -57,106 +60,382 @@ std::vector<std::vector<int>> ReadCpuTopology() {
   return nodes;
 }
 
+/** Canonical per-destination delivery order; unique per barrier. */
+bool EnvelopeBefore(const ShardEnvelope& a, const ShardEnvelope& b) {
+  if (a.deliver != b.deliver) return a.deliver < b.deliver;
+  if (a.lane != b.lane) return a.lane < b.lane;
+  return a.seq < b.seq;
+}
+
 }  // namespace
 
 ShardGroup::ShardGroup(std::vector<Simulator*> kernels, SimTime window)
     : kernels_(std::move(kernels)),
       window_(window),
-      outboxes_(kernels_.size()) {}
+      staging_(kernels_.size() * kernels_.size()),
+      inbox_(kernels_.size() * kernels_.size()),
+      sources_(kernels_.size()),
+      dests_(kernels_.size()),
+      merge_scratch_(kernels_.size(),
+                     std::vector<size_t>(kernels_.size(), 0)) {}
 
-void ShardGroup::Post(uint32_t from, uint32_t to, SimTime deliver,
-                      uint64_t lane, uint64_t seq,
-                      std::function<void()> payload) {
-  ShardEnvelope env;
-  env.to = to;
-  env.deliver = deliver;
-  env.lane = lane;
-  env.seq = seq;
-  env.payload = std::move(payload);
-  // Per-source outbox: only `from`'s epoch job appends here, so posting
-  // needs no lock. Counters are updated at the barrier, where the group
-  // is single-threaded.
-  outboxes_[from].push_back(std::move(env));
-}
-
-void ShardGroup::ExchangeMailboxes() {
-  exchange_.clear();
-  for (std::vector<ShardEnvelope>& box : outboxes_) {
-    posted_ += box.size();
-    for (ShardEnvelope& env : box) exchange_.push_back(std::move(env));
-    box.clear();
-  }
-  if (exchange_.empty()) return;
-  // Canonical merge order. The key is unique per barrier — a lane's
-  // messages have distinct seqs and a request/reply pair differs in `to`
-  // — so the result does not depend on outbox (shard) layout.
-  std::sort(exchange_.begin(), exchange_.end(),
-            [](const ShardEnvelope& a, const ShardEnvelope& b) {
-              return std::tie(a.to, a.deliver, a.lane, a.seq) <
-                     std::tie(b.to, b.deliver, b.lane, b.seq);
-            });
-  for (ShardEnvelope& env : exchange_) {
-    kernels_[env.to]->ScheduleAt(
-        env.deliver, [fn = std::move(env.payload)]() mutable { fn(); });
-    ++delivered_;
-  }
-  exchange_.clear();
-}
-
-void ShardGroup::RunEpoch(SimTime deadline, const RunOptions& options) {
-  if (options.pool != nullptr && kernels_.size() > 1) {
-    options.pool->ParallelFor(kernels_.size(), [&](size_t k) {
-      if (options.pin_threads) PinTo(static_cast<uint32_t>(k));
-      kernels_[k]->RunUntil(deadline);
-    });
-  } else {
-    for (Simulator* kernel : kernels_) kernel->RunUntil(deadline);
-  }
-}
-
-uint64_t ShardGroup::Run(const RunOptions& options) {
-  if (options.pin_threads && pin_cpus_.empty()) {
-    std::vector<std::vector<int>> nodes = ReadCpuTopology();
-    pin_cpus_.resize(kernels_.size(), -1);
-    for (size_t k = 0; k < kernels_.size(); ++k) {
-      const std::vector<int>& cpus = nodes[k % nodes.size()];
-      pin_cpus_[k] = cpus[(k / nodes.size()) % cpus.size()];
+ShardGroup::~ShardGroup() {
+  // Oversized payloads that were posted but never fired (teardown after
+  // an error) still own their captures; run their deleters here. Fired
+  // payloads destroyed themselves and set `done`.
+  for (Source& src : sources_) {
+    for (PayloadCell& cell : src.cells) {
+      if (cell.in_flight && !cell.done && cell.destroy != nullptr) {
+        cell.destroy(cell.mem.get());
+      }
     }
   }
-  const bool probing =
-      options.probe && options.probe_period > SimTime::Zero();
+}
+
+ShardGroup::PayloadCell* ShardGroup::AcquireCell(Source& src, size_t bytes) {
+  std::vector<uint32_t>& free = src.free_cells;
+  for (size_t i = 0; i < free.size(); ++i) {
+    PayloadCell& cell = src.cells[free[i]];
+    if (cell.capacity < bytes) continue;
+    free[i] = free.back();
+    free.pop_back();
+    cell.in_flight = true;
+    cell.done = false;
+    ++src.cells_in_flight;
+    return &cell;
+  }
+  ++src.allocs;
+  src.cells.emplace_back();  // deque: existing cell addresses stay valid
+  PayloadCell& cell = src.cells.back();
+  // Round up so one warmed-up cell pool serves every payload shape.
+  cell.capacity = std::max<size_t>(bytes, 128);
+  cell.mem.reset(new unsigned char[cell.capacity]);
+  cell.in_flight = true;
+  ++src.cells_in_flight;
+  return &cell;
+}
+
+void ShardGroup::SweepArenas() {
+  for (Source& src : sources_) {
+    if (src.cells_in_flight == 0) continue;
+    for (uint32_t i = 0; i < src.cells.size(); ++i) {
+      PayloadCell& cell = src.cells[i];
+      if (!cell.in_flight || !cell.done) continue;
+      cell.in_flight = false;
+      cell.done = false;
+      if (src.free_cells.size() == src.free_cells.capacity()) ++src.allocs;
+      src.free_cells.push_back(i);
+      --src.cells_in_flight;
+    }
+  }
+}
+
+bool ShardGroup::PlanEpoch(const RunOptions& options, SimTime& start_out,
+                           SimTime& deadline) {
+  SimTime start = SimTime::Max();
+  for (Simulator* kernel : kernels_) {
+    start = std::min(start, kernel->next_event_time());
+  }
+  bool have_messages = false;
+  for (const std::vector<ShardEnvelope>& box : staging_) {
+    if (box.empty()) continue;
+    have_messages = true;
+    // The head is the box's minimum: appends are deliver-monotone.
+    start = std::min(start, box.front().deliver);
+  }
+  if (start == SimTime::Max()) return false;  // global quiesce
+  deadline = start + window_;
+  if (options.adaptive && !have_messages && options.post_horizon) {
+    SimTime horizon = SimTime::Max();
+    for (uint32_t k = 0; k < kernels_.size(); ++k) {
+      horizon = std::min(horizon, options.post_horizon(k));
+    }
+    if (horizon == SimTime::Max()) {
+      // No kernel can ever post again: drain everything in one epoch.
+      // Counted once, so the total stays schedule-invariant.
+      deadline = SimTime::Max();
+      ++coalesced_epochs_;
+    } else if (horizon >= deadline) {
+      // A post at time X is legal for deadline D iff X >= D - window
+      // (its delivery X + window must not precede D). Posts before
+      // `horizon` are impossible, so the largest sound D on the window
+      // grid is start + (1 + floor((horizon - start) / window)) * window.
+      int64_t extra = (horizon - start).nanos() / window_.nanos();
+      deadline = start + SimTime::Nanos(window_.nanos() * (extra + 1));
+      coalesced_epochs_ += static_cast<uint64_t>(extra);
+    }
+  }
+  start_out = start;
+  return true;
+}
+
+void ShardGroup::SwapMailboxes() {
+  for (size_t i = 0; i < staging_.size(); ++i) {
+    // The inbox side was cleared by its destination last epoch, so the
+    // swap also hands the source a warm, capacity-retaining vector.
+    if (!staging_[i].empty()) staging_[i].swap(inbox_[i]);
+  }
+}
+
+void ShardGroup::DeliverInbox(uint32_t to) {
+  const size_t n = kernels_.size();
+  std::vector<size_t>& cursor = merge_scratch_[to];
+  size_t runs = 0;
+  size_t only = 0;
+  for (size_t s = 0; s < n; ++s) {
+    std::vector<ShardEnvelope>& run = inbox_[s * n + to];
+    cursor[s] = 0;
+    if (run.empty()) continue;
+    ++runs;
+    only = s;
+    // Appends are deliver-monotone, but same-instant posts from
+    // different lanes can land out of lane order; restore the canonical
+    // key then (the common case is the free is_sorted pass).
+    if (!std::is_sorted(run.begin(), run.end(), EnvelopeBefore)) {
+      std::sort(run.begin(), run.end(), EnvelopeBefore);
+    }
+  }
+  if (runs == 0) return;
+  Simulator* kernel = kernels_[to];
+  Dest& dest = dests_[to];
+  auto deliver = [&](ShardEnvelope& env) {
+    if (env.deliver < kernel->Now()) ++dest.late;
+    // Flagged: a delivered payload may itself post (serve a request,
+    // resume a reply continuation), so its firing time must bound the
+    // destination's post horizon.
+    kernel->ScheduleFlaggedAt(env.deliver, std::move(env.payload));
+    ++dest.delivered;
+  };
+  if (runs == 1) {
+    std::vector<ShardEnvelope>& run = inbox_[only * n + to];
+    for (ShardEnvelope& env : run) deliver(env);
+    run.clear();
+    return;
+  }
+  // K-way merge by linear head scan; n is small (shards + 1). The key is
+  // unique per destination, so the merged order — and with it the
+  // kernel's same-instant tie-break — is independent of shard layout.
+  for (;;) {
+    size_t best = n;
+    for (size_t s = 0; s < n; ++s) {
+      const std::vector<ShardEnvelope>& run = inbox_[s * n + to];
+      if (cursor[s] >= run.size()) continue;
+      if (best == n ||
+          EnvelopeBefore(run[cursor[s]], inbox_[best * n + to][cursor[best]])) {
+        best = s;
+      }
+    }
+    if (best == n) break;
+    deliver(inbox_[best * n + to][cursor[best]++]);
+  }
+  for (size_t s = 0; s < n; ++s) inbox_[s * n + to].clear();
+}
+
+void ShardGroup::RunKernel(uint32_t k, SimTime deadline) {
+  DeliverInbox(k);
+  if (deadline == SimTime::Max()) {
+    kernels_[k]->Run();  // drain epoch: run to quiesce, clock stays put
+  } else {
+    kernels_[k]->RunUntil(deadline);
+  }
+}
+
+void ShardGroup::RunSerial(const RunOptions& options) {
+  const bool probing = options.probe && options.probe_period > SimTime::Zero();
   SimTime next_probe = SimTime::Max();
   for (;;) {
-    ExchangeMailboxes();
-    SimTime start = SimTime::Max();
-    for (Simulator* kernel : kernels_) {
-      start = std::min(start, kernel->next_event_time());
-    }
-    if (start == SimTime::Max()) break;  // global quiesce, mailboxes empty
-    SimTime end = start + window_;
+    SweepArenas();
+    SimTime start, deadline;
+    if (!PlanEpoch(options, start, deadline)) break;
     if (probing && next_probe == SimTime::Max()) {
       next_probe = start + options.probe_period;
     }
-    RunEpoch(end, options);
+    SwapMailboxes();
+    for (uint32_t k = 0; k < kernels_.size(); ++k) RunKernel(k, deadline);
     ++epochs_;
-    if (probing && end >= next_probe) {
+    if (probing && deadline >= next_probe) {
       options.probe();
-      next_probe = end + options.probe_period;
+      next_probe = deadline == SimTime::Max()
+                       ? SimTime::Max()
+                       : deadline + options.probe_period;
     }
+  }
+}
+
+void ShardGroup::RunParallel(const RunOptions& options) {
+  const size_t n = kernels_.size();
+  const uint32_t runners = static_cast<uint32_t>(n - 1);
+
+  // One-barrier-per-epoch ticket protocol. The coordinator (the calling
+  // thread, which doubles as the last kernel's runner) publishes
+  // (deadline, stop) and release-increments `ticket`; runners observe the
+  // new ticket (acquire), deliver their inbox, run their kernel to the
+  // deadline, and release-increment `arrived`. The coordinator's acquire
+  // loop on `arrived` then receives all their writes before it touches
+  // shared state (mailbox flips, arena sweeps, counters, probes).
+  struct Control {
+    std::mutex mutex;
+    std::condition_variable ticket_cv;
+    std::condition_variable done_cv;
+    std::atomic<uint64_t> ticket{0};
+    std::atomic<uint32_t> arrived{0};
+    SimTime deadline;
+    bool stop = false;
+    std::exception_ptr error;  // first runner failure, guarded by mutex
+  } ctl;
+
+  std::vector<std::thread> threads;
+  threads.reserve(runners);
+  for (uint32_t k = 0; k < runners; ++k) {
+    threads.emplace_back([this, &ctl, &options, runners, k]() {
+      if (options.pin_threads) PinTo(k);
+      uint64_t epoch = 0;
+      for (;;) {
+        // Spin briefly (epochs are short), then park on the condvar.
+        uint64_t t = ctl.ticket.load(std::memory_order_acquire);
+        for (int spin = 0; t == epoch && spin < 4096; ++spin) {
+          t = ctl.ticket.load(std::memory_order_acquire);
+        }
+        if (t == epoch) {
+          std::unique_lock<std::mutex> lock(ctl.mutex);
+          ctl.ticket_cv.wait(lock, [&] {
+            return ctl.ticket.load(std::memory_order_acquire) != epoch;
+          });
+          t = ctl.ticket.load(std::memory_order_acquire);
+        }
+        epoch = t;
+        if (ctl.stop) return;
+        try {
+          RunKernel(k, ctl.deadline);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(ctl.mutex);
+          if (!ctl.error) ctl.error = std::current_exception();
+        }
+        if (ctl.arrived.fetch_add(1, std::memory_order_release) + 1 ==
+            runners) {
+          std::lock_guard<std::mutex> lock(ctl.mutex);
+          ctl.done_cv.notify_one();
+        }
+      }
+    });
+  }
+
+  auto publish = [&ctl](SimTime deadline, bool stop) {
+    {
+      std::lock_guard<std::mutex> lock(ctl.mutex);
+      ctl.deadline = deadline;
+      ctl.stop = stop;
+      ctl.ticket.fetch_add(1, std::memory_order_release);
+    }
+    ctl.ticket_cv.notify_all();
+  };
+  auto wait_runners = [&ctl, runners]() {
+    uint32_t done = ctl.arrived.load(std::memory_order_acquire);
+    for (int spin = 0; done != runners && spin < 65536; ++spin) {
+      done = ctl.arrived.load(std::memory_order_acquire);
+    }
+    if (done != runners) {
+      std::unique_lock<std::mutex> lock(ctl.mutex);
+      ctl.done_cv.wait(lock, [&] {
+        return ctl.arrived.load(std::memory_order_acquire) == runners;
+      });
+    }
+    // Plain reset is published to runners by the next ticket increment.
+    ctl.arrived.store(0, std::memory_order_relaxed);
+  };
+
+  if (options.pin_threads) PinTo(runners);
+  std::exception_ptr coordinator_error;
+  try {
+    const bool probing =
+        options.probe && options.probe_period > SimTime::Zero();
+    SimTime next_probe = SimTime::Max();
+    for (;;) {
+      SweepArenas();
+      SimTime start, deadline;
+      if (!PlanEpoch(options, start, deadline)) break;
+      if (probing && next_probe == SimTime::Max()) {
+        next_probe = start + options.probe_period;
+      }
+      SwapMailboxes();
+      publish(deadline, /*stop=*/false);
+      RunKernel(runners, deadline);  // the caller runs the last kernel
+      wait_runners();
+      ++epochs_;
+      if (probing && deadline >= next_probe) {
+        options.probe();
+        next_probe = deadline == SimTime::Max()
+                         ? SimTime::Max()
+                         : deadline + options.probe_period;
+      }
+      bool failed;
+      {
+        std::lock_guard<std::mutex> lock(ctl.mutex);
+        failed = ctl.error != nullptr;
+      }
+      if (failed) break;
+    }
+  } catch (...) {
+    coordinator_error = std::current_exception();
+  }
+  publish(SimTime::Zero(), /*stop=*/true);
+  for (std::thread& thread : threads) thread.join();
+  if (coordinator_error) std::rethrow_exception(coordinator_error);
+  if (ctl.error) std::rethrow_exception(ctl.error);  // threads joined
+}
+
+uint64_t ShardGroup::Run(const RunOptions& options) {
+  if (options.pin_threads && pin_cpus_.empty()) SetupPinning();
+  if (options.parallel && kernels_.size() > 1) {
+    RunParallel(options);
+  } else {
+    RunSerial(options);
   }
   // A final drain pops any stale cancelled heap entries (RunUntil stops
   // scanning at its deadline), so kernels report a clean quiesce.
   for (Simulator* kernel : kernels_) kernel->Run();
-  if (probing) options.probe();
+  SweepArenas();
+  if (options.probe && options.probe_period > SimTime::Zero()) {
+    options.probe();
+  }
   return epochs_;
 }
 
+uint64_t ShardGroup::messages_posted() const {
+  uint64_t total = 0;
+  for (const Source& src : sources_) total += src.posted;
+  return total;
+}
+
+uint64_t ShardGroup::messages_delivered() const {
+  uint64_t total = 0;
+  for (const Dest& dest : dests_) total += dest.delivered;
+  return total;
+}
+
 size_t ShardGroup::undelivered() const {
-  size_t pending = 0;
-  for (const std::vector<ShardEnvelope>& box : outboxes_) {
-    pending += box.size();
+  return static_cast<size_t>(messages_posted() - messages_delivered());
+}
+
+uint64_t ShardGroup::exchange_allocs() const {
+  uint64_t total = 0;
+  for (const Source& src : sources_) total += src.allocs;
+  return total;
+}
+
+uint64_t ShardGroup::late_deliveries() const {
+  uint64_t total = 0;
+  for (const Dest& dest : dests_) total += dest.late;
+  return total;
+}
+
+void ShardGroup::SetupPinning() {
+  std::vector<std::vector<int>> nodes = ReadCpuTopology();
+  pin_cpus_.resize(kernels_.size(), -1);
+  for (size_t k = 0; k < kernels_.size(); ++k) {
+    const std::vector<int>& cpus = nodes[k % nodes.size()];
+    pin_cpus_[k] = cpus[(k / nodes.size()) % cpus.size()];
   }
-  return pending;
 }
 
 void ShardGroup::PinTo(uint32_t kernel_index) const {

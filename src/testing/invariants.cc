@@ -458,13 +458,25 @@ void CheckBreakdownConsistency(const RunArtifacts& run, Out& out) {
  */
 void CheckShardExchange(const RunArtifacts& run, Out& out) {
   for (const auto& p : run.platforms) {
+    if (p.shard_late_deliveries != 0) {
+      Report(out, "shard-exchange", p.name,
+             StrFormat("%llu envelopes delivered behind the destination "
+                       "clock (unsound post-horizon coalescing)",
+                       static_cast<unsigned long long>(
+                           p.shard_late_deliveries)));
+    }
     if (p.shard_count == 0) {
       if (p.shard_messages_posted != 0 || p.shard_messages_delivered != 0 ||
-          p.shard_undelivered != 0 || p.shard_epochs != 0) {
+          p.shard_undelivered != 0 || p.shard_epochs != 0 ||
+          p.shard_coalesced_epochs != 0) {
         Report(out, "shard-exchange", p.name,
                "fused platform reports shard fabric activity");
       }
       continue;
+    }
+    if (p.shard_messages_posted != 0 && p.shard_epochs == 0) {
+      Report(out, "shard-exchange", p.name,
+             "fabric carried messages without running a single epoch");
     }
     if (p.shard_messages_delivered != p.shard_messages_posted) {
       Report(out, "shard-exchange", p.name,
@@ -557,6 +569,8 @@ RunArtifacts CollectArtifacts(const platforms::FleetSimulation& fleet) {
     p.shard_messages_delivered = shards.messages_delivered;
     p.shard_undelivered = shards.undelivered;
     p.shard_epochs = shards.epochs;
+    p.shard_coalesced_epochs = shards.coalesced_epochs;
+    p.shard_late_deliveries = shards.late_deliveries;
 
     run.platforms.push_back(std::move(p));
   }
@@ -618,10 +632,16 @@ uint64_t DigestArtifacts(const RunArtifacts& run) {
     fnv.U64(p.injected_errors);
     fnv.U64(p.injected_slowdowns);
     fnv.U64(p.outage_hits);
-    // Shard-layout-invariant fabric traffic; shard_count/epochs stay out
-    // (execution layout, not recovered results).
+    // Shard-layout-invariant fabric traffic and epoch schedule: barriers
+    // snap to global next-event times and coalescing to the global post
+    // horizon, so these match across thread schedules AND shard layouts.
+    // Folding them pins both the determinism contract and the soundness
+    // of the adaptive-epoch planner. shard_count itself stays out (pure
+    // execution layout).
     fnv.U64(p.shard_messages_posted);
     fnv.U64(p.shard_messages_delivered);
+    fnv.U64(p.shard_epochs);
+    fnv.U64(p.shard_coalesced_epochs);
   }
   return fnv.h;
 }

@@ -74,14 +74,20 @@ struct PlatformArtifacts {
   uint64_t outage_hits = 0;
 
   // Shard fabric (all zero for fused platforms). Digests fold the message
-  // counts — they are shard-layout-invariant (two per cross-kernel IO) —
-  // but not shard_count or epochs, which describe the execution layout
-  // rather than the recovered results.
+  // counts — shard-layout-invariant, two per cross-kernel IO — and the
+  // epoch counts: barriers snap to global next-event times and coalescing
+  // to the global post horizon, so any sharded layout of the same scenario
+  // executes the identical epoch sequence. Only shard_count (pure
+  // execution layout) and the tripwire stay out.
   uint32_t shard_count = 0;
   uint64_t shard_messages_posted = 0;
   uint64_t shard_messages_delivered = 0;
   uint64_t shard_undelivered = 0;
   uint64_t shard_epochs = 0;
+  uint64_t shard_coalesced_epochs = 0;
+  // Envelopes delivered behind the destination clock — nonzero means a
+  // post-horizon hook was unsound and the conservative window broke.
+  uint64_t shard_late_deliveries = 0;
 };
 
 /** Snapshot of one full fleet run plus the scenario facts checks rely on. */

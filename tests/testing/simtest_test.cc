@@ -160,6 +160,12 @@ TEST(Invariants, PerturbedCountersAreCaught) {
          // way: fabric activity without shards, or an undrained mailbox.
          run.platforms[0].shard_undelivered = 1;
        }},
+      {"shard-exchange",
+       [](RunArtifacts& run) {
+         // Late deliveries mean a post-horizon hook lied and the
+         // conservative window broke — flagged in any mode.
+         run.platforms[0].shard_late_deliveries = 1;
+       }},
   };
   for (const auto& c : cases) {
     SimtestOptions options = PrimaryOnly();
@@ -188,6 +194,66 @@ TEST(Invariants, CorruptionAlsoBreaksReplayDigest) {
     replay_flagged |= v.invariant == "determinism-replay";
   }
   EXPECT_TRUE(replay_flagged) << report.Summary();
+}
+
+TEST(Invariants, ShardModeEpochCorruptionsAreCaught) {
+  struct Case {
+    uint32_t shards;  // forced mode: 0 fused, 2 sharded
+    std::function<void(RunArtifacts&)> corrupt;
+  };
+  const Case cases[] = {
+      // A fused platform coalescing epochs has no fabric to coalesce.
+      {0, [](RunArtifacts& run) {
+         run.platforms[0].shard_coalesced_epochs = 1;
+       }},
+      // A sharded fabric that carried traffic must have run epochs.
+      {2, [](RunArtifacts& run) { run.platforms[0].shard_epochs = 0; }},
+  };
+  for (const auto& c : cases) {
+    SimtestOptions options = PrimaryOnly();
+    uint32_t shards = c.shards;
+    options.mutate = [shards](Scenario& scenario) {
+      scenario.config.shards_per_platform = shards;
+      if (shards > 0) {
+        for (auto& spec : scenario.specs) spec.worker_cores = 0;
+      }
+    };
+    options.corrupt = c.corrupt;
+    SeedReport report = RunSeed(1, options);
+    ASSERT_FALSE(report.ok()) << "shards=" << c.shards;
+    bool found = false;
+    for (const auto& v : report.violations) {
+      found |= v.invariant == "shard-exchange";
+    }
+    EXPECT_TRUE(found) << report.Summary();
+  }
+}
+
+TEST(Invariants, CorruptedEpochCountBreaksReplayDigest) {
+  // The epoch and coalescing counts are folded into the digest (they are
+  // schedule- and shard-layout-invariant), so tampering with either must
+  // break the replay comparison on a sharded run.
+  for (auto corrupt : {
+           +[](RunArtifacts& run) { run.platforms[0].shard_epochs += 1; },
+           +[](RunArtifacts& run) {
+             run.platforms[0].shard_coalesced_epochs += 1;
+           },
+       }) {
+    SimtestOptions options;
+    options.check_parallel = false;
+    options.check_replay = true;
+    options.mutate = [](Scenario& scenario) {
+      scenario.config.shards_per_platform = 2;
+      for (auto& spec : scenario.specs) spec.worker_cores = 0;
+    };
+    options.corrupt = corrupt;
+    SeedReport report = RunSeed(1, options);
+    bool replay_flagged = false;
+    for (const auto& v : report.violations) {
+      replay_flagged |= v.invariant == "determinism-replay";
+    }
+    EXPECT_TRUE(replay_flagged) << report.Summary();
+  }
 }
 
 TEST(Invariants, MidRunProbePassesOnCleanRun) {
