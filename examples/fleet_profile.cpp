@@ -18,6 +18,7 @@
 #include "platforms/fleet.h"
 #include "platforms/platforms.h"
 #include "profiling/aggregate.h"
+#include "profiling/continuous.h"
 #include "profiling/report.h"
 #include "profiling/trace_export.h"
 
@@ -106,6 +107,29 @@ int main(int argc, char** argv) {
         fleet.DfsOf(i).TierServeFraction(storage::Tier::kSsd) * 100,
         fleet.DfsOf(i).TierServeFraction(storage::Tier::kHdd) * 100);
 
+    if (const profiling::ContinuousProfiler* continuous =
+            fleet.ContinuousOf(i)) {
+      auto latency = profiling::WindowCategory::kLatency;
+      std::printf(
+          "== Continuous profiling (rolling %lldms windows) ==\n"
+          "%zu windows in history (%lld..%lld), sampled-query latency "
+          "p50 %.3fms p99 %.3fms",
+          static_cast<long long>(
+              continuous->options().window.nanos() / 1000000),
+          continuous->WindowsInHistory(),
+          static_cast<long long>(continuous->first_window()),
+          static_cast<long long>(continuous->last_window()),
+          continuous->RollingQuantile(latency, 0.5) * 1e3,
+          continuous->RollingQuantile(latency, 0.99) * 1e3);
+      const profiling::BudgetStat& stat = continuous->budget_stat(latency);
+      if (stat.windows_evaluated > 0) {
+        std::printf("; worst window #%lld carried %.3fms of latency",
+                    static_cast<long long>(stat.worst_window),
+                    static_cast<double>(stat.worst_total_nanos) / 1e6);
+      }
+      std::printf("\n\n");
+    }
+
     if (fault_rate > 0) {
       const net::RpcSystem& rpc = fleet.RpcOf(i);
       std::printf(
@@ -135,8 +159,21 @@ int main(int argc, char** argv) {
         "/tmp/hyperprof_" + result.name + "_traces.json";
     if (profiling::WriteChromeTrace(fleet.TracesOf(i), fleet.NamesOf(i),
                                     trace_path, 100)) {
-      std::printf("Wrote %s (load in a Chrome/Perfetto trace viewer)\n\n",
+      std::printf("Wrote %s (load in a Chrome/Perfetto trace viewer)\n",
                   trace_path.c_str());
+    }
+    std::string folded_path =
+        "/tmp/hyperprof_" + result.name + "_stacks.folded";
+    if (profiling::WriteCollapsedStacks(fleet.TracesOf(i), fleet.NamesOf(i),
+                                        folded_path)) {
+      std::printf("Wrote %s (flamegraph.pl / speedscope input)\n",
+                  folded_path.c_str());
+    }
+    std::string pprof_path = "/tmp/hyperprof_" + result.name + "_profile.pb";
+    if (profiling::WritePprofProfile(fleet.TracesOf(i), fleet.NamesOf(i),
+                                     pprof_path)) {
+      std::printf("Wrote %s (go tool pprof compatible)\n\n",
+                  pprof_path.c_str());
     }
   }
   return 0;

@@ -77,7 +77,8 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # each way: the bit-identity contract means both passes must be green on
 # any host, and under any sanitizer the surrounding build chose.
 KERNEL_TESTS=(kernel_dispatch_test checksum_test wire_test message_test
-              sha3_test compression_test fuzz_test)
+              sha3_test compression_test fuzz_test continuous_test
+              trace_export_test)
 for dispatch in portable native; do
   echo "== kernel suites with HYPERPROF_KERNEL_DISPATCH=$dispatch =="
   for test in "${KERNEL_TESTS[@]}"; do
@@ -131,4 +132,8 @@ if [[ "${BENCH:-0}" != "0" ]]; then
   # Fleet sharding scaling bench in smoke mode: drives the concurrent
   # epoch loop, the cross-kernel fabric, and the trace/profiler merge.
   "$BUILD_DIR/bench/fleet_scale_micro" /tmp/fleet_scale_smoke.json --smoke
+  # Continuous-profiling bench in smoke mode: windowed Observe/seal/merge
+  # plus the flamegraph and pprof exporters under the build's sanitizers;
+  # exits nonzero if the warmed windowed path heap-allocates.
+  "$BUILD_DIR/bench/continuous_micro" /tmp/continuous_smoke.json smoke
 fi

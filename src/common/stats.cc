@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/strings.h"
 
@@ -48,53 +50,93 @@ double RunningStat::variance() const {
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }
 
-LogHistogram::LogHistogram(double min_value, int buckets_per_decade,
-                           int decades)
-    : min_value_(min_value),
-      log_min_(std::log10(min_value)),
-      buckets_per_decade_(buckets_per_decade) {
-  assert(min_value > 0 && buckets_per_decade > 0 && decades > 0);
-  counts_.assign(static_cast<size_t>(buckets_per_decade) * decades + 1, 0);
+namespace {
+
+// Merging sketches with different geometries silently corrupts quantiles
+// (the bucket indices mean different values), so the contract is enforced
+// with a hard abort in every build mode — an assert would vanish under
+// NDEBUG, which is exactly how the original LogHistogram::Merge bug shipped.
+[[noreturn]] void SketchGeometryMismatch(const SketchGeometry& a,
+                                         const SketchGeometry& b) {
+  std::fprintf(stderr,
+               "LatencySketch::Merge: geometry mismatch: "
+               "(min=%g bpd=%d decades=%d) vs (min=%g bpd=%d decades=%d)\n",
+               a.min_value, a.buckets_per_decade, a.decades, b.min_value,
+               b.buckets_per_decade, b.decades);
+  std::abort();
 }
 
-size_t LogHistogram::BucketFor(double value) const {
-  double pos = (std::log10(value) - log_min_) * buckets_per_decade_;
-  if (pos < 0) return 0;  // caller handles underflow separately
+}  // namespace
+
+LatencySketch::LatencySketch(SketchGeometry geometry)
+    : geometry_(geometry), log_min_(std::log10(geometry.min_value)) {
+  assert(geometry.min_value > 0 && geometry.buckets_per_decade > 0 &&
+         geometry.decades > 0);
+  counts_.assign(geometry_.bucket_count(), 0);
+}
+
+size_t LatencySketch::BucketFor(double value) const {
+  double pos = (std::log10(value) - log_min_) *
+               static_cast<double>(geometry_.buckets_per_decade);
+  if (pos < 0) return 0;  // rounding jitter at the min_value boundary
   size_t i = static_cast<size_t>(pos);
   return std::min(i, counts_.size() - 1);
 }
 
-double LogHistogram::BucketLow(size_t i) const {
-  return std::pow(10.0, log_min_ + static_cast<double>(i) /
-                                       buckets_per_decade_);
+double LatencySketch::BucketLow(size_t i) const {
+  return std::pow(10.0, log_min_ +
+                            static_cast<double>(i) /
+                                static_cast<double>(
+                                    geometry_.buckets_per_decade));
 }
 
-double LogHistogram::BucketHigh(size_t i) const { return BucketLow(i + 1); }
+double LatencySketch::BucketHigh(size_t i) const { return BucketLow(i + 1); }
 
-void LogHistogram::Add(double value) {
+void LatencySketch::Add(double value) {
+  if (!std::isfinite(value)) {
+    // NaN/±inf would poison sum_ and feed log10 garbage into a size_t
+    // cast (UB); they get their own bin and touch nothing else.
+    ++nonfinite_;
+    return;
+  }
   ++count_;
   sum_ += value;
-  if (value < min_value_) {
-    ++underflow_;
-    ++counts_[0];
+  if (value < geometry_.min_value) {
+    ++underflow_;  // tracked as its own region, not folded into bucket 0
     return;
   }
   ++counts_[BucketFor(value)];
 }
 
-void LogHistogram::Merge(const LogHistogram& other) {
-  assert(counts_.size() == other.counts_.size());
+void LatencySketch::Merge(const LatencySketch& other) {
+  if (!(geometry_ == other.geometry_)) {
+    SketchGeometryMismatch(geometry_, other.geometry_);
+  }
   for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   count_ += other.count_;
   underflow_ += other.underflow_;
+  nonfinite_ += other.nonfinite_;
   sum_ += other.sum_;
 }
 
-double LogHistogram::Quantile(double q) const {
+void LatencySketch::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  underflow_ = 0;
+  nonfinite_ = 0;
+  sum_ = 0.0;
+}
+
+double LatencySketch::Quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   double target = q * static_cast<double>(count_);
-  uint64_t seen = 0;
+  // The underflow region covers [0, min_value): samples known to be below
+  // the first bucket must not report as >= BucketLow(0).
+  if (underflow_ > 0 && target <= static_cast<double>(underflow_)) {
+    return geometry_.min_value * (target / static_cast<double>(underflow_));
+  }
+  uint64_t seen = underflow_;
   for (size_t i = 0; i < counts_.size(); ++i) {
     if (counts_[i] == 0) continue;
     if (static_cast<double>(seen + counts_[i]) >= target) {
@@ -108,9 +150,17 @@ double LogHistogram::Quantile(double q) const {
   return BucketHigh(counts_.size() - 1);
 }
 
+size_t LatencySketch::memory_bytes() const {
+  return sizeof(*this) + counts_.capacity() * sizeof(counts_[0]);
+}
+
+LogHistogram::LogHistogram(double min_value, int buckets_per_decade,
+                           int decades)
+    : sketch_(SketchGeometry{min_value, buckets_per_decade, decades}) {}
+
 std::string LogHistogram::Summary() const {
   return StrFormat("n=%llu mean=%s p50=%s p90=%s p99=%s",
-                   static_cast<unsigned long long>(count_),
+                   static_cast<unsigned long long>(count()),
                    HumanSeconds(mean()).c_str(),
                    HumanSeconds(Quantile(0.5)).c_str(),
                    HumanSeconds(Quantile(0.9)).c_str(),

@@ -37,11 +37,103 @@ class RunningStat {
 };
 
 /**
+ * Bucket layout of a log-scaled sketch: geometric buckets starting at
+ * `min_value` with `buckets_per_decade` buckets per factor-of-10 across
+ * `decades` decades. Two sketches are mergeable iff their geometries are
+ * identical — same bucket count is NOT sufficient (e.g. (1e-9, 20, 15) and
+ * (1e-6, 20, 15) have equal-size count vectors but disjoint value ranges).
+ */
+struct SketchGeometry {
+  double min_value = 1e-6;
+  int buckets_per_decade = 10;
+  int decades = 9;
+
+  bool operator==(const SketchGeometry&) const = default;
+
+  size_t bucket_count() const {
+    return static_cast<size_t>(buckets_per_decade) * decades + 1;
+  }
+};
+
+/**
+ * Mergeable log-bucketed quantile sketch.
+ *
+ * The streaming-profiler window type: shards accumulate samples into
+ * per-window sketches and combine them at epoch barriers by summing bucket
+ * counts, without retaining samples. Quantiles are a pure function of the
+ * integer bucket counts and the geometry, so any merge order — or a fused
+ * single-shard accumulation — yields bit-identical quantile estimates.
+ *
+ * Sample routing:
+ *  - non-finite values (NaN, ±inf) go to a dedicated counted bin and are
+ *    excluded from count()/sum()/quantiles (they would otherwise poison
+ *    the sum and hit UB in the log-bucket computation);
+ *  - finite values below `min_value` (including negatives) count into an
+ *    explicit underflow region that the quantile walk interpolates over
+ *    [0, min_value), instead of being conflated with the first bucket;
+ *  - everything else lands in its log bucket, with the last bucket
+ *    absorbing overflow.
+ *
+ * Merge() enforces the geometry contract with a hard check in all build
+ * modes: merging mismatched geometries aborts rather than silently
+ * corrupting quantiles.
+ *
+ * Add/Merge/Clear never allocate after construction.
+ */
+class LatencySketch {
+ public:
+  explicit LatencySketch(SketchGeometry geometry = SketchGeometry{});
+
+  void Add(double value);
+
+  /** Sums bucket counts; aborts on geometry mismatch (all build modes). */
+  void Merge(const LatencySketch& other);
+
+  /** Zeroes all counters; keeps the bucket storage (no allocation). */
+  void Clear();
+
+  /** Finite samples (in-range + underflow); excludes the non-finite bin. */
+  uint64_t count() const { return count_; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t nonfinite() const { return nonfinite_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /**
+   * Value at quantile q in [0, 1] by linear interpolation within the
+   * bucket (or within [0, min_value) for the underflow region). Depends
+   * only on the integer counts, so it is merge-order invariant.
+   */
+  double Quantile(double q) const;
+
+  const SketchGeometry& geometry() const { return geometry_; }
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+  size_t memory_bytes() const;
+
+ private:
+  size_t BucketFor(double value) const;  // value finite and >= min_value
+  double BucketLow(size_t i) const;
+  double BucketHigh(size_t i) const;
+
+  SketchGeometry geometry_;
+  double log_min_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  uint64_t underflow_ = 0;
+  uint64_t nonfinite_ = 0;
+  double sum_ = 0.0;
+};
+
+/**
  * Log-bucketed histogram for latency-like positive values.
  *
  * Buckets grow geometrically from `min_value` with `buckets_per_decade`
  * buckets per factor-of-10, the standard shape for RPC latency telemetry.
  * Quantiles are answered by linear interpolation within a bucket.
+ *
+ * A thin wrapper over LatencySketch preserving the historical API and
+ * default geometry; count() includes underflow samples but not non-finite
+ * ones.
  */
 class LogHistogram {
  public:
@@ -49,31 +141,24 @@ class LogHistogram {
                         int buckets_per_decade = 20,
                         int decades = 15);
 
-  void Add(double value);
-  void Merge(const LogHistogram& other);
+  void Add(double value) { sketch_.Add(value); }
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  /** Aborts on geometry mismatch in all build modes (merge contract). */
+  void Merge(const LogHistogram& other) { sketch_.Merge(other.sketch_); }
+
+  uint64_t count() const { return sketch_.count(); }
+  uint64_t nonfinite() const { return sketch_.nonfinite(); }
+  double sum() const { return sketch_.sum(); }
+  double mean() const { return sketch_.mean(); }
 
   /** Value at quantile q in [0, 1]; 0.5 is the median. */
-  double Quantile(double q) const;
+  double Quantile(double q) const { return sketch_.Quantile(q); }
 
   /** Renders count/mean/p50/p90/p99 on one line. */
   std::string Summary() const;
 
  private:
-  size_t BucketFor(double value) const;
-  double BucketLow(size_t i) const;
-  double BucketHigh(size_t i) const;
-
-  double min_value_;
-  double log_min_;
-  double buckets_per_decade_;
-  std::vector<uint64_t> counts_;
-  uint64_t count_ = 0;
-  uint64_t underflow_ = 0;
-  double sum_ = 0.0;
+  LatencySketch sketch_;
 };
 
 /**

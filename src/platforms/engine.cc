@@ -6,6 +6,7 @@
 
 #include "consensus/paxos.h"
 #include "platforms/shuffle.h"
+#include "profiling/continuous.h"
 #include "sim/sequence.h"
 
 namespace hyperprof::platforms {
@@ -51,6 +52,12 @@ PlatformEngine::PlatformEngine(EngineContext context, PlatformSpec spec,
   assert(!sharded_ || spec_.worker_cores == 0);
   assert(context_.simulator && context_.dfs && context_.rpc &&
          context_.tracer && context_.profiler && context_.registry);
+  // Windowed profiling rides the tracer's finish path: attaching here
+  // means every sampled completion feeds its window without a second
+  // per-query hook in the engine hot path.
+  if (context_.continuous != nullptr) {
+    context_.tracer->set_continuous(context_.continuous);
+  }
   std::vector<double> type_weights;
   type_weights.reserve(spec_.query_types.size());
   for (const auto& type : spec_.query_types) {
@@ -520,6 +527,12 @@ void PlatformEngine::FinishQuery(std::shared_ptr<QueryState> query) {
   context_.tracer->FinishQuery(query->trace_id, context_.simulator->Now());
   ++completed_;
   if (completed_ == target_ && on_all_done_) {
+    // The workload has drained: advance the windowed profiler to the
+    // final virtual timestamp so every window that ended before it is
+    // sealed (the fleet's post-run Finalize closes the last one).
+    if (context_.continuous != nullptr) {
+      context_.continuous->AdvanceTo(context_.simulator->Now());
+    }
     auto done = std::move(on_all_done_);
     on_all_done_ = nullptr;
     done();

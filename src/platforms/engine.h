@@ -51,6 +51,12 @@ struct EngineContext {
   profiling::Tracer* tracer = nullptr;
   profiling::CpuProfiler* profiler = nullptr;
   const profiling::FunctionRegistry* registry = nullptr;
+  // Optional continuous (windowed) profiler. The engine attaches it to the
+  // tracer so every sampled finish lands in its virtual-time window, and
+  // advances it past the final completion when the workload drains. Worker
+  // shards carry a deferred-evaluation instance that the post-run merge
+  // combines at the barrier (see profiling/continuous.h).
+  profiling::ContinuousProfiler* continuous = nullptr;
 
   // --- Sharded mode (FleetConfig::shards_per_platform > 0) ---
   // When `shard_io` is set the engine runs in per-query-stream mode: it

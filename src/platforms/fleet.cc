@@ -17,6 +17,20 @@ namespace {
 // constant is the only randomness source it constructs.
 constexpr uint64_t kMergeSeed = 0x9e3779b97f4a7c15ULL;
 
+// Windowed-profiler options from the fleet config. `defer` marks worker
+// shards, whose partial windows must not be budget-evaluated; the merged
+// (or fused) instance evaluates in window-index order instead.
+profiling::ContinuousOptions ContinuousOptionsFrom(const FleetConfig& config,
+                                                   bool defer) {
+  profiling::ContinuousOptions options;
+  options.window = config.continuous_window;
+  options.history_size = config.continuous_history;
+  options.budget = config.continuous_budget;
+  options.max_anomalies = config.continuous_max_anomalies;
+  options.defer_evaluation = defer;
+  return options;
+}
+
 }  // namespace
 
 /** One worker shard's private substrate (sharded platforms only). */
@@ -26,6 +40,7 @@ struct FleetSimulation::PlatformSlot::WorkerShard {
   std::unique_ptr<net::FaultModel> faults;
   std::unique_ptr<profiling::Tracer> tracer;
   std::unique_ptr<profiling::CpuProfiler> profiler;
+  std::unique_ptr<profiling::ContinuousProfiler> continuous;
   std::unique_ptr<PlatformEngine> engine;
 };
 
@@ -176,12 +191,17 @@ void FleetSimulation::AddPlatform(PlatformSpec spec) {
       config_.trace_sample_one_in, shard_rng.Fork(), tracer_options);
   slot->profiler = std::make_unique<profiling::CpuProfiler>(
       config_.profiler_period, config_.cpu_hz, shard_rng.Fork());
+  if (config_.continuous_window > SimTime::Zero()) {
+    slot->continuous = std::make_unique<profiling::ContinuousProfiler>(
+        ContinuousOptionsFrom(config_, /*defer=*/false));
+  }
   EngineContext context;
   context.simulator = slot->simulator.get();
   context.dfs = slot->dfs.get();
   context.rpc = slot->rpc.get();
   context.tracer = slot->tracer.get();
   context.profiler = slot->profiler.get();
+  context.continuous = slot->continuous.get();
   context.registry = &registry_;
   context.worker_hosts = config_.worker_hosts;
   slot->engine = std::make_unique<PlatformEngine>(context, std::move(spec),
@@ -268,12 +288,17 @@ void FleetSimulation::AddShardedPlatform(PlatformSpec spec) {
         worker_tracer_options);
     worker.profiler = std::make_unique<profiling::CpuProfiler>(
         config_.profiler_period, config_.cpu_hz, profiler_rng.Fork());
+    if (config_.continuous_window > SimTime::Zero()) {
+      worker.continuous = std::make_unique<profiling::ContinuousProfiler>(
+          ContinuousOptionsFrom(config_, /*defer=*/true));
+    }
     EngineContext context;
     context.simulator = worker.simulator.get();
     context.dfs = slot->dfs.get();  // unused when sharded; kept non-null
     context.rpc = worker.rpc.get();
     context.tracer = worker.tracer.get();
     context.profiler = worker.profiler.get();
+    context.continuous = worker.continuous.get();
     context.registry = &registry_;
     context.shard_io = slot->fabric.get();
     context.shard_index = k;
@@ -345,6 +370,9 @@ void FleetSimulation::RunSlot(size_t index, bool parallel) {
   } else {
     slot.simulator->Run();
   }
+  // Seal and evaluate the trailing window(s) now that virtual time has
+  // stopped advancing.
+  if (slot.continuous) slot.continuous->Finalize();
 }
 
 void FleetSimulation::FinalizePlatform(PlatformSlot& slot) {
@@ -409,6 +437,21 @@ void FleetSimulation::FinalizePlatform(PlatformSlot& slot) {
       config_.profiler_period, config_.cpu_hz, Rng(kMergeSeed));
   for (const auto& worker : slot.workers) {
     slot.merged_profiler->AbsorbSamples(*worker->profiler);
+  }
+  // --- Continuous-profile merge: combine windows at the barrier ---------
+  // Workers accumulated deferred (partial) windows; summing them by
+  // absolute window index and evaluating in index order reproduces the
+  // fused streaming aggregation bit-for-bit — integer window totals and
+  // mergeable sketch bucket counts make the merge order irrelevant. Note
+  // the merged tracer above replays traces with no continuous observer
+  // attached: windows combine through MergeFrom, never by re-observation.
+  if (config_.continuous_window > SimTime::Zero()) {
+    slot.merged_continuous = std::make_unique<profiling::ContinuousProfiler>(
+        ContinuousOptionsFrom(config_, /*defer=*/false));
+    for (const auto& worker : slot.workers) {
+      slot.merged_continuous->MergeFrom(*worker->continuous);
+    }
+    slot.merged_continuous->Finalize();
   }
 }
 
@@ -507,6 +550,14 @@ const profiling::CpuProfiler& FleetSimulation::ProfilerOf(
   return *slot.profiler;
 }
 
+const profiling::ContinuousProfiler* FleetSimulation::ContinuousOf(
+    size_t index) const {
+  assert(index < slots_.size());
+  const PlatformSlot& slot = *slots_[index];
+  if (slot.sharded) return slot.merged_continuous.get();
+  return slot.continuous.get();
+}
+
 const storage::DistributedFileSystem& FleetSimulation::DfsOf(
     size_t index) const {
   assert(index < slots_.size());
@@ -603,6 +654,9 @@ FleetMemoryStats FleetSimulation::MemoryStats() const {
         stats.kernel_bytes += worker->simulator->memory_bytes();
         stats.tracer_bytes += worker->tracer->memory_bytes();
         stats.profiler_bytes += worker->profiler->memory_bytes();
+        if (worker->continuous) {
+          stats.profiler_bytes += worker->continuous->memory_bytes();
+        }
       }
       if (slot->merged_tracer) {
         stats.tracer_bytes += slot->merged_tracer->memory_bytes();
@@ -610,9 +664,15 @@ FleetMemoryStats FleetSimulation::MemoryStats() const {
       if (slot->merged_profiler) {
         stats.profiler_bytes += slot->merged_profiler->memory_bytes();
       }
+      if (slot->merged_continuous) {
+        stats.profiler_bytes += slot->merged_continuous->memory_bytes();
+      }
     } else {
       stats.tracer_bytes += slot->tracer->memory_bytes();
       stats.profiler_bytes += slot->profiler->memory_bytes();
+      if (slot->continuous) {
+        stats.profiler_bytes += slot->continuous->memory_bytes();
+      }
     }
     // Four clusters of worker hosts per platform region (the client and
     // fan-out draw space of the engine).

@@ -1,6 +1,7 @@
 #ifndef HYPERPROF_PLATFORMS_FLEET_H_
 #define HYPERPROF_PLATFORMS_FLEET_H_
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
@@ -12,6 +13,7 @@
 #include "platforms/engine.h"
 #include "platforms/spec.h"
 #include "profiling/aggregate.h"
+#include "profiling/continuous.h"
 #include "profiling/function_registry.h"
 #include "profiling/sampler.h"
 #include "profiling/tracer.h"
@@ -69,6 +71,24 @@ struct FleetConfig {
   profiling::TraceRetention trace_retention =
       profiling::TraceRetention::kRetainAll;
   size_t trace_reservoir_capacity = 256;
+  // --- Continuous (windowed) profiling -----------------------------------
+  // Virtual-time window of the rolling profile; Zero disables the
+  // continuous profiler entirely. Fused platforms stream-evaluate windows
+  // as virtual time passes; sharded platforms accumulate per-worker
+  // windows and merge them at the post-run barrier — the merged
+  // percentiles, budget stats, and anomaly log are bit-identical to the
+  // fused aggregation of the same traces (pinned by continuous_test and
+  // the simtest digest fold).
+  SimTime continuous_window = SimTime::Millis(250);
+  // Ring slots of rolling history. Sized so history * window covers the
+  // run span; populated windows evicted early are counted, not silently
+  // dropped.
+  size_t continuous_history = 128;
+  // Per-window, per-category virtual-time budgets (latency, cpu, io,
+  // remote work). Zero = unlimited; overruns are flagged as anomalies.
+  std::array<SimTime, profiling::kNumWindowCategories> continuous_budget = {};
+  // Bounded anomaly-log capacity (overflow counted, not stored).
+  size_t continuous_max_anomalies = 64;
   storage::DfsParams dfs;
   // Default fault spec installed on every shard's RPC fabric. All-zero (the
   // default) leaves the model un-armed: the fabric never consults it and
@@ -216,6 +236,14 @@ class FleetSimulation {
   /** Raw profiler of platform `index`. */
   const profiling::CpuProfiler& ProfilerOf(size_t index) const;
 
+  /**
+   * Continuous (windowed) profile of platform `index`: the streaming
+   * instance for a fused platform, the barrier-merged one for a sharded
+   * platform (identical output by construction). nullptr when disabled
+   * (continuous_window == Zero) or, for sharded platforms, before RunAll.
+   */
+  const profiling::ContinuousProfiler* ContinuousOf(size_t index) const;
+
   /** The platform's distributed filesystem (tier stats, caches). */
   const storage::DistributedFileSystem& DfsOf(size_t index) const;
 
@@ -272,6 +300,7 @@ class FleetSimulation {
     std::unique_ptr<storage::DistributedFileSystem> dfs;
     std::unique_ptr<profiling::Tracer> tracer;
     std::unique_ptr<profiling::CpuProfiler> profiler;
+    std::unique_ptr<profiling::ContinuousProfiler> continuous;
     std::unique_ptr<PlatformEngine> engine;
 
     // --- Sharded mode (shards_per_platform > 0) --------------------------
@@ -287,6 +316,7 @@ class FleetSimulation {
     std::unique_ptr<ShardIoFabric> fabric;
     std::unique_ptr<profiling::Tracer> merged_tracer;
     std::unique_ptr<profiling::CpuProfiler> merged_profiler;
+    std::unique_ptr<profiling::ContinuousProfiler> merged_continuous;
   };
 
   /** Builds a sharded slot (workers + storage kernel + fabric). */

@@ -375,7 +375,7 @@ BreakdownAccumulator::BreakdownAccumulator(const AttributionPolicy& policy,
                                            const GroupThresholds& thresholds)
     : policy_(policy), thresholds_(thresholds) {}
 
-void BreakdownAccumulator::Fold(const QueryTrace& trace) {
+AttributedTime BreakdownAccumulator::Fold(const QueryTrace& trace) {
   AttributedTime time = AttributeTrace(trace, policy_, scratch_);
   FoldE2e(time, thresholds_, e2e_);
   FoldTypeAggregate(
@@ -384,6 +384,7 @@ void BreakdownAccumulator::Fold(const QueryTrace& trace) {
   FoldSyncFactor(trace, cpu_spans_, dep_spans_, all_spans_,
                  sync_weighted_f_, sync_weight_);
   ++traces_folded_;
+  return time;
 }
 
 std::vector<TypeBreakdownRow> BreakdownAccumulator::TypeRows(

@@ -112,7 +112,8 @@ class BreakdownAccumulator {
       const GroupThresholds& thresholds = {});
 
   /** Attributes and folds one completed trace into every aggregate. */
-  void Fold(const QueryTrace& trace);
+  /** Returns the trace's attributed time (reused by window observers). */
+  AttributedTime Fold(const QueryTrace& trace);
 
   /** Figure 2 aggregates over all folded traces. */
   const E2eBreakdownReport& e2e() const { return e2e_; }

@@ -1,9 +1,13 @@
 #include "profiling/trace_export.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string_view>
+#include <unordered_map>
 
 #include "common/strings.h"
+#include "workloads/protowire/wire.h"
 
 namespace hyperprof::profiling {
 
@@ -79,6 +83,211 @@ bool WriteChromeTrace(const std::vector<QueryTrace>& traces,
   size_t written = std::fwrite(json.data(), 1, json.size(), file);
   std::fclose(file);
   return written == json.size();
+}
+
+namespace {
+
+/** Summed weights of one unique stack across all retained traces. */
+struct StackWeight {
+  int64_t samples = 0;     // span occurrences with this stack
+  int64_t self_nanos = 0;  // summed self time
+};
+
+// Stacks keyed root-first: platform, query type, then the span parent
+// chain down to the leaf. std::map keeps the export deterministic.
+using StackTable = std::map<std::vector<std::string>, StackWeight>;
+
+constexpr size_t kMaxStackDepth = 64;  // cycle/corruption guard
+
+/**
+ * Aggregates every span of every trace into (stack -> weight). Self time
+ * is span duration minus the summed duration of direct children, clamped
+ * at zero (overlapping children can exceed the parent).
+ */
+StackTable CollectStacks(const std::vector<QueryTrace>& traces,
+                         const NameInterner& names) {
+  StackTable table;
+  std::unordered_map<uint64_t, size_t> span_index;
+  std::unordered_map<uint64_t, int64_t> child_nanos;
+  std::vector<std::string> stack;
+  for (const QueryTrace& trace : traces) {
+    span_index.clear();
+    child_nanos.clear();
+    for (size_t i = 0; i < trace.spans.size(); ++i) {
+      const Span& span = trace.spans[i];
+      span_index[span.span_id] = i;
+      if (span.parent_id != 0) {
+        child_nanos[span.parent_id] += (span.end - span.start).nanos();
+      }
+    }
+    for (const Span& span : trace.spans) {
+      int64_t duration = (span.end - span.start).nanos();
+      if (duration < 0) continue;
+      int64_t children = 0;
+      auto it = child_nanos.find(span.span_id);
+      if (it != child_nanos.end()) children = it->second;
+      int64_t self = std::max<int64_t>(0, duration - children);
+
+      stack.clear();
+      stack.emplace_back(names.Name(trace.platform));
+      stack.emplace_back(names.Name(trace.query_type));
+      // Ancestor chain, root-first: walk up, then reverse the suffix.
+      size_t chain_begin = stack.size();
+      const Span* cur = &span;
+      for (size_t depth = 0; depth < kMaxStackDepth; ++depth) {
+        stack.emplace_back(names.Name(cur->name));
+        if (cur->parent_id == 0) break;
+        auto parent = span_index.find(cur->parent_id);
+        if (parent == span_index.end()) break;  // dangling parent id
+        cur = &trace.spans[parent->second];
+      }
+      std::reverse(stack.begin() + static_cast<ptrdiff_t>(chain_begin),
+                   stack.end());
+      StackWeight& weight = table[stack];
+      ++weight.samples;
+      weight.self_nanos += self;
+    }
+  }
+  return table;
+}
+
+bool WriteFile(const void* data, size_t size, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  size_t written = std::fwrite(data, 1, size, file);
+  std::fclose(file);
+  return written == size;
+}
+
+}  // namespace
+
+std::string ExportCollapsedStacks(const std::vector<QueryTrace>& traces,
+                                  const NameInterner& names) {
+  StackTable table = CollectStacks(traces, names);
+  std::string out;
+  for (const auto& [stack, weight] : table) {
+    for (size_t i = 0; i < stack.size(); ++i) {
+      if (i > 0) out += ';';
+      out += stack[i];
+    }
+    out += StrFormat(" %lld\n", static_cast<long long>(weight.self_nanos));
+  }
+  return out;
+}
+
+bool WriteCollapsedStacks(const std::vector<QueryTrace>& traces,
+                          const NameInterner& names, const std::string& path) {
+  std::string folded = ExportCollapsedStacks(traces, names);
+  return WriteFile(folded.data(), folded.size(), path);
+}
+
+std::vector<uint8_t> ExportPprofProfile(const std::vector<QueryTrace>& traces,
+                                        const NameInterner& names,
+                                        int64_t time_nanos) {
+  using protowire::PutLengthDelimited;
+  using protowire::PutTag;
+  using protowire::PutVarint;
+  using protowire::WireBuffer;
+  using protowire::WireType;
+
+  StackTable table = CollectStacks(traces, names);
+
+  // String table: index 0 must be "" per profile.proto.
+  std::vector<std::string> strings = {""};
+  std::map<std::string, uint64_t> string_index;
+  auto InternString = [&](const std::string& s) -> uint64_t {
+    auto [it, inserted] = string_index.try_emplace(s, strings.size());
+    if (inserted) strings.push_back(s);
+    return it->second;
+  };
+
+  // One Function + one Location per unique frame name, ids assigned in
+  // first-encounter order over the sorted stack table (deterministic).
+  std::map<std::string, uint64_t> frame_ids;  // frame -> location/function id
+  auto InternFrame = [&](const std::string& frame) -> uint64_t {
+    auto [it, inserted] = frame_ids.try_emplace(frame, frame_ids.size() + 1);
+    if (inserted) InternString(frame);
+    return it->second;
+  };
+
+  WireBuffer profile;
+  auto EmitSubmessage = [](WireBuffer& parent, uint32_t field,
+                           const WireBuffer& body) {
+    PutTag(parent, field, WireType::kLengthDelimited);
+    PutLengthDelimited(parent, body.data(), body.size());
+  };
+  auto EmitValueType = [&](uint32_t field, const char* type,
+                           const char* unit) {
+    WireBuffer body;
+    PutTag(body, 1, WireType::kVarint);
+    PutVarint(body, InternString(type));
+    PutTag(body, 2, WireType::kVarint);
+    PutVarint(body, InternString(unit));
+    EmitSubmessage(profile, field, body);
+  };
+
+  // Profile.sample_type = 1: [samples/count, time/nanoseconds].
+  EmitValueType(1, "samples", "count");
+  EmitValueType(1, "time", "nanoseconds");
+
+  // Profile.sample = 2, leaf-first location ids, values matching
+  // sample_type order.
+  WireBuffer scratch;
+  for (const auto& [stack, weight] : table) {
+    scratch.clear();
+    WireBuffer locations;
+    for (auto frame = stack.rbegin(); frame != stack.rend(); ++frame) {
+      PutVarint(locations, InternFrame(*frame));
+    }
+    PutTag(scratch, 1, WireType::kLengthDelimited);  // packed location_id
+    PutLengthDelimited(scratch, locations.data(), locations.size());
+    WireBuffer values;
+    PutVarint(values, static_cast<uint64_t>(weight.samples));
+    PutVarint(values, static_cast<uint64_t>(weight.self_nanos));
+    PutTag(scratch, 2, WireType::kLengthDelimited);  // packed value
+    PutLengthDelimited(scratch, values.data(), values.size());
+    EmitSubmessage(profile, 2, scratch);
+  }
+
+  // Profile.location = 4 and Profile.function = 5, one pair per frame.
+  for (const auto& [frame, id] : frame_ids) {
+    WireBuffer line;
+    PutTag(line, 1, WireType::kVarint);  // Line.function_id
+    PutVarint(line, id);
+
+    WireBuffer location;
+    PutTag(location, 1, WireType::kVarint);  // Location.id
+    PutVarint(location, id);
+    EmitSubmessage(location, 4, line);  // Location.line
+    EmitSubmessage(profile, 4, location);
+
+    WireBuffer function;
+    PutTag(function, 1, WireType::kVarint);  // Function.id
+    PutVarint(function, id);
+    PutTag(function, 2, WireType::kVarint);  // Function.name
+    PutVarint(function, string_index.at(frame));
+    EmitSubmessage(profile, 5, function);
+  }
+
+  // Profile.string_table = 6.
+  for (const std::string& s : strings) {
+    PutTag(profile, 6, WireType::kLengthDelimited);
+    PutLengthDelimited(profile, s);
+  }
+
+  // Profile.time_nanos = 9 (virtual time of the export).
+  if (time_nanos != 0) {
+    PutTag(profile, 9, WireType::kVarint);
+    PutVarint(profile, static_cast<uint64_t>(time_nanos));
+  }
+  return profile;
+}
+
+bool WritePprofProfile(const std::vector<QueryTrace>& traces,
+                       const NameInterner& names, const std::string& path,
+                       int64_t time_nanos) {
+  std::vector<uint8_t> profile = ExportPprofProfile(traces, names, time_nanos);
+  return WriteFile(profile.data(), profile.size(), path);
 }
 
 }  // namespace hyperprof::profiling

@@ -29,6 +29,43 @@ bool WriteChromeTrace(const std::vector<QueryTrace>& traces,
                       const NameInterner& names, const std::string& path,
                       size_t max_queries = 200);
 
+/**
+ * Exports retained traces in the collapsed-stack ("folded") flamegraph
+ * format: one line per unique stack, `frame;frame;...;leaf weight`, where
+ * the weight is the stack's summed self time in nanoseconds. The synthetic
+ * root frames are the platform and query type, then the span parent chain.
+ * A span's self time is its duration minus its children's, so the flame
+ * graph's column widths add up to wall time instead of double-counting
+ * nested spans. Lines are emitted in sorted order (deterministic output).
+ *
+ * Feed the result straight to flamegraph.pl or speedscope.
+ */
+std::string ExportCollapsedStacks(const std::vector<QueryTrace>& traces,
+                                  const NameInterner& names);
+
+/** Writes ExportCollapsedStacks output to a file. */
+bool WriteCollapsedStacks(const std::vector<QueryTrace>& traces,
+                          const NameInterner& names, const std::string& path);
+
+/**
+ * Exports retained traces as a pprof profile (profile.proto wire format,
+ * uncompressed), encoded with the repo's own protowire writer. Two sample
+ * types: samples/count and time/nanoseconds; each unique stack becomes one
+ * Sample with leaf-first location ids, and every frame gets a Function +
+ * Location pair. `time_nanos` stamps Profile.time_nanos (virtual time).
+ *
+ * `go tool pprof` reads the output directly (it accepts uncompressed
+ * profiles).
+ */
+std::vector<uint8_t> ExportPprofProfile(const std::vector<QueryTrace>& traces,
+                                        const NameInterner& names,
+                                        int64_t time_nanos = 0);
+
+/** Writes ExportPprofProfile output to a file. */
+bool WritePprofProfile(const std::vector<QueryTrace>& traces,
+                       const NameInterner& names, const std::string& path,
+                       int64_t time_nanos = 0);
+
 }  // namespace hyperprof::profiling
 
 #endif  // HYPERPROF_PROFILING_TRACE_EXPORT_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "profiling/aggregate.h"
+#include "profiling/continuous.h"
 
 namespace hyperprof::profiling {
 
@@ -205,7 +206,10 @@ void Tracer::FinishQuery(uint64_t trace_id, SimTime end) {
   }
   slot->trace.end = end;
   ++queries_finished_;
-  breakdown_->Fold(slot->trace);
+  AttributedTime attributed = breakdown_->Fold(slot->trace);
+  if (continuous_ != nullptr) {
+    continuous_->Observe(end, end - slot->trace.start, attributed);
+  }
 
   if (options_.retention == TraceRetention::kRetainAll) {
     traces_.push_back(std::move(slot->trace));

@@ -13,6 +13,7 @@
 namespace hyperprof::profiling {
 
 class BreakdownAccumulator;
+class ContinuousProfiler;
 
 /**
  * What a span's wall time represents, for end-to-end attribution.
@@ -225,6 +226,18 @@ class Tracer {
   /** Streaming per-group/per-type aggregates over ALL finished traces. */
   const BreakdownAccumulator& breakdown() const { return *breakdown_; }
 
+  /**
+   * Attaches a continuous (windowed) profiler: every FinishQuery also
+   * feeds the query's finish time, latency, and attributed breakdown into
+   * the observer's current window. Not owned; pass nullptr to detach.
+   * The observer reuses the attribution already computed for the
+   * streaming breakdown, so the hook adds no second trace walk.
+   */
+  void set_continuous(ContinuousProfiler* continuous) {
+    continuous_ = continuous;
+  }
+  ContinuousProfiler* continuous() const { return continuous_; }
+
   uint64_t queries_seen() const { return queries_seen_; }
   uint64_t queries_sampled() const { return queries_sampled_; }
   uint64_t queries_finished() const { return queries_finished_; }
@@ -272,6 +285,7 @@ class Tracer {
   // sampling stream so retention mode never perturbs sampling decisions.
   Rng reservoir_rng_;
   std::unique_ptr<BreakdownAccumulator> breakdown_;
+  ContinuousProfiler* continuous_ = nullptr;  // not owned
 };
 
 }  // namespace hyperprof::profiling

@@ -494,6 +494,78 @@ void CheckShardExchange(const RunArtifacts& run, Out& out) {
   }
 }
 
+/**
+ * Continuous-window conservation: every sampled query the tracer finished
+ * landed in exactly one window, window sample counts agree with the query
+ * counts, budget verdicts are consistent with the anomaly log, and the
+ * merged aggregator dropped nothing. Holds for fused and shard-merged
+ * profilers alike (DESIGN.md §15).
+ */
+void CheckContinuousWindows(const RunArtifacts& run, Out& out) {
+  for (const auto& p : run.platforms) {
+    if (!p.continuous_enabled) continue;
+    if (p.continuous_late != 0) {
+      Report(out, "continuous-windows", p.name,
+             StrFormat("%llu observations arrived behind the seal cursor",
+                       static_cast<unsigned long long>(p.continuous_late)));
+    }
+    if (p.continuous_evicted == 0 && p.continuous_merge_drops != 0) {
+      // Barrier merges only drop windows the ring has wrapped past; with
+      // zero evictions anywhere there was nothing to wrap past.
+      Report(out, "continuous-windows", p.name,
+             StrFormat("%llu shard windows dropped at the merge barrier "
+                       "despite an unwrapped ring",
+                       static_cast<unsigned long long>(
+                           p.continuous_merge_drops)));
+    }
+    if (p.continuous_observed != p.queries_finished) {
+      Report(out, "continuous-windows", p.name,
+             StrFormat("windowed %llu queries, tracer finished %llu",
+                       static_cast<unsigned long long>(p.continuous_observed),
+                       static_cast<unsigned long long>(p.queries_finished)));
+    }
+    uint64_t window_queries = 0;
+    for (const auto& window : p.windows) {
+      window_queries += window.queries;
+      for (size_t c = 0; c < profiling::kNumWindowCategories; ++c) {
+        if (window.samples[c] > window.queries) {
+          Report(out, "continuous-windows", p.name,
+                 StrFormat("window %lld category %zu holds %llu samples for "
+                           "%llu queries",
+                           static_cast<long long>(window.index), c,
+                           static_cast<unsigned long long>(window.samples[c]),
+                           static_cast<unsigned long long>(window.queries)));
+        }
+        if (window.total_nanos[c] < 0) {
+          Report(out, "continuous-windows", p.name,
+                 StrFormat("window %lld category %zu total is negative",
+                           static_cast<long long>(window.index), c));
+        }
+      }
+    }
+    if (p.continuous_evicted == 0 && window_queries != p.continuous_observed) {
+      Report(out, "continuous-windows", p.name,
+             StrFormat("history holds %llu queries, profiler observed %llu "
+                       "with no evictions",
+                       static_cast<unsigned long long>(window_queries),
+                       static_cast<unsigned long long>(
+                           p.continuous_observed)));
+    }
+    uint64_t overruns = 0;
+    for (const auto& stat : p.continuous_budget) overruns += stat.overruns;
+    if (p.continuous_anomalies.size() + p.continuous_anomalies_dropped !=
+        overruns) {
+      Report(out, "continuous-windows", p.name,
+             StrFormat("anomaly log (%zu stored + %llu dropped) disagrees "
+                       "with %llu budget overruns",
+                       p.continuous_anomalies.size(),
+                       static_cast<unsigned long long>(
+                           p.continuous_anomalies_dropped),
+                       static_cast<unsigned long long>(overruns)));
+    }
+  }
+}
+
 }  // namespace
 
 RunArtifacts CollectArtifacts(const platforms::FleetSimulation& fleet) {
@@ -562,6 +634,37 @@ RunArtifacts CollectArtifacts(const platforms::FleetSimulation& fleet) {
     p.injected_errors = totals.injected_errors;
     p.injected_slowdowns = totals.injected_slowdowns;
     p.outage_hits = totals.outage_hits;
+
+    if (const profiling::ContinuousProfiler* continuous =
+            fleet.ContinuousOf(index)) {
+      p.continuous_enabled = true;
+      for (int64_t w = continuous->first_window();
+           w >= 0 && w <= continuous->last_window(); ++w) {
+        const profiling::WindowSlot* slot = continuous->WindowAt(w);
+        if (slot == nullptr) continue;
+        PlatformArtifacts::WindowSnapshot window;
+        window.index = slot->index;
+        window.queries = slot->queries;
+        window.total_nanos = slot->total_nanos;
+        for (size_t c = 0; c < profiling::kNumWindowCategories; ++c) {
+          window.samples[c] = slot->sketches[c].count();
+          window.p50[c] = slot->sketches[c].Quantile(0.5);
+          window.p99[c] = slot->sketches[c].Quantile(0.99);
+        }
+        p.windows.push_back(window);
+      }
+      for (size_t c = 0; c < profiling::kNumWindowCategories; ++c) {
+        p.continuous_budget[c] =
+            continuous->budget_stat(static_cast<profiling::WindowCategory>(c));
+      }
+      p.continuous_anomalies.assign(continuous->anomalies().begin(),
+                                    continuous->anomalies().end());
+      p.continuous_anomalies_dropped = continuous->anomalies_dropped();
+      p.continuous_observed = continuous->observed_queries();
+      p.continuous_evicted = continuous->windows_evicted();
+      p.continuous_late = continuous->late_observations();
+      p.continuous_merge_drops = continuous->merge_drops();
+    }
 
     const platforms::ShardStats shards = fleet.ShardStatsOf(index);
     p.shard_count = shards.shard_count;
@@ -642,6 +745,37 @@ uint64_t DigestArtifacts(const RunArtifacts& run) {
     fnv.U64(p.shard_messages_delivered);
     fnv.U64(p.shard_epochs);
     fnv.U64(p.shard_coalesced_epochs);
+    // Continuous-profiling windows: integer totals and sketch-derived
+    // percentiles are shard-layout-invariant by construction (int64/uint64
+    // accumulation; DESIGN.md §15), so they belong in the digest alongside
+    // the breakdown doubles.
+    fnv.U64(p.continuous_enabled ? 1 : 0);
+    fnv.U64(p.windows.size());
+    for (const auto& window : p.windows) {
+      fnv.U64(static_cast<uint64_t>(window.index));
+      fnv.U64(window.queries);
+      for (size_t c = 0; c < profiling::kNumWindowCategories; ++c) {
+        fnv.U64(static_cast<uint64_t>(window.total_nanos[c]));
+        fnv.U64(window.samples[c]);
+        fnv.F64(window.p50[c]);
+        fnv.F64(window.p99[c]);
+      }
+    }
+    for (const auto& stat : p.continuous_budget) {
+      fnv.U64(stat.windows_evaluated);
+      fnv.U64(stat.overruns);
+      fnv.U64(static_cast<uint64_t>(stat.worst_total_nanos));
+      fnv.U64(static_cast<uint64_t>(stat.worst_window));
+    }
+    fnv.U64(p.continuous_anomalies.size());
+    for (const auto& anomaly : p.continuous_anomalies) {
+      fnv.U64(static_cast<uint64_t>(anomaly.window));
+      fnv.U64(static_cast<uint64_t>(anomaly.category));
+      fnv.U64(static_cast<uint64_t>(anomaly.total_nanos));
+      fnv.U64(static_cast<uint64_t>(anomaly.budget_nanos));
+    }
+    fnv.U64(p.continuous_anomalies_dropped);
+    fnv.U64(p.continuous_observed);
   }
   return fnv.h;
 }
@@ -682,6 +816,7 @@ InvariantRegistry InvariantRegistry::Default() {
   registry.Register("fault-gating", CheckFaultGating);
   registry.Register("breakdown-consistency", CheckBreakdownConsistency);
   registry.Register("shard-exchange", CheckShardExchange);
+  registry.Register("continuous-windows", CheckContinuousWindows);
   return registry;
 }
 

@@ -1,12 +1,14 @@
 #ifndef HYPERPROF_TESTING_INVARIANTS_H_
 #define HYPERPROF_TESTING_INVARIANTS_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "platforms/fleet.h"
+#include "profiling/continuous.h"
 #include "profiling/tracer.h"
 
 namespace hyperprof::testing {
@@ -88,6 +90,30 @@ struct PlatformArtifacts {
   // Envelopes delivered behind the destination clock — nonzero means a
   // post-horizon hook was unsound and the conservative window broke.
   uint64_t shard_late_deliveries = 0;
+
+  // Continuous profiling (DESIGN.md §15). For sharded platforms this is
+  // the barrier-merged aggregator, so folding it into the digest pins the
+  // shard-layout invariance of the windowed pipeline: totals are integer
+  // nanoseconds and quantiles pure functions of integer sketch counts, so
+  // every field below must be bit-identical across shard layouts.
+  struct WindowSnapshot {
+    int64_t index = 0;
+    uint64_t queries = 0;
+    std::array<int64_t, profiling::kNumWindowCategories> total_nanos = {};
+    std::array<uint64_t, profiling::kNumWindowCategories> samples = {};
+    std::array<double, profiling::kNumWindowCategories> p50 = {};
+    std::array<double, profiling::kNumWindowCategories> p99 = {};
+  };
+  bool continuous_enabled = false;
+  std::vector<WindowSnapshot> windows;  // in window-index order
+  std::array<profiling::BudgetStat, profiling::kNumWindowCategories>
+      continuous_budget = {};
+  std::vector<profiling::WindowAnomaly> continuous_anomalies;
+  uint64_t continuous_anomalies_dropped = 0;
+  uint64_t continuous_observed = 0;
+  uint64_t continuous_evicted = 0;
+  uint64_t continuous_late = 0;
+  uint64_t continuous_merge_drops = 0;
 };
 
 /** Snapshot of one full fleet run plus the scenario facts checks rely on. */

@@ -28,7 +28,7 @@ std::string Scenario::Describe() const {
       "retention=%s fs=%u ram=%lluMiB ssd=%lluMiB "
       "read[t=%lldms a=%u h=%lldms] write[t=%lldms a=%u] "
       "fault[drop=%.3f err=%.3f slow=%.3f] outages=%zu shards=%u "
-      "parallel_cmp=%d",
+      "window=%lldms budgets=%d parallel_cmp=%d",
       static_cast<unsigned long long>(seed), StrJoin(names, ",").c_str(),
       static_cast<unsigned long long>(config.queries_per_platform),
       config.arrival_rate_qps, config.trace_sample_one_in,
@@ -48,6 +48,8 @@ std::string Scenario::Describe() const {
       config.dfs.write_policy.max_attempts, fault.drop_probability,
       fault.error_probability, fault.slowdown_probability,
       config.outages.size(), config.shards_per_platform,
+      static_cast<long long>(config.continuous_window.nanos() / 1000000),
+      config.continuous_budget[0] > SimTime::Zero() ? 1 : 0,
       compare_parallel ? 1 : 0);
 }
 
@@ -154,6 +156,25 @@ Scenario ScenarioGen::Generate(uint64_t seed) {
   config.shards_per_platform = Pick(rng, shard_counts);
   if (config.shards_per_platform > 0) {
     for (auto& spec : scenario.specs) spec.worker_cores = 0;
+  }
+
+  // Continuous profiling (DESIGN.md §15), drawn after sharding for the
+  // same reason: earlier seeds keep their shapes. Window width varies so
+  // runs land anywhere from one window to dozens; budgets arm in half the
+  // scenarios so the overrun/anomaly path is exercised against the digest.
+  const int64_t windows_ms[] = {5, 25, 100, 250};
+  config.continuous_window = SimTime::Millis(Pick(rng, windows_ms));
+  const size_t histories[] = {32u, 128u};
+  config.continuous_history = Pick(rng, histories);
+  if (rng.NextBool(0.5)) {
+    // Per-window aggregate budgets in the vicinity of real window loads:
+    // at the drawn rates some windows overrun and some don't.
+    config.continuous_budget[static_cast<size_t>(
+        profiling::WindowCategory::kLatency)] =
+        SimTime::Millis(1 + rng.NextInt(0, 99));
+    config.continuous_budget[static_cast<size_t>(
+        profiling::WindowCategory::kCpu)] =
+        SimTime::Millis(1 + rng.NextInt(0, 49));
   }
 
   return scenario;

@@ -1,6 +1,8 @@
 #include "common/stats.h"
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -93,10 +95,156 @@ TEST(LogHistogramTest, MergeAddsCounts) {
   EXPECT_DOUBLE_EQ(a.sum(), 3e-3);
 }
 
+// Regression: Merge used to check only bucket-vector size (and only via
+// assert, compiled out under NDEBUG). These two geometries have identical
+// bucket counts but disjoint value ranges; merging them must die in every
+// build mode instead of silently corrupting quantiles.
+TEST(LogHistogramDeathTest, MergeRejectsMismatchedGeometry) {
+  LogHistogram nanos(1e-9, 20, 15);
+  LogHistogram micros(1e-6, 20, 15);
+  nanos.Add(1e-3);
+  micros.Add(1e-3);
+  EXPECT_DEATH(nanos.Merge(micros), "geometry mismatch");
+}
+
+TEST(LogHistogramDeathTest, MergeRejectsMismatchedBucketsPerDecade) {
+  LogHistogram coarse(1e-9, 10, 30);  // same total bucket count as default
+  LogHistogram fine;
+  EXPECT_DEATH(fine.Merge(coarse), "geometry mismatch");
+}
+
+// Regression: Add(NaN/±inf) used to flow log10 output into a size_t cast
+// (UB) and poison sum_. Non-finite samples now land in a dedicated bin and
+// leave count/sum/quantiles untouched.
+TEST(LogHistogramTest, NonFiniteSamplesAreIsolated) {
+  LogHistogram hist;
+  hist.Add(1e-3);
+  hist.Add(std::numeric_limits<double>::quiet_NaN());
+  hist.Add(std::numeric_limits<double>::infinity());
+  hist.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.nonfinite(), 3u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 1e-3);
+  EXPECT_TRUE(std::isfinite(hist.Quantile(0.5)));
+  EXPECT_TRUE(std::isfinite(hist.Quantile(1.0)));
+
+  LogHistogram other;
+  other.Add(std::numeric_limits<double>::quiet_NaN());
+  hist.Merge(other);
+  EXPECT_EQ(hist.nonfinite(), 4u);
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+// Regression: underflow samples were double-bookkept into counts_[0], so
+// low quantiles reported at least BucketLow(0) for samples known to be
+// below min_value. With 3 of 4 samples in the underflow region, the median
+// must interpolate inside [0, min_value), at exactly min_value * (2/3).
+TEST(LogHistogramTest, UnderflowQuantilesInterpolateBelowMinValue) {
+  LogHistogram hist(1e-6);
+  hist.Add(1e-9);
+  hist.Add(1e-9);
+  hist.Add(1e-9);
+  hist.Add(1e-3);
+  EXPECT_EQ(hist.count(), 4u);
+  // Median: target = 2 of 3 underflow samples.
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 1e-6 * (2.0 / 3.0));
+  EXPECT_LT(hist.Quantile(0.5), 1e-6);
+  // p95 lands on the in-range sample's bucket (~1e-3, bucket is ~12% wide).
+  EXPECT_GT(hist.Quantile(0.95), 1e-3 * 0.88);
+  EXPECT_LT(hist.Quantile(0.95), 1e-3 * 1.13);
+}
+
 TEST(LogHistogramTest, SummaryMentionsCount) {
   LogHistogram hist;
   hist.Add(1e-3);
   EXPECT_NE(hist.Summary().find("n=1"), std::string::npos);
+}
+
+TEST(LatencySketchTest, BasicAccounting) {
+  LatencySketch sketch;
+  sketch.Add(5e-4);
+  sketch.Add(2e-3);
+  sketch.Add(1e-9);                                      // underflow
+  sketch.Add(std::numeric_limits<double>::quiet_NaN());  // non-finite
+  EXPECT_EQ(sketch.count(), 3u);
+  EXPECT_EQ(sketch.underflow(), 1u);
+  EXPECT_EQ(sketch.nonfinite(), 1u);
+  EXPECT_NEAR(sketch.sum(), 5e-4 + 2e-3 + 1e-9, 1e-15);
+}
+
+TEST(LatencySketchTest, ClearResetsWithoutChangingGeometry) {
+  LatencySketch sketch;
+  for (int i = 0; i < 100; ++i) sketch.Add(1e-3);
+  sketch.Add(std::numeric_limits<double>::infinity());
+  sketch.Clear();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.nonfinite(), 0u);
+  EXPECT_EQ(sketch.underflow(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0.5), 0.0);
+  sketch.Add(2e-3);
+  EXPECT_EQ(sketch.count(), 1u);
+}
+
+TEST(LatencySketchDeathTest, MergeRejectsMismatchedGeometry) {
+  LatencySketch a(SketchGeometry{1e-6, 10, 9});
+  LatencySketch b(SketchGeometry{1e-7, 10, 9});
+  EXPECT_DEATH(a.Merge(b), "geometry mismatch");
+}
+
+// Sharded windows combine through Merge at epoch barriers. Quantiles are a
+// pure function of the integer bucket counts, so N shards merged in any
+// order must reproduce the fused single-sketch quantiles bit-for-bit.
+TEST(LatencySketchTest, RandomizedMergeMatchesOneshot) {
+  Rng rng(101);
+  for (int round = 0; round < 20; ++round) {
+    int shards = 1 + static_cast<int>(rng.NextBounded(8));
+    LatencySketch fused;
+    std::vector<LatencySketch> parts(static_cast<size_t>(shards));
+    int samples = 200 + static_cast<int>(rng.NextBounded(800));
+    for (int i = 0; i < samples; ++i) {
+      double v = rng.NextExponential(1e-3);
+      if (rng.NextBounded(50) == 0) v = 1e-9;  // underflow sprinkle
+      if (rng.NextBounded(97) == 0) v = std::numeric_limits<double>::infinity();
+      fused.Add(v);
+      parts[rng.NextBounded(static_cast<uint64_t>(shards))].Add(v);
+    }
+    LatencySketch merged;
+    // Merge in a rotated order to exercise order-independence.
+    size_t start = rng.NextBounded(static_cast<uint64_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      merged.Merge(parts[(start + static_cast<size_t>(s)) % shards]);
+    }
+    EXPECT_EQ(merged.count(), fused.count());
+    EXPECT_EQ(merged.underflow(), fused.underflow());
+    EXPECT_EQ(merged.nonfinite(), fused.nonfinite());
+    EXPECT_EQ(merged.bucket_counts(), fused.bucket_counts());
+    for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+      EXPECT_DOUBLE_EQ(merged.Quantile(q), fused.Quantile(q)) << "q=" << q;
+    }
+    EXPECT_NEAR(merged.sum(), fused.sum(), 1e-12);
+  }
+}
+
+TEST(LogHistogramTest, RandomizedMergeMatchesOneshot) {
+  Rng rng(202);
+  for (int round = 0; round < 10; ++round) {
+    int shards = 2 + static_cast<int>(rng.NextBounded(5));
+    LogHistogram fused;
+    std::vector<LogHistogram> parts(static_cast<size_t>(shards));
+    for (int i = 0; i < 500; ++i) {
+      double v = rng.NextExponential(2e-3);
+      fused.Add(v);
+      parts[rng.NextBounded(static_cast<uint64_t>(shards))].Add(v);
+    }
+    LogHistogram merged;
+    for (const LogHistogram& part : parts) merged.Merge(part);
+    EXPECT_EQ(merged.count(), fused.count());
+    for (double q : {0.05, 0.5, 0.9, 0.999}) {
+      EXPECT_DOUBLE_EQ(merged.Quantile(q), fused.Quantile(q)) << "q=" << q;
+    }
+    EXPECT_NEAR(merged.sum(), fused.sum(), 1e-9);
+  }
 }
 
 TEST(NormalizeToFractionsTest, SumsToOne) {

@@ -44,6 +44,8 @@ FleetSimulation& ShardedReference() {
   return *fleet;
 }
 
+void ExpectContinuousIdentical(FleetSimulation& a, FleetSimulation& b);
+
 void ExpectBitIdentical(FleetSimulation& serial, FleetSimulation& parallel) {
   ASSERT_EQ(serial.platform_count(), parallel.platform_count());
   EXPECT_EQ(serial.total_events_executed(), parallel.total_events_executed());
@@ -97,6 +99,11 @@ void ExpectBitIdentical(FleetSimulation& serial, FleetSimulation& parallel) {
           << a.name << " trace " << t;
     }
   }
+  // The continuous-profiling windows are part of the determinism contract
+  // too: per-shard accumulation merged at the finalize barrier must agree
+  // exactly across every parallelism and shard-count setting (integer
+  // accumulation makes the merge order-invariant; DESIGN.md §15).
+  ExpectContinuousIdentical(serial, parallel);
 }
 
 TEST(FleetParallelTest, SerialAndParallelRunsAreBitIdentical) {
@@ -182,6 +189,75 @@ TEST(FleetShardingTest, MemoryStatsAccountSimulationState) {
   // Three platforms x four clusters x the default 64 hosts.
   EXPECT_EQ(stats.simulated_workers, 3u * 4u * 64u);
   EXPECT_GT(stats.bytes_per_worker, 0.0);
+}
+
+void ExpectContinuousIdentical(FleetSimulation& a, FleetSimulation& b) {
+  ASSERT_EQ(a.platform_count(), b.platform_count());
+  for (size_t p = 0; p < a.platform_count(); ++p) {
+    const profiling::ContinuousProfiler* ca = a.ContinuousOf(p);
+    const profiling::ContinuousProfiler* cb = b.ContinuousOf(p);
+    ASSERT_NE(ca, nullptr);
+    ASSERT_NE(cb, nullptr);
+    EXPECT_EQ(ca->observed_queries(), cb->observed_queries()) << "p" << p;
+    EXPECT_EQ(ca->first_window(), cb->first_window()) << "p" << p;
+    EXPECT_EQ(ca->last_window(), cb->last_window()) << "p" << p;
+    EXPECT_EQ(ca->windows_evicted(), cb->windows_evicted()) << "p" << p;
+    for (int64_t w = ca->first_window(); w <= ca->last_window(); ++w) {
+      const profiling::WindowSlot* sa = ca->WindowAt(w);
+      const profiling::WindowSlot* sb = cb->WindowAt(w);
+      ASSERT_EQ(sa == nullptr, sb == nullptr) << "p" << p << " w" << w;
+      if (sa == nullptr) continue;
+      EXPECT_EQ(sa->queries, sb->queries) << "p" << p << " w" << w;
+      EXPECT_EQ(sa->total_nanos, sb->total_nanos) << "p" << p << " w" << w;
+      for (size_t c = 0; c < profiling::kNumWindowCategories; ++c) {
+        EXPECT_EQ(sa->sketches[c].bucket_counts(),
+                  sb->sketches[c].bucket_counts())
+            << "p" << p << " w" << w << " cat " << c;
+      }
+    }
+    for (size_t c = 0; c < profiling::kNumWindowCategories; ++c) {
+      auto cat = static_cast<profiling::WindowCategory>(c);
+      EXPECT_EQ(ca->budget_stat(cat).windows_evaluated,
+                cb->budget_stat(cat).windows_evaluated)
+          << "p" << p << " cat " << c;
+      EXPECT_EQ(ca->budget_stat(cat).overruns, cb->budget_stat(cat).overruns)
+          << "p" << p << " cat " << c;
+      EXPECT_EQ(ca->budget_stat(cat).worst_total_nanos,
+                cb->budget_stat(cat).worst_total_nanos)
+          << "p" << p << " cat " << c;
+      // Quantiles are pure functions of the (equal) integer counts, so
+      // exact double equality is the right bar.
+      EXPECT_EQ(ca->RollingQuantile(cat, 0.5), cb->RollingQuantile(cat, 0.5))
+          << "p" << p << " cat " << c;
+      EXPECT_EQ(ca->RollingQuantile(cat, 0.99),
+                cb->RollingQuantile(cat, 0.99))
+          << "p" << p << " cat " << c;
+    }
+    ASSERT_EQ(ca->anomalies().size(), cb->anomalies().size()) << "p" << p;
+    for (size_t i = 0; i < ca->anomalies().size(); ++i) {
+      EXPECT_EQ(ca->anomalies()[i].window, cb->anomalies()[i].window);
+      EXPECT_EQ(ca->anomalies()[i].category, cb->anomalies()[i].category);
+      EXPECT_EQ(ca->anomalies()[i].total_nanos,
+                cb->anomalies()[i].total_nanos);
+    }
+  }
+}
+
+TEST(FleetShardingTest, ContinuousProfilersSeeEveryQuery) {
+  FleetSimulation& fleet = ShardedReference();
+  for (size_t p = 0; p < fleet.platform_count(); ++p) {
+    const profiling::ContinuousProfiler* continuous = fleet.ContinuousOf(p);
+    ASSERT_NE(continuous, nullptr);
+    // Sampled-only: the tracer feeds the window observer, so the window
+    // totals cover exactly the sampled query population.
+    EXPECT_EQ(continuous->observed_queries(), fleet.Result(p).queries_sampled);
+    EXPECT_EQ(continuous->late_observations(), 0u);
+    EXPECT_EQ(continuous->merge_drops(), 0u);
+    EXPECT_GT(continuous->WindowsInHistory(), 0u);
+    EXPECT_GT(continuous->RollingQuantile(profiling::WindowCategory::kLatency,
+                                          0.5),
+              0.0);
+  }
 }
 
 TEST(FleetParallelTest, PlatformSeedsAreDistinctAndStable) {

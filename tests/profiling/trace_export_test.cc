@@ -1,8 +1,13 @@
 #include "profiling/trace_export.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
+#include <string>
 
 #include <gtest/gtest.h>
+
+#include "workloads/protowire/wire.h"
 
 namespace hyperprof::profiling {
 namespace {
@@ -100,6 +105,198 @@ TEST_F(TraceExportTest, WritesFile) {
   std::remove(path.c_str());
   ASSERT_EQ(read, 1u);
   EXPECT_EQ(buffer[0], '[');
+}
+
+// A trace with a two-level span hierarchy for the flamegraph exporters:
+// compute (root, 250us) -> dfs.read (child, 150us). Self time of compute
+// is therefore 100us.
+class FlamegraphExportTest : public TraceExportTest {
+ protected:
+  QueryTrace NestedTrace(uint64_t id) {
+    QueryTrace trace;
+    trace.trace_id = id;
+    trace.platform = names_.Intern("Spanner");
+    trace.query_type = names_.Intern("point_read");
+    Span root;
+    root.span_id = 1;
+    root.kind = SpanKind::kCpu;
+    root.name = names_.Intern("compute");
+    root.start = SimTime::Micros(100);
+    root.end = SimTime::Micros(350);
+    Span child;
+    child.span_id = 2;
+    child.parent_id = 1;
+    child.kind = SpanKind::kIo;
+    child.name = names_.Intern("dfs.read");
+    child.start = SimTime::Micros(200);
+    child.end = SimTime::Micros(350);
+    trace.spans = {root, child};
+    return trace;
+  }
+};
+
+TEST_F(FlamegraphExportTest, CollapsedStacksComputeSelfTime) {
+  std::string folded = ExportCollapsedStacks({NestedTrace(1)}, names_);
+  // Root self = 250us - 150us child = 100us = 100000ns; the child keeps
+  // its full 150000ns.
+  EXPECT_NE(folded.find("Spanner;point_read;compute 100000\n"),
+            std::string::npos)
+      << folded;
+  EXPECT_NE(folded.find("Spanner;point_read;compute;dfs.read 150000\n"),
+            std::string::npos)
+      << folded;
+}
+
+TEST_F(FlamegraphExportTest, CollapsedStacksAggregateAcrossTraces) {
+  std::vector<QueryTrace> traces = {NestedTrace(1), NestedTrace(2),
+                                    NestedTrace(3)};
+  std::string folded = ExportCollapsedStacks(traces, names_);
+  EXPECT_NE(folded.find("Spanner;point_read;compute 300000\n"),
+            std::string::npos)
+      << folded;
+  EXPECT_NE(folded.find("Spanner;point_read;compute;dfs.read 450000\n"),
+            std::string::npos)
+      << folded;
+}
+
+TEST_F(FlamegraphExportTest, CollapsedStacksAreDeterministicallySorted) {
+  std::vector<QueryTrace> traces = {NestedTrace(1), SampleTrace(2)};
+  std::string a = ExportCollapsedStacks(traces, names_);
+  std::reverse(traces.begin(), traces.end());
+  std::string b = ExportCollapsedStacks(traces, names_);
+  EXPECT_EQ(a, b);
+  // Lexicographic stack order: each line's stack prefix is >= the previous.
+  std::string prev;
+  size_t pos = 0;
+  while (pos < a.size()) {
+    size_t eol = a.find('\n', pos);
+    std::string line = a.substr(pos, eol - pos);
+    std::string stack = line.substr(0, line.rfind(' '));
+    EXPECT_GE(stack, prev);
+    prev = stack;
+    pos = eol + 1;
+  }
+}
+
+TEST_F(FlamegraphExportTest, NegativeSelfTimeClampsToZero) {
+  // Overlapping children that sum past the parent duration must clamp the
+  // parent's self time at zero, never go negative.
+  QueryTrace trace = NestedTrace(1);
+  Span extra = trace.spans[1];
+  extra.span_id = 3;
+  extra.name = names_.Intern("dfs.write");
+  extra.start = SimTime::Micros(100);
+  extra.end = SimTime::Micros(350);
+  trace.spans.push_back(extra);
+  std::string folded = ExportCollapsedStacks({trace}, names_);
+  EXPECT_NE(folded.find("Spanner;point_read;compute 0\n"), std::string::npos)
+      << folded;
+}
+
+TEST_F(FlamegraphExportTest, PprofProfileParsesBack) {
+  std::vector<uint8_t> bytes =
+      ExportPprofProfile({NestedTrace(1)}, names_, /*time_nanos=*/777);
+
+  size_t sample_types = 0, samples = 0, locations = 0, functions = 0;
+  std::vector<std::string> string_table;
+  uint64_t time_nanos = 0;
+  std::vector<std::vector<uint64_t>> sample_values;
+
+  protowire::WireReader reader(bytes.data(), bytes.size());
+  while (!reader.AtEnd()) {
+    uint32_t field = 0;
+    protowire::WireType type{};
+    ASSERT_TRUE(reader.GetTag(&field, &type));
+    if (field == 9) {
+      ASSERT_TRUE(reader.GetVarint(&time_nanos));
+      continue;
+    }
+    ASSERT_EQ(type, protowire::WireType::kLengthDelimited);
+    const uint8_t* data = nullptr;
+    size_t size = 0;
+    ASSERT_TRUE(reader.GetLengthDelimited(&data, &size));
+    switch (field) {
+      case 1: ++sample_types; break;
+      case 2: {
+        ++samples;
+        // Second packed field inside a sample is the value list.
+        protowire::WireReader sample(data, size);
+        uint32_t sfield = 0;
+        protowire::WireType stype{};
+        while (!sample.AtEnd()) {
+          ASSERT_TRUE(sample.GetTag(&sfield, &stype));
+          const uint8_t* payload = nullptr;
+          size_t payload_size = 0;
+          ASSERT_TRUE(sample.GetLengthDelimited(&payload, &payload_size));
+          if (sfield == 2) {
+            protowire::WireReader values(payload, payload_size);
+            std::vector<uint64_t> vs;
+            uint64_t v = 0;
+            while (!values.AtEnd()) {
+              ASSERT_TRUE(values.GetVarint(&v));
+              vs.push_back(v);
+            }
+            sample_values.push_back(vs);
+          }
+        }
+        break;
+      }
+      case 4: ++locations; break;
+      case 5: ++functions; break;
+      case 6:
+        string_table.emplace_back(reinterpret_cast<const char*>(data), size);
+        break;
+      default: FAIL() << "unexpected field " << field;
+    }
+  }
+
+  EXPECT_EQ(sample_types, 2u);  // samples/count + time/nanoseconds
+  EXPECT_EQ(samples, 2u);       // two unique stacks
+  // Frames: Spanner, point_read, compute, dfs.read.
+  EXPECT_EQ(locations, 4u);
+  EXPECT_EQ(functions, 4u);
+  EXPECT_EQ(time_nanos, 777u);
+  ASSERT_FALSE(string_table.empty());
+  EXPECT_EQ(string_table[0], "");  // profile.proto invariant
+  for (const char* expected :
+       {"samples", "count", "time", "nanoseconds", "Spanner", "point_read",
+        "compute", "dfs.read"}) {
+    EXPECT_NE(std::find(string_table.begin(), string_table.end(), expected),
+              string_table.end())
+        << "missing string " << expected;
+  }
+  // Each sample carries [samples, self_nanos] matching the folded output.
+  ASSERT_EQ(sample_values.size(), 2u);
+  std::map<uint64_t, uint64_t> by_nanos;
+  for (const auto& vs : sample_values) {
+    ASSERT_EQ(vs.size(), 2u);
+    by_nanos[vs[1]] = vs[0];
+  }
+  EXPECT_EQ(by_nanos.at(100000u), 1u);  // compute self
+  EXPECT_EQ(by_nanos.at(150000u), 1u);  // dfs.read
+}
+
+TEST_F(FlamegraphExportTest, PprofIsDeterministic) {
+  std::vector<QueryTrace> traces = {NestedTrace(1), SampleTrace(2)};
+  std::vector<uint8_t> a = ExportPprofProfile(traces, names_);
+  std::reverse(traces.begin(), traces.end());
+  std::vector<uint8_t> b = ExportPprofProfile(traces, names_);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(FlamegraphExportTest, WritesFoldedAndPprofFiles) {
+  std::string folded_path = ::testing::TempDir() + "/stacks.folded";
+  std::string pprof_path = ::testing::TempDir() + "/profile.pb";
+  ASSERT_TRUE(WriteCollapsedStacks({NestedTrace(1)}, names_, folded_path));
+  ASSERT_TRUE(WritePprofProfile({NestedTrace(1)}, names_, pprof_path));
+  std::FILE* file = std::fopen(folded_path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buffer[8] = {};
+  size_t read = std::fread(buffer, 1, 7, file);
+  std::fclose(file);
+  EXPECT_EQ(std::string(buffer, read), "Spanner");
+  std::remove(folded_path.c_str());
+  std::remove(pprof_path.c_str());
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include "profiling/tracer.h"
 #include "profiling/aggregate.h"
+#include "profiling/continuous.h"
 
 namespace {
 std::atomic<uint64_t> g_allocation_count{0};
@@ -124,6 +125,66 @@ TEST(TracerMemoryTest, SteadyStateWithConcurrentOpenQueries) {
   uint64_t after = g_allocation_count.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0u);
   EXPECT_EQ(tracer.open_slot_capacity(), kInFlight);
+}
+
+TEST(TracerMemoryTest, WindowedPathAllocatesNothingAtSteadyState) {
+  // The continuous-profiling extension of the steady-state guarantee: with
+  // a windowed profiler attached to the tracer, ingest that crosses many
+  // window boundaries — seal, budget evaluation, anomaly logging, ring
+  // eviction — still performs zero heap allocations, and so do the
+  // barrier-merge and rolling-quantile paths on preallocated instances.
+  TracerOptions options;
+  options.retention = TraceRetention::kSampleReservoir;
+  options.reservoir_capacity = 64;
+  Tracer tracer(1, Rng(24), options);
+
+  ContinuousOptions continuous_options;
+  continuous_options.window = SimTime::Micros(500);  // ~167 queries/window
+  continuous_options.history_size = 8;               // forces ring eviction
+  // A 1ns latency budget makes every window an overrun, driving the
+  // anomaly-append path inside the measured section.
+  continuous_options.budget[static_cast<size_t>(WindowCategory::kLatency)] =
+      SimTime::Nanos(1);
+  ContinuousProfiler continuous(continuous_options);
+  tracer.set_continuous(&continuous);
+
+  ContinuousOptions worker_options = continuous_options;
+  worker_options.defer_evaluation = true;
+  ContinuousProfiler worker(worker_options);
+  ContinuousProfiler merged(continuous_options);
+
+  NameId platform = tracer.names().Intern("P");
+  NameId type = tracer.names().Intern("q");
+  NameId span_names[4] = {
+      tracer.names().Intern("compute"), tracer.names().Intern("dfs.read"),
+      tracer.names().Intern("dfs.write"), tracer.names().Intern("consensus")};
+  int64_t now_us = 0;
+
+  for (int i = 0; i < 2000; ++i) {
+    RunQuery(tracer, platform, type, span_names, now_us);
+  }
+
+  uint64_t before = g_allocation_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 2000; ++i) {
+    RunQuery(tracer, platform, type, span_names, now_us);
+    AttributedTime attributed;
+    attributed.cpu = 1e-5;
+    worker.Observe(SimTime::Micros(now_us), SimTime::Micros(80), attributed);
+  }
+  merged.MergeFrom(worker);
+  merged.Finalize();
+  double p99 = continuous.RollingQuantile(WindowCategory::kLatency, 0.99);
+  uint64_t after = g_allocation_count.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << "windowed steady-state path performed " << (after - before)
+      << " heap allocations over 2000 queries";
+  EXPECT_GT(p99, 0.0);
+  EXPECT_GT(continuous.observed_queries(), 0u);
+  EXPECT_GT(continuous.windows_evicted(), 0u);  // the eviction path ran
+  EXPECT_GT(continuous.budget_stat(WindowCategory::kLatency).overruns, 0u);
+  EXPECT_EQ(merged.observed_queries(), 2000u);
+  tracer.set_continuous(nullptr);
 }
 
 TEST(TracerMemoryTest, RetainAllModeGrowsAsExpected) {

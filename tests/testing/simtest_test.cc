@@ -44,7 +44,8 @@ TEST(ScenarioGen, SweepsTheBehaviourSpace) {
   // platform counts, armed faults, non-plain policies, reservoir
   // retention, and outage windows all appear.
   bool saw_multi_platform = false, saw_faults = false, saw_resilient = false,
-       saw_reservoir = false, saw_outage = false, saw_plain = false;
+       saw_reservoir = false, saw_outage = false, saw_plain = false,
+       saw_budgets = false, saw_no_budgets = false, saw_narrow_window = false;
   for (uint64_t seed = 1; seed <= 40; ++seed) {
     Scenario s = ScenarioGen::Generate(seed);
     saw_multi_platform |= s.specs.size() > 1;
@@ -54,6 +55,10 @@ TEST(ScenarioGen, SweepsTheBehaviourSpace) {
     saw_reservoir |= s.config.trace_retention ==
                      profiling::TraceRetention::kSampleReservoir;
     saw_outage |= !s.config.outages.empty();
+    bool budgets = s.config.continuous_budget[0] > SimTime::Zero();
+    saw_budgets |= budgets;
+    saw_no_budgets |= !budgets;
+    saw_narrow_window |= s.config.continuous_window <= SimTime::Millis(25);
   }
   EXPECT_TRUE(saw_multi_platform);
   EXPECT_TRUE(saw_faults);
@@ -61,6 +66,9 @@ TEST(ScenarioGen, SweepsTheBehaviourSpace) {
   EXPECT_TRUE(saw_plain);
   EXPECT_TRUE(saw_reservoir);
   EXPECT_TRUE(saw_outage);
+  EXPECT_TRUE(saw_budgets);
+  EXPECT_TRUE(saw_no_budgets);
+  EXPECT_TRUE(saw_narrow_window);
 }
 
 TEST(InvariantRegistry, DefaultCatalogue) {
@@ -79,6 +87,7 @@ TEST(InvariantRegistry, DefaultCatalogue) {
   EXPECT_TRUE(has("fault-gating"));
   EXPECT_TRUE(has("breakdown-consistency"));
   EXPECT_TRUE(has("shard-exchange"));
+  EXPECT_TRUE(has("continuous-windows"));
 }
 
 // Returns true if `run` has at least one retained trace with a span.
@@ -166,6 +175,16 @@ TEST(Invariants, PerturbedCountersAreCaught) {
          // conservative window broke — flagged in any mode.
          run.platforms[0].shard_late_deliveries = 1;
        }},
+      {"continuous-windows",
+       [](RunArtifacts& run) {
+         // A query the tracer finished but no window absorbed.
+         run.platforms[0].continuous_observed += 1;
+       }},
+      {"continuous-windows",
+       [](RunArtifacts& run) {
+         // An anomaly log inconsistent with the overrun counters.
+         run.platforms[0].continuous_anomalies_dropped += 1;
+       }},
   };
   for (const auto& c : cases) {
     SimtestOptions options = PrimaryOnly();
@@ -188,6 +207,29 @@ TEST(Invariants, CorruptionAlsoBreaksReplayDigest) {
   options.check_parallel = false;
   options.check_replay = true;
   options.corrupt = PerturbOneSpanEnd;
+  SeedReport report = RunSeed(1, options);
+  bool replay_flagged = false;
+  for (const auto& v : report.violations) {
+    replay_flagged |= v.invariant == "determinism-replay";
+  }
+  EXPECT_TRUE(replay_flagged) << report.Summary();
+}
+
+TEST(Invariants, CorruptedWindowTotalBreaksReplayDigest) {
+  // Window totals and sketch percentiles are folded into the digest: a
+  // single-nanosecond perturbation of one window total must break the
+  // replay comparison even though no conservation check notices it.
+  SimtestOptions options;
+  options.check_parallel = false;
+  options.check_replay = true;
+  options.corrupt = [](RunArtifacts& run) {
+    for (auto& p : run.platforms) {
+      if (p.windows.empty()) continue;
+      p.windows.front().total_nanos[0] += 1;
+      return;
+    }
+    FAIL() << "no continuous windows collected";
+  };
   SeedReport report = RunSeed(1, options);
   bool replay_flagged = false;
   for (const auto& v : report.violations) {
