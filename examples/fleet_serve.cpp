@@ -1,0 +1,187 @@
+// The live serving front door: run the simulated fleet as a long-lived
+// daemon behind an epoll socket server, or load-test one.
+//
+// Usage:
+//   fleet_serve serve [port] [virtual_seconds_per_wall_second]
+//       Serve on loopback until SIGINT/SIGTERM. Port 0 = ephemeral
+//       (printed once bound).
+//   fleet_serve load <port> [requests] [offered_qps] [platform]
+//       Open-loop load test against a running daemon; prints the report.
+//   fleet_serve demo [requests] [offered_qps]
+//       In-process smoke: daemon thread + load generator on loopback.
+//       Exits nonzero if any request is lost or the serving accounting
+//       does not balance. This is what SERVE=1 scripts/check.sh runs.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "serve/loadgen.h"
+#include "serve/server.h"
+
+using namespace hyperprof;
+
+namespace {
+
+serve::ServeDaemon* g_daemon = nullptr;
+
+void HandleSignal(int) {
+  if (g_daemon != nullptr) g_daemon->Stop();
+}
+
+void PrintReport(const serve::LoadGenReport& report) {
+  std::printf("sent        %llu\n", (unsigned long long)report.sent);
+  std::printf("ok          %llu\n", (unsigned long long)report.ok);
+  std::printf("shed        %llu (%.1f%%)\n", (unsigned long long)report.shed,
+              report.shed_rate() * 100.0);
+  std::printf("errors      %llu\n", (unsigned long long)report.errors);
+  std::printf("lost        %llu\n", (unsigned long long)report.lost);
+  std::printf("wall        %.3fs (achieved %.0f qps)\n", report.wall_seconds,
+              report.achieved_qps);
+  std::printf("latency     mean %.2fms p50 %.2fms p99 %.2fms p999 %.2fms\n",
+              report.latency_mean_ms, report.latency_p50_ms,
+              report.latency_p99_ms, report.latency_p999_ms);
+}
+
+int RunServe(uint16_t port, double scale) {
+  serve::ServerOptions options;
+  options.port = port;
+  options.virtual_seconds_per_wall_second = scale;
+  serve::ServeDaemon daemon(options);
+  daemon.AddDefaultPlatforms();
+  if (!daemon.Listen()) {
+    std::perror("listen");
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u (virtual rate %.1fx)\n",
+              (unsigned)daemon.port(), scale);
+  std::fflush(stdout);
+  g_daemon = &daemon;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  daemon.Run();
+  g_daemon = nullptr;
+  const serve::ServingCounters& c = daemon.counters();
+  std::printf("offered %llu admitted %llu shed %llu completed %llu\n",
+              (unsigned long long)c.offered, (unsigned long long)c.admitted,
+              (unsigned long long)c.shed, (unsigned long long)c.completed);
+  return 0;
+}
+
+int RunLoad(uint16_t port, uint64_t requests, double qps, uint32_t platform) {
+  serve::LoadGenOptions options;
+  options.port = port;
+  options.total_requests = requests;
+  options.offered_qps = qps;
+  options.platform = platform;
+  const serve::LoadGenReport report = serve::RunLoadGen(options);
+  if (!report.connected) {
+    std::fprintf(stderr, "could not connect to 127.0.0.1:%u\n",
+                 (unsigned)port);
+    return 1;
+  }
+  PrintReport(report);
+  return report.lost > 0 ? 1 : 0;
+}
+
+int RunDemo(uint64_t requests, double qps) {
+  serve::ServerOptions options;
+  options.port = 0;
+  // Virtual time flows faster than the wall clock so simulated latencies
+  // (tens of virtual ms) resolve quickly even under sanitizers.
+  options.virtual_seconds_per_wall_second = 20.0;
+  options.front_door.max_in_flight = 128;
+  serve::ServeDaemon daemon(options);
+  daemon.AddDefaultPlatforms();
+  if (!daemon.Listen()) {
+    std::perror("listen");
+    return 1;
+  }
+  std::thread server_thread([&daemon] { daemon.Run(); });
+
+  serve::LoadGenOptions load;
+  load.port = daemon.port();
+  load.total_requests = requests;
+  load.offered_qps = qps;
+  load.platform = 0;
+  const serve::LoadGenReport report = serve::RunLoadGen(load);
+
+  daemon.Stop();
+  server_thread.join();
+
+  if (!report.connected) {
+    std::fprintf(stderr, "demo: loadgen could not connect\n");
+    return 1;
+  }
+  PrintReport(report);
+  const serve::ServingCounters& c = daemon.counters();
+  std::printf("daemon      offered %llu admitted %llu shed %llu "
+              "completed %llu in-flight %llu\n",
+              (unsigned long long)c.offered, (unsigned long long)c.admitted,
+              (unsigned long long)c.shed, (unsigned long long)c.completed,
+              (unsigned long long)c.in_flight());
+
+  // Serving accounting must balance end to end: every request the client
+  // sent came back exactly once, and the daemon's admission arithmetic
+  // conserves offered requests.
+  int failures = 0;
+  if (report.lost != 0) {
+    std::fprintf(stderr, "demo: %llu requests lost\n",
+                 (unsigned long long)report.lost);
+    ++failures;
+  }
+  if (report.ok + report.shed + report.errors != report.sent) {
+    std::fprintf(stderr, "demo: response classes do not sum to sent\n");
+    ++failures;
+  }
+  if (c.admitted + c.shed != c.offered) {
+    std::fprintf(stderr, "demo: admitted + shed != offered\n");
+    ++failures;
+  }
+  if (c.in_flight() != 0 || c.completed != c.admitted) {
+    std::fprintf(stderr, "demo: daemon stopped with unfinished queries\n");
+    ++failures;
+  }
+  if (report.ok != c.completed || report.shed != c.shed) {
+    std::fprintf(stderr, "demo: client/daemon counters disagree\n");
+    ++failures;
+  }
+  std::printf("demo        %s\n", failures == 0 ? "OK" : "FAILED");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* mode = argc > 1 ? argv[1] : "demo";
+  if (std::strcmp(mode, "serve") == 0) {
+    const uint16_t port =
+        argc > 2 ? (uint16_t)std::strtoul(argv[2], nullptr, 10) : 0;
+    const double scale = argc > 3 ? std::strtod(argv[3], nullptr) : 1.0;
+    return RunServe(port, scale);
+  }
+  if (std::strcmp(mode, "load") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: fleet_serve load <port> [requests] [qps] "
+                           "[platform]\n");
+      return 2;
+    }
+    const uint16_t port = (uint16_t)std::strtoul(argv[2], nullptr, 10);
+    const uint64_t requests =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1000;
+    const double qps = argc > 4 ? std::strtod(argv[4], nullptr) : 1000;
+    const uint32_t platform =
+        argc > 5 ? (uint32_t)std::strtoul(argv[5], nullptr, 10) : 0;
+    return RunLoad(port, requests, qps, platform);
+  }
+  if (std::strcmp(mode, "demo") == 0) {
+    const uint64_t requests =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000;
+    const double qps = argc > 3 ? std::strtod(argv[3], nullptr) : 2000;
+    return RunDemo(requests, qps);
+  }
+  std::fprintf(stderr, "usage: fleet_serve serve|load|demo ...\n");
+  return 2;
+}

@@ -23,6 +23,14 @@
 #                               # build the other flags selected, with
 #                               # native kernel dispatch forced (digests
 #                               # must not depend on the dispatch policy)
+#   SERVE=1 scripts/check.sh    # additionally smoke-runs the serving
+#                               # front door: the epoll daemon plus the
+#                               # open-loop load generator on loopback
+#                               # (fleet_serve demo), sized small enough
+#                               # to finish promptly under sanitizers.
+#                               # Exercises admission, shedding, frame
+#                               # reassembly, and the drain path end to
+#                               # end over real sockets
 #   SHARDS=N scripts/check.sh   # additionally re-runs the simtest fuzz
 #                               # block with every scenario forced to N
 #                               # worker kernels per platform (N=0 forces
@@ -101,9 +109,19 @@ if [[ "${FAULTS:-0}" != "0" ]]; then
   "$BUILD_DIR/examples/fleet_profile" 500 0.05
 fi
 
+if [[ "${SERVE:-0}" != "0" ]]; then
+  # Serving smoke: in-process epoll daemon + open-loop load generator on
+  # loopback. The demo exits nonzero unless every request is accounted for
+  # (ok + shed + errors == sent, zero lost) and the door's admission
+  # counters balance after drain — so socket lifetime or flush bugs fail
+  # the build under whichever sanitizer is active.
+  "$BUILD_DIR/examples/fleet_serve" demo 500 1500
+fi
+
 if [[ "${UBSAN:-0}" != "0" || "${FUZZ:-0}" != "0" ]]; then
   # Deterministic simulation fuzz: 100 fixed-seed scenarios, each run
-  # serial, parallel, and replayed, with the full invariant catalogue.
+  # serial, parallel, replayed, and incrementally advanced (the serving
+  # daemon's pause/resume path), with the full invariant catalogue.
   # Native dispatch is forced so the hardware kernel paths run underneath
   # the digest comparison — the digests are computed from simulated
   # timings and must come out the same as under portable dispatch.
@@ -136,4 +154,8 @@ if [[ "${BENCH:-0}" != "0" ]]; then
   # plus the flamegraph and pprof exporters under the build's sanitizers;
   # exits nonzero if the warmed windowed path heap-allocates.
   "$BUILD_DIR/bench/continuous_micro" /tmp/continuous_smoke.json smoke
+  # Serving bench in smoke mode: daemon + load generator sweep a short
+  # offered-load ladder and report max sustained QPS, tail latency, and
+  # shed rate; exits nonzero if any level loses a request.
+  "$BUILD_DIR/bench/serving_micro" /tmp/serving_smoke.json smoke
 fi

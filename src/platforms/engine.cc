@@ -24,6 +24,11 @@ struct PlatformEngine::QueryState {
   Rng rng{0};
   uint64_t lane = 0;
   uint64_t msg_seq = 0;
+  // Serving mode (Submit): admission time and the completion hook that
+  // carries the virtual latency back to the front door. Null in batch
+  // runs.
+  SimTime admitted;
+  std::function<void(SimTime)> on_done;
 };
 
 namespace {
@@ -193,9 +198,18 @@ void PlatformEngine::Run(uint64_t num_queries, double arrival_rate_qps,
   }
 }
 
-void PlatformEngine::StartQuery(size_t type_index) {
+void PlatformEngine::Submit(std::function<void(SimTime)> on_done) {
+  assert(!sharded_ && "serving admission requires a fused engine");
+  ++target_;
+  StartQuery(type_sampler_->Sample(rng_), std::move(on_done));
+}
+
+void PlatformEngine::StartQuery(size_t type_index,
+                                std::function<void(SimTime)> on_done) {
   auto query = std::make_shared<QueryState>();
   query->type_index = type_index;
+  query->admitted = context_.simulator->Now();
+  query->on_done = std::move(on_done);
   // Queries originate on worker hosts spread over four clusters.
   query->client = net::NodeId{
       0, static_cast<uint32_t>(rng_.NextBounded(4)),
@@ -536,6 +550,10 @@ void PlatformEngine::FinishQuery(std::shared_ptr<QueryState> query) {
     auto done = std::move(on_all_done_);
     on_all_done_ = nullptr;
     done();
+  }
+  if (query->on_done) {
+    auto done = std::move(query->on_done);
+    done(context_.simulator->Now() - query->admitted);
   }
 }
 

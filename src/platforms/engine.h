@@ -102,6 +102,17 @@ class PlatformEngine {
   void Run(uint64_t num_queries, double arrival_rate_qps,
            std::function<void()> on_all_done);
 
+  /**
+   * Serving admission: starts one query of a sampled type at the engine's
+   * current virtual time and invokes `on_done` with the query's virtual
+   * end-to-end latency when it completes (from inside a later
+   * Simulator::RunUntil / FleetSimulation::Advance step). Fused engines
+   * only — a sharded engine owns a fixed query partition. Deterministic:
+   * given the same admission sequence at the same virtual times, the
+   * simulated timeline is bit-identical across runs.
+   */
+  void Submit(std::function<void(SimTime latency)> on_done);
+
   uint64_t queries_completed() const { return completed_; }
   /** IO-phase accesses that exhausted their policy and failed. */
   uint64_t io_failures() const { return io_failures_; }
@@ -140,7 +151,9 @@ class PlatformEngine {
     std::string method;  // "<platform>.<phase>", shared by every RPC
   };
 
-  void StartQuery(size_t type_index);
+  /** `on_done` (serving only) receives the query's virtual latency. */
+  void StartQuery(size_t type_index,
+                  std::function<void(SimTime)> on_done = nullptr);
   /** Sharded-mode arrival: `rng` is the query's private stream, already
    * advanced past the arrival/type draws. */
   void StartShardedQuery(uint64_t lane, size_t type_index, Rng rng);

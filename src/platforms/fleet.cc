@@ -455,6 +455,83 @@ void FleetSimulation::FinalizePlatform(PlatformSlot& slot) {
   }
 }
 
+sim::ShardGroup::RunOptions FleetSimulation::AdvanceOptions(
+    PlatformSlot& slot) const {
+  // Serial, unprobed; the same post-horizon hook as RunSlot so epoch
+  // coalescing — and with it the digested epoch counts — matches a
+  // one-shot run exactly.
+  sim::ShardGroup::RunOptions options;
+  PlatformSlot* slot_ptr = &slot;
+  options.post_horizon = [slot_ptr](uint32_t kernel) -> SimTime {
+    if (kernel < slot_ptr->workers.size()) {
+      return slot_ptr->workers[kernel]->engine->PostHorizon();
+    }
+    return slot_ptr->simulator->next_event_time();
+  };
+  return options;
+}
+
+void FleetSimulation::Start() {
+  assert(!ran_);
+  ran_ = true;
+  started_ = true;
+  if (config_.queries_per_platform == 0) return;  // serving: Submit-driven
+  for (auto& slot_ptr : slots_) {
+    PlatformSlot& slot = *slot_ptr;
+    if (slot.sharded) {
+      for (auto& worker : slot.workers) {
+        worker->engine->Run(config_.queries_per_platform,
+                            config_.arrival_rate_qps, []() {});
+      }
+    } else {
+      slot.engine->Run(config_.queries_per_platform, config_.arrival_rate_qps,
+                       []() {});
+    }
+  }
+}
+
+bool FleetSimulation::AdvanceSlot(PlatformSlot& slot, SimTime until) {
+  if (slot.sharded) {
+    return slot.group->Advance(until, AdvanceOptions(slot));
+  }
+  if (until == SimTime::Max()) {
+    slot.simulator->Run();
+  } else {
+    slot.simulator->RunUntil(until);
+    // Seal windows the pause has passed, so live snapshots are fresh.
+    // Every observation for a window ending at or before `until` has
+    // already arrived (virtual time is monotone and RunUntil is
+    // deadline-inclusive), so early sealing evaluates the same windows
+    // with the same totals as a post-run Finalize — digests don't move.
+    if (slot.continuous) slot.continuous->AdvanceTo(until);
+  }
+  return slot.simulator->pending_events() > 0;
+}
+
+bool FleetSimulation::Advance(SimTime until) {
+  assert(started_ && !finished_);
+  bool more = false;
+  for (auto& slot_ptr : slots_) {
+    if (AdvanceSlot(*slot_ptr, until)) more = true;
+  }
+  return more;
+}
+
+void FleetSimulation::Finish() {
+  assert(started_ && !finished_);
+  finished_ = true;
+  for (auto& slot_ptr : slots_) {
+    PlatformSlot& slot = *slot_ptr;
+    if (slot.sharded) {
+      slot.group->Advance(SimTime::Max(), AdvanceOptions(slot));
+      FinalizePlatform(slot);
+    } else {
+      slot.simulator->Run();
+      if (slot.continuous) slot.continuous->Finalize();
+    }
+  }
+}
+
 void FleetSimulation::RunAll() {
   assert(!ran_);
   ran_ = true;
@@ -578,6 +655,13 @@ const PlatformEngine& FleetSimulation::EngineOf(size_t index) const {
   assert(index < slots_.size());
   const PlatformSlot& slot = *slots_[index];
   return slot.sharded ? *slot.workers[0]->engine : *slot.engine;
+}
+
+PlatformEngine& FleetSimulation::MutableEngineOf(size_t index) {
+  assert(index < slots_.size());
+  PlatformSlot& slot = *slots_[index];
+  assert(!slot.sharded && "serving admission requires a fused platform");
+  return *slot.engine;
 }
 
 sim::Simulator& FleetSimulation::SimulatorOf(size_t index) {

@@ -215,6 +215,34 @@ class FleetSimulation {
   /** Runs every platform's workload to completion. */
   void RunAll();
 
+  // --- Incremental execution (the serving front door's substrate) --------
+  // Start() schedules the configured workloads (a no-op beyond bookkeeping
+  // when queries_per_platform == 0, the serving configuration), then
+  // Advance(until) moves every platform's virtual clock to `until` and
+  // pauses, and Finish() drains remaining work and runs the post-run
+  // merges. Start + any sequence of Advance calls + Finish executes the
+  // exact same events in the exact same order as RunAll — recovered
+  // results are bit-identical, pinned by fleet_parallel_test and the
+  // simtest fuzz digest ("determinism-incremental"). Incremental runs are
+  // serial (every kernel on the calling thread); by the determinism
+  // contract that never changes results. Do not mix with RunAll.
+
+  /** Begins an incremental run: schedules every platform's workload. */
+  void Start();
+
+  /**
+   * Advances every platform to virtual time `until` and pauses. Returns
+   * true while any platform still has pending work (events beyond
+   * `until`, or in-flight serving queries). Sharded platforms pause
+   * mid-epoch without flipping mailboxes (sim::ShardGroup::Advance);
+   * fused platforms also advance their continuous profiler so live
+   * window snapshots are current up to `until`.
+   */
+  bool Advance(SimTime until);
+
+  /** Drains remaining work and runs the sharded/continuous finalizers. */
+  void Finish();
+
   /** Number of registered platforms. */
   size_t platform_count() const { return slots_.size(); }
 
@@ -255,6 +283,13 @@ class FleetSimulation {
 
   /** The platform's engine (worker shard 0's engine when sharded). */
   const PlatformEngine& EngineOf(size_t index) const;
+
+  /**
+   * Mutable engine access for serving admission (PlatformEngine::Submit)
+   * during an incremental run. Fused platforms only — a sharded engine
+   * owns a fixed query partition and cannot accept ad-hoc admissions.
+   */
+  PlatformEngine& MutableEngineOf(size_t index);
 
   /** The platform's event kernel (the storage kernel when sharded). */
   sim::Simulator& SimulatorOf(size_t index);
@@ -332,10 +367,18 @@ class FleetSimulation {
   /** Post-run merge of a sharded platform's tracers and profilers. */
   void FinalizePlatform(PlatformSlot& slot);
 
+  /** Advances one platform to `until`; returns true if work remains. */
+  bool AdvanceSlot(PlatformSlot& slot, SimTime until);
+
+  /** The Advance()-path RunOptions for a sharded slot (no probe). */
+  sim::ShardGroup::RunOptions AdvanceOptions(PlatformSlot& slot) const;
+
   FleetConfig config_;
   profiling::FunctionRegistry registry_;
   std::vector<std::unique_ptr<PlatformSlot>> slots_;
   bool ran_ = false;
+  bool started_ = false;   // incremental run in progress
+  bool finished_ = false;  // Finish() completed
 };
 
 }  // namespace hyperprof::platforms

@@ -1,0 +1,76 @@
+#include "serve/frame.h"
+
+#include <cstring>
+
+namespace hyperprof::serve {
+
+namespace {
+
+uint32_t ReadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+void PutLe32(uint32_t v, std::vector<uint8_t>& out) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+}  // namespace
+
+void EncodeFrame(const uint8_t* payload, size_t size,
+                 std::vector<uint8_t>& out) {
+  out.reserve(out.size() + size + kFrameOverhead);
+  PutLe32(static_cast<uint32_t>(size), out);
+  out.insert(out.end(), payload, payload + size);
+  // Incremental CRC so a future scatter-gather encoder can reuse this
+  // path; one-shot Crc32c over the same bytes is identical by contract.
+  workloads::Crc32cStream crc;
+  crc.Update(payload, size);
+  PutLe32(crc.value(), out);
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t size) {
+  if (failed()) return;
+  bytes_fed_ += size;
+  // Compact once the consumed prefix dominates, so a long-lived pipelined
+  // connection doesn't grow the buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+FrameDecoder::Status FrameDecoder::Next(std::vector<uint8_t>* payload) {
+  if (failed()) return error_;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < 4) return Status::kNeedMore;
+  const uint8_t* base = buffer_.data() + consumed_;
+  const uint32_t length = ReadLe32(base);
+  // The length is validated before waiting for the body: an oversized
+  // prefix fails immediately instead of buffering toward the bogus size.
+  if (length > kMaxFramePayload) {
+    error_ = Status::kOversized;
+    return error_;
+  }
+  if (available < static_cast<size_t>(length) + kFrameOverhead) {
+    return Status::kNeedMore;
+  }
+  const uint8_t* body = base + 4;
+  workloads::Crc32cStream crc;
+  crc.Update(body, length);
+  if (crc.value() != ReadLe32(body + length)) {
+    error_ = Status::kBadChecksum;
+    return error_;
+  }
+  payload->assign(body, body + length);
+  consumed_ += static_cast<size_t>(length) + kFrameOverhead;
+  ++frames_decoded_;
+  return Status::kFrame;
+}
+
+}  // namespace hyperprof::serve

@@ -1,0 +1,149 @@
+#include "serve/front_door.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hyperprof::serve {
+
+VirtualFrontDoor::VirtualFrontDoor(FrontDoorOptions options)
+    : options_(std::move(options)) {
+  // Serving invariants on the fleet config: no batch workload, fused
+  // platforms only (see FrontDoorOptions).
+  options_.fleet.queries_per_platform = 0;
+  assert(options_.fleet.shards_per_platform == 0 &&
+         "serving requires fused platforms");
+  fleet_ = std::make_unique<platforms::FleetSimulation>(options_.fleet);
+}
+
+VirtualFrontDoor::~VirtualFrontDoor() = default;
+
+void VirtualFrontDoor::AddPlatform(platforms::PlatformSpec spec) {
+  fleet_->AddPlatform(std::move(spec));
+}
+
+void VirtualFrontDoor::AddDefaultPlatforms() {
+  fleet_->AddDefaultPlatforms();
+}
+
+void VirtualFrontDoor::Start() {
+  assert(!started_);
+  started_ = true;
+  fleet_->Start();
+}
+
+void VirtualFrontDoor::Submit(const Request& request,
+                              ResponseCallback on_done) {
+  assert(started_ && !finished_);
+  if (request.platform >= fleet_->platform_count()) {
+    Response response;
+    response.id = request.id;
+    response.status = ResponseStatus::kError;
+    on_done(response);
+    return;
+  }
+  switch (request.kind) {
+    case RequestKind::kWindows:
+      RespondWindows(request, on_done);
+      return;
+    case RequestKind::kStats:
+      RespondStats(request, on_done);
+      return;
+    case RequestKind::kQuery:
+      break;
+  }
+  ++counters_.offered;
+  if (counters_.in_flight() >= options_.max_in_flight) {
+    // Load shedding: refuse at the door instead of queueing into an
+    // ever-growing backlog. The client sees an immediate kShed and can
+    // back off; the simulation stays at its admission bound.
+    ++counters_.shed;
+    Response response;
+    response.id = request.id;
+    response.status = ResponseStatus::kShed;
+    on_done(response);
+    return;
+  }
+  ++counters_.admitted;
+  const uint64_t id = request.id;
+  auto done = std::move(on_done);
+  fleet_->MutableEngineOf(request.platform)
+      .Submit([this, id, done](SimTime latency) {
+        ++counters_.completed;
+        ++counters_.responses;
+        Response response;
+        response.id = id;
+        response.status = ResponseStatus::kOk;
+        response.latency_nanos = static_cast<uint64_t>(latency.nanos());
+        done(response);
+      });
+}
+
+bool VirtualFrontDoor::Pump(SimTime until) {
+  assert(started_ && !finished_);
+  if (until < virtual_now_) until = virtual_now_;
+  virtual_now_ = until;
+  return fleet_->Advance(until);
+}
+
+void VirtualFrontDoor::Finish() {
+  assert(started_ && !finished_);
+  // Run the fleet to quiesce first so every in-flight completion fires
+  // (and its response callback with it) before the post-run merges.
+  fleet_->Advance(SimTime::Max());
+  finished_ = true;
+  fleet_->Finish();
+}
+
+void VirtualFrontDoor::RespondWindows(const Request& request,
+                                      const ResponseCallback& done) {
+  Response response;
+  response.id = request.id;
+  const profiling::ContinuousProfiler* profiler =
+      fleet_->ContinuousOf(request.platform);
+  if (profiler == nullptr) {
+    response.status = ResponseStatus::kError;  // continuous disabled
+    done(response);
+    return;
+  }
+  // Most recent populated windows, oldest first, capped at windows_limit.
+  const int64_t last = profiler->last_window();
+  int64_t first = profiler->first_window();
+  if (last >= 0 && options_.windows_limit > 0) {
+    first = std::max(first,
+                     last - static_cast<int64_t>(options_.windows_limit) + 1);
+    for (int64_t index = first; index <= last; ++index) {
+      const profiling::WindowSlot* slot = profiler->WindowAt(index);
+      if (slot == nullptr || slot->empty()) continue;
+      WindowSummary window;
+      window.index = slot->index;
+      window.queries = slot->queries;
+      constexpr size_t kLatency =
+          static_cast<size_t>(profiling::WindowCategory::kLatency);
+      constexpr size_t kCpu =
+          static_cast<size_t>(profiling::WindowCategory::kCpu);
+      window.latency_total_nanos = slot->total_nanos[kLatency];
+      window.cpu_total_nanos = slot->total_nanos[kCpu];
+      window.latency_p50 = slot->sketches[kLatency].Quantile(0.5);
+      window.latency_p99 = slot->sketches[kLatency].Quantile(0.99);
+      response.windows.push_back(window);
+    }
+  }
+  done(response);
+}
+
+void VirtualFrontDoor::RespondStats(const Request& request,
+                                    const ResponseCallback& done) {
+  Response response;
+  response.id = request.id;
+  response.has_stats = true;
+  response.stats.offered = counters_.offered;
+  response.stats.admitted = counters_.admitted;
+  response.stats.shed = counters_.shed;
+  response.stats.completed = counters_.completed;
+  response.stats.in_flight = counters_.in_flight();
+  response.stats.responses = counters_.responses;
+  response.stats.virtual_nanos = static_cast<uint64_t>(virtual_now_.nanos());
+  done(response);
+}
+
+}  // namespace hyperprof::serve

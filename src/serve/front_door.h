@@ -1,0 +1,112 @@
+#ifndef HYPERPROF_SERVE_FRONT_DOOR_H_
+#define HYPERPROF_SERVE_FRONT_DOOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "platforms/fleet.h"
+#include "serve/protocol.h"
+
+namespace hyperprof::serve {
+
+/** Admission bookkeeping of a serving session. */
+struct ServingCounters {
+  uint64_t offered = 0;    // query requests received
+  uint64_t admitted = 0;   // admitted into the simulated fleet
+  uint64_t shed = 0;       // refused by admission control (overload)
+  uint64_t completed = 0;  // admitted queries that finished
+  uint64_t responses = 0;  // ok query responses delivered (== completed)
+
+  uint64_t in_flight() const { return admitted - completed; }
+};
+
+struct FrontDoorOptions {
+  /**
+   * Fleet configuration. queries_per_platform is forced to zero — a
+   * serving fleet has no batch workload; every query enters through
+   * Submit. Sharded platforms are not supported (a sharded engine owns a
+   * fixed query partition); keep shards_per_platform = 0.
+   */
+  platforms::FleetConfig fleet;
+  /**
+   * Admission-control bound: queries in flight across the fleet. By
+   * Little's law the sustainable throughput is roughly
+   * max_in_flight / mean_virtual_latency; offered load beyond that sheds.
+   */
+  uint64_t max_in_flight = 256;
+  /** Most-recent windows returned per kWindows request. */
+  size_t windows_limit = 8;
+
+  FrontDoorOptions() { fleet.queries_per_platform = 0; }
+};
+
+/**
+ * The socketless core of the serving front door: admission control, query
+ * execution in virtual time, and response production over an incremental
+ * FleetSimulation (Start / Advance / Finish).
+ *
+ * Requests are admitted at the fleet's current virtual time; completions
+ * fire from inside Pump(), which advances virtual time to a new horizon.
+ * The caller owns the mapping from wall-clock to virtual time (the epoll
+ * daemon paces it by elapsed wall time; tests and benches pump
+ * deterministically). Everything here is single-threaded by design — the
+ * daemon runs one event loop — and deterministic given the same admission
+ * sequence at the same virtual times.
+ */
+class VirtualFrontDoor {
+ public:
+  using ResponseCallback = std::function<void(const Response&)>;
+
+  explicit VirtualFrontDoor(FrontDoorOptions options);
+  ~VirtualFrontDoor();
+
+  VirtualFrontDoor(const VirtualFrontDoor&) = delete;
+  VirtualFrontDoor& operator=(const VirtualFrontDoor&) = delete;
+
+  /** Registers a platform before Start(). */
+  void AddPlatform(platforms::PlatformSpec spec);
+  /** The three paper platforms with their calibrated specs. */
+  void AddDefaultPlatforms();
+
+  /** Opens the door (starts the incremental fleet run). */
+  void Start();
+
+  /**
+   * Handles one decoded request. kWindows/kStats respond synchronously;
+   * kQuery either sheds synchronously (overload, `on_done` fires before
+   * Submit returns) or admits the query, in which case `on_done` fires
+   * from inside a later Pump() once the query completes in virtual time.
+   */
+  void Submit(const Request& request, ResponseCallback on_done);
+
+  /**
+   * Advances the fleet's virtual clock to absolute time `until`, firing
+   * completions for every admitted query that finishes by then. Returns
+   * true while simulated work remains pending past `until`.
+   */
+  bool Pump(SimTime until);
+
+  /** Drains in-flight work and finalizes the fleet (post-run merges). */
+  void Finish();
+
+  SimTime virtual_now() const { return virtual_now_; }
+  const ServingCounters& counters() const { return counters_; }
+  const platforms::FleetSimulation& fleet() const { return *fleet_; }
+  platforms::FleetSimulation& fleet() { return *fleet_; }
+
+ private:
+  void RespondWindows(const Request& request, const ResponseCallback& done);
+  void RespondStats(const Request& request, const ResponseCallback& done);
+
+  FrontDoorOptions options_;
+  std::unique_ptr<platforms::FleetSimulation> fleet_;
+  SimTime virtual_now_;
+  ServingCounters counters_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace hyperprof::serve
+
+#endif  // HYPERPROF_SERVE_FRONT_DOOR_H_

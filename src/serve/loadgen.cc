@@ -1,0 +1,192 @@
+#include "serve/loadgen.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "serve/frame.h"
+#include "serve/protocol.h"
+
+namespace hyperprof::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+LoadGenReport RunLoadGen(const LoadGenOptions& options) {
+  LoadGenReport report;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return report;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return report;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  report.connected = true;
+
+  // The arrival schedule is fixed up front (open loop): request k is due
+  // at schedule[k] regardless of how the service is doing.
+  Rng rng(options.seed);
+  const double mean_gap =
+      options.offered_qps > 0 ? 1.0 / options.offered_qps : 0.0;
+  std::vector<double> schedule(options.total_requests);
+  double due = 0;
+  for (uint64_t k = 0; k < options.total_requests; ++k) {
+    due += options.poisson ? rng.NextExponential(mean_gap) : mean_gap;
+    schedule[k] = due;
+  }
+
+  LogHistogram latencies;  // seconds
+  std::unordered_map<uint64_t, double> sent_at;  // id -> send wall time
+  FrameDecoder decoder;
+  std::vector<uint8_t> outbuf;
+  size_t out_offset = 0;
+  uint64_t next_id = 0;
+  uint64_t responded = 0;
+  bool broken = false;
+  const auto start = Clock::now();
+  double drain_deadline = -1;
+
+  protowire::WireBuffer payload;
+  std::vector<uint8_t> frame_payload;
+  uint8_t read_buffer[64 * 1024];
+
+  while (!broken) {
+    const double now = SecondsSince(start);
+    // Enqueue every request whose scheduled arrival has passed.
+    while (next_id < options.total_requests && schedule[next_id] <= now) {
+      Request request;
+      request.id = next_id;
+      request.kind = RequestKind::kQuery;
+      request.platform = options.platform;
+      payload.clear();
+      EncodeRequest(request, payload);
+      EncodeFrame(payload.data(), payload.size(), outbuf);
+      sent_at[next_id] = now;
+      ++next_id;
+      ++report.sent;
+    }
+    // Write what the socket will take.
+    while (out_offset < outbuf.size()) {
+      const ssize_t n = ::send(fd, outbuf.data() + out_offset,
+                               outbuf.size() - out_offset, MSG_NOSIGNAL);
+      if (n > 0) {
+        out_offset += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      broken = true;
+      break;
+    }
+    if (out_offset == outbuf.size()) {
+      outbuf.clear();
+      out_offset = 0;
+    }
+    // Read whatever responses are ready.
+    for (;;) {
+      pollfd pfd{fd, POLLIN, 0};
+      int timeout_ms = 0;
+      if (next_id < options.total_requests) {
+        const double wait = schedule[next_id] - SecondsSince(start);
+        timeout_ms = wait > 0 ? static_cast<int>(wait * 1000) + 1 : 0;
+      } else {
+        timeout_ms = 10;
+      }
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr < 0 && errno != EINTR) {
+        broken = true;
+        break;
+      }
+      if (pr <= 0 || !(pfd.revents & (POLLIN | POLLHUP))) break;
+      const ssize_t n = ::recv(fd, read_buffer, sizeof(read_buffer), 0);
+      if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN &&
+                     errno != EWOULDBLOCK)) {
+        broken = true;
+        break;
+      }
+      if (n < 0) break;
+      decoder.Feed(read_buffer, static_cast<size_t>(n));
+      for (;;) {
+        const FrameDecoder::Status status = decoder.Next(&frame_payload);
+        if (status == FrameDecoder::Status::kNeedMore) break;
+        if (status != FrameDecoder::Status::kFrame) {
+          ++report.errors;
+          broken = true;
+          break;
+        }
+        Response response;
+        if (!DecodeResponse(frame_payload.data(), frame_payload.size(),
+                            &response)) {
+          ++report.errors;
+          continue;
+        }
+        ++responded;
+        auto it = sent_at.find(response.id);
+        const double rtt =
+            it != sent_at.end() ? SecondsSince(start) - it->second : 0;
+        if (it != sent_at.end()) sent_at.erase(it);
+        switch (response.status) {
+          case ResponseStatus::kOk:
+            ++report.ok;
+            latencies.Add(rtt);
+            break;
+          case ResponseStatus::kShed:
+            ++report.shed;
+            break;
+          case ResponseStatus::kError:
+            ++report.errors;
+            break;
+        }
+      }
+      if (broken) break;
+    }
+    if (next_id >= options.total_requests && responded >= report.sent) break;
+    if (next_id >= options.total_requests) {
+      const double now2 = SecondsSince(start);
+      if (drain_deadline < 0) {
+        drain_deadline = now2 + options.drain_timeout_seconds;
+      } else if (now2 >= drain_deadline) {
+        break;
+      }
+    }
+  }
+  report.lost = sent_at.size();  // requests that never saw a response
+  report.wall_seconds = SecondsSince(start);
+  report.achieved_qps = report.wall_seconds > 0
+                            ? static_cast<double>(report.sent) /
+                                  report.wall_seconds
+                            : 0;
+  if (latencies.count() > 0) {
+    report.latency_mean_ms = latencies.mean() * 1e3;
+    report.latency_p50_ms = latencies.Quantile(0.5) * 1e3;
+    report.latency_p99_ms = latencies.Quantile(0.99) * 1e3;
+    report.latency_p999_ms = latencies.Quantile(0.999) * 1e3;
+  }
+  ::close(fd);
+  return report;
+}
+
+}  // namespace hyperprof::serve

@@ -1,0 +1,51 @@
+#ifndef HYPERPROF_SERVE_LOADGEN_H_
+#define HYPERPROF_SERVE_LOADGEN_H_
+
+#include <cstdint>
+
+namespace hyperprof::serve {
+
+struct LoadGenOptions {
+  uint16_t port = 0;           // daemon port on loopback
+  double offered_qps = 1000;   // open-loop arrival rate
+  uint64_t total_requests = 1000;
+  uint64_t seed = 1;           // arrival-schedule RNG seed
+  uint32_t platform = 0;       // fleet platform the queries target
+  bool poisson = true;         // exponential inter-arrivals; false = fixed
+  /** Wall-clock budget to wait for trailing responses after the last send. */
+  double drain_timeout_seconds = 10.0;
+};
+
+/** What one open-loop run observed. */
+struct LoadGenReport {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;     // kError responses or undecodable frames
+  uint64_t lost = 0;       // no response before the drain timeout
+  double wall_seconds = 0;
+  double achieved_qps = 0;       // sent / wall_seconds
+  double latency_mean_ms = 0;    // wall-clock send-to-response, ok only
+  double latency_p50_ms = 0;
+  double latency_p99_ms = 0;
+  double latency_p999_ms = 0;
+  bool connected = false;
+
+  double shed_rate() const {
+    return sent > 0 ? static_cast<double>(shed) / static_cast<double>(sent)
+                    : 0.0;
+  }
+};
+
+/**
+ * Open-loop load generator: sends pipelined query requests over one
+ * loopback connection on a fixed arrival schedule — arrivals do NOT wait
+ * for responses, so offered load is independent of service latency (the
+ * classic closed-loop coordination-omission trap). Responses are matched
+ * to requests by id; wall-clock latency lands in a log-bucketed histogram.
+ */
+LoadGenReport RunLoadGen(const LoadGenOptions& options);
+
+}  // namespace hyperprof::serve
+
+#endif  // HYPERPROF_SERVE_LOADGEN_H_

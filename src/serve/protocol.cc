@@ -1,0 +1,248 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace hyperprof::serve {
+
+using protowire::WireBuffer;
+using protowire::WireReader;
+using protowire::WireType;
+
+namespace {
+
+// Request fields.
+constexpr uint32_t kReqId = 1;
+constexpr uint32_t kReqKind = 2;
+constexpr uint32_t kReqPlatform = 3;
+
+// Response fields.
+constexpr uint32_t kRespId = 1;
+constexpr uint32_t kRespStatus = 2;
+constexpr uint32_t kRespLatency = 3;
+constexpr uint32_t kRespWindow = 4;  // repeated WindowSummary
+constexpr uint32_t kRespStats = 5;   // StatsSummary
+
+// WindowSummary fields.
+constexpr uint32_t kWinIndex = 1;
+constexpr uint32_t kWinQueries = 2;
+constexpr uint32_t kWinLatencyTotal = 3;
+constexpr uint32_t kWinCpuTotal = 4;
+constexpr uint32_t kWinP50 = 5;
+constexpr uint32_t kWinP99 = 6;
+
+// StatsSummary fields.
+constexpr uint32_t kStatOffered = 1;
+constexpr uint32_t kStatAdmitted = 2;
+constexpr uint32_t kStatShed = 3;
+constexpr uint32_t kStatCompleted = 4;
+constexpr uint32_t kStatInFlight = 5;
+constexpr uint32_t kStatResponses = 6;
+constexpr uint32_t kStatVirtualNanos = 7;
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void EncodeWindow(const WindowSummary& window, WireBuffer& out) {
+  protowire::PutTag(out, kWinIndex, WireType::kVarint);
+  protowire::PutSignedVarint(out, window.index);
+  protowire::PutTag(out, kWinQueries, WireType::kVarint);
+  protowire::PutVarint(out, window.queries);
+  protowire::PutTag(out, kWinLatencyTotal, WireType::kVarint);
+  protowire::PutSignedVarint(out, window.latency_total_nanos);
+  protowire::PutTag(out, kWinCpuTotal, WireType::kVarint);
+  protowire::PutSignedVarint(out, window.cpu_total_nanos);
+  protowire::PutTag(out, kWinP50, WireType::kFixed64);
+  protowire::PutFixed64(out, DoubleBits(window.latency_p50));
+  protowire::PutTag(out, kWinP99, WireType::kFixed64);
+  protowire::PutFixed64(out, DoubleBits(window.latency_p99));
+}
+
+bool DecodeWindow(const uint8_t* data, size_t size, WindowSummary* window) {
+  WireReader reader(data, size);
+  while (!reader.AtEnd()) {
+    uint32_t field;
+    WireType type;
+    if (!reader.GetTag(&field, &type)) return false;
+    uint64_t v;
+    switch (field) {
+      case kWinIndex:
+        if (!reader.GetSignedVarint(&window->index)) return false;
+        break;
+      case kWinQueries:
+        if (!reader.GetVarint(&window->queries)) return false;
+        break;
+      case kWinLatencyTotal:
+        if (!reader.GetSignedVarint(&window->latency_total_nanos)) {
+          return false;
+        }
+        break;
+      case kWinCpuTotal:
+        if (!reader.GetSignedVarint(&window->cpu_total_nanos)) return false;
+        break;
+      case kWinP50:
+        if (!reader.GetFixed64(&v)) return false;
+        window->latency_p50 = BitsDouble(v);
+        break;
+      case kWinP99:
+        if (!reader.GetFixed64(&v)) return false;
+        window->latency_p99 = BitsDouble(v);
+        break;
+      default:
+        if (!reader.SkipField(type)) return false;
+    }
+  }
+  return true;
+}
+
+void EncodeStats(const StatsSummary& stats, WireBuffer& out) {
+  protowire::PutTag(out, kStatOffered, WireType::kVarint);
+  protowire::PutVarint(out, stats.offered);
+  protowire::PutTag(out, kStatAdmitted, WireType::kVarint);
+  protowire::PutVarint(out, stats.admitted);
+  protowire::PutTag(out, kStatShed, WireType::kVarint);
+  protowire::PutVarint(out, stats.shed);
+  protowire::PutTag(out, kStatCompleted, WireType::kVarint);
+  protowire::PutVarint(out, stats.completed);
+  protowire::PutTag(out, kStatInFlight, WireType::kVarint);
+  protowire::PutVarint(out, stats.in_flight);
+  protowire::PutTag(out, kStatResponses, WireType::kVarint);
+  protowire::PutVarint(out, stats.responses);
+  protowire::PutTag(out, kStatVirtualNanos, WireType::kVarint);
+  protowire::PutVarint(out, stats.virtual_nanos);
+}
+
+bool DecodeStats(const uint8_t* data, size_t size, StatsSummary* stats) {
+  WireReader reader(data, size);
+  while (!reader.AtEnd()) {
+    uint32_t field;
+    WireType type;
+    if (!reader.GetTag(&field, &type)) return false;
+    uint64_t* target = nullptr;
+    switch (field) {
+      case kStatOffered: target = &stats->offered; break;
+      case kStatAdmitted: target = &stats->admitted; break;
+      case kStatShed: target = &stats->shed; break;
+      case kStatCompleted: target = &stats->completed; break;
+      case kStatInFlight: target = &stats->in_flight; break;
+      case kStatResponses: target = &stats->responses; break;
+      case kStatVirtualNanos: target = &stats->virtual_nanos; break;
+      default:
+        if (!reader.SkipField(type)) return false;
+        continue;
+    }
+    if (!reader.GetVarint(target)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodeRequest(const Request& request, WireBuffer& out) {
+  protowire::PutTag(out, kReqId, WireType::kVarint);
+  protowire::PutVarint(out, request.id);
+  protowire::PutTag(out, kReqKind, WireType::kVarint);
+  protowire::PutVarint(out, static_cast<uint64_t>(request.kind));
+  protowire::PutTag(out, kReqPlatform, WireType::kVarint);
+  protowire::PutVarint(out, request.platform);
+}
+
+bool DecodeRequest(const uint8_t* data, size_t size, Request* request) {
+  WireReader reader(data, size);
+  while (!reader.AtEnd()) {
+    uint32_t field;
+    WireType type;
+    if (!reader.GetTag(&field, &type)) return false;
+    uint64_t v;
+    switch (field) {
+      case kReqId:
+        if (!reader.GetVarint(&request->id)) return false;
+        break;
+      case kReqKind:
+        if (!reader.GetVarint(&v)) return false;
+        if (v < 1 || v > 3) return false;  // unknown kind: protocol error
+        request->kind = static_cast<RequestKind>(v);
+        break;
+      case kReqPlatform:
+        if (!reader.GetVarint(&v)) return false;
+        if (v > UINT32_MAX) return false;
+        request->platform = static_cast<uint32_t>(v);
+        break;
+      default:
+        if (!reader.SkipField(type)) return false;
+    }
+  }
+  return true;
+}
+
+void EncodeResponse(const Response& response, WireBuffer& out) {
+  protowire::PutTag(out, kRespId, WireType::kVarint);
+  protowire::PutVarint(out, response.id);
+  protowire::PutTag(out, kRespStatus, WireType::kVarint);
+  protowire::PutVarint(out, static_cast<uint64_t>(response.status));
+  protowire::PutTag(out, kRespLatency, WireType::kVarint);
+  protowire::PutVarint(out, response.latency_nanos);
+  WireBuffer scratch;
+  for (const WindowSummary& window : response.windows) {
+    scratch.clear();
+    EncodeWindow(window, scratch);
+    protowire::PutTag(out, kRespWindow, WireType::kLengthDelimited);
+    protowire::PutLengthDelimited(out, scratch.data(), scratch.size());
+  }
+  if (response.has_stats) {
+    scratch.clear();
+    EncodeStats(response.stats, scratch);
+    protowire::PutTag(out, kRespStats, WireType::kLengthDelimited);
+    protowire::PutLengthDelimited(out, scratch.data(), scratch.size());
+  }
+}
+
+bool DecodeResponse(const uint8_t* data, size_t size, Response* response) {
+  WireReader reader(data, size);
+  while (!reader.AtEnd()) {
+    uint32_t field;
+    WireType type;
+    if (!reader.GetTag(&field, &type)) return false;
+    uint64_t v;
+    const uint8_t* sub;
+    size_t sub_size;
+    switch (field) {
+      case kRespId:
+        if (!reader.GetVarint(&response->id)) return false;
+        break;
+      case kRespStatus:
+        if (!reader.GetVarint(&v)) return false;
+        if (v > 2) return false;
+        response->status = static_cast<ResponseStatus>(v);
+        break;
+      case kRespLatency:
+        if (!reader.GetVarint(&response->latency_nanos)) return false;
+        break;
+      case kRespWindow: {
+        if (!reader.GetLengthDelimited(&sub, &sub_size)) return false;
+        WindowSummary window;
+        if (!DecodeWindow(sub, sub_size, &window)) return false;
+        response->windows.push_back(window);
+        break;
+      }
+      case kRespStats:
+        if (!reader.GetLengthDelimited(&sub, &sub_size)) return false;
+        if (!DecodeStats(sub, sub_size, &response->stats)) return false;
+        response->has_stats = true;
+        break;
+      default:
+        if (!reader.SkipField(type)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hyperprof::serve

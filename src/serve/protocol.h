@@ -1,0 +1,80 @@
+#ifndef HYPERPROF_SERVE_PROTOCOL_H_
+#define HYPERPROF_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/protowire/wire.h"
+
+namespace hyperprof::serve {
+
+/**
+ * The front door's request/response messages, encoded with the in-repo
+ * protowire serializer (one message per frame, see serve/frame.h).
+ *
+ * Unknown fields are skipped on decode (forward compatibility); missing
+ * fields keep their defaults. Decoders are strict about structure — a
+ * malformed varint, truncated submessage, or out-of-range enum fails the
+ * decode rather than guessing — because a frame that passed its CRC but
+ * does not parse indicates a peer speaking a different protocol.
+ */
+
+/** What the client is asking for. */
+enum class RequestKind : uint8_t {
+  kQuery = 1,    // admit one simulated query; respond when it completes
+  kWindows = 2,  // snapshot the platform's live continuous-profile windows
+  kStats = 3,    // snapshot the daemon's serving counters
+};
+
+struct Request {
+  uint64_t id = 0;        // echoed in the response; client-chosen
+  RequestKind kind = RequestKind::kQuery;
+  uint32_t platform = 0;  // fleet platform index the request targets
+};
+
+enum class ResponseStatus : uint8_t {
+  kOk = 0,
+  kShed = 1,   // admission control refused the query (overload)
+  kError = 2,  // malformed request / unknown platform
+};
+
+/** One continuous-profiling window, summarized for the wire. */
+struct WindowSummary {
+  int64_t index = -1;           // absolute virtual-time window index
+  uint64_t queries = 0;         // sampled queries folded into the window
+  int64_t latency_total_nanos = 0;
+  int64_t cpu_total_nanos = 0;
+  double latency_p50 = 0;       // seconds, from the window's sketch
+  double latency_p99 = 0;
+};
+
+/** Serving counters, streamed back for kStats requests. */
+struct StatsSummary {
+  uint64_t offered = 0;    // query requests received
+  uint64_t admitted = 0;   // queries admitted into the simulation
+  uint64_t shed = 0;       // queries refused by admission control
+  uint64_t completed = 0;  // admitted queries that finished
+  uint64_t in_flight = 0;  // admitted - completed
+  uint64_t responses = 0;  // ok query responses sent (== completed)
+  uint64_t virtual_nanos = 0;  // fleet virtual clock at snapshot time
+};
+
+struct Response {
+  uint64_t id = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  uint64_t latency_nanos = 0;  // virtual query latency (kQuery responses)
+  std::vector<WindowSummary> windows;  // kWindows responses
+  StatsSummary stats;                  // kStats responses
+  bool has_stats = false;
+};
+
+void EncodeRequest(const Request& request, protowire::WireBuffer& out);
+bool DecodeRequest(const uint8_t* data, size_t size, Request* request);
+
+void EncodeResponse(const Response& response, protowire::WireBuffer& out);
+bool DecodeResponse(const uint8_t* data, size_t size, Response* response);
+
+}  // namespace hyperprof::serve
+
+#endif  // HYPERPROF_SERVE_PROTOCOL_H_

@@ -1,0 +1,312 @@
+#include "serve/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <chrono>
+#include <cstring>
+
+namespace hyperprof::serve {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(ServerOptions options)
+    : options_(std::move(options)), front_door_(options_.front_door) {}
+
+ServeDaemon::~ServeDaemon() {
+  for (auto& [fd, conn] : by_fd_) ::close(fd);
+  by_fd_.clear();
+  by_id_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void ServeDaemon::AddPlatform(platforms::PlatformSpec spec) {
+  front_door_.AddPlatform(std::move(spec));
+}
+
+void ServeDaemon::AddDefaultPlatforms() { front_door_.AddDefaultPlatforms(); }
+
+bool ServeDaemon::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return false;
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) return false;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (!SetNonBlocking(listen_fd_)) return false;
+  if (::pipe(wake_pipe_) < 0) return false;
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) return false;
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) return false;
+  ev.data.fd = wake_pipe_[0];
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_pipe_[0], &ev) < 0) {
+    return false;
+  }
+  return true;
+}
+
+void ServeDaemon::Run() {
+  assert(epoll_fd_ >= 0 && "Listen() before Run()");
+  front_door_.Start();
+  const auto wall_start = std::chrono::steady_clock::now();
+  const SimTime virtual_start = front_door_.virtual_now();
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Pace virtual time off the wall clock, then sleep at most 1ms so the
+    // clock keeps flowing even on an idle connection set.
+    const double wall_elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    front_door_.Pump(virtual_start +
+                     SimTime::FromSeconds(
+                         wall_elapsed * options_.virtual_seconds_per_wall_second));
+    // Completions fired inside the pump queued responses without a socket
+    // event; push them out now rather than waiting for the peer to talk.
+    if (!pending_flush_.empty()) {
+      std::vector<uint64_t> flush;
+      flush.swap(pending_flush_);
+      for (uint64_t id : flush) {
+        auto it = by_id_.find(id);
+        if (it != by_id_.end()) FlushConnection(it->second);
+      }
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptReady();
+        continue;
+      }
+      if (fd == wake_pipe_[0]) {
+        char sink[64];
+        while (::read(wake_pipe_[0], sink, sizeof(sink)) > 0) {
+        }
+        continue;
+      }
+      auto it = by_fd_.find(fd);
+      if (it == by_fd_.end()) continue;  // closed earlier this batch
+      Connection* conn = it->second.get();
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(conn);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) HandleReadable(conn);
+      // HandleReadable may have closed the connection on a protocol error.
+      if (by_fd_.find(fd) == by_fd_.end()) continue;
+      if (events[i].events & EPOLLOUT) FlushConnection(conn);
+    }
+  }
+  // Shutdown: complete every in-flight query in virtual time (instant on
+  // the wall clock), deliver the responses, then finalize the fleet.
+  front_door_.Pump(SimTime::Max());
+  DrainAndFlush();
+  front_door_.Finish();
+}
+
+void ServeDaemon::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void ServeDaemon::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (by_fd_.size() >= options_.max_connections) {
+      ::close(fd);  // over the cap: shed the connection outright
+      continue;
+    }
+    SetNonBlocking(fd);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_connection_id_++;
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    ++stats_.connections_accepted;
+    by_id_[conn->id] = conn.get();
+    by_fd_[fd] = std::move(conn);
+  }
+}
+
+void ServeDaemon::HandleReadable(Connection* conn) {
+  uint8_t buffer[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      conn->decoder.Feed(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn);  // peer hung up or hard error
+    return;
+  }
+  std::vector<uint8_t> payload;
+  for (;;) {
+    const FrameDecoder::Status status = conn->decoder.Next(&payload);
+    if (status == FrameDecoder::Status::kNeedMore) break;
+    if (status != FrameDecoder::Status::kFrame) {
+      // Corrupt or oversized frame: the stream cannot be resynchronized.
+      ++stats_.protocol_errors;
+      CloseConnection(conn);
+      return;
+    }
+    ++stats_.frames_received;
+    Request request;
+    if (!DecodeRequest(payload.data(), payload.size(), &request)) {
+      ++stats_.protocol_errors;
+      CloseConnection(conn);
+      return;
+    }
+    const uint64_t conn_id = conn->id;
+    front_door_.Submit(request, [this, conn_id](const Response& response) {
+      QueueResponse(conn_id, response);
+    });
+  }
+  FlushConnection(conn);
+}
+
+void ServeDaemon::QueueResponse(uint64_t conn_id, const Response& response) {
+  auto it = by_id_.find(conn_id);
+  if (it == by_id_.end()) {
+    ++stats_.dropped_responses;  // completion outlived the connection
+    return;
+  }
+  Connection* conn = it->second;
+  protowire::WireBuffer payload;
+  EncodeResponse(response, payload);
+  EncodeFrame(payload.data(), payload.size(), conn->out);
+  ++stats_.frames_sent;
+  // Deferred flush: this may run from inside Pump() (query completion) or
+  // mid-decode in HandleReadable; flushing here could close and free the
+  // connection under the caller's feet. The event loop flushes next tick.
+  pending_flush_.push_back(conn_id);
+}
+
+void ServeDaemon::FlushConnection(Connection* conn) {
+  while (conn->out_offset < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_offset,
+               conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn);
+    return;
+  }
+  if (conn->out_offset == conn->out.size()) {
+    conn->out.clear();
+    conn->out_offset = 0;
+  } else if (conn->out_offset >= conn->out.size() / 2) {
+    conn->out.erase(conn->out.begin(),
+                    conn->out.begin() +
+                        static_cast<std::ptrdiff_t>(conn->out_offset));
+    conn->out_offset = 0;
+  }
+  const bool want_write = !conn->out.empty();
+  if (want_write != conn->want_write) {
+    conn->want_write = want_write;
+    UpdateEpoll(conn);
+  }
+}
+
+void ServeDaemon::UpdateEpoll(Connection* conn) {
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN | (conn->want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void ServeDaemon::CloseConnection(Connection* conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  ++stats_.connections_closed;
+  by_id_.erase(conn->id);
+  by_fd_.erase(conn->fd);  // frees conn
+}
+
+void ServeDaemon::DrainAndFlush() {
+  // Best-effort blocking flush with a hard deadline; peers that stopped
+  // reading lose their tail responses.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  std::vector<uint64_t> ids;
+  ids.reserve(by_id_.size());
+  for (const auto& [id, conn] : by_id_) ids.push_back(id);
+  for (uint64_t id : ids) {
+    for (;;) {
+      auto it = by_id_.find(id);
+      if (it == by_id_.end()) break;
+      Connection* conn = it->second;
+      if (conn->out_offset >= conn->out.size()) break;
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      pollfd pfd{conn->fd, POLLOUT, 0};
+      ::poll(&pfd, 1, 50);
+      FlushConnection(conn);
+    }
+  }
+}
+
+}  // namespace hyperprof::serve

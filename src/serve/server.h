@@ -1,0 +1,124 @@
+#ifndef HYPERPROF_SERVE_SERVER_H_
+#define HYPERPROF_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/frame.h"
+#include "serve/front_door.h"
+
+namespace hyperprof::serve {
+
+/** Socket-layer accounting of one daemon run. */
+struct DaemonStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t protocol_errors = 0;    // bad frame / undecodable request
+  uint64_t dropped_responses = 0;  // completion after the peer hung up
+};
+
+struct ServerOptions {
+  /** TCP port to bind on loopback; 0 picks an ephemeral port. */
+  uint16_t port = 0;
+  int backlog = 64;
+  size_t max_connections = 64;
+  /**
+   * Virtual seconds advanced per wall-clock second. The simulated fleet
+   * executes in virtual time; this rate is what turns it into a live
+   * service — queries admitted now complete a (virtual) latency later on
+   * the wall clock. 1.0 = real time.
+   */
+  double virtual_seconds_per_wall_second = 1.0;
+  FrontDoorOptions front_door;
+};
+
+/**
+ * The epoll front-door daemon: a single-threaded event loop multiplexing
+ * nonblocking loopback connections, decoding pipelined length-prefixed
+ * frames (serve/frame.h) into requests, admitting queries into the
+ * simulated fleet in virtual time, and streaming responses — including
+ * live continuous-profiling window snapshots — back over the same
+ * connection.
+ *
+ * Wall-clock time paces virtual time (ServerOptions rate); admitted
+ * queries complete inside the periodic pump and their responses are
+ * written when the owning connection is writable. A connection that
+ * sends a corrupt, oversized, or undecodable frame is closed immediately
+ * (frame streams cannot be resynchronized); responses completing after a
+ * peer hung up are counted and dropped.
+ *
+ * Lifecycle: Listen() binds, Run() blocks until Stop() (thread-safe,
+ * self-pipe wakeup), then drains in-flight virtual work, flushes
+ * responses, and finalizes the fleet.
+ */
+class ServeDaemon {
+ public:
+  explicit ServeDaemon(ServerOptions options);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /** Registers a platform before Listen(). */
+  void AddPlatform(platforms::PlatformSpec spec);
+  void AddDefaultPlatforms();
+
+  /** Binds and listens on loopback. False (with errno set) on failure. */
+  bool Listen();
+
+  /** Bound port (valid after Listen; the ephemeral pick when port=0). */
+  uint16_t port() const { return port_; }
+
+  /** Runs the event loop until Stop(). Call from one thread only. */
+  void Run();
+
+  /** Thread-safe shutdown request; Run() drains and returns. */
+  void Stop();
+
+  const DaemonStats& stats() const { return stats_; }
+  const ServingCounters& counters() const { return front_door_.counters(); }
+  const VirtualFrontDoor& front_door() const { return front_door_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;  // routing key for completions (never reused)
+    FrameDecoder decoder;
+    std::vector<uint8_t> out;  // pending response bytes
+    size_t out_offset = 0;
+    bool want_write = false;  // EPOLLOUT currently armed
+  };
+
+  void AcceptReady();
+  void HandleReadable(Connection* conn);
+  /** Encodes `response` and queues it on connection `conn_id`. */
+  void QueueResponse(uint64_t conn_id, const Response& response);
+  /** Writes as much pending output as the socket takes; arms EPOLLOUT. */
+  void FlushConnection(Connection* conn);
+  void CloseConnection(Connection* conn);
+  void UpdateEpoll(Connection* conn);
+  /** Best-effort blocking flush of every connection (shutdown path). */
+  void DrainAndFlush();
+
+  ServerOptions options_;
+  VirtualFrontDoor front_door_;
+  DaemonStats stats_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: Stop() wakes epoll_wait
+  std::atomic<bool> stop_{false};
+  uint64_t next_connection_id_ = 1;
+  std::unordered_map<int, std::unique_ptr<Connection>> by_fd_;
+  std::unordered_map<uint64_t, Connection*> by_id_;
+  std::vector<uint64_t> pending_flush_;  // queued by completions in Pump()
+};
+
+}  // namespace hyperprof::serve
+
+#endif  // HYPERPROF_SERVE_SERVER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -384,7 +385,56 @@ void ShardGroup::RunParallel(const RunOptions& options) {
   if (ctl.error) std::rethrow_exception(ctl.error);  // threads joined
 }
 
+bool ShardGroup::Advance(SimTime until, const RunOptions& options) {
+  for (;;) {
+    if (!epoch_open_) {
+      SweepArenas();
+      SimTime start, deadline;
+      if (!PlanEpoch(options, start, deadline)) {
+        // Global quiesce: the same epilogue as Run() — a final drain pops
+        // stale cancelled heap entries so kernels report a clean quiesce.
+        for (Simulator* kernel : kernels_) kernel->Run();
+        SweepArenas();
+        return false;
+      }
+      SwapMailboxes();
+      epoch_open_ = true;
+      epoch_deadline_ = deadline;
+    }
+    if (epoch_deadline_ > until) {
+      // Pause inside the epoch: run every kernel to the horizon but keep
+      // the epoch open — no mailbox flip, no re-plan — so resuming closes
+      // it at its original deadline. DeliverInbox is a no-op on re-entry
+      // (the first partial run cleared the inboxes), so the merged
+      // delivery order is exactly the one-shot order.
+      for (uint32_t k = 0; k < kernels_.size(); ++k) RunKernel(k, until);
+      // A drain epoch (deadline = Max, planned only when no kernel can
+      // ever post again) completes as soon as every kernel is out of
+      // events, even at a finite horizon — one-shot runs it with Run(),
+      // which stops at the same point.
+      if (epoch_deadline_ == SimTime::Max()) {
+        bool quiesced = true;
+        for (Simulator* kernel : kernels_) {
+          if (kernel->next_event_time() != SimTime::Max()) quiesced = false;
+        }
+        if (quiesced) {
+          ++epochs_;
+          epoch_open_ = false;
+          continue;
+        }
+      }
+      return true;
+    }
+    for (uint32_t k = 0; k < kernels_.size(); ++k) {
+      RunKernel(k, epoch_deadline_);
+    }
+    ++epochs_;
+    epoch_open_ = false;
+  }
+}
+
 uint64_t ShardGroup::Run(const RunOptions& options) {
+  assert(!epoch_open_ && "Run() after a partial Advance() is unsupported");
   if (options.pin_threads && pin_cpus_.empty()) SetupPinning();
   if (options.parallel && kernels_.size() > 1) {
     RunParallel(options);

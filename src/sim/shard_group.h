@@ -158,9 +158,33 @@ class ShardGroup {
    * Runs epochs until every kernel quiesces and all mailboxes drain,
    * then drains stale cancelled heap entries so kernels report a clean
    * quiesce. Returns the number of epochs executed. Runner threads live
-   * only inside this call.
+   * only inside this call. Must not be interleaved with Advance().
    */
   uint64_t Run(const RunOptions& options);
+
+  /**
+   * Incremental execution: advances every kernel to virtual time `until`
+   * and pauses, preserving bit-identity with a single Run() — an
+   * advance-in-K-steps run executes the exact same events in the exact
+   * same order, flips mailboxes at the exact same barriers, and ends with
+   * identical epoch/coalescing counts (pinned by the simtest fuzz
+   * digest's "determinism-incremental" comparison).
+   *
+   * The key is that a pause never becomes a barrier: when `until` falls
+   * inside a planned epoch, the group runs each kernel to `until` and
+   * keeps the epoch *open* — mailboxes are not flipped and the epoch plan
+   * is not recomputed — so the next Advance resumes the same epoch and
+   * closes it at its original deadline. Epoch plans therefore see exactly
+   * the kernel states a one-shot run would see.
+   *
+   * Returns true while work remains (paused at `until`), false once the
+   * group has fully quiesced (after which it runs the same final-drain
+   * epilogue as Run()). Advance(SimTime::Max()) runs to completion.
+   * Serial only: kernels run on the calling thread (bit-identical to the
+   * parallel path by the determinism contract); `options.parallel` and
+   * the probe hooks are ignored. Do not mix with Run().
+   */
+  bool Advance(SimTime until, const RunOptions& options);
 
   SimTime window() const { return window_; }
   uint64_t epochs() const { return epochs_; }
@@ -257,6 +281,12 @@ class ShardGroup {
   std::vector<int> pin_cpus_;                       // kernel -> cpu, or -1
   uint64_t epochs_ = 0;
   uint64_t coalesced_epochs_ = 0;
+  // Advance() pause state: the in-progress epoch's planned deadline. An
+  // open epoch has had its mailboxes flipped and (possibly partially) run;
+  // it completes — and only then is a new epoch planned — once Advance is
+  // called with `until` >= the stored deadline.
+  bool epoch_open_ = false;
+  SimTime epoch_deadline_;
 };
 
 }  // namespace hyperprof::sim

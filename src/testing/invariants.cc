@@ -566,6 +566,39 @@ void CheckContinuousWindows(const RunArtifacts& run, Out& out) {
   }
 }
 
+/**
+ * Serving-door conservation (DESIGN.md §16): every offered query was
+ * either admitted or shed, every admitted query is completed or still in
+ * flight, and a response exists exactly for each completion — no response
+ * without an admitted request, no silently dropped admission. Vacuous for
+ * batch runs (serving=false).
+ */
+void CheckServingAccounting(const RunArtifacts& run, Out& out) {
+  if (!run.serving) return;
+  if (run.serve_admitted + run.serve_shed != run.serve_offered) {
+    Report(out, "serving-accounting", "",
+           StrFormat("admitted %llu + shed %llu != offered %llu",
+                     static_cast<unsigned long long>(run.serve_admitted),
+                     static_cast<unsigned long long>(run.serve_shed),
+                     static_cast<unsigned long long>(run.serve_offered)));
+  }
+  if (run.serve_completed + run.serve_in_flight != run.serve_admitted) {
+    Report(out, "serving-accounting", "",
+           StrFormat("completed %llu + in-flight %llu != admitted %llu",
+                     static_cast<unsigned long long>(run.serve_completed),
+                     static_cast<unsigned long long>(run.serve_in_flight),
+                     static_cast<unsigned long long>(run.serve_admitted)));
+  }
+  if (run.serve_responses != run.serve_completed) {
+    // A response is delivered exactly when an admitted query completes:
+    // responses beyond completions were forged, fewer were dropped.
+    Report(out, "serving-accounting", "",
+           StrFormat("responses %llu != completed %llu",
+                     static_cast<unsigned long long>(run.serve_responses),
+                     static_cast<unsigned long long>(run.serve_completed)));
+  }
+}
+
 }  // namespace
 
 RunArtifacts CollectArtifacts(const platforms::FleetSimulation& fleet) {
@@ -777,6 +810,17 @@ uint64_t DigestArtifacts(const RunArtifacts& run) {
     fnv.U64(p.continuous_anomalies_dropped);
     fnv.U64(p.continuous_observed);
   }
+  // Serving-door counters: fleet-wide, deterministic given the admission
+  // schedule, so two runs of the same serving session must agree.
+  fnv.U64(run.serving ? 1 : 0);
+  if (run.serving) {
+    fnv.U64(run.serve_offered);
+    fnv.U64(run.serve_admitted);
+    fnv.U64(run.serve_shed);
+    fnv.U64(run.serve_completed);
+    fnv.U64(run.serve_in_flight);
+    fnv.U64(run.serve_responses);
+  }
   return fnv.h;
 }
 
@@ -817,6 +861,7 @@ InvariantRegistry InvariantRegistry::Default() {
   registry.Register("breakdown-consistency", CheckBreakdownConsistency);
   registry.Register("shard-exchange", CheckShardExchange);
   registry.Register("continuous-windows", CheckContinuousWindows);
+  registry.Register("serving-accounting", CheckServingAccounting);
   return registry;
 }
 

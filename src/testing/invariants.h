@@ -126,6 +126,19 @@ struct RunArtifacts {
   bool read_policy_plain = true;
   bool write_policy_plain = true;
   std::vector<PlatformArtifacts> platforms;
+
+  // Serving front door (DESIGN.md §16). Plain copies of the door's
+  // admission counters — kept as raw fields rather than a serve:: type so
+  // the corruption tests can perturb them and the testing library stays
+  // independent of the socket layer. All zero (serving=false) for batch
+  // runs, where the serving-accounting check is vacuous.
+  bool serving = false;
+  uint64_t serve_offered = 0;    // query requests received
+  uint64_t serve_admitted = 0;   // admitted into the fleet
+  uint64_t serve_shed = 0;       // refused by admission control
+  uint64_t serve_completed = 0;  // admitted queries that finished
+  uint64_t serve_in_flight = 0;  // admitted - completed at snapshot time
+  uint64_t serve_responses = 0;  // ok responses delivered
 };
 
 /** Snapshots every shard of a completed fleet run. */

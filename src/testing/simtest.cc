@@ -3,6 +3,7 @@
 #include <mutex>
 #include <utility>
 
+#include "common/rng.h"
 #include "common/strings.h"
 
 namespace hyperprof::testing {
@@ -62,11 +63,14 @@ void MidRunCheck(const platforms::FleetSimulation& fleet, size_t index,
 /**
  * Builds and runs the scenario's fleet once at the given parallelism.
  * When `probe_period` is nonzero the run is stepped and `probe_out`
- * collects mid-run violations.
+ * collects mid-run violations. When `incremental` is true the run goes
+ * through Start/Advance/Finish with seed-derived random horizons instead
+ * of RunAll — the serving daemon's pause-and-resume surface.
  */
 RunArtifacts ExecuteOnce(const Scenario& scenario, uint32_t parallelism,
                          SimTime probe_period,
-                         std::vector<Violation>* probe_out) {
+                         std::vector<Violation>* probe_out,
+                         bool incremental = false) {
   platforms::FleetConfig config = scenario.config;
   config.parallelism = parallelism;
   config.probe_period = SimTime::Zero();
@@ -92,7 +96,21 @@ RunArtifacts ExecuteOnce(const Scenario& scenario, uint32_t parallelism,
   platforms::FleetSimulation fleet(config);
   fleet_ptr = &fleet;
   for (const auto& spec : scenario.specs) fleet.AddPlatform(spec);
-  fleet.RunAll();
+  if (incremental) {
+    // Horizon steps are derived from the scenario seed so the pause
+    // points vary across the fuzz corpus but replay identically.
+    fleet.Start();
+    Rng steps(scenario.seed ^ 0x1c3e6e7a1u);
+    SimTime horizon = SimTime::Zero();
+    while (true) {
+      horizon +=
+          SimTime::Micros(100 + static_cast<int64_t>(steps.NextBounded(20000)));
+      if (!fleet.Advance(horizon)) break;
+    }
+    fleet.Finish();
+  } else {
+    fleet.RunAll();
+  }
 
   RunArtifacts artifacts = CollectArtifacts(fleet);
   artifacts.scenario_seed = scenario.seed;
@@ -170,6 +188,23 @@ SeedReport RunScenario(const Scenario& scenario,
           StrFormat("run digest %016llx != replay digest %016llx",
                     static_cast<unsigned long long>(report.digest),
                     static_cast<unsigned long long>(replay_digest))});
+    }
+  }
+
+  // Determinism contract, part 3: pausing at arbitrary virtual-time
+  // horizons via Start/Advance/Finish (the serving daemon's front-door
+  // path) is bit-identical to running the scenario in one shot.
+  if (options.check_incremental) {
+    RunArtifacts incremental = ExecuteOnce(scenario, /*parallelism=*/1,
+                                           SimTime::Zero(), nullptr,
+                                           /*incremental=*/true);
+    uint64_t incremental_digest = DigestArtifacts(incremental);
+    if (incremental_digest != report.digest) {
+      report.violations.push_back(Violation{
+          "determinism-incremental", "",
+          StrFormat("run digest %016llx != incremental digest %016llx",
+                    static_cast<unsigned long long>(report.digest),
+                    static_cast<unsigned long long>(incremental_digest))});
     }
   }
 

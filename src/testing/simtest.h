@@ -24,6 +24,14 @@ struct SimtestOptions {
   bool check_replay = true;
 
   /**
+   * Re-run the scenario through the incremental Start/Advance/Finish
+   * surface — the serving daemon's pause-and-resume path — at seed-derived
+   * random virtual-time horizons, and require a bit-identical digest.
+   * Pins the Advance(until) contract: pausing anywhere must be invisible.
+   */
+  bool check_incremental = true;
+
+  /**
    * When nonzero, the primary run is driven in RunUntil steps of this
    * length with a mid-run invariant probe between steps (ledger bounds,
    * counter monotonicity). Stepping is bit-identical to an unstepped run,
@@ -50,7 +58,7 @@ struct SimtestOptions {
   const InvariantRegistry* registry = nullptr;
 };
 
-/** Outcome of executing one scenario (up to three fleet runs). */
+/** Outcome of executing one scenario (up to four fleet runs). */
 struct SeedReport {
   Scenario scenario;
   uint64_t digest = 0;  // primary (serial) run digest
@@ -66,7 +74,9 @@ struct SeedReport {
  * Executes one scenario end-to-end and evaluates every invariant:
  *   1. serial run (optionally probed mid-run), registry evaluation;
  *   2. parallel run, digest equality ("determinism-serial-parallel");
- *   3. serial replay, digest equality ("determinism-replay").
+ *   3. serial replay, digest equality ("determinism-replay");
+ *   4. incremental Advance(until) run, digest equality
+ *      ("determinism-incremental").
  */
 SeedReport RunScenario(const Scenario& scenario,
                        const SimtestOptions& options = {});

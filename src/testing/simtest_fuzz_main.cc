@@ -1,10 +1,11 @@
 // Deterministic simulation fuzzer: generates a random fleet scenario per
-// seed, runs it end-to-end (serial, parallel, replay), and evaluates the
-// invariant catalogue. Exit status 0 iff every seed passed.
+// seed, runs it end-to-end (serial, parallel, replay, and incrementally
+// advanced at random virtual-time horizons), and evaluates the invariant
+// catalogue. Exit status 0 iff every seed passed.
 //
 // Usage:
 //   simtest_fuzz --seeds N --base-seed S [--shrink] [--probe-ms M]
-//                [--shards K] [--verbose]
+//                [--shards K] [--no-incremental] [--verbose]
 //
 // --shards K overrides every scenario's shard count: the whole block runs
 // with K worker kernels per platform (K=0 forces the fused single-kernel
@@ -28,6 +29,7 @@ struct Args {
   uint64_t base_seed = 1;
   bool shrink = false;
   bool verbose = false;
+  bool incremental = true;
   int64_t probe_ms = 0;
   int64_t shards = -1;  // -1: keep each scenario's own draw
 };
@@ -52,6 +54,8 @@ bool ParseArgs(int argc, char** argv, Args& args) {
       args.shards = std::strtoll(v, nullptr, 10);
     } else if (std::strcmp(argv[i], "--shrink") == 0) {
       args.shrink = true;
+    } else if (std::strcmp(argv[i], "--no-incremental") == 0) {
+      args.incremental = false;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       args.verbose = true;
     } else {
@@ -69,7 +73,8 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, args)) {
     std::fprintf(stderr,
                  "usage: simtest_fuzz [--seeds N] [--base-seed S] "
-                 "[--shrink] [--probe-ms M] [--shards K] [--verbose]\n");
+                 "[--shrink] [--probe-ms M] [--shards K] "
+                 "[--no-incremental] [--verbose]\n");
     return 2;
   }
 
@@ -77,6 +82,7 @@ int main(int argc, char** argv) {
   using namespace hyperprof::testing;
 
   SimtestOptions options;
+  options.check_incremental = args.incremental;
   if (args.probe_ms > 0) options.probe_period = SimTime::Millis(args.probe_ms);
   if (args.shards >= 0) {
     uint32_t shards = static_cast<uint32_t>(args.shards);

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "platforms/fleet.h"
 #include "profiling/categories.h"
 
@@ -28,6 +29,33 @@ std::unique_ptr<FleetSimulation> RunFleet(uint32_t parallelism,
   auto fleet = std::make_unique<FleetSimulation>(config);
   fleet->AddDefaultPlatforms();
   fleet->RunAll();
+  return fleet;
+}
+
+/**
+ * The same fleet driven through the incremental Start/Advance/Finish API
+ * in seed-derived random virtual-time increments, as the serving daemon
+ * drives it — pausing must never become a barrier (DESIGN.md §16).
+ */
+std::unique_ptr<FleetSimulation> RunFleetIncremental(uint64_t step_seed,
+                                                     uint32_t shards = 0) {
+  FleetConfig config;
+  config.queries_per_platform = shards > 0 ? 200 : 400;
+  config.trace_sample_one_in = 5;
+  config.seed = 42;
+  config.parallelism = 1;
+  config.shards_per_platform = shards;
+  auto fleet = std::make_unique<FleetSimulation>(config);
+  fleet->AddDefaultPlatforms();
+  fleet->Start();
+  Rng rng(step_seed);
+  SimTime horizon = SimTime::Zero();
+  while (true) {
+    horizon += SimTime::Micros(100 + static_cast<int64_t>(
+                                         rng.NextBounded(20000)));
+    if (!fleet->Advance(horizon)) break;
+  }
+  fleet->Finish();
   return fleet;
 }
 
@@ -122,6 +150,16 @@ TEST(FleetParallelTest, OversubscribedPoolMatchesSerial) {
   ExpectBitIdentical(SerialReference(), *oversubscribed);
 }
 
+TEST(FleetParallelTest, IncrementalAdvanceMatchesOneShotRun) {
+  // Two different pause schedules, both bit-identical to the one-shot
+  // reference: Advance(until) executes the exact same events in the exact
+  // same order, only in installments.
+  for (uint64_t step_seed : {7u, 1234u}) {
+    auto incremental = RunFleetIncremental(step_seed);
+    ExpectBitIdentical(SerialReference(), *incremental);
+  }
+}
+
 TEST(FleetParallelTest, DifferentSeedsProduceDifferentFleets) {
   // Sanity check that the comparison above has teeth: changing the fleet
   // seed changes the recovered numbers.
@@ -138,6 +176,16 @@ TEST(FleetShardingTest, ShardCountsRecoverBitIdenticalResults) {
   for (uint32_t shards : {2u, 3u, 8u}) {
     auto sharded = RunFleet(/*parallelism=*/1, /*seed=*/42, shards);
     ExpectBitIdentical(ShardedReference(), *sharded);
+  }
+}
+
+TEST(FleetShardingTest, IncrementalAdvanceMatchesShardedReference) {
+  // Incremental advance across shard-group epochs: pausing mid-epoch must
+  // not flip mailboxes or re-plan deadlines, so the epoch structure — and
+  // every digested bit — matches the one-shot sharded run.
+  for (uint32_t shards : {1u, 4u}) {
+    auto incremental = RunFleetIncremental(/*step_seed=*/99, shards);
+    ExpectBitIdentical(ShardedReference(), *incremental);
   }
 }
 

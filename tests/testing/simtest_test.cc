@@ -22,6 +22,7 @@ SimtestOptions PrimaryOnly() {
   SimtestOptions options;
   options.check_parallel = false;
   options.check_replay = false;
+  options.check_incremental = false;
   return options;
 }
 
@@ -88,6 +89,7 @@ TEST(InvariantRegistry, DefaultCatalogue) {
   EXPECT_TRUE(has("breakdown-consistency"));
   EXPECT_TRUE(has("shard-exchange"));
   EXPECT_TRUE(has("continuous-windows"));
+  EXPECT_TRUE(has("serving-accounting"));
 }
 
 // Returns true if `run` has at least one retained trace with a span.
@@ -185,6 +187,35 @@ TEST(Invariants, PerturbedCountersAreCaught) {
          // An anomaly log inconsistent with the overrun counters.
          run.platforms[0].continuous_anomalies_dropped += 1;
        }},
+      {"serving-accounting",
+       [](RunArtifacts& run) {
+         // A serving door that lost a query: neither admitted nor shed.
+         run.serving = true;
+         run.serve_offered = 10;
+         run.serve_admitted = 6;
+         run.serve_shed = 3;
+         run.serve_completed = 6;
+         run.serve_responses = 6;
+       }},
+      {"serving-accounting",
+       [](RunArtifacts& run) {
+         // An admitted query that vanished: not completed, not in flight.
+         run.serving = true;
+         run.serve_offered = 8;
+         run.serve_admitted = 8;
+         run.serve_completed = 7;
+         run.serve_in_flight = 0;
+         run.serve_responses = 7;
+       }},
+      {"serving-accounting",
+       [](RunArtifacts& run) {
+         // A forged response: more responses than completions.
+         run.serving = true;
+         run.serve_offered = 4;
+         run.serve_admitted = 4;
+         run.serve_completed = 4;
+         run.serve_responses = 5;
+       }},
   };
   for (const auto& c : cases) {
     SimtestOptions options = PrimaryOnly();
@@ -200,12 +231,30 @@ TEST(Invariants, PerturbedCountersAreCaught) {
   }
 }
 
+TEST(Invariants, ConsistentServingCountersPass) {
+  // Balanced door counters (with work still in flight at snapshot time)
+  // must not trip the conservation check.
+  SimtestOptions options = PrimaryOnly();
+  options.corrupt = [](RunArtifacts& run) {
+    run.serving = true;
+    run.serve_offered = 12;
+    run.serve_admitted = 9;
+    run.serve_shed = 3;
+    run.serve_completed = 7;
+    run.serve_in_flight = 2;
+    run.serve_responses = 7;
+  };
+  SeedReport report = RunSeed(1, options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
 TEST(Invariants, CorruptionAlsoBreaksReplayDigest) {
   // A corrupted primary run must disagree with its own (uncorrupted)
   // replay: the digest covers every recovered bit.
   SimtestOptions options;
   options.check_parallel = false;
   options.check_replay = true;
+  options.check_incremental = false;
   options.corrupt = PerturbOneSpanEnd;
   SeedReport report = RunSeed(1, options);
   bool replay_flagged = false;
@@ -222,6 +271,7 @@ TEST(Invariants, CorruptedWindowTotalBreaksReplayDigest) {
   SimtestOptions options;
   options.check_parallel = false;
   options.check_replay = true;
+  options.check_incremental = false;
   options.corrupt = [](RunArtifacts& run) {
     for (auto& p : run.platforms) {
       if (p.windows.empty()) continue;
@@ -284,6 +334,7 @@ TEST(Invariants, CorruptedEpochCountBreaksReplayDigest) {
     SimtestOptions options;
     options.check_parallel = false;
     options.check_replay = true;
+    options.check_incremental = false;
     options.mutate = [](Scenario& scenario) {
       scenario.config.shards_per_platform = 2;
       for (auto& spec : scenario.specs) spec.worker_cores = 0;
@@ -296,6 +347,39 @@ TEST(Invariants, CorruptedEpochCountBreaksReplayDigest) {
     }
     EXPECT_TRUE(replay_flagged) << report.Summary();
   }
+}
+
+TEST(Invariants, CorruptionAlsoBreaksIncrementalDigest) {
+  // The incremental comparison re-executes the scenario through
+  // Start/Advance/Finish; a corrupted primary digest must disagree with
+  // that clean re-execution, proving the incremental run actually
+  // recomputes (and matches) the full artifact set.
+  SimtestOptions options;
+  options.check_parallel = false;
+  options.check_replay = false;
+  options.check_incremental = true;
+  options.corrupt = PerturbOneSpanEnd;
+  SeedReport report = RunSeed(1, options);
+  bool incremental_flagged = false;
+  for (const auto& v : report.violations) {
+    incremental_flagged |= v.invariant == "determinism-incremental";
+  }
+  EXPECT_TRUE(incremental_flagged) << report.Summary();
+}
+
+TEST(Invariants, IncrementalDigestMatchesOnShardedRun) {
+  // The pause-and-resume contract holds for sharded platforms too: the
+  // incremental run drives ShardGroup::Advance underneath.
+  SimtestOptions options;
+  options.check_parallel = false;
+  options.check_replay = false;
+  options.check_incremental = true;
+  options.mutate = [](Scenario& scenario) {
+    scenario.config.shards_per_platform = 2;
+    for (auto& spec : scenario.specs) spec.worker_cores = 0;
+  };
+  SeedReport report = RunSeed(1, options);
+  EXPECT_TRUE(report.ok()) << report.Summary();
 }
 
 TEST(Invariants, MidRunProbePassesOnCleanRun) {
@@ -348,8 +432,9 @@ TEST(Shrinker, MinimizesARealInvariantFailure) {
 
 TEST(SimTest, FixedSeedBlock) {
   // The CI fuzz block: 100 scenarios from base seed 1, each run serial,
-  // parallel, and replayed, with mid-run probing. Reproduce a failure
-  // locally with: simtest_fuzz --seeds 100 --base-seed 1 --shrink
+  // parallel, replayed, and incrementally advanced, with mid-run probing.
+  // Reproduce a failure locally with:
+  //   simtest_fuzz --seeds 100 --base-seed 1 --shrink
   SimtestOptions options;
   options.probe_period = SimTime::Millis(10);
   FuzzReport fuzz = RunSeedBlock(1, 100, options);
