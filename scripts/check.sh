@@ -83,10 +83,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # The datacenter-tax kernels select portable or hardware paths at runtime
 # (common/cpu.h). Re-run every kernel-facing suite with the policy pinned
 # each way: the bit-identity contract means both passes must be green on
-# any host, and under any sanitizer the surrounding build chose.
+# any host, and under any sanitizer the surrounding build chose. The
+# serve suites ride along because the wire framing's CRC32C goes through
+# the same dispatch (a frame encoded under one pin must decode under the
+# other — the daemon and its clients may resolve dispatch differently).
 KERNEL_TESTS=(kernel_dispatch_test checksum_test wire_test message_test
               sha3_test compression_test fuzz_test continuous_test
-              trace_export_test)
+              trace_export_test frame_fuzz_test serve_test
+              serve_alloc_test)
 for dispatch in portable native; do
   echo "== kernel suites with HYPERPROF_KERNEL_DISPATCH=$dispatch =="
   for test in "${KERNEL_TESTS[@]}"; do
@@ -155,7 +159,12 @@ if [[ "${BENCH:-0}" != "0" ]]; then
   # exits nonzero if the warmed windowed path heap-allocates.
   "$BUILD_DIR/bench/continuous_micro" /tmp/continuous_smoke.json smoke
   # Serving bench in smoke mode: daemon + load generator sweep a short
-  # offered-load ladder and report max sustained QPS, tail latency, and
-  # shed rate; exits nonzero if any level loses a request.
+  # offered-load ladder (warmed, multi-connection) and report max
+  # sustained QPS, accepted-only and shed-aware tail latency, and shed
+  # rate; exits nonzero if any level loses a request or if the
+  # steady-state allocation probe sees the warmed serving data plane
+  # touch the heap (steady_state_serve_allocs != 0). The 1.5x-baseline
+  # perf floor only arms on multi-core unsanitized full runs — smoke
+  # prints a skip.
   "$BUILD_DIR/bench/serving_micro" /tmp/serving_smoke.json smoke
 fi

@@ -26,9 +26,12 @@ struct PlatformEngine::QueryState {
   uint64_t msg_seq = 0;
   // Serving mode (Submit): admission time and the completion hook that
   // carries the virtual latency back to the front door. Null in batch
-  // runs.
+  // runs. Ticketed admissions carry a ticket for the ServingSink instead
+  // of a per-query callback.
   SimTime admitted;
   std::function<void(SimTime)> on_done;
+  uint64_t ticket = 0;
+  bool has_ticket = false;
 };
 
 namespace {
@@ -204,24 +207,70 @@ void PlatformEngine::Submit(std::function<void(SimTime)> on_done) {
   StartQuery(type_sampler_->Sample(rng_), std::move(on_done));
 }
 
-void PlatformEngine::StartQuery(size_t type_index,
-                                std::function<void(SimTime)> on_done) {
-  auto query = std::make_shared<QueryState>();
-  query->type_index = type_index;
+void PlatformEngine::SetServingSink(ServingSink sink, void* ctx) {
+  serving_sink_ = sink;
+  serving_ctx_ = ctx;
+}
+
+void PlatformEngine::Submit(uint64_t ticket) {
+  assert(!sharded_ && "serving admission requires a fused engine");
+  assert(serving_sink_ != nullptr && "SetServingSink before ticketed Submit");
+  ++target_;
+  auto query = AcquireQueryState();
+  query->type_index = type_sampler_->Sample(rng_);
+  query->ticket = ticket;
+  query->has_ticket = true;
+  LaunchQuery(std::move(query));
+}
+
+void PlatformEngine::SubmitBatch(const uint64_t* tickets, size_t count) {
+  for (size_t i = 0; i < count; ++i) Submit(tickets[i]);
+}
+
+std::shared_ptr<PlatformEngine::QueryState>
+PlatformEngine::AcquireQueryState() {
+  // The most recent return is reusable once every continuation that held
+  // it has been destroyed (use_count back to 1); during a burst the pool
+  // simply grows to the in-flight high-water mark.
+  if (!state_pool_.empty() && state_pool_.back().use_count() == 1) {
+    auto query = std::move(state_pool_.back());
+    state_pool_.pop_back();
+    query->trace_id = profiling::Tracer::kNotSampled;
+    query->type_index = 0;
+    query->lane = 0;
+    query->msg_seq = 0;
+    query->admitted = SimTime();
+    query->on_done = nullptr;
+    query->ticket = 0;
+    query->has_ticket = false;
+    return query;
+  }
+  return std::make_shared<QueryState>();
+}
+
+void PlatformEngine::LaunchQuery(std::shared_ptr<QueryState> query) {
   query->admitted = context_.simulator->Now();
-  query->on_done = std::move(on_done);
   // Queries originate on worker hosts spread over four clusters.
   query->client = net::NodeId{
       0, static_cast<uint32_t>(rng_.NextBounded(4)),
       static_cast<uint32_t>(rng_.NextBounded(context_.worker_hosts))};
   query->trace_id = context_.tracer->StartQuery(
-      platform_id_, type_name_ids_[type_index], context_.simulator->Now());
-  RunPhaseGroup(query, 0);
+      platform_id_, type_name_ids_[query->type_index],
+      context_.simulator->Now());
+  RunPhaseGroup(std::move(query), 0);
+}
+
+void PlatformEngine::StartQuery(size_t type_index,
+                                std::function<void(SimTime)> on_done) {
+  auto query = AcquireQueryState();
+  query->type_index = type_index;
+  query->on_done = std::move(on_done);
+  LaunchQuery(std::move(query));
 }
 
 void PlatformEngine::StartShardedQuery(uint64_t lane, size_t type_index,
                                        Rng rng) {
-  auto query = std::make_shared<QueryState>();
+  auto query = AcquireQueryState();
   query->type_index = type_index;
   query->lane = lane;
   query->rng = std::move(rng);
@@ -267,22 +316,33 @@ void PlatformEngine::RunPhaseGroup(std::shared_ptr<QueryState> query,
     }
   }
   if (unbounded) ++unbounded_posters_;
+  // Completions are flagged when the *remaining* phases include IO: the
+  // next group's posts happen no earlier than this group's completion.
+  const bool flag_completion =
+      sharded_ && io_after_[query->type_index][group_end] != 0;
+  if (group_size == 1) {
+    // Overwhelmingly common shape (every Spanner/BigTable phase list is
+    // sequential): the continuation is the phase's `done` directly — no
+    // barrier state, no shared count, and the closure fits Done inline.
+    Done done([this, query, group_end, unbounded]() {
+      if (unbounded) --unbounded_posters_;
+      RunPhaseGroup(query, group_end);
+    });
+    RunPhase(std::move(query), phase_index, std::move(done), flag_completion);
+    return;
+  }
   auto barrier =
       sim::Barrier(group_size, [this, query, group_end, unbounded]() {
         if (unbounded) --unbounded_posters_;
         RunPhaseGroup(query, group_end);
       });
-  // Completions are flagged when the *remaining* phases include IO: the
-  // next group's posts happen no earlier than this group's completion.
-  const bool flag_completion =
-      sharded_ && io_after_[query->type_index][group_end] != 0;
   for (size_t i = phase_index; i < group_end; ++i) {
-    RunPhase(query, i, barrier, flag_completion);
+    RunPhase(query, i, Done(barrier), flag_completion);
   }
 }
 
 void PlatformEngine::RunPhase(std::shared_ptr<QueryState> query,
-                              size_t phase_index, std::function<void()> done,
+                              size_t phase_index, Done done,
                               bool flag_completion) {
   const PhaseSpec& phase =
       spec_.query_types[query->type_index].phases[phase_index];
@@ -303,8 +363,7 @@ void PlatformEngine::RunPhase(std::shared_ptr<QueryState> query,
 }
 
 void PlatformEngine::RunComputePhase(std::shared_ptr<QueryState> query,
-                                     const ComputePhaseSpec& phase,
-                                     std::function<void()> done,
+                                     const ComputePhaseSpec& phase, Done done,
                                      bool flag_completion) {
   Rng& draw = DrawStream(*query);
   double total = SampleLogNormalMean(draw, phase.mean_seconds, phase.sigma);
@@ -334,17 +393,17 @@ void PlatformEngine::RunComputePhase(std::shared_ptr<QueryState> query,
   SimTime span_length = SimTime::FromSeconds(total);
   if (worker_pool_ != nullptr) {
     // Finite cores: the phase queues for a core, and the CPU span covers
-    // only the on-core time (queueing is unattributed wait).
-    worker_pool_->Acquire([this, query, span_length,
-                           done = std::move(done)]() mutable {
+    // only the on-core time (queueing is unattributed wait). Acquire takes
+    // a copyable std::function, so the move-only Done rides a shared_ptr.
+    auto done_shared = std::make_shared<Done>(std::move(done));
+    worker_pool_->Acquire([this, query, span_length, done_shared]() {
       SimTime start = context_.simulator->Now();
       context_.tracer->AddSpan(query->trace_id, SpanKind::kCpu,
                                compute_span_id_, start, start + span_length);
-      context_.simulator->Schedule(
-          span_length, [this, done = std::move(done)]() {
-            worker_pool_->Release();
-            done();
-          });
+      context_.simulator->Schedule(span_length, [this, done_shared]() {
+        worker_pool_->Release();
+        (*done_shared)();
+      });
     });
     return;
   }
@@ -361,14 +420,12 @@ void PlatformEngine::RunComputePhase(std::shared_ptr<QueryState> query,
 }
 
 void PlatformEngine::RunIoPhase(std::shared_ptr<QueryState> query,
-                                const IoPhaseSpec& phase,
-                                std::function<void()> done) {
+                                const IoPhaseSpec& phase, Done done) {
   assert(phase.num_blocks > 0 && phase.parallelism > 0);
   // Issue accesses in waves of `parallelism`.
   auto remaining = std::make_shared<int>(phase.num_blocks);
   auto issue_wave = std::make_shared<std::function<void()>>();
-  auto done_shared =
-      std::make_shared<std::function<void()>>(std::move(done));
+  auto done_shared = std::make_shared<Done>(std::move(done));
   // The wave closure must reference itself to reissue; capture weakly so
   // the chain (barrier -> issue_wave -> closure) has no ownership cycle
   // and frees once the final wave's barrier fires.
@@ -448,15 +505,16 @@ void PlatformEngine::RunIoPhase(std::shared_ptr<QueryState> query,
 
 void PlatformEngine::RunRemotePhase(std::shared_ptr<QueryState> query,
                                     const RemotePhaseSpec& phase,
-                                    const RemotePhaseInfo& info,
-                                    std::function<void()> done) {
+                                    const RemotePhaseInfo& info, Done done) {
   assert(phase.fanout > 0);
   SimTime start = context_.simulator->Now();
-  auto finish = [this, query, start, name = info.name_id,
-                 done = std::move(done)]() {
+  // Shuffle/paxos completion hooks are copyable std::functions, so the
+  // move-only Done rides a shared_ptr through `finish`.
+  auto done_shared = std::make_shared<Done>(std::move(done));
+  auto finish = [this, query, start, name = info.name_id, done_shared]() {
     context_.tracer->AddSpan(query->trace_id, SpanKind::kRemoteWork, name,
                              start, context_.simulator->Now());
-    done();
+    (*done_shared)();
   };
   Rng& draw = DrawStream(*query);
   const uint32_t hosts = context_.worker_hosts;
@@ -551,10 +609,17 @@ void PlatformEngine::FinishQuery(std::shared_ptr<QueryState> query) {
     on_all_done_ = nullptr;
     done();
   }
-  if (query->on_done) {
+  if (query->has_ticket) {
+    query->has_ticket = false;
+    serving_sink_(serving_ctx_, query->ticket,
+                  context_.simulator->Now() - query->admitted);
+  } else if (query->on_done) {
     auto done = std::move(query->on_done);
     done(context_.simulator->Now() - query->admitted);
   }
+  // Recycle: once the in-flight continuations that still reference this
+  // state unwind, AcquireQueryState hands it to the next admission.
+  state_pool_.push_back(std::move(query));
 }
 
 }  // namespace hyperprof::platforms

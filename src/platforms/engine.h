@@ -113,6 +113,33 @@ class PlatformEngine {
    */
   void Submit(std::function<void(SimTime latency)> on_done);
 
+  /**
+   * Completion sink for ticketed admissions. A plain function pointer +
+   * context so neither registration nor per-query completion dispatch
+   * ever allocates — the serving daemon's whole completion path rides
+   * this. Fired from inside simulator events, exactly where `on_done`
+   * would have run, with the query's virtual end-to-end latency.
+   */
+  using ServingSink = void (*)(void* ctx, uint64_t ticket, SimTime latency);
+  void SetServingSink(ServingSink sink, void* ctx);
+
+  /**
+   * Ticketed admission: identical timeline to Submit(on_done) — same
+   * draws, same events — but completion is delivered to the registered
+   * ServingSink with `ticket`, so admission carries no std::function and
+   * the steady state allocates nothing (query states are pooled).
+   */
+  void Submit(uint64_t ticket);
+
+  /**
+   * Admits `count` queries in ticket-array order in one call — the batch
+   * hook the front door uses to admit everything decoded from one epoll
+   * wake before a single Pump. Equivalent to `count` Submit calls in
+   * order: batching is a wall-clock optimization and never changes the
+   * virtual timeline.
+   */
+  void SubmitBatch(const uint64_t* tickets, size_t count);
+
   uint64_t queries_completed() const { return completed_; }
   /** IO-phase accesses that exhausted their policy and failed. */
   uint64_t io_failures() const { return io_failures_; }
@@ -145,12 +172,24 @@ class PlatformEngine {
  private:
   struct QueryState;
 
+  /**
+   * Per-phase continuation. InlineFunction with the simulator callback's
+   * buffer size, so the standard completion closures (this + query +
+   * indices) stay inline and move straight into Schedule() without a
+   * heap allocation.
+   */
+  using Done = sim::Simulator::Callback;
+
   /** Names and strings a remote phase needs per RPC, built once. */
   struct RemotePhaseInfo {
     profiling::NameId name_id = profiling::kInvalidNameId;
     std::string method;  // "<platform>.<phase>", shared by every RPC
   };
 
+  /** Pops a recycled QueryState (fields reset) or allocates a fresh one. */
+  std::shared_ptr<QueryState> AcquireQueryState();
+  /** Shared tail of every fused admission: client draw, trace, phase 0. */
+  void LaunchQuery(std::shared_ptr<QueryState> query);
   /** `on_done` (serving only) receives the query's virtual latency. */
   void StartQuery(size_t type_index,
                   std::function<void(SimTime)> on_done = nullptr);
@@ -160,16 +199,15 @@ class PlatformEngine {
   void RunPhaseGroup(std::shared_ptr<QueryState> query, size_t phase_index);
   /** `flag_completion`: completion events must bound PostHorizon(). */
   void RunPhase(std::shared_ptr<QueryState> query, size_t phase_index,
-                std::function<void()> done, bool flag_completion);
+                Done done, bool flag_completion);
   void RunComputePhase(std::shared_ptr<QueryState> query,
-                       const ComputePhaseSpec& phase,
-                       std::function<void()> done, bool flag_completion);
+                       const ComputePhaseSpec& phase, Done done,
+                       bool flag_completion);
   void RunIoPhase(std::shared_ptr<QueryState> query, const IoPhaseSpec& phase,
-                  std::function<void()> done);
+                  Done done);
   void RunRemotePhase(std::shared_ptr<QueryState> query,
                       const RemotePhaseSpec& phase,
-                      const RemotePhaseInfo& info,
-                      std::function<void()> done);
+                      const RemotePhaseInfo& info, Done done);
   void FinishQuery(std::shared_ptr<QueryState> query);
 
   double SampleLogNormalMean(Rng& rng, double mean, double sigma);
@@ -211,6 +249,13 @@ class PlatformEngine {
   uint64_t io_failures_ = 0;
   uint64_t target_ = 0;
   std::function<void()> on_all_done_;
+  // Ticketed-serving completion sink (see SetServingSink).
+  ServingSink serving_sink_ = nullptr;
+  void* serving_ctx_ = nullptr;
+  // Recycled query states: FinishQuery returns each state here and
+  // admission pops one back off, so a pipelined serving steady state
+  // reuses the same handful of allocations forever.
+  std::vector<std::shared_ptr<QueryState>> state_pool_;
 };
 
 }  // namespace hyperprof::platforms

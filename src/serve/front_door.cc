@@ -29,6 +29,90 @@ void VirtualFrontDoor::Start() {
   assert(!started_);
   started_ = true;
   fleet_->Start();
+  // Every engine completes ticketed queries straight into this door;
+  // registration is a function pointer + context, nothing allocated.
+  for (size_t i = 0; i < fleet_->platform_count(); ++i) {
+    fleet_->MutableEngineOf(i).SetServingSink(&EngineSinkThunk, this);
+  }
+}
+
+void VirtualFrontDoor::EngineSinkThunk(void* ctx, uint64_t ticket,
+                                       SimTime latency) {
+  static_cast<VirtualFrontDoor*>(ctx)->OnEngineComplete(ticket, latency);
+}
+
+void VirtualFrontDoor::OnEngineComplete(uint64_t ticket, SimTime latency) {
+  ++counters_.completed;
+  ++counters_.responses;
+  Response response;
+  response.status = ResponseStatus::kOk;
+  response.latency_nanos = static_cast<uint64_t>(latency.nanos());
+  sink_->OnResponse(ticket, response);
+}
+
+void VirtualFrontDoor::SubmitTicketed(const Request& request,
+                                      uint64_t ticket) {
+  assert(started_ && !finished_);
+  assert(sink_ != nullptr && "set_sink before SubmitTicketed");
+  Response response;
+  response.id = request.id;
+  if (request.platform >= fleet_->platform_count()) {
+    response.status = ResponseStatus::kError;
+    sink_->OnResponse(ticket, response);
+    return;
+  }
+  switch (request.kind) {
+    case RequestKind::kWindows:
+      FillWindows(request, &response);
+      sink_->OnResponse(ticket, response);
+      return;
+    case RequestKind::kStats:
+      FillStats(&response);
+      sink_->OnResponse(ticket, response);
+      return;
+    case RequestKind::kQuery:
+      break;
+  }
+  ++counters_.offered;
+  if (counters_.in_flight() >= options_.max_in_flight) {
+    ++counters_.shed;
+    response.status = ResponseStatus::kShed;
+    sink_->OnResponse(ticket, response);
+    return;
+  }
+  ++counters_.admitted;
+  fleet_->MutableEngineOf(request.platform).Submit(ticket);
+}
+
+void VirtualFrontDoor::SubmitTicketedBatch(const Request* requests,
+                                           const uint64_t* tickets,
+                                           size_t count) {
+  size_t i = 0;
+  while (i < count) {
+    const Request& request = requests[i];
+    if (request.kind == RequestKind::kQuery &&
+        request.platform < fleet_->platform_count() &&
+        counters_.in_flight() < options_.max_in_flight) {
+      // Maximal run of admissible same-platform queries: count them into
+      // the front-door ledger first (so the in-flight bound holds within
+      // the run), then hand the whole run to the engine in one call.
+      const uint32_t platform = request.platform;
+      batch_tickets_.clear();
+      while (i < count && requests[i].kind == RequestKind::kQuery &&
+             requests[i].platform == platform &&
+             counters_.in_flight() < options_.max_in_flight) {
+        ++counters_.offered;
+        ++counters_.admitted;
+        batch_tickets_.push_back(tickets[i]);
+        ++i;
+      }
+      fleet_->MutableEngineOf(platform).SubmitBatch(batch_tickets_.data(),
+                                                    batch_tickets_.size());
+      continue;
+    }
+    SubmitTicketed(request, tickets[i]);
+    ++i;
+  }
 }
 
 void VirtualFrontDoor::Submit(const Request& request,
@@ -42,12 +126,20 @@ void VirtualFrontDoor::Submit(const Request& request,
     return;
   }
   switch (request.kind) {
-    case RequestKind::kWindows:
-      RespondWindows(request, on_done);
+    case RequestKind::kWindows: {
+      Response response;
+      response.id = request.id;
+      FillWindows(request, &response);
+      on_done(response);
       return;
-    case RequestKind::kStats:
-      RespondStats(request, on_done);
+    }
+    case RequestKind::kStats: {
+      Response response;
+      response.id = request.id;
+      FillStats(&response);
+      on_done(response);
       return;
+    }
     case RequestKind::kQuery:
       break;
   }
@@ -94,15 +186,12 @@ void VirtualFrontDoor::Finish() {
   fleet_->Finish();
 }
 
-void VirtualFrontDoor::RespondWindows(const Request& request,
-                                      const ResponseCallback& done) {
-  Response response;
-  response.id = request.id;
+void VirtualFrontDoor::FillWindows(const Request& request,
+                                   Response* response) {
   const profiling::ContinuousProfiler* profiler =
       fleet_->ContinuousOf(request.platform);
   if (profiler == nullptr) {
-    response.status = ResponseStatus::kError;  // continuous disabled
-    done(response);
+    response->status = ResponseStatus::kError;  // continuous disabled
     return;
   }
   // Most recent populated windows, oldest first, capped at windows_limit.
@@ -125,25 +214,22 @@ void VirtualFrontDoor::RespondWindows(const Request& request,
       window.cpu_total_nanos = slot->total_nanos[kCpu];
       window.latency_p50 = slot->sketches[kLatency].Quantile(0.5);
       window.latency_p99 = slot->sketches[kLatency].Quantile(0.99);
-      response.windows.push_back(window);
+      response->windows.push_back(window);
     }
   }
-  done(response);
 }
 
-void VirtualFrontDoor::RespondStats(const Request& request,
-                                    const ResponseCallback& done) {
-  Response response;
-  response.id = request.id;
-  response.has_stats = true;
-  response.stats.offered = counters_.offered;
-  response.stats.admitted = counters_.admitted;
-  response.stats.shed = counters_.shed;
-  response.stats.completed = counters_.completed;
-  response.stats.in_flight = counters_.in_flight();
-  response.stats.responses = counters_.responses;
-  response.stats.virtual_nanos = static_cast<uint64_t>(virtual_now_.nanos());
-  done(response);
+void VirtualFrontDoor::FillStats(Response* response) {
+  response->has_stats = true;
+  response->stats.offered = counters_.offered;
+  response->stats.admitted = counters_.admitted;
+  response->stats.shed = counters_.shed;
+  response->stats.completed = counters_.completed;
+  response->stats.in_flight = counters_.in_flight();
+  response->stats.responses = counters_.responses;
+  response->stats.virtual_nanos = static_cast<uint64_t>(virtual_now_.nanos());
+  response->stats.serve_allocs =
+      serve_allocs_counter_ != nullptr ? *serve_allocs_counter_ : 0;
 }
 
 }  // namespace hyperprof::serve

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "platforms/fleet.h"
 #include "serve/protocol.h"
@@ -58,6 +59,22 @@ class VirtualFrontDoor {
  public:
   using ResponseCallback = std::function<void(const Response&)>;
 
+  /**
+   * Allocation-free response delivery for the ticketed path. The daemon
+   * registers one sink; every response — synchronous (shed/error/
+   * windows/stats) or a completion fired from inside Pump() — arrives
+   * here tagged with the submission's ticket. `response` is mutable so
+   * the receiver can stamp its own request id (completions carry id 0;
+   * the front door does not retain request ids for admitted queries) and
+   * serialize in place. The reference is only valid for the duration of
+   * the call.
+   */
+  class ResponseSink {
+   public:
+    virtual ~ResponseSink() = default;
+    virtual void OnResponse(uint64_t ticket, Response& response) = 0;
+  };
+
   explicit VirtualFrontDoor(FrontDoorOptions options);
   ~VirtualFrontDoor();
 
@@ -80,6 +97,35 @@ class VirtualFrontDoor {
    */
   void Submit(const Request& request, ResponseCallback on_done);
 
+  /** Registers the ticketed-path sink. Required before SubmitTicketed. */
+  void set_sink(ResponseSink* sink) { sink_ = sink; }
+
+  /**
+   * Exposes the daemon's steady-state allocation counter through kStats
+   * responses (StatsSummary::serve_allocs). Optional; null reports 0.
+   */
+  void set_serve_allocs_counter(const uint64_t* counter) {
+    serve_allocs_counter_ = counter;
+  }
+
+  /**
+   * Ticketed Submit: same admission semantics, but every response is
+   * delivered to the registered ResponseSink with `ticket` and the whole
+   * path — admission, completion, delivery — allocates nothing.
+   */
+  void SubmitTicketed(const Request& request, uint64_t ticket);
+
+  /**
+   * Admits a batch of decoded requests in arrival order — the daemon
+   * calls this once per epoll wake, then pumps once. Runs of admissible
+   * same-platform queries ride one engine SubmitBatch; interleaved
+   * synchronous kinds (and shed responses) are answered at their exact
+   * position in the batch, so the observable outcome is identical to
+   * `count` SubmitTicketed calls in order.
+   */
+  void SubmitTicketedBatch(const Request* requests, const uint64_t* tickets,
+                           size_t count);
+
   /**
    * Advances the fleet's virtual clock to absolute time `until`, firing
    * completions for every admitted query that finishes by then. Returns
@@ -96,13 +142,21 @@ class VirtualFrontDoor {
   platforms::FleetSimulation& fleet() { return *fleet_; }
 
  private:
-  void RespondWindows(const Request& request, const ResponseCallback& done);
-  void RespondStats(const Request& request, const ResponseCallback& done);
+  /** Engine ServingSink trampoline: `ctx` is the VirtualFrontDoor. */
+  static void EngineSinkThunk(void* ctx, uint64_t ticket, SimTime latency);
+  void OnEngineComplete(uint64_t ticket, SimTime latency);
+  void FillWindows(const Request& request, Response* response);
+  void FillStats(Response* response);
 
   FrontDoorOptions options_;
   std::unique_ptr<platforms::FleetSimulation> fleet_;
   SimTime virtual_now_;
   ServingCounters counters_;
+  ResponseSink* sink_ = nullptr;
+  const uint64_t* serve_allocs_counter_ = nullptr;
+  // Scratch for SubmitTicketedBatch's per-platform runs; capacity is
+  // retained so steady-state batches never allocate.
+  std::vector<uint64_t> batch_tickets_;
   bool started_ = false;
   bool finished_ = false;
 };

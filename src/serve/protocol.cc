@@ -38,6 +38,7 @@ constexpr uint32_t kStatCompleted = 4;
 constexpr uint32_t kStatInFlight = 5;
 constexpr uint32_t kStatResponses = 6;
 constexpr uint32_t kStatVirtualNanos = 7;
+constexpr uint32_t kStatServeAllocs = 8;
 
 uint64_t DoubleBits(double v) {
   uint64_t bits;
@@ -49,6 +50,31 @@ double BitsDouble(uint64_t bits) {
   double v;
   std::memcpy(&v, &bits, sizeof(v));
   return v;
+}
+
+/** Exact encoded size of one WindowSummary submessage (tags are 1 byte:
+ * all field numbers fit 4 bits). Lets EncodeResponse emit the length
+ * prefix up front and serialize in place, with no scratch buffer. */
+size_t WindowSize(const WindowSummary& window) {
+  return 6 /* tags */ + 2 * 8 /* fixed64 */ +
+         protowire::VarintSize(protowire::ZigZagEncode(window.index)) +
+         protowire::VarintSize(window.queries) +
+         protowire::VarintSize(
+             protowire::ZigZagEncode(window.latency_total_nanos)) +
+         protowire::VarintSize(
+             protowire::ZigZagEncode(window.cpu_total_nanos));
+}
+
+/** Exact encoded size of a StatsSummary submessage (1-byte tags). */
+size_t StatsSize(const StatsSummary& stats) {
+  return 8 /* tags */ + protowire::VarintSize(stats.offered) +
+         protowire::VarintSize(stats.admitted) +
+         protowire::VarintSize(stats.shed) +
+         protowire::VarintSize(stats.completed) +
+         protowire::VarintSize(stats.in_flight) +
+         protowire::VarintSize(stats.responses) +
+         protowire::VarintSize(stats.virtual_nanos) +
+         protowire::VarintSize(stats.serve_allocs);
 }
 
 void EncodeWindow(const WindowSummary& window, WireBuffer& out) {
@@ -118,6 +144,8 @@ void EncodeStats(const StatsSummary& stats, WireBuffer& out) {
   protowire::PutVarint(out, stats.responses);
   protowire::PutTag(out, kStatVirtualNanos, WireType::kVarint);
   protowire::PutVarint(out, stats.virtual_nanos);
+  protowire::PutTag(out, kStatServeAllocs, WireType::kVarint);
+  protowire::PutVarint(out, stats.serve_allocs);
 }
 
 bool DecodeStats(const uint8_t* data, size_t size, StatsSummary* stats) {
@@ -135,6 +163,7 @@ bool DecodeStats(const uint8_t* data, size_t size, StatsSummary* stats) {
       case kStatInFlight: target = &stats->in_flight; break;
       case kStatResponses: target = &stats->responses; break;
       case kStatVirtualNanos: target = &stats->virtual_nanos; break;
+      case kStatServeAllocs: target = &stats->serve_allocs; break;
       default:
         if (!reader.SkipField(type)) return false;
         continue;
@@ -190,18 +219,18 @@ void EncodeResponse(const Response& response, WireBuffer& out) {
   protowire::PutVarint(out, static_cast<uint64_t>(response.status));
   protowire::PutTag(out, kRespLatency, WireType::kVarint);
   protowire::PutVarint(out, response.latency_nanos);
-  WireBuffer scratch;
+  // Submessages are emitted in place behind a precomputed length prefix —
+  // no scratch buffer, so encoding into a warmed output ring allocates
+  // nothing. Byte-identical to the encode-then-copy form.
   for (const WindowSummary& window : response.windows) {
-    scratch.clear();
-    EncodeWindow(window, scratch);
     protowire::PutTag(out, kRespWindow, WireType::kLengthDelimited);
-    protowire::PutLengthDelimited(out, scratch.data(), scratch.size());
+    protowire::PutVarint(out, WindowSize(window));
+    EncodeWindow(window, out);
   }
   if (response.has_stats) {
-    scratch.clear();
-    EncodeStats(response.stats, scratch);
     protowire::PutTag(out, kRespStats, WireType::kLengthDelimited);
-    protowire::PutLengthDelimited(out, scratch.data(), scratch.size());
+    protowire::PutVarint(out, StatsSize(response.stats));
+    EncodeStats(response.stats, out);
   }
 }
 

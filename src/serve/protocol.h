@@ -58,6 +58,10 @@ struct StatsSummary {
   uint64_t in_flight = 0;  // admitted - completed
   uint64_t responses = 0;  // ok query responses sent (== completed)
   uint64_t virtual_nanos = 0;  // fleet virtual clock at snapshot time
+  // Heap allocations the serving data plane performed after its warmup
+  // cutoff (see ServingDaemon::serve_allocs); 0 in a zero-alloc steady
+  // state. Absent on old peers (decodes as 0).
+  uint64_t serve_allocs = 0;
 };
 
 struct Response {

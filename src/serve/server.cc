@@ -7,15 +7,21 @@
 #include <poll.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cassert>
-#include <chrono>
 #include <cstring>
 
 namespace hyperprof::serve {
 
 namespace {
+
+/** Receive chunk: how much decoder buffer one recv may fill. */
+constexpr size_t kRecvChunk = 64 * 1024;
+
+/** Accept-time reservation for each half of a connection's output ring. */
+constexpr size_t kInitialOutBytes = 8 * 1024;
 
 bool SetNonBlocking(int fd) {
   const int flags = fcntl(fd, F_GETFL, 0);
@@ -26,7 +32,10 @@ bool SetNonBlocking(int fd) {
 }  // namespace
 
 ServeDaemon::ServeDaemon(ServerOptions options)
-    : options_(std::move(options)), front_door_(options_.front_door) {}
+    : options_(std::move(options)), front_door_(options_.front_door) {
+  front_door_.set_sink(this);
+  front_door_.set_serve_allocs_counter(&serve_allocs_);
+}
 
 ServeDaemon::~ServeDaemon() {
   for (auto& [fd, conn] : by_fd_) ::close(fd);
@@ -82,65 +91,82 @@ bool ServeDaemon::Listen() {
   return true;
 }
 
+void ServeDaemon::EnsureStarted() {
+  if (serving_started_) return;
+  serving_started_ = true;
+  front_door_.Start();
+  wall_start_ = std::chrono::steady_clock::now();
+  virtual_start_ = front_door_.virtual_now();
+}
+
 void ServeDaemon::Run() {
   assert(epoll_fd_ >= 0 && "Listen() before Run()");
-  front_door_.Start();
-  const auto wall_start = std::chrono::steady_clock::now();
-  const SimTime virtual_start = front_door_.virtual_now();
+  EnsureStarted();
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Sleep at most 1ms so the virtual clock keeps flowing even on an
+    // idle connection set.
+    RunOnce(1);
+  }
+  Shutdown();
+}
+
+void ServeDaemon::RunOnce(int timeout_ms) {
+  assert(epoll_fd_ >= 0 && "Listen() before RunOnce()");
+  EnsureStarted();
+  // Pace virtual time off the wall clock. Every request admitted since
+  // the previous iteration rides this single Pump.
+  const double wall_elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start_)
+          .count();
+  front_door_.Pump(virtual_start_ +
+                   SimTime::FromSeconds(
+                       wall_elapsed * options_.virtual_seconds_per_wall_second));
+  // Completions fired inside the pump serialized responses without a
+  // socket event; push them out now rather than waiting for the peer to
+  // talk. Iterated in place (no swap) so the list keeps its capacity.
+  if (!pending_flush_.empty()) {
+    for (size_t i = 0; i < pending_flush_.size(); ++i) {
+      auto it = by_id_.find(pending_flush_[i]);
+      if (it == by_id_.end()) continue;
+      it->second->in_flush_list = false;
+      FlushConnection(it->second);
+    }
+    pending_flush_.clear();
+  }
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
-  while (!stop_.load(std::memory_order_acquire)) {
-    // Pace virtual time off the wall clock, then sleep at most 1ms so the
-    // clock keeps flowing even on an idle connection set.
-    const double wall_elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      wall_start)
-            .count();
-    front_door_.Pump(virtual_start +
-                     SimTime::FromSeconds(
-                         wall_elapsed * options_.virtual_seconds_per_wall_second));
-    // Completions fired inside the pump queued responses without a socket
-    // event; push them out now rather than waiting for the peer to talk.
-    if (!pending_flush_.empty()) {
-      std::vector<uint64_t> flush;
-      flush.swap(pending_flush_);
-      for (uint64_t id : flush) {
-        auto it = by_id_.find(id);
-        if (it != by_id_.end()) FlushConnection(it->second);
-      }
+  const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+  if (n < 0) return;  // EINTR and friends: retry next iteration
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == listen_fd_) {
+      AcceptReady();
+      continue;
     }
-    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, 1);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
+    if (fd == wake_pipe_[0]) {
+      char sink[64];
+      while (::read(wake_pipe_[0], sink, sizeof(sink)) > 0) {
+      }
+      continue;
     }
-    for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
-      if (fd == listen_fd_) {
-        AcceptReady();
-        continue;
-      }
-      if (fd == wake_pipe_[0]) {
-        char sink[64];
-        while (::read(wake_pipe_[0], sink, sizeof(sink)) > 0) {
-        }
-        continue;
-      }
-      auto it = by_fd_.find(fd);
-      if (it == by_fd_.end()) continue;  // closed earlier this batch
-      Connection* conn = it->second.get();
-      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
-        CloseConnection(conn);
-        continue;
-      }
-      if (events[i].events & EPOLLIN) HandleReadable(conn);
-      // HandleReadable may have closed the connection on a protocol error.
-      if (by_fd_.find(fd) == by_fd_.end()) continue;
-      if (events[i].events & EPOLLOUT) FlushConnection(conn);
+    auto it = by_fd_.find(fd);
+    if (it == by_fd_.end()) continue;  // closed earlier this batch
+    Connection* conn = it->second.get();
+    if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+      CloseConnection(conn);
+      continue;
     }
+    if (events[i].events & EPOLLIN) HandleReadable(conn);
+    // HandleReadable may have closed the connection on a protocol error.
+    if (by_fd_.find(fd) == by_fd_.end()) continue;
+    if (events[i].events & EPOLLOUT) FlushConnection(conn);
   }
-  // Shutdown: complete every in-flight query in virtual time (instant on
-  // the wall clock), deliver the responses, then finalize the fleet.
+}
+
+void ServeDaemon::Shutdown() {
+  // Complete every in-flight query in virtual time (instant on the wall
+  // clock), deliver the responses, then finalize the fleet.
   front_door_.Pump(SimTime::Max());
   DrainAndFlush();
   front_door_.Finish();
@@ -172,6 +198,12 @@ void ServeDaemon::AcceptReady() {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->id = next_connection_id_++;
+    // Pre-size both halves of the output ring at accept time so common
+    // responses never grow them in steady state. Growth past this (e.g.
+    // large kWindows snapshots) is a legitimate new high-water mark and
+    // is counted by serve_allocs_.
+    conn->out_front.reserve(kInitialOutBytes);
+    conn->out_back.reserve(kInitialOutBytes);
     epoll_event ev;
     std::memset(&ev, 0, sizeof(ev));
     ev.events = EPOLLIN;
@@ -187,84 +219,157 @@ void ServeDaemon::AcceptReady() {
 }
 
 void ServeDaemon::HandleReadable(Connection* conn) {
-  uint8_t buffer[64 * 1024];
+  // Receive directly into the decoder's buffer — no staging copy. Buffer
+  // growth (first frames, oversized bursts) is the only allocation, and
+  // it is counted.
+  const uint64_t reallocs_before = conn->decoder.buffer_reallocs();
   for (;;) {
-    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    uint8_t* span = conn->decoder.WritableSpan(kRecvChunk);
+    const ssize_t n = ::recv(conn->fd, span, kRecvChunk, 0);
     if (n > 0) {
-      conn->decoder.Feed(buffer, static_cast<size_t>(n));
+      conn->decoder.CommitBytes(static_cast<size_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
+    serve_allocs_ += conn->decoder.buffer_reallocs() - reallocs_before;
     CloseConnection(conn);  // peer hung up or hard error
     return;
   }
-  std::vector<uint8_t> payload;
+  serve_allocs_ += conn->decoder.buffer_reallocs() - reallocs_before;
+  // Decode every complete frame in place and collect the whole batch;
+  // one SubmitTicketedBatch admits it ahead of the next Pump. Responses
+  // (sync and completions alike) arrive through OnResponse.
+  batch_requests_.clear();
+  batch_tickets_.clear();
+  bool protocol_error = false;
+  FrameView view;
   for (;;) {
-    const FrameDecoder::Status status = conn->decoder.Next(&payload);
+    const FrameDecoder::Status status = conn->decoder.NextView(&view);
     if (status == FrameDecoder::Status::kNeedMore) break;
     if (status != FrameDecoder::Status::kFrame) {
       // Corrupt or oversized frame: the stream cannot be resynchronized.
+      // Requests already decoded from this wake are still valid — admit
+      // them below, exactly as if the connection died one event later.
       ++stats_.protocol_errors;
-      CloseConnection(conn);
-      return;
+      protocol_error = true;
+      break;
     }
     ++stats_.frames_received;
     Request request;
-    if (!DecodeRequest(payload.data(), payload.size(), &request)) {
+    if (!DecodeRequest(view.data, view.size, &request)) {
       ++stats_.protocol_errors;
-      CloseConnection(conn);
-      return;
+      protocol_error = true;
+      break;
     }
-    const uint64_t conn_id = conn->id;
-    front_door_.Submit(request, [this, conn_id](const Response& response) {
-      QueueResponse(conn_id, response);
-    });
+    if (batch_requests_.size() == batch_requests_.capacity()) {
+      ++serve_allocs_;
+    }
+    if (batch_tickets_.size() == batch_tickets_.capacity()) ++serve_allocs_;
+    batch_requests_.push_back(request);
+    batch_tickets_.push_back(AllocTicket(conn->id, request.id));
+  }
+  if (!batch_requests_.empty()) {
+    front_door_.SubmitTicketedBatch(batch_requests_.data(),
+                                    batch_tickets_.data(),
+                                    batch_requests_.size());
+  }
+  if (protocol_error) {
+    CloseConnection(conn);
+    return;
   }
   FlushConnection(conn);
 }
 
-void ServeDaemon::QueueResponse(uint64_t conn_id, const Response& response) {
-  auto it = by_id_.find(conn_id);
+uint64_t ServeDaemon::AllocTicket(uint64_t conn_id, uint64_t request_id) {
+  uint32_t slot;
+  if (!free_pending_.empty()) {
+    slot = free_pending_.back();
+    free_pending_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(pending_.size());
+    if (pending_.size() == pending_.capacity()) ++serve_allocs_;
+    pending_.emplace_back();
+    // The free list's high-water capacity trails the slot table's; grow
+    // it here so a later release can never allocate.
+    if (free_pending_.capacity() < pending_.size()) {
+      ++serve_allocs_;
+      free_pending_.reserve(pending_.capacity());
+    }
+  }
+  pending_[slot] = PendingRequest{conn_id, request_id};
+  return slot;
+}
+
+void ServeDaemon::OnResponse(uint64_t ticket, Response& response) {
+  const PendingRequest pending = pending_[static_cast<size_t>(ticket)];
+  free_pending_.push_back(static_cast<uint32_t>(ticket));
+  auto it = by_id_.find(pending.conn_id);
   if (it == by_id_.end()) {
     ++stats_.dropped_responses;  // completion outlived the connection
     return;
   }
   Connection* conn = it->second;
-  protowire::WireBuffer payload;
-  EncodeResponse(response, payload);
-  EncodeFrame(payload.data(), payload.size(), conn->out);
+  response.id = pending.request_id;
+  // Serialize straight into the connection's accumulating back buffer:
+  // frame prefix, protowire payload, CRC trailer, no intermediate copy.
+  const size_t capacity_before = conn->out_back.capacity();
+  const size_t payload_start = BeginFrame(conn->out_back);
+  EncodeResponse(response, conn->out_back);
+  EndFrame(conn->out_back, payload_start);
+  if (conn->out_back.capacity() != capacity_before) ++serve_allocs_;
   ++stats_.frames_sent;
-  // Deferred flush: this may run from inside Pump() (query completion) or
-  // mid-decode in HandleReadable; flushing here could close and free the
-  // connection under the caller's feet. The event loop flushes next tick.
-  pending_flush_.push_back(conn_id);
+  if (!conn->in_flush_list) {
+    conn->in_flush_list = true;
+    if (pending_flush_.size() == pending_flush_.capacity()) ++serve_allocs_;
+    pending_flush_.push_back(pending.conn_id);
+  }
 }
 
 void ServeDaemon::FlushConnection(Connection* conn) {
-  while (conn->out_offset < conn->out.size()) {
-    const ssize_t n =
-        ::send(conn->fd, conn->out.data() + conn->out_offset,
-               conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
-    if (n > 0) {
-      conn->out_offset += static_cast<size_t>(n);
+  for (;;) {
+    size_t front_remaining = conn->out_front.size() - conn->out_offset;
+    if (front_remaining == 0) {
+      conn->out_front.clear();  // keeps capacity
+      conn->out_offset = 0;
+      if (conn->out_back.empty()) break;
+      std::swap(conn->out_front, conn->out_back);
+      front_remaining = conn->out_front.size();
+    }
+    // One scatter-gather syscall drains both buffers: the front's
+    // remainder and everything accumulated behind it.
+    iovec iov[2];
+    iov[0].iov_base = conn->out_front.data() + conn->out_offset;
+    iov[0].iov_len = front_remaining;
+    msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = iov;
+    msg.msg_iovlen = 1;
+    if (!conn->out_back.empty()) {
+      iov[1].iov_base = conn->out_back.data();
+      iov[1].iov_len = conn->out_back.size();
+      msg.msg_iovlen = 2;
+    }
+    const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseConnection(conn);
+      return;
+    }
+    size_t written = static_cast<size_t>(n);
+    if (written < front_remaining) {
+      conn->out_offset += written;
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (n < 0 && errno == EINTR) continue;
-    CloseConnection(conn);
-    return;
+    // Front fully drained (and possibly part of the back): swap the
+    // buffers and keep the overshoot as the new front offset.
+    written -= front_remaining;
+    conn->out_front.clear();
+    std::swap(conn->out_front, conn->out_back);
+    conn->out_offset = written;
   }
-  if (conn->out_offset == conn->out.size()) {
-    conn->out.clear();
-    conn->out_offset = 0;
-  } else if (conn->out_offset >= conn->out.size() / 2) {
-    conn->out.erase(conn->out.begin(),
-                    conn->out.begin() +
-                        static_cast<std::ptrdiff_t>(conn->out_offset));
-    conn->out_offset = 0;
-  }
-  const bool want_write = !conn->out.empty();
+  const bool want_write = HasPendingOutput(conn);
   if (want_write != conn->want_write) {
     conn->want_write = want_write;
     UpdateEpoll(conn);
@@ -300,7 +405,7 @@ void ServeDaemon::DrainAndFlush() {
       auto it = by_id_.find(id);
       if (it == by_id_.end()) break;
       Connection* conn = it->second;
-      if (conn->out_offset >= conn->out.size()) break;
+      if (!HasPendingOutput(conn)) break;
       if (std::chrono::steady_clock::now() >= deadline) break;
       pollfd pfd{conn->fd, POLLOUT, 0};
       ::poll(&pfd, 1, 50);

@@ -19,13 +19,23 @@ void Sequence::Advance(size_t index) {
   steps_[index]([self, index]() { self->Advance(index + 1); });
 }
 
-std::function<void()> Barrier(size_t count,
-                              std::function<void()> on_all_done) {
+namespace {
+
+struct BarrierState {
+  size_t remaining;
+  Simulator::Callback on_all_done;
+};
+
+}  // namespace
+
+std::function<void()> Barrier(size_t count, Simulator::Callback on_all_done) {
   assert(count > 0);
-  auto remaining = std::make_shared<size_t>(count);
-  return [remaining, on_all_done = std::move(on_all_done)]() {
-    assert(*remaining > 0);
-    if (--*remaining == 0) on_all_done();
+  auto state = std::make_shared<BarrierState>();
+  state->remaining = count;
+  state->on_all_done = std::move(on_all_done);
+  return [state]() {
+    assert(state->remaining > 0);
+    if (--state->remaining == 0) state->on_all_done();
   };
 }
 

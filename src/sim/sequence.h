@@ -42,8 +42,13 @@ class Sequence : public std::enable_shared_from_this<Sequence> {
  * Used for replicated writes (consensus quorums), parallel shard scans, and
  * shuffle fan-in. The returned callable is the per-branch completion token;
  * it must be invoked exactly `count` times in total.
+ *
+ * The completion callback is a move-only Simulator::Callback held behind a
+ * single shared allocation; the returned token captures only the shared_ptr,
+ * so it fits std::function's inline buffer and copying a token is a
+ * refcount bump, never a heap allocation.
  */
-std::function<void()> Barrier(size_t count, std::function<void()> on_all_done);
+std::function<void()> Barrier(size_t count, Simulator::Callback on_all_done);
 
 }  // namespace hyperprof::sim
 

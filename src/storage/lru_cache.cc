@@ -2,63 +2,181 @@
 
 namespace hyperprof::storage {
 
+namespace {
+constexpr size_t kNpos = static_cast<size_t>(-1);
+constexpr size_t kInitialTableCells = 16;
+}  // namespace
+
 LruCache::LruCache(uint64_t capacity_bytes)
     : capacity_bytes_(capacity_bytes) {}
 
-bool LruCache::Touch(uint64_t block_id) {
-  auto it = map_.find(block_id);
-  if (it == map_.end()) {
-    ++misses_;
-    return false;
+uint64_t LruCache::Mix(uint64_t x) {
+  // splitmix64 finalizer: block ids are often sequential, so the table
+  // needs real avalanche before masking down to a probe start.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+size_t LruCache::FindCell(uint64_t block_id) const {
+  if (table_.empty()) return kNpos;
+  const size_t mask = table_.size() - 1;
+  size_t cell = Mix(block_id) & mask;
+  while (true) {
+    const uint32_t v = table_[cell];
+    if (v == 0) return kNpos;
+    if (slots_[v - 1].block_id == block_id) return cell;
+    cell = (cell + 1) & mask;
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return true;
+}
+
+void LruCache::Unlink(uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (s.prev != kNil) {
+    slots_[s.prev].next = s.next;
+  } else {
+    head_ = s.next;
+  }
+  if (s.next != kNil) {
+    slots_[s.next].prev = s.prev;
+  } else {
+    tail_ = s.prev;
+  }
+  s.prev = kNil;
+  s.next = kNil;
+}
+
+void LruCache::LinkFront(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.prev = kNil;
+  s.next = head_;
+  if (head_ != kNil) slots_[head_].prev = slot;
+  head_ = slot;
+  if (tail_ == kNil) tail_ = slot;
+}
+
+void LruCache::EraseCell(size_t cell) {
+  // Backward-shift deletion keeps probe chains tombstone-free, so lookup
+  // cost stays bounded by live load factor no matter how much churn the
+  // eviction loop generates.
+  const size_t mask = table_.size() - 1;
+  size_t hole = cell;
+  size_t probe = cell;
+  while (true) {
+    probe = (probe + 1) & mask;
+    const uint32_t v = table_[probe];
+    if (v == 0) break;
+    const size_t home = Mix(slots_[v - 1].block_id) & mask;
+    const bool home_in_gap = hole <= probe
+                                 ? (home > hole && home <= probe)
+                                 : (home > hole || home <= probe);
+    if (!home_in_gap) {
+      table_[hole] = v;
+      hole = probe;
+    }
+  }
+  table_[hole] = 0;
+}
+
+void LruCache::RemoveSlot(uint32_t slot) {
+  const size_t cell = FindCell(slots_[slot].block_id);
+  used_bytes_ -= slots_[slot].bytes;
+  Unlink(slot);
+  EraseCell(cell);
+  free_slots_.push_back(slot);
+  --entry_count_;
 }
 
 void LruCache::EvictUntilFits(uint64_t incoming_bytes) {
-  while (!lru_.empty() && used_bytes_ + incoming_bytes > capacity_bytes_) {
-    const Entry& victim = lru_.back();
-    used_bytes_ -= victim.bytes;
-    map_.erase(victim.block_id);
-    lru_.pop_back();
+  while (tail_ != kNil &&
+         used_bytes_ + incoming_bytes > capacity_bytes_) {
+    RemoveSlot(tail_);
     ++evictions_;
   }
 }
 
+void LruCache::Grow() {
+  const size_t new_cells =
+      table_.empty() ? kInitialTableCells : table_.size() * 2;
+  std::vector<uint32_t> fresh(new_cells, 0);
+  const size_t mask = new_cells - 1;
+  for (const uint32_t v : table_) {
+    if (v == 0) continue;
+    size_t at = Mix(slots_[v - 1].block_id) & mask;
+    while (fresh[at] != 0) at = (at + 1) & mask;
+    fresh[at] = v;
+  }
+  table_.swap(fresh);
+}
+
+bool LruCache::Touch(uint64_t block_id) {
+  const size_t cell = FindCell(block_id);
+  if (cell == kNpos) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  const uint32_t slot = table_[cell] - 1;
+  if (head_ != slot) {
+    Unlink(slot);
+    LinkFront(slot);
+  }
+  return true;
+}
+
 bool LruCache::Insert(uint64_t block_id, uint64_t bytes) {
   if (bytes > capacity_bytes_) return false;
-  auto it = map_.find(block_id);
-  if (it != map_.end()) {
-    used_bytes_ -= it->second->bytes;
-    it->second->bytes = bytes;
+  const size_t cell = FindCell(block_id);
+  if (cell != kNpos) {
+    const uint32_t slot = table_[cell] - 1;
+    used_bytes_ -= slots_[slot].bytes;
+    slots_[slot].bytes = bytes;
     used_bytes_ += bytes;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    if (head_ != slot) {
+      Unlink(slot);
+      LinkFront(slot);
+    }
     EvictUntilFits(0);
     return true;
   }
   EvictUntilFits(bytes);
-  lru_.push_front(Entry{block_id, bytes});
-  map_[block_id] = lru_.begin();
+  // Max load factor 1/2: cells are 4 bytes, so doubling early buys short
+  // probe chains for almost nothing.
+  if ((entry_count_ + 1) * 2 > table_.size()) Grow();
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].block_id = block_id;
+  slots_[slot].bytes = bytes;
+  LinkFront(slot);
+  const size_t mask = table_.size() - 1;
+  size_t at = Mix(block_id) & mask;
+  while (table_[at] != 0) at = (at + 1) & mask;
+  table_[at] = slot + 1;
   used_bytes_ += bytes;
+  ++entry_count_;
   return true;
 }
 
 bool LruCache::Erase(uint64_t block_id) {
-  auto it = map_.find(block_id);
-  if (it == map_.end()) return false;
-  used_bytes_ -= it->second->bytes;
-  lru_.erase(it->second);
-  map_.erase(it);
+  const size_t cell = FindCell(block_id);
+  if (cell == kNpos) return false;
+  RemoveSlot(table_[cell] - 1);
   return true;
 }
 
 bool LruCache::Contains(uint64_t block_id) const {
-  return map_.count(block_id) > 0;
+  return FindCell(block_id) != kNpos;
 }
 
 double LruCache::HitRate() const {
-  uint64_t total = hits_ + misses_;
+  const uint64_t total = hits_ + misses_;
   return total == 0 ? 0.0
                     : static_cast<double>(hits_) / static_cast<double>(total);
 }

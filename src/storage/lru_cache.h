@@ -3,8 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 namespace hyperprof::storage {
 
@@ -14,6 +13,11 @@ namespace hyperprof::storage {
  * Tracks only residency (id -> size); the simulated data itself has no
  * contents. Eviction is strict LRU by last touch. Used as the RAM read
  * cache and the SSD flash cache of the tiered store.
+ *
+ * Storage is a linear-probing open-addressing table over recycled slots
+ * with an intrusive doubly-linked LRU list threaded through slot indices:
+ * a warmed cache performs Touch/Insert/Erase with no heap allocation
+ * (evicted slots return to a free list; the table only ever grows).
  */
 class LruCache {
  public:
@@ -41,7 +45,7 @@ class LruCache {
 
   uint64_t used_bytes() const { return used_bytes_; }
   uint64_t capacity_bytes() const { return capacity_bytes_; }
-  size_t entry_count() const { return map_.size(); }
+  size_t entry_count() const { return entry_count_; }
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
@@ -51,17 +55,32 @@ class LruCache {
   double HitRate() const;
 
  private:
-  struct Entry {
-    uint64_t block_id;
-    uint64_t bytes;
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  struct Slot {
+    uint64_t block_id = 0;
+    uint64_t bytes = 0;
+    uint32_t prev = kNil;  // toward MRU
+    uint32_t next = kNil;  // toward LRU
   };
 
+  static uint64_t Mix(uint64_t x);
+  size_t FindCell(uint64_t block_id) const;
+  void Unlink(uint32_t slot);
+  void LinkFront(uint32_t slot);
+  void EraseCell(size_t cell);
+  void RemoveSlot(uint32_t slot);
   void EvictUntilFits(uint64_t incoming_bytes);
+  void Grow();
 
   uint64_t capacity_bytes_;
   uint64_t used_bytes_ = 0;
-  std::list<Entry> lru_;  // front = MRU
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+  size_t entry_count_ = 0;
+  std::vector<uint32_t> table_;  // cell holds slot index + 1; 0 = empty
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  uint32_t head_ = kNil;  // MRU
+  uint32_t tail_ = kNil;  // LRU
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;

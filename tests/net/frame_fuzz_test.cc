@@ -4,6 +4,7 @@
 // past the buffer (ASan enforces the "without" part).
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/rng.h"
@@ -61,6 +62,92 @@ TEST(FrameFuzzTest, RandomSplitPointsReassembleIdentically) {
     EXPECT_FALSE(decoder.HasPartial());
     EXPECT_EQ(decoder.frames_decoded(), frame_count);
   }
+}
+
+TEST(FrameFuzzTest, BeginEndFrameIsByteIdenticalToEncodeFrame) {
+  Rng rng(0x1de5a3e);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::vector<uint8_t> payload =
+        RandomPayload(rng, rng.NextBounded(400));
+
+    std::vector<uint8_t> copied;
+    copied.push_back(0xEE);  // both paths must append, not clobber
+    EncodeFrame(payload.data(), payload.size(), copied);
+
+    std::vector<uint8_t> in_place;
+    in_place.push_back(0xEE);
+    const size_t start = BeginFrame(in_place);
+    in_place.insert(in_place.end(), payload.begin(), payload.end());
+    EndFrame(in_place, start);
+
+    ASSERT_EQ(in_place, copied);
+  }
+}
+
+TEST(FrameFuzzTest, ZeroCopyPathMatchesFeedAndNext) {
+  Rng rng(0x0c0feeb1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t frame_count = 1 + rng.NextBounded(6);
+    std::vector<std::vector<uint8_t>> frames;
+    for (size_t i = 0; i < frame_count; ++i) {
+      frames.push_back(RandomPayload(rng, rng.NextBounded(300)));
+    }
+    const std::vector<uint8_t> stream = EncodeStream(frames);
+
+    // Receive directly into WritableSpan/CommitBytes (as the daemon
+    // does), drain with NextView: same frames, zero copies.
+    FrameDecoder decoder;
+    std::vector<std::vector<uint8_t>> decoded;
+    size_t offset = 0;
+    while (offset < stream.size()) {
+      const size_t take =
+          std::min<size_t>(1 + rng.NextBounded(23), stream.size() - offset);
+      uint8_t* span = decoder.WritableSpan(take);
+      ASSERT_NE(span, nullptr);
+      std::memcpy(span, stream.data() + offset, take);
+      decoder.CommitBytes(take);
+      offset += take;
+      for (;;) {
+        FrameView view;
+        const FrameDecoder::Status status = decoder.NextView(&view);
+        if (status != FrameDecoder::Status::kFrame) {
+          ASSERT_EQ(status, FrameDecoder::Status::kNeedMore);
+          break;
+        }
+        decoded.emplace_back(view.data, view.data + view.size);
+      }
+    }
+    ASSERT_EQ(decoded, frames);
+    EXPECT_FALSE(decoder.HasPartial());
+    EXPECT_EQ(decoder.bytes_fed(), stream.size());
+  }
+}
+
+TEST(FrameFuzzTest, WarmedDecoderStopsReallocating) {
+  // Identical frames through a warmed buffer: after the first frame has
+  // grown the buffer to cover one full frame, further cycles must not
+  // reallocate — the property the daemon's serve_allocs counter pins.
+  Rng rng(0xa110c);
+  const std::vector<uint8_t> payload = RandomPayload(rng, 600);
+  std::vector<uint8_t> frame;
+  EncodeFrame(payload.data(), payload.size(), frame);
+
+  FrameDecoder decoder;
+  std::vector<uint8_t> out;
+  decoder.Feed(frame.data(), frame.size());
+  ASSERT_EQ(decoder.Next(&out), FrameDecoder::Status::kFrame);
+  const uint64_t warm_reallocs = decoder.buffer_reallocs();
+
+  for (int i = 0; i < 64; ++i) {
+    uint8_t* span = decoder.WritableSpan(frame.size());
+    ASSERT_NE(span, nullptr);
+    std::memcpy(span, frame.data(), frame.size());
+    decoder.CommitBytes(frame.size());
+    FrameView view;
+    ASSERT_EQ(decoder.NextView(&view), FrameDecoder::Status::kFrame);
+    ASSERT_EQ(view.size, payload.size());
+  }
+  EXPECT_EQ(decoder.buffer_reallocs(), warm_reallocs);
 }
 
 TEST(FrameFuzzTest, SingleBitFlipsNeverYieldAForgedFrame) {

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <list>
+#include <random>
+#include <unordered_map>
+#include <utility>
+
 namespace hyperprof::storage {
 namespace {
 
@@ -87,6 +92,104 @@ TEST(LruCacheTest, ZeroCapacityAdmitsNothing) {
   LruCache cache(0);
   EXPECT_FALSE(cache.Insert(1, 1));
   EXPECT_FALSE(cache.Touch(1));
+}
+
+namespace {
+
+// Straightforward list+map LRU with the documented semantics, used as the
+// oracle for the open-addressing implementation.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(uint64_t capacity) : capacity_(capacity) {}
+
+  bool Touch(uint64_t id) {
+    auto it = map_.find(id);
+    if (it == map_.end()) return false;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+
+  bool Insert(uint64_t id, uint64_t bytes) {
+    if (bytes > capacity_) return false;
+    auto it = map_.find(id);
+    if (it != map_.end()) {
+      used_ -= it->second->second;
+      it->second->second = bytes;
+      used_ += bytes;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      Evict(0);
+      return true;
+    }
+    Evict(bytes);
+    lru_.emplace_front(id, bytes);
+    map_[id] = lru_.begin();
+    used_ += bytes;
+    return true;
+  }
+
+  bool Erase(uint64_t id) {
+    auto it = map_.find(id);
+    if (it == map_.end()) return false;
+    used_ -= it->second->second;
+    lru_.erase(it->second);
+    map_.erase(it);
+    return true;
+  }
+
+  bool Contains(uint64_t id) const { return map_.count(id) > 0; }
+  uint64_t used() const { return used_; }
+  size_t size() const { return map_.size(); }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  void Evict(uint64_t incoming) {
+    while (!lru_.empty() && used_ + incoming > capacity_) {
+      used_ -= lru_.back().second;
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::list<std::pair<uint64_t, uint64_t>> lru_;
+  std::unordered_map<uint64_t, decltype(lru_)::iterator> map_;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace
+
+TEST(LruCacheTest, MatchesReferenceModelUnderChurn) {
+  // Heavy mixed workload over a small key space so hits, refreshes,
+  // evictions, and erases all fire constantly; every observable must track
+  // the oracle exactly, including eviction order.
+  LruCache cache(4096);
+  ReferenceLru ref(4096);
+  std::mt19937_64 rng(1234);
+  for (int step = 0; step < 200000; ++step) {
+    const uint64_t id = rng() % 512;
+    switch (rng() % 4) {
+      case 0:
+        EXPECT_EQ(cache.Touch(id), ref.Touch(id));
+        break;
+      case 1:
+      case 2: {
+        const uint64_t bytes = 1 + rng() % 300;
+        EXPECT_EQ(cache.Insert(id, bytes), ref.Insert(id, bytes));
+        break;
+      }
+      case 3:
+        EXPECT_EQ(cache.Erase(id), ref.Erase(id));
+        break;
+    }
+    ASSERT_EQ(cache.used_bytes(), ref.used());
+    ASSERT_EQ(cache.entry_count(), ref.size());
+    ASSERT_EQ(cache.evictions(), ref.evictions());
+  }
+  for (uint64_t id = 0; id < 512; ++id) {
+    ASSERT_EQ(cache.Contains(id), ref.Contains(id)) << "id " << id;
+  }
 }
 
 }  // namespace
